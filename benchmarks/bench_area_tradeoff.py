@@ -1,0 +1,87 @@
+"""Experiment E7 (ablation) — area vs criterion trade-off of the hierarchical flow.
+
+The paper notes that the hierarchical flow costs about 20 % of core area.  This
+ablation sweeps the per-block fence utilization: tighter fences (higher
+utilization) reduce the area overhead but leave the cells less room, while
+looser fences cost area.  In every configuration the hierarchical flow must
+keep the criterion well below the flat reference.
+"""
+
+import pytest
+
+from repro.asyncaes import AesArchitecture, AesNetlistGenerator
+from repro.core import evaluate_netlist_channels
+from repro.pnr import run_flat_flow, run_hierarchical_flow
+
+ARCHITECTURE = AesArchitecture(word_width=16, detail=0.15)
+UTILIZATIONS = (0.60, 0.78, 0.90)
+EFFORT = 0.8
+
+
+def _fresh_netlist(tag):
+    return AesNetlistGenerator(ARCHITECTURE, name=f"aes_area_{tag}").build()
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    flat_netlist = _fresh_netlist("flat")
+    flat_design = run_flat_flow(flat_netlist, seed=2, effort=EFFORT)
+    flat_report = evaluate_netlist_channels(flat_netlist, design_name="flat")
+    flat_area = flat_design.area_report().die_area_um2
+
+    points = []
+    for utilization in UTILIZATIONS:
+        netlist = _fresh_netlist(f"u{int(utilization * 100)}")
+        design = run_hierarchical_flow(netlist, seed=2, effort=EFFORT,
+                                       block_utilization=utilization)
+        report = evaluate_netlist_channels(netlist, design_name=f"hier_u{utilization}")
+        area = design.area_report().die_area_um2
+        points.append({
+            "utilization": utilization,
+            "area_um2": area,
+            "overhead": (area - flat_area) / flat_area,
+            "max_dA": report.max_dissymmetry,
+            "mean_dA": report.mean_dissymmetry,
+        })
+    return flat_report, flat_area, points
+
+
+def test_area_tradeoff(sweep_results, write_report):
+    flat_report, flat_area, points = sweep_results
+
+    # Tighter fences (higher utilization) shrink the die.
+    areas = [p["area_um2"] for p in points]
+    assert areas[0] > areas[-1]
+
+    # Every hierarchical configuration improves on the flat flow's criterion.
+    for point in points:
+        assert point["max_dA"] < flat_report.max_dissymmetry
+        assert point["mean_dA"] < flat_report.mean_dissymmetry
+
+    rows = [
+        "Area vs criterion trade-off of the hierarchical flow "
+        f"(flat reference: die {flat_area:.0f} um2, max dA {flat_report.max_dissymmetry:.2f}, "
+        f"mean dA {flat_report.mean_dissymmetry:.3f})",
+        f"{'block utilization':>18s} {'die area (um2)':>15s} {'area overhead':>14s} "
+        f"{'max dA':>8s} {'mean dA':>8s}",
+    ]
+    for point in points:
+        rows.append(
+            f"{point['utilization']:>18.2f} {point['area_um2']:>15.0f} "
+            f"{point['overhead']:>+14.1%} {point['max_dA']:>8.2f} {point['mean_dA']:>8.3f}"
+        )
+    rows.append("")
+    rows.append("Paper: the constrained floorplan costs about 20 % of core area.")
+    write_report("area_tradeoff", "\n".join(rows))
+
+
+def test_area_tradeoff_benchmark(benchmark):
+    """Timing of one hierarchical place-and-route of the reduced AES."""
+
+    def run_once():
+        netlist = _fresh_netlist("bench")
+        design = run_hierarchical_flow(netlist, seed=5, effort=0.5)
+        return design.area_report().die_area_um2
+
+    area = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    assert area > 0

@@ -1,0 +1,79 @@
+"""Experiment E4 — equations (1)-(6) of the paper.
+
+The formal model of Section III applied to the dual-rail XOR of Fig. 4/5:
+
+* the graph exploration yields Nt = Nc = 4 with one switching gate per level
+  (N_1j = N_2j = N_3j = N_4j = 1);
+* the block current profile decomposes as
+  Pdc(t) = I11 + I21 + I31 + I41 + Pdn(t) (equation (6));
+* the block dynamic power follows equation (3).
+"""
+
+import pytest
+
+from repro.circuits import build_dual_rail_xor, simulate_two_operand_block
+from repro.core import (
+    FormalCurrentModel,
+    block_dynamic_power,
+    xor_current_decomposition,
+)
+from repro.electrical import HCMOS9_LIKE
+from repro.graph import build_circuit_graph, compute_levels, switching_profile
+
+
+@pytest.fixture(scope="module")
+def xor_model():
+    block = build_dual_rail_xor("xor_eq6")
+    return block, FormalCurrentModel.from_block(block)
+
+
+def test_eq6_graph_quantities(xor_model, write_report):
+    block, model = xor_model
+
+    # Structural quantities from the graph (Section III).
+    graph = build_circuit_graph(block.netlist)
+    levels = compute_levels(graph)
+    simulated = simulate_two_operand_block(block, [(1, 0)])
+    profile = switching_profile(simulated.trace, levels)
+
+    assert model.nc == 4
+    assert model.nt(0) == model.nt(1) == 4
+    assert profile.nc == 4 and profile.nt == 4
+    assert profile.nij == {1: 1, 2: 1, 3: 1, 4: 1}
+
+    labels = [label for label, _ in xor_current_decomposition(block, 0)]
+    assert labels == ["I11", "I12", "I21", "I31", "I41"]
+
+    # Equation (3): block power at a 1 MHz acknowledge rate.
+    caps = [term.cap_ff for term in model.terms_for(0)]
+    power = block_dynamic_power(caps, 1e6, HCMOS9_LIKE.vdd)
+    assert power > 0
+
+    profile_waveform = model.profile(0)
+    expected_charge = sum(t.weight * t.cap_ff * 1e-15 * HCMOS9_LIKE.vdd
+                          for t in model.terms_for(0))
+    assert profile_waveform.integral() == pytest.approx(expected_charge, rel=1e-3)
+
+    rows = [
+        "Equations (1)-(6) — formal current model of the dual-rail XOR",
+        f"Nc (levels)                 : {model.nc}   (paper: 4)",
+        f"Nt (transitions/evaluation) : {model.nt(0)}   (paper: 4)",
+        f"Nij per level               : {model.nij(0)}   (paper: one per level)",
+        f"eq. (10) terms for set S0   : {labels}",
+        f"block dynamic power @1 MHz  : {power * 1e9:.3f} nW (eq. (3))",
+        f"profile charge per phase    : {profile_waveform.integral() * 1e15:.2f} fC",
+        f"profile peak current        : {profile_waveform.max_abs() * 1e6:.1f} uA",
+    ]
+    write_report("eq6_current_profile", "\n".join(rows))
+
+
+def test_eq6_model_benchmark(benchmark, xor_model):
+    """Timing of building the formal model and predicting the profile."""
+    block, _ = xor_model
+
+    def build_and_profile():
+        model = FormalCurrentModel.from_block(block)
+        return model.profile(0).integral()
+
+    charge = benchmark(build_and_profile)
+    assert charge > 0

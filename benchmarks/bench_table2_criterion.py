@@ -1,0 +1,102 @@
+"""Experiment E3 — Table 2 of the paper.
+
+Most critical channels (highest dissymmetry criterion) of the asynchronous AES
+for the two place-and-route flows:
+
+* AES_v2 — flat reference flow: the paper reports channels with a criterion of
+  up to 1.25 and observes that the critical channels change from one run to
+  the next;
+* AES_v1 — hierarchical constrained flow: no channel above 0.13, at the cost
+  of about 20 % more core area.
+
+Absolute criterion values depend on the (synthetic) placement engine; the
+reproduced claims are the ordering (flat much worse than hierarchical, with
+roughly an order of magnitude between the two), the run-to-run movement of the
+flat critical channels, and the area overhead of the hierarchical flow.
+"""
+
+import pytest
+
+from repro.asyncaes import AesArchitecture, AesNetlistGenerator
+from repro.core import compare_reports, evaluate_netlist_channels
+from repro.pnr import compare_flows, run_flat_flow, run_hierarchical_flow
+
+#: Full-width (32-bit) architecture with reduced filler so the pure-Python
+#: placer stays fast; every block and channel of Fig. 8 is present.
+ARCHITECTURE = AesArchitecture(word_width=32, detail=0.15)
+EFFORT = 0.8
+
+
+def _place_and_evaluate(flow, seed):
+    netlist = AesNetlistGenerator(ARCHITECTURE, name=f"aes_{flow}_{seed}").build()
+    if flow == "flat":
+        design = run_flat_flow(netlist, seed=seed, effort=EFFORT,
+                               design_name=f"AES_v2_flat_seed{seed}")
+    else:
+        design = run_hierarchical_flow(netlist, seed=seed, effort=EFFORT,
+                                       design_name=f"AES_v1_hier_seed{seed}")
+    report = evaluate_netlist_channels(netlist, design_name=design.name)
+    return design, report
+
+
+@pytest.fixture(scope="module")
+def table2_designs():
+    flat_design, flat_report = _place_and_evaluate("flat", seed=1)
+    hier_design, hier_report = _place_and_evaluate("hier", seed=1)
+    return flat_design, flat_report, hier_design, hier_report
+
+
+def test_table2_criterion_comparison(table2_designs, write_report):
+    flat_design, flat_report, hier_design, hier_report = table2_designs
+
+    # Table 2 headline: the hierarchical flow drastically reduces the worst
+    # and the average channel dissymmetry.
+    assert hier_report.max_dissymmetry < 0.5 * flat_report.max_dissymmetry
+    assert hier_report.mean_dissymmetry < 0.5 * flat_report.mean_dissymmetry
+
+    # The hierarchical flow costs silicon area (paper: about +20 %).
+    comparison = compare_flows(flat_design, hier_design)
+    assert comparison["area_overhead"] > 0.0
+
+    improvement = flat_report.max_dissymmetry / max(hier_report.max_dissymmetry, 1e-9)
+    rows = [
+        "Table 2 — most critical channels, AES_v1 (hierarchical) vs AES_v2 (flat)",
+        "",
+        compare_reports(flat_report, hier_report, count=4),
+        "",
+        f"criterion improvement (flat max / hier max): x{improvement:.1f} "
+        f"(paper: 1.25 / 0.13 = x9.6)",
+        f"area overhead of the hierarchical flow: {comparison['area_overhead']:+.1%} "
+        f"(paper: about +20 %)",
+        f"flat die area  : {comparison['flat_die_area_um2']:.0f} um2",
+        f"hier die area  : {comparison['hier_die_area_um2']:.0f} um2",
+    ]
+    write_report("table2_criterion", "\n".join(rows))
+
+
+def test_table2_flat_critical_channels_move_between_runs(write_report):
+    """The paper: "the most sensitive channels are never the same from one
+    place and route to another" (flat flow)."""
+    _, report_a = _place_and_evaluate("flat", seed=11)
+    _, report_b = _place_and_evaluate("flat", seed=12)
+    worst_a = [c.channel for c in report_a.worst(5)]
+    worst_b = [c.channel for c in report_b.worst(5)]
+    assert worst_a != worst_b
+
+    rows = [
+        "Flat flow, two different place-and-route runs — worst channels move:",
+        f"seed 11: {worst_a}",
+        f"seed 12: {worst_b}",
+    ]
+    write_report("table2_run_to_run_variation", "\n".join(rows))
+
+
+def test_table2_flow_benchmark(benchmark):
+    """Timing of one complete flat place-and-route + criterion evaluation."""
+
+    def run_once():
+        _, report = _place_and_evaluate("flat", seed=3)
+        return report.max_dissymmetry
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    assert result > 0

@@ -1,0 +1,35 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and writes a
+small text report under ``benchmarks/results/`` so the numbers can be compared
+against the paper (see EXPERIMENTS.md).  Run with ``pytest benchmarks/
+--benchmark-only -s`` to also see the reports on stdout.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_report(report_dir):
+    """Write (and echo) the textual report of one experiment."""
+
+    def _write(name: str, text: str) -> Path:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n")
+        return path
+
+    return _write

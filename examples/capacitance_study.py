@@ -1,0 +1,64 @@
+"""Reproduction of the Fig. 7 study: how a net-capacitance imbalance at each
+logical level of the dual-rail XOR shapes the DPA signature.
+
+Run with:  python examples/capacitance_study.py
+"""
+
+import numpy as np
+
+from repro.circuits import build_dual_rail_xor
+from repro.core import FormalCurrentModel, find_peaks, signature_from_traces, signature_terms
+from repro.electrical import per_computation_currents
+
+PAIRS = [(0, 0), (1, 1), (0, 1), (1, 0)]
+
+CASES = {
+    "balanced (Cd = 8 fF)": [],
+    "a: Cl31 = 16 fF": [(3, 1, 16.0)],
+    "b: Cl21 = 16 fF": [(2, 1, 16.0)],
+    "c: Cl11 = Cl12 = 16 fF": [(1, 1, 16.0), (1, 2, 16.0)],
+    "d: Cl11 = Cl12 = 32 fF": [(1, 1, 32.0), (1, 2, 32.0)],
+}
+
+
+def ascii_plot(waveform, width=72, height=9) -> str:
+    """A small ASCII rendering of |S(t)| (the paper's oscilloscope view)."""
+    samples = np.abs(waveform.samples)
+    if samples.max() == 0.0:
+        return "(flat zero signature)"
+    bins = np.array_split(samples, width)
+    profile = np.array([chunk.max() for chunk in bins])
+    profile = profile / profile.max()
+    rows = []
+    for row in range(height, 0, -1):
+        threshold = row / height
+        rows.append("".join("#" if value >= threshold else " " for value in profile))
+    rows.append("-" * width)
+    return "\n".join(rows)
+
+
+def main() -> None:
+    for label, modifications in CASES.items():
+        block = build_dual_rail_xor("xor")
+        for level, position, cap in modifications:
+            block.set_level_cap(level, position, cap)
+
+        waves = per_computation_currents(block, PAIRS)
+        signature = signature_from_traces(waves[:2], waves[2:])
+        formal = signature_terms(FormalCurrentModel.from_block(block))
+        peaks = find_peaks(signature, threshold_ratio=0.4)
+
+        print(f"\n=== {label} ===")
+        print(f"signature peak : {signature.max_abs():.3e} A   "
+              f"energy: {signature.energy():.3e} A^2.s   "
+              f"peak count: {len(peaks)}   "
+              f"dominant level: {formal.dominant_level()}")
+        print(ascii_plot(signature))
+
+    print("\nReading: the deeper the unbalanced node (case a), the later the "
+          "signature peak; an imbalance near the inputs (cases c/d) shifts the "
+          "whole curve, and doubling the imbalance amplifies it — Fig. 7 of the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Run the complete secure design flow of Section VI on the asynchronous AES:
+flat reference place-and-route vs the proposed hierarchical flow, followed by
+the dissymmetry-criterion evaluation (the Table 2 experiment).
+
+Run with:  python examples/secure_flow.py            (reduced, ~30 s)
+           python examples/secure_flow.py --full     (full 32-bit width)
+"""
+
+import argparse
+
+from repro.asyncaes import AesArchitecture, AesNetlistGenerator
+from repro.core import FlowConfig, compare_flat_vs_hierarchical, compare_reports
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use the full 32-bit architecture (slower)")
+    parser.add_argument("--seed", type=int, default=1, help="place-and-route seed")
+    args = parser.parse_args()
+
+    architecture = AesArchitecture(word_width=32 if args.full else 16,
+                                   detail=0.2 if args.full else 0.1)
+    print(f"asynchronous AES architecture: {len(architecture.blocks)} blocks, "
+          f"{len(architecture.channels)} channel buses, "
+          f"~{architecture.total_gate_budget()} gate budget")
+
+    config = FlowConfig(criterion_bound=0.5, seed=args.seed, effort=0.8,
+                        max_iterations=2)
+    comparison = compare_flat_vs_hierarchical(
+        lambda: AesNetlistGenerator(architecture, name="async_aes").build(),
+        config=config, design_name="async_aes",
+    )
+
+    print()
+    print(comparison.flat.design.summary())
+    print(comparison.hierarchical.design.summary())
+    print()
+    print(compare_reports(comparison.flat.criterion,
+                          comparison.hierarchical.criterion, count=5))
+    print()
+    print(comparison.summary())
+    print()
+    print("Paper (Table 2): flat flow reaches a criterion of 1.25 while the")
+    print("hierarchical flow keeps every channel below 0.13, for ~20 % more area.")
+
+
+if __name__ == "__main__":
+    main()

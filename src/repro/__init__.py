@@ -1,0 +1,29 @@
+"""Reproduction of Bouesse et al., "DPA on Quasi Delay Insensitive
+Asynchronous Circuits: Formalization and Improvement" (DATE 2005).
+
+The package is organised as:
+
+* :mod:`repro.circuits`   — gate-level QDI substrate (cells, netlists, channels,
+  event-driven simulation, handshake environments);
+* :mod:`repro.graph`      — the annotated directed-graph formalism of Section III;
+* :mod:`repro.electrical` — the electrical/current model replacing the paper's
+  analogue simulations;
+* :mod:`repro.crypto`     — software AES and DES reference implementations;
+* :mod:`repro.asyncaes`   — the QDI asynchronous AES crypto-processor of Fig. 8;
+* :mod:`repro.pnr`        — the place-and-route substrate (flat vs hierarchical);
+* :mod:`repro.core`       — the paper's contribution: the formal power/current
+  model, the DPA formalisation, the dissymmetry criterion and the secure
+  design flow.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "circuits",
+    "graph",
+    "electrical",
+    "crypto",
+    "asyncaes",
+    "pnr",
+    "core",
+]

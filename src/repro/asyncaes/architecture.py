@@ -1,0 +1,267 @@
+"""Architecture description of the QDI asynchronous AES crypto-processor.
+
+Fig. 8 of the paper shows an iterative, 32-bit wide AES built from three
+self-timed loops (ciphering data path, sub-key data path, controller) that
+communicate through dual-rail channels; Fig. 9 shows its constrained
+floorplan.  This module is the single source of truth for that structure in
+the reproduction: the list of architectural blocks (with rough gate-count
+budgets used to size their placement fences) and the list of inter-block
+channels (buses of dual-rail channels).
+
+The names follow the figure's legend (``Addkey0``, ``Mux4_1``, ``ByteSub``,
+``MIXCOLUMN``, ``XOR_KEY``, ``FIFO`` ...); the connectivity is a faithful
+approximation of the figure at the granularity that matters for the paper's
+evaluation — which channels exist, which blocks they join, and how wide they
+are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One architectural block of Fig. 8.
+
+    ``gate_budget`` is the approximate number of equivalent gates the block
+    contains; it is only used to size the block's placement fence and its
+    internal filler logic, not for functional modelling.
+    ``side`` is ``"core"`` for the ciphering data path, ``"key"`` for the
+    sub-key data path and ``"control"`` for the controller/interface.
+    """
+
+    name: str
+    gate_budget: int
+    side: str = "core"
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class ChannelBusSpec:
+    """A bus of 1-of-N channels joining two blocks.
+
+    ``width`` is the number of digits (32 for the data path words, 8 for byte
+    channels, 4 for control); ``radix`` is 2 for dual-rail channels.
+    """
+
+    name: str
+    source: str
+    sink: str
+    width: int = 32
+    radix: int = 2
+    description: str = ""
+
+    def channel_name(self, bit: int) -> str:
+        return f"{self.name}_b{bit}"
+
+    def rail_net(self, bit: int, rail: int) -> str:
+        return f"{self.name}_b{bit}_r{rail}"
+
+    def ack_net(self, bit: int) -> str:
+        return f"{self.name}_b{bit}_ack"
+
+
+# --------------------------------------------------------------------- blocks
+#: Ciphering data path blocks (AES_CORE legend of Fig. 8).
+CORE_BLOCKS: Tuple[BlockSpec, ...] = (
+    BlockSpec("interface", 420, "control", "I/O interface, registers, control"),
+    BlockSpec("mux4_1", 260, "core", "input word multiplexer"),
+    BlockSpec("addkey0", 520, "core", "initial AddRoundKey (XOR with key 0)"),
+    BlockSpec("mux", 300, "core", "round-loop multiplexer"),
+    BlockSpec("dmux1_4", 320, "core", "column demultiplexer"),
+    BlockSpec("hb_c0", 180, "core", "half-buffer column 0"),
+    BlockSpec("hb_c1", 180, "core", "half-buffer column 1"),
+    BlockSpec("hb_c2", 180, "core", "half-buffer column 2"),
+    BlockSpec("hb_c3", 180, "core", "half-buffer column 3"),
+    BlockSpec("bytesub0", 1400, "core", "SubBytes S-boxes, column 0"),
+    BlockSpec("bytesub1", 1400, "core", "SubBytes S-boxes, column 1"),
+    BlockSpec("bytesub2", 1400, "core", "SubBytes S-boxes, column 2"),
+    BlockSpec("bytesub3", 1400, "core", "SubBytes S-boxes, column 3"),
+    BlockSpec("hb_sr0", 150, "core", "post-ShiftRow half buffer 0"),
+    BlockSpec("hb_sr1", 150, "core", "post-ShiftRow half buffer 1"),
+    BlockSpec("hb_sr2", 150, "core", "post-ShiftRow half buffer 2"),
+    BlockSpec("hb_sr3", 150, "core", "post-ShiftRow half buffer 3"),
+    BlockSpec("mux_mix", 280, "core", "column gather multiplexer"),
+    BlockSpec("mixcolumn", 900, "core", "MixColumns"),
+    BlockSpec("addroundkey", 520, "core", "round AddRoundKey"),
+    BlockSpec("addlastkey", 480, "core", "final AddRoundKey"),
+    BlockSpec("dmux_out", 260, "core", "output demultiplexer"),
+    BlockSpec("core_control", 380, "control", "round counter and core FSM"),
+)
+
+#: Sub-key data path blocks (AES_KEY legend of Fig. 8).
+KEY_BLOCKS: Tuple[BlockSpec, ...] = (
+    BlockSpec("mux9_1_key", 340, "key", "key word multiplexer"),
+    BlockSpec("mux2_1_sbox", 200, "key", "S-box input multiplexer"),
+    BlockSpec("bytesub_key", 1400, "key", "key-schedule SubWord S-boxes"),
+    BlockSpec("demux1_2_rc", 180, "key", "round-constant demultiplexer"),
+    BlockSpec("xor_rc", 220, "key", "round-constant XOR"),
+    BlockSpec("fifo_key", 600, "key", "key word FIFO"),
+    BlockSpec("demux1_3_xor", 220, "key", "XOR operand demultiplexer"),
+    BlockSpec("mux3_1_xor", 240, "key", "XOR operand multiplexer"),
+    BlockSpec("xor_key", 520, "key", "key-schedule word XOR"),
+    BlockSpec("duplicate", 260, "key", "sub-key duplicator"),
+    BlockSpec("duplic_nk", 160, "key", "Nk duplicator"),
+    BlockSpec("key_control", 320, "control", "key-schedule counter and FSM"),
+)
+
+ALL_BLOCKS: Tuple[BlockSpec, ...] = CORE_BLOCKS + KEY_BLOCKS
+
+
+# ------------------------------------------------------------------- channels
+#: Data-path word width of the architecture (Fig. 8: 32-bit wide loops).
+WORD_WIDTH = 32
+
+CORE_CHANNELS: Tuple[ChannelBusSpec, ...] = (
+    ChannelBusSpec("data_in", "interface", "mux4_1", WORD_WIDTH,
+                   description="plaintext words from the interface"),
+    ChannelBusSpec("mux41_to_addkey0", "mux4_1", "addkey0", WORD_WIDTH),
+    ChannelBusSpec("key0_to_addkey0", "duplicate", "addkey0", WORD_WIDTH,
+                   description="initial key words from the key data path"),
+    ChannelBusSpec("addkey0_to_mux", "addkey0", "mux", WORD_WIDTH),
+    ChannelBusSpec("roundloop_to_mux", "addroundkey", "mux", WORD_WIDTH,
+                   description="round feedback loop"),
+    ChannelBusSpec("mux_to_dmux", "mux", "dmux1_4", WORD_WIDTH),
+    ChannelBusSpec("dmux_to_c0", "dmux1_4", "hb_c0", WORD_WIDTH),
+    ChannelBusSpec("dmux_to_c1", "dmux1_4", "hb_c1", WORD_WIDTH),
+    ChannelBusSpec("dmux_to_c2", "dmux1_4", "hb_c2", WORD_WIDTH),
+    ChannelBusSpec("dmux_to_c3", "dmux1_4", "hb_c3", WORD_WIDTH),
+    ChannelBusSpec("c0_to_bytesub0", "hb_c0", "bytesub0", WORD_WIDTH),
+    ChannelBusSpec("c1_to_bytesub1", "hb_c1", "bytesub1", WORD_WIDTH),
+    ChannelBusSpec("c2_to_bytesub2", "hb_c2", "bytesub2", WORD_WIDTH),
+    ChannelBusSpec("c3_to_bytesub3", "hb_c3", "bytesub3", WORD_WIDTH),
+    ChannelBusSpec("bytesub0_to_sr0", "bytesub0", "hb_sr0", WORD_WIDTH,
+                   description="ShiftRows is the wiring permutation feeding these buffers"),
+    ChannelBusSpec("bytesub1_to_sr1", "bytesub1", "hb_sr1", WORD_WIDTH),
+    ChannelBusSpec("bytesub2_to_sr2", "bytesub2", "hb_sr2", WORD_WIDTH),
+    ChannelBusSpec("bytesub3_to_sr3", "bytesub3", "hb_sr3", WORD_WIDTH),
+    ChannelBusSpec("sr0_to_muxmix", "hb_sr0", "mux_mix", WORD_WIDTH),
+    ChannelBusSpec("sr1_to_muxmix", "hb_sr1", "mux_mix", WORD_WIDTH),
+    ChannelBusSpec("sr2_to_muxmix", "hb_sr2", "mux_mix", WORD_WIDTH),
+    ChannelBusSpec("sr3_to_muxmix", "hb_sr3", "mux_mix", WORD_WIDTH),
+    ChannelBusSpec("muxmix_to_mixcol", "mux_mix", "mixcolumn", WORD_WIDTH),
+    ChannelBusSpec("mixcol_to_ark", "mixcolumn", "addroundkey", WORD_WIDTH),
+    ChannelBusSpec("subkey_to_ark", "duplicate", "addroundkey", WORD_WIDTH,
+                   description="the Sub-key synchronisation channel of Fig. 8"),
+    ChannelBusSpec("muxmix_to_alk", "mux_mix", "addlastkey", WORD_WIDTH,
+                   description="last-round path (no MixColumns)"),
+    ChannelBusSpec("subkey_to_alk", "duplicate", "addlastkey", WORD_WIDTH),
+    ChannelBusSpec("alk_to_dmuxout", "addlastkey", "dmux_out", WORD_WIDTH),
+    ChannelBusSpec("data_out", "dmux_out", "interface", WORD_WIDTH,
+                   description="ciphertext words to the interface"),
+    ChannelBusSpec("core_ctrl", "core_control", "mux", 4,
+                   description="round-control channel (1-of-2 encoded control bits)"),
+)
+
+KEY_CHANNELS: Tuple[ChannelBusSpec, ...] = (
+    ChannelBusSpec("key_in", "interface", "mux9_1_key", WORD_WIDTH,
+                   description="cipher key words from the interface"),
+    ChannelBusSpec("mux91_to_fifo", "mux9_1_key", "fifo_key", WORD_WIDTH),
+    ChannelBusSpec("fifo_to_demux13", "fifo_key", "demux1_3_xor", WORD_WIDTH),
+    ChannelBusSpec("demux13_to_xorkey", "demux1_3_xor", "xor_key", WORD_WIDTH),
+    ChannelBusSpec("mux91_to_mux21", "mux9_1_key", "mux2_1_sbox", WORD_WIDTH),
+    ChannelBusSpec("mux21_to_ksbox", "mux2_1_sbox", "bytesub_key", WORD_WIDTH),
+    ChannelBusSpec("ksbox_to_demux12", "bytesub_key", "demux1_2_rc", WORD_WIDTH),
+    ChannelBusSpec("demux12_to_xorrc", "demux1_2_rc", "xor_rc", WORD_WIDTH),
+    ChannelBusSpec("xorrc_to_mux31", "xor_rc", "mux3_1_xor", WORD_WIDTH),
+    ChannelBusSpec("mux31_to_xorkey", "mux3_1_xor", "xor_key", WORD_WIDTH),
+    ChannelBusSpec("xorkey_to_dup", "xor_key", "duplicate", WORD_WIDTH),
+    ChannelBusSpec("dup_to_mux91", "duplicate", "mux9_1_key", WORD_WIDTH,
+                   description="key-schedule feedback loop"),
+    ChannelBusSpec("nk_ctrl", "duplic_nk", "mux9_1_key", 4),
+    ChannelBusSpec("key_ctrl", "key_control", "mux3_1_xor", 4),
+)
+
+ALL_CHANNELS: Tuple[ChannelBusSpec, ...] = CORE_CHANNELS + KEY_CHANNELS
+
+
+@dataclass
+class AesArchitecture:
+    """The complete block/channel structure of the asynchronous AES.
+
+    Parameters
+    ----------
+    word_width:
+        Width of the data-path buses.  32 reproduces the paper's architecture;
+        smaller values (8, 16) give scaled-down versions useful for fast tests
+        while preserving every block and channel.
+    detail:
+        Scale factor applied to the blocks' gate budgets when generating the
+        structural netlist (1.0 = full budget).
+    """
+
+    word_width: int = WORD_WIDTH
+    detail: float = 1.0
+    blocks: Tuple[BlockSpec, ...] = ALL_BLOCKS
+    channels: Tuple[ChannelBusSpec, ...] = field(default=ALL_CHANNELS)
+
+    def __post_init__(self) -> None:
+        if self.word_width < 4:
+            raise ValueError("word width must be at least 4")
+        if not 0 < self.detail <= 4.0:
+            raise ValueError("detail must be in (0, 4]")
+        if self.word_width != WORD_WIDTH:
+            scaled = []
+            for channel in self.channels:
+                width = channel.width if channel.width <= 4 else self.word_width
+                scaled.append(ChannelBusSpec(
+                    name=channel.name, source=channel.source, sink=channel.sink,
+                    width=width, radix=channel.radix,
+                    description=channel.description,
+                ))
+            self.channels = tuple(scaled)
+
+    # --------------------------------------------------------------- queries
+    def block(self, name: str) -> BlockSpec:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise KeyError(f"unknown block {name!r}")
+
+    def block_names(self) -> List[str]:
+        return [block.name for block in self.blocks]
+
+    def channel(self, name: str) -> ChannelBusSpec:
+        for channel in self.channels:
+            if channel.name == name:
+                return channel
+        raise KeyError(f"unknown channel bus {name!r}")
+
+    def channels_of_block(self, block: str) -> List[ChannelBusSpec]:
+        return [c for c in self.channels if c.source == block or c.sink == block]
+
+    def outgoing(self, block: str) -> List[ChannelBusSpec]:
+        return [c for c in self.channels if c.source == block]
+
+    def incoming(self, block: str) -> List[ChannelBusSpec]:
+        return [c for c in self.channels if c.sink == block]
+
+    def scaled_gate_budget(self, block: str) -> int:
+        base = self.block(block).gate_budget
+        width_scale = self.word_width / WORD_WIDTH
+        return max(8, int(base * self.detail * width_scale))
+
+    def total_gate_budget(self) -> int:
+        return sum(self.scaled_gate_budget(b.name) for b in self.blocks)
+
+    def validate(self) -> List[str]:
+        """Consistency checks of the architecture description."""
+        problems: List[str] = []
+        names = set(self.block_names())
+        if len(names) != len(self.blocks):
+            problems.append("duplicate block names")
+        for channel in self.channels:
+            if channel.source not in names:
+                problems.append(f"channel {channel.name!r}: unknown source {channel.source!r}")
+            if channel.sink not in names:
+                problems.append(f"channel {channel.name!r}: unknown sink {channel.sink!r}")
+            if channel.source == channel.sink:
+                problems.append(f"channel {channel.name!r} is a self-loop")
+        seen = set()
+        for channel in self.channels:
+            if channel.name in seen:
+                problems.append(f"duplicate channel bus name {channel.name!r}")
+            seen.add(channel.name)
+        return problems

@@ -1,0 +1,118 @@
+"""Round controller of the asynchronous AES (the finite state machine of Fig. 8).
+
+The paper describes the crypto-processor as "an iterative structure, based on
+three self-timed loops synchronized through communicating channels" where
+"the controller (finite state machine) generates signals which control both
+data-paths so that they execute Nr iterations as specified in the Rijndael
+algorithm".  This module models that controller as an explicit FSM producing
+the ordered sequence of control tokens the two data paths consume; the
+data-flow models (:mod:`repro.asyncaes.datapath`, :mod:`repro.asyncaes.keypath`)
+follow this sequence when they emit channel transfers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+class RoundStep(enum.Enum):
+    """Steps of the AES round sequencing."""
+
+    LOAD = "load"
+    ADD_KEY0 = "addkey0"
+    SUB_BYTES = "subbytes"
+    SHIFT_ROWS = "shiftrows"
+    MIX_COLUMNS = "mixcolumns"
+    ADD_ROUND_KEY = "addroundkey"
+    ADD_LAST_KEY = "addlastkey"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class ControlToken:
+    """One control decision of the FSM: which step of which round to run."""
+
+    round_index: int
+    step: RoundStep
+
+
+class ControllerError(Exception):
+    """Raised when the FSM is driven out of sequence."""
+
+
+@dataclass
+class RoundController:
+    """Finite state machine sequencing ``rounds`` AES rounds.
+
+    The token sequence for the standard 10-round AES-128 is::
+
+        LOAD, ADD_KEY0,
+        (SUB_BYTES, SHIFT_ROWS, MIX_COLUMNS, ADD_ROUND_KEY)  x 9,
+        SUB_BYTES, SHIFT_ROWS, ADD_LAST_KEY, OUTPUT
+    """
+
+    rounds: int = 10
+    issued: List[ControlToken] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ControllerError(f"round count must be >= 1, got {self.rounds}")
+
+    # ----------------------------------------------------------- sequencing
+    def sequence(self) -> Iterator[ControlToken]:
+        """Yield the complete control sequence for one encryption."""
+        yield ControlToken(0, RoundStep.LOAD)
+        yield ControlToken(0, RoundStep.ADD_KEY0)
+        for round_index in range(1, self.rounds):
+            yield ControlToken(round_index, RoundStep.SUB_BYTES)
+            yield ControlToken(round_index, RoundStep.SHIFT_ROWS)
+            yield ControlToken(round_index, RoundStep.MIX_COLUMNS)
+            yield ControlToken(round_index, RoundStep.ADD_ROUND_KEY)
+        yield ControlToken(self.rounds, RoundStep.SUB_BYTES)
+        yield ControlToken(self.rounds, RoundStep.SHIFT_ROWS)
+        yield ControlToken(self.rounds, RoundStep.ADD_LAST_KEY)
+        yield ControlToken(self.rounds, RoundStep.OUTPUT)
+
+    def run(self) -> List[ControlToken]:
+        """Materialise (and record) the full control sequence."""
+        self.issued = list(self.sequence())
+        return self.issued
+
+    # -------------------------------------------------------------- queries
+    def token_count(self) -> int:
+        """Number of control tokens of one encryption."""
+        return 2 + 4 * (self.rounds - 1) + 4
+
+    def steps_of_round(self, round_index: int) -> List[RoundStep]:
+        """The steps executed during a given round."""
+        if round_index == 0:
+            return [RoundStep.LOAD, RoundStep.ADD_KEY0]
+        if round_index < self.rounds:
+            return [RoundStep.SUB_BYTES, RoundStep.SHIFT_ROWS,
+                    RoundStep.MIX_COLUMNS, RoundStep.ADD_ROUND_KEY]
+        if round_index == self.rounds:
+            return [RoundStep.SUB_BYTES, RoundStep.SHIFT_ROWS,
+                    RoundStep.ADD_LAST_KEY, RoundStep.OUTPUT]
+        raise ControllerError(
+            f"round {round_index} out of range for a {self.rounds}-round controller"
+        )
+
+    def validate_sequence(self, tokens: Optional[List[ControlToken]] = None) -> List[str]:
+        """Check a token sequence against the Rijndael round structure."""
+        tokens = tokens if tokens is not None else self.issued
+        problems: List[str] = []
+        expected = list(self.sequence())
+        if len(tokens) != len(expected):
+            problems.append(
+                f"expected {len(expected)} control tokens, got {len(tokens)}"
+            )
+            return problems
+        for index, (got, want) in enumerate(zip(tokens, expected)):
+            if got != want:
+                problems.append(
+                    f"token {index}: expected {want.step.value} of round "
+                    f"{want.round_index}, got {got.step.value} of round {got.round_index}"
+                )
+        return problems

@@ -1,0 +1,181 @@
+"""Ciphering data path of the asynchronous AES (32-bit iterative data flow).
+
+The model executes one AES-128 encryption exactly as the architecture of
+Fig. 8 moves the data: 32-bit words (one state column at a time) circulate
+through the round loop — initial AddRoundKey, then SubBytes, ShiftRows,
+MixColumns and AddRoundKey per round, with the last round skipping
+MixColumns.  Every word that crosses an inter-block channel is recorded as a
+:class:`~repro.asyncaes.keypath.ChannelTransfer`, which is what the
+power-trace generator turns into rail transitions.
+
+Functional correctness is checked against the software reference of
+:mod:`repro.crypto.aes`: the ciphertext produced by walking the architecture
+must equal ``AES(key).encrypt_block(plaintext)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..crypto.aes import AES, RoundTrace, state_to_bytes
+from .controller import ControlToken, RoundController, RoundStep
+from .keypath import ChannelTransfer, KeySchedulePath, bytes_to_word, word_to_bytes
+
+
+class DatapathError(Exception):
+    """Raised on malformed operands or architecture inconsistencies."""
+
+
+def block_to_words(block: Sequence[int]) -> List[int]:
+    """Split a 16-byte block into four 32-bit column words (MSB first)."""
+    if len(block) != 16:
+        raise DatapathError(f"a block needs 16 bytes, got {len(block)}")
+    return [bytes_to_word(block[4 * c: 4 * c + 4]) for c in range(4)]
+
+
+def words_to_block(words: Sequence[int]) -> List[int]:
+    """Reassemble four 32-bit column words into a 16-byte block."""
+    if len(words) != 4:
+        raise DatapathError(f"a block needs 4 words, got {len(words)}")
+    block: List[int] = []
+    for word in words:
+        block.extend(word_to_bytes(word))
+    return block
+
+
+@dataclass
+class EncryptionRun:
+    """Everything produced by one encryption on the architecture model."""
+
+    plaintext: List[int]
+    ciphertext: List[int]
+    transfers: List[ChannelTransfer] = field(default_factory=list)
+    round_key_slots: Dict[int, int] = field(default_factory=dict)
+    total_slots: int = 0
+    reference: Optional[RoundTrace] = None
+
+    def transfers_on(self, bus: str) -> List[ChannelTransfer]:
+        return [t for t in self.transfers if t.bus == bus]
+
+    def slot_of_first(self, bus: str) -> Optional[int]:
+        on_bus = self.transfers_on(bus)
+        return min((t.slot for t in on_bus), default=None)
+
+
+@dataclass
+class CipherDataPath:
+    """The ciphering loop of the asynchronous AES bound to a fixed key."""
+
+    key: Sequence[int]
+    rounds: int = 10
+    controller: RoundController = field(default_factory=RoundController)
+    check_against_reference: bool = True
+
+    def __post_init__(self) -> None:
+        self.key = list(self.key)
+        if len(self.key) != 16:
+            raise DatapathError("the 32-bit iterative architecture implements AES-128")
+        self.controller = RoundController(rounds=self.rounds)
+        self._reference = AES(self.key)
+
+    # ------------------------------------------------------------- encrypt
+    def encrypt(self, plaintext: Sequence[int], *, start_slot: int = 0) -> EncryptionRun:
+        """Run one encryption, recording every inter-block channel transfer."""
+        plaintext = list(plaintext)
+        if len(plaintext) != 16:
+            raise DatapathError(f"plaintext must be 16 bytes, got {len(plaintext)}")
+
+        reference = self._reference.encrypt_with_trace(plaintext)
+        run = EncryptionRun(plaintext=plaintext, ciphertext=[], reference=reference)
+        slot = start_slot
+
+        def emit(bus: str, word: int, at: int, label: str) -> None:
+            run.transfers.append(ChannelTransfer(bus=bus, word=word, slot=at,
+                                                 width=32, label=label))
+
+        def state_words(label: str) -> List[int]:
+            return block_to_words(state_to_bytes(reference.states[label]))
+
+        for token in self.controller.sequence():
+            label = f"round{token.round_index}:{token.step.value}"
+            if token.step is RoundStep.LOAD:
+                words = block_to_words(plaintext)
+                for offset, word in enumerate(words):
+                    emit("data_in", word, slot + offset, label)
+                    emit("mux41_to_addkey0", word, slot + offset + 1, label)
+                slot += 5
+
+            elif token.step is RoundStep.ADD_KEY0:
+                run.round_key_slots[0] = slot
+                words = state_words("round0:addkey")
+                for offset, word in enumerate(words):
+                    emit("addkey0_to_mux", word, slot + offset + 1, label)
+                    emit("mux_to_dmux", word, slot + offset + 2, label)
+                    emit(f"dmux_to_c{offset}", word, slot + offset + 3, label)
+                slot += 7
+
+            elif token.step is RoundStep.SUB_BYTES:
+                input_words = (state_words(f"round{token.round_index - 1}:addkey")
+                               if token.round_index > 1
+                               else state_words("round0:addkey"))
+                output_words = state_words(f"round{token.round_index}:subbytes")
+                for offset in range(4):
+                    emit(f"c{offset}_to_bytesub{offset}", input_words[offset],
+                         slot + offset, label)
+                    emit(f"bytesub{offset}_to_sr{offset}", output_words[offset],
+                         slot + offset + 1, label)
+                slot += 6
+
+            elif token.step is RoundStep.SHIFT_ROWS:
+                words = state_words(f"round{token.round_index}:shiftrows")
+                for offset, word in enumerate(words):
+                    emit(f"sr{offset}_to_muxmix", word, slot + offset, label)
+                slot += 5
+
+            elif token.step is RoundStep.MIX_COLUMNS:
+                input_words = state_words(f"round{token.round_index}:shiftrows")
+                output_words = state_words(f"round{token.round_index}:mixcolumns")
+                for offset in range(4):
+                    emit("muxmix_to_mixcol", input_words[offset], slot + offset, label)
+                    emit("mixcol_to_ark", output_words[offset], slot + offset + 1, label)
+                slot += 6
+
+            elif token.step is RoundStep.ADD_ROUND_KEY:
+                run.round_key_slots[token.round_index] = slot
+                words = state_words(f"round{token.round_index}:addkey")
+                for offset, word in enumerate(words):
+                    emit("roundloop_to_mux", word, slot + offset + 1, label)
+                    emit("mux_to_dmux", word, slot + offset + 2, label)
+                    emit(f"dmux_to_c{offset}", word, slot + offset + 3, label)
+                slot += 7
+
+            elif token.step is RoundStep.ADD_LAST_KEY:
+                run.round_key_slots[self.rounds] = slot
+                input_words = state_words(f"round{self.rounds}:shiftrows")
+                output_words = state_words(f"round{self.rounds}:addkey")
+                for offset in range(4):
+                    emit("muxmix_to_alk", input_words[offset], slot + offset, label)
+                    emit("alk_to_dmuxout", output_words[offset], slot + offset + 1, label)
+                slot += 6
+
+            elif token.step is RoundStep.OUTPUT:
+                words = state_words(f"round{self.rounds}:addkey")
+                for offset, word in enumerate(words):
+                    emit("data_out", word, slot + offset, label)
+                slot += 5
+
+        run.ciphertext = list(reference.ciphertext)
+        run.total_slots = slot
+        if self.check_against_reference:
+            rebuilt = words_to_block(block_to_words(run.ciphertext))
+            if rebuilt != reference.ciphertext:
+                raise DatapathError("architecture data flow diverged from the reference AES")
+        return run
+
+    # -------------------------------------------------------------- helpers
+    def first_round_target_word(self, plaintext: Sequence[int],
+                                column: int = 0) -> int:
+        """The addkey0 output word of one column — the DPA target value."""
+        trace = self._reference.encrypt_with_trace(list(plaintext))
+        return block_to_words(state_to_bytes(trace.states["round0:addkey"]))[column]

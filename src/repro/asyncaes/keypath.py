@@ -1,0 +1,192 @@
+"""Sub-key data path of the asynchronous AES (on-the-fly key expansion).
+
+Fig. 8's AES_KEY loop computes the Rijndael round keys on the fly, one 32-bit
+word at a time, and synchronises with the ciphering data path through the
+``Sub-key`` channel.  This module models that loop at the data-flow level: it
+performs the word-by-word key expansion while recording, in order, every
+32-bit transfer on the key-path channels — the information the power-trace
+generator needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..crypto.aes_tables import RCON, SBOX
+
+
+class KeyPathError(Exception):
+    """Raised for malformed keys."""
+
+
+@dataclass(frozen=True)
+class ChannelTransfer:
+    """One word-wide communication on a named channel bus.
+
+    ``slot`` is the sequential occupation index used to time the transfer in
+    the synthesized power trace; ``width`` is the number of dual-rail bits the
+    word occupies on the bus.
+    """
+
+    bus: str
+    word: int
+    slot: int
+    width: int = 32
+    label: str = ""
+
+
+def bytes_to_word(byte_values: Sequence[int]) -> int:
+    """Pack four bytes (MSB first) into a 32-bit word."""
+    if len(byte_values) != 4:
+        raise KeyPathError(f"a word needs 4 bytes, got {len(byte_values)}")
+    word = 0
+    for value in byte_values:
+        if not 0 <= value <= 0xFF:
+            raise KeyPathError(f"byte {value} out of range")
+        word = (word << 8) | value
+    return word
+
+
+def word_to_bytes(word: int) -> List[int]:
+    """Unpack a 32-bit word into four bytes (MSB first)."""
+    if not 0 <= word < (1 << 32):
+        raise KeyPathError(f"word {word:#x} out of range")
+    return [(word >> 24) & 0xFF, (word >> 16) & 0xFF, (word >> 8) & 0xFF, word & 0xFF]
+
+
+def rot_word(word: int) -> int:
+    """Rotate a word left by one byte (the RotWord of the key schedule)."""
+    return ((word << 8) | (word >> 24)) & 0xFFFFFFFF
+
+
+def sub_word(word: int) -> int:
+    """Apply the S-box to each byte of a word (the SubWord of the key schedule)."""
+    return bytes_to_word([SBOX[b] for b in word_to_bytes(word)])
+
+
+@dataclass
+class KeySchedulePath:
+    """The sub-key loop: expands the key and records its channel activity.
+
+    Parameters
+    ----------
+    key:
+        The 16-byte AES-128 cipher key.
+    rounds:
+        Number of AES rounds (10 for AES-128).
+    """
+
+    key: Sequence[int]
+    rounds: int = 10
+    transfers: List[ChannelTransfer] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        self.key = list(self.key)
+        if len(self.key) != 16:
+            raise KeyPathError(
+                f"the 32-bit iterative architecture implements AES-128; "
+                f"got a {len(self.key)}-byte key"
+            )
+
+    # ------------------------------------------------------------- schedule
+    def round_key_words(self) -> List[List[int]]:
+        """The 4 words of every round key (``rounds + 1`` entries)."""
+        words: List[int] = [bytes_to_word(self.key[4 * i: 4 * i + 4]) for i in range(4)]
+        for i in range(4, 4 * (self.rounds + 1)):
+            temp = words[i - 1]
+            if i % 4 == 0:
+                temp = sub_word(rot_word(temp)) ^ (RCON[i // 4 - 1] << 24)
+            words.append(words[i - 4] ^ temp)
+        return [words[4 * r: 4 * r + 4] for r in range(self.rounds + 1)]
+
+    def round_keys_bytes(self) -> List[List[int]]:
+        """The round keys as 16-byte lists (natural order)."""
+        result = []
+        for round_words in self.round_key_words():
+            round_bytes: List[int] = []
+            for word in round_words:
+                round_bytes.extend(word_to_bytes(word))
+            result.append(round_bytes)
+        return result
+
+    # ----------------------------------------------------------- simulation
+    def run(self, start_slot: int = 0) -> Tuple[List[List[int]], int]:
+        """Execute the key-schedule loop, recording channel transfers.
+
+        Returns ``(round key words, next free slot)``.  The transfer pattern
+        follows the architecture: every round-key word circulates through the
+        feedback loop (``dup_to_mux91`` → ``mux91_to_fifo`` → ``fifo_to_demux13``
+        → ``demux13_to_xorkey`` → ``xor_key`` → ``duplicate``), and the last
+        word of each round key additionally traverses the RotWord/SubWord/Rcon
+        branch (``mux91_to_mux21`` → ``mux21_to_ksbox`` → ``ksbox_to_demux12``
+        → ``demux12_to_xorrc`` → ``xorrc_to_mux31`` → ``mux31_to_xorkey``).
+        """
+        self.transfers = []
+        slot = start_slot
+        round_words = self.round_key_words()
+
+        # Key loading: the cipher key enters through the interface.
+        for word in round_words[0]:
+            self._emit("key_in", word, slot, "load")
+            self._emit("mux91_to_fifo", word, slot + 1, "load")
+            slot += 1
+        slot += 1
+
+        previous = round_words[0]
+        for round_index in range(1, self.rounds + 1):
+            current = round_words[round_index]
+            # RotWord/SubWord/Rcon branch on the last word of the previous key.
+            last = previous[3]
+            self._emit("dup_to_mux91", last, slot, f"round{round_index}")
+            self._emit("mux91_to_mux21", last, slot + 1, f"round{round_index}")
+            self._emit("mux21_to_ksbox", rot_word(last), slot + 2, f"round{round_index}")
+            subbed = sub_word(rot_word(last))
+            self._emit("ksbox_to_demux12", subbed, slot + 3, f"round{round_index}")
+            self._emit("demux12_to_xorrc", subbed, slot + 4, f"round{round_index}")
+            with_rcon = subbed ^ (RCON[round_index - 1] << 24)
+            self._emit("xorrc_to_mux31", with_rcon, slot + 5, f"round{round_index}")
+            self._emit("mux31_to_xorkey", with_rcon, slot + 6, f"round{round_index}")
+            slot += 7
+
+            for word_index in range(4):
+                operand = previous[word_index]
+                self._emit("fifo_to_demux13", operand, slot, f"round{round_index}")
+                self._emit("demux13_to_xorkey", operand, slot + 1, f"round{round_index}")
+                produced = current[word_index]
+                self._emit("xorkey_to_dup", produced, slot + 2, f"round{round_index}")
+                self._emit("dup_to_mux91", produced, slot + 3, f"round{round_index}")
+                self._emit("mux91_to_fifo", produced, slot + 3, f"round{round_index}")
+                slot += 4
+            previous = current
+
+        return round_words, slot
+
+    def _emit(self, bus: str, word: int, slot: int, label: str) -> None:
+        self.transfers.append(ChannelTransfer(bus=bus, word=word, slot=slot,
+                                              width=32, label=label))
+
+    # -------------------------------------------------------------- queries
+    def transfers_on(self, bus: str) -> List[ChannelTransfer]:
+        return [t for t in self.transfers if t.bus == bus]
+
+    def subkey_transfers(self, round_key_words: List[List[int]],
+                         slots: Dict[int, int]) -> List[ChannelTransfer]:
+        """Transfers of round keys on the Sub-key channels towards the core.
+
+        ``slots`` maps round index → slot at which the ciphering data path
+        consumes that round key (provided by the datapath model so the two
+        loops stay synchronised, as the paper's channel ``Sub-key`` does).
+        """
+        result = []
+        for round_index, slot in sorted(slots.items()):
+            if round_index == 0:
+                bus = "key0_to_addkey0"
+            elif round_index == self.rounds:
+                bus = "subkey_to_alk"
+            else:
+                bus = "subkey_to_ark"
+            for offset, word in enumerate(round_key_words[round_index]):
+                result.append(ChannelTransfer(bus=bus, word=word, slot=slot + offset,
+                                              width=32, label=f"key{round_index}"))
+        return result

@@ -1,0 +1,224 @@
+"""Structural netlist generation for the asynchronous AES crypto-processor.
+
+The Table-2 experiment of the paper needs a *placeable* design whose
+inter-block dual-rail channels can be measured after place and route.  This
+generator turns the :class:`~repro.asyncaes.architecture.AesArchitecture`
+description into a flat gate-level netlist in which
+
+* every inter-block channel bit is materialised as two rail nets (annotated
+  with their channel name, so the criterion evaluation can find them) plus an
+  acknowledge net;
+* every block contains explicit **interface cells** — one rail-driver Muller
+  gate per outgoing rail, one capture gate and one completion/acknowledge
+  driver per incoming bit — because their placement is what determines the
+  channel capacitances;
+* every block also contains **internal logic** sized from its gate budget and
+  wired as a connected mesh between its captures and its drivers, so the
+  placement engines see realistic per-block connectivity and area.
+
+The functional behaviour of the processor is modelled separately
+(:mod:`repro.asyncaes.datapath`); this netlist is the physical-design view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.netlist import Netlist, PortDirection
+from .architecture import AesArchitecture, BlockSpec, ChannelBusSpec
+
+
+@dataclass
+class BlockInterface:
+    """Net handles of one block's channel interfaces (used by the filler mesh)."""
+
+    capture_nets: List[str] = field(default_factory=list)
+    driver_input_nets: List[str] = field(default_factory=list)
+
+
+class AesNetlistGenerator:
+    """Builds the flat structural netlist of the asynchronous AES."""
+
+    def __init__(self, architecture: Optional[AesArchitecture] = None, *,
+                 name: str = "async_aes"):
+        self.architecture = architecture if architecture is not None else AesArchitecture()
+        problems = self.architecture.validate()
+        if problems:
+            raise ValueError("invalid architecture: " + "; ".join(problems))
+        self.name = name
+
+    # ------------------------------------------------------------------ build
+    def build(self) -> Netlist:
+        """Generate the netlist (a fresh object on every call)."""
+        netlist = Netlist(self.name)
+        netlist.add_input("reset")
+
+        interfaces: Dict[str, BlockInterface] = {
+            block.name: BlockInterface() for block in self.architecture.blocks
+        }
+
+        self._declare_channels(netlist)
+        for block in self.architecture.blocks:
+            self._build_block_interface(netlist, block, interfaces[block.name])
+        for block in self.architecture.blocks:
+            self._build_block_internals(netlist, block, interfaces[block.name])
+        return netlist
+
+    # ------------------------------------------------------------- channels
+    def _declare_channels(self, netlist: Netlist) -> None:
+        for bus in self.architecture.channels:
+            for bit in range(bus.width):
+                channel_name = bus.channel_name(bit)
+                for rail in range(bus.radix):
+                    netlist.add_net(bus.rail_net(bit, rail), channel=channel_name,
+                                    rail=rail)
+                netlist.add_net(bus.ack_net(bit))
+
+    # ----------------------------------------------------------- interfaces
+    def _build_block_interface(self, netlist: Netlist, block: BlockSpec,
+                               interface: BlockInterface) -> None:
+        reset_net = f"{block.name}/reset"
+        netlist.add_instance(f"{block.name}/reset_buf", "BUF",
+                             {"A": "reset", "Z": reset_net}, block=block.name)
+
+        # Output rails: one resettable Muller driver per rail.
+        for bus in self.architecture.outgoing(block.name):
+            for bit in range(bus.width):
+                for rail in range(bus.radix):
+                    data_net = f"{block.name}/drv_{bus.name}_b{bit}_r{rail}_in"
+                    enable_net = f"{block.name}/drv_{bus.name}_b{bit}_en"
+                    netlist.add_net(data_net, block=block.name)
+                    netlist.add_net(enable_net, block=block.name)
+                    netlist.add_instance(
+                        f"{block.name}/drv_{bus.name}_b{bit}_r{rail}",
+                        "MULLER2_R",
+                        {"A": data_net, "B": enable_net, "RST": reset_net,
+                         "Z": bus.rail_net(bit, rail)},
+                        block=block.name,
+                    )
+                    interface.driver_input_nets.append(data_net)
+                interface.driver_input_nets.append(
+                    f"{block.name}/drv_{bus.name}_b{bit}_en"
+                )
+
+        # Input rails: per bit, one completion gate over both rails (driving
+        # the acknowledge back to the producer through a buffer) plus one
+        # data-capture Muller gate per rail — a rail of a real dual-rail
+        # channel always loads at least the completion detector and the
+        # receiving bit-slice logic.
+        for bus in self.architecture.incoming(block.name):
+            for bit in range(bus.width):
+                capture_net = f"{block.name}/cap_{bus.name}_b{bit}"
+                netlist.add_net(capture_net, block=block.name)
+                netlist.add_instance(
+                    f"{block.name}/cap_{bus.name}_b{bit}",
+                    "OR2",
+                    {"A": bus.rail_net(bit, 0), "B": bus.rail_net(bit, 1),
+                     "Z": capture_net},
+                    block=block.name,
+                )
+                netlist.add_instance(
+                    f"{block.name}/ackgen_{bus.name}_b{bit}",
+                    "BUF",
+                    {"A": capture_net, "Z": bus.ack_net(bit)},
+                    block=block.name,
+                )
+                interface.capture_nets.append(capture_net)
+                for rail in range(bus.radix):
+                    sink_net = f"{block.name}/rx_{bus.name}_b{bit}_r{rail}"
+                    netlist.add_net(sink_net, block=block.name)
+                    netlist.add_instance(
+                        f"{block.name}/rx_{bus.name}_b{bit}_r{rail}",
+                        "MULLER2",
+                        {"A": bus.rail_net(bit, rail), "B": capture_net,
+                         "Z": sink_net},
+                        block=block.name,
+                    )
+                    interface.capture_nets.append(sink_net)
+
+    # ------------------------------------------------------------ internals
+    def _build_block_internals(self, netlist: Netlist, block: BlockSpec,
+                               interface: BlockInterface) -> None:
+        """Fill the block with a connected mesh of internal gates.
+
+        The mesh consumes the capture nets, produces the driver-input nets and
+        chains Muller gates in between until the block's gate budget is
+        reached.  The exact logic is irrelevant for physical design; what
+        matters is that the block is internally connected (so the annealer
+        keeps it compact) and occupies a realistic area.
+        """
+        budget = self.architecture.scaled_gate_budget(block.name)
+        existing = 1  # reset buffer
+        existing += sum(1 for _ in ())  # placeholder for clarity
+        interface_cells = (
+            len(interface.driver_input_nets)  # roughly one driver per input net
+            + 2 * len(interface.capture_nets)
+        )
+        filler_count = max(4, budget - interface_cells - existing)
+
+        sources = list(interface.capture_nets)
+        if not sources:
+            seed_net = f"{block.name}/seed"
+            netlist.add_net(seed_net, block=block.name)
+            netlist.add_instance(f"{block.name}/seed_inv", "INV",
+                                 {"A": "reset", "Z": seed_net}, block=block.name)
+            sources = [seed_net]
+
+        # The filler logic is wired as a two-dimensional grid (each cell sees
+        # its predecessor and the cell one "row" back) so that the block forms
+        # a compact cluster under wirelength optimisation — a chain would let
+        # the block smear across the die and exaggerate channel dissymmetry
+        # beyond what a real flat flow produces.
+        stride = max(2, int(filler_count ** 0.5))
+        previous = sources[0]
+        mesh_nets: List[str] = []
+        for index in range(filler_count):
+            out_net = f"{block.name}/mesh_{index}"
+            netlist.add_net(out_net, block=block.name)
+            if index >= stride:
+                tap = mesh_nets[index - stride]
+            else:
+                tap = sources[index % len(sources)]
+            netlist.add_instance(
+                f"{block.name}/mesh_{index}",
+                "MULLER2",
+                {"A": previous, "B": tap, "Z": out_net},
+                block=block.name,
+            )
+            mesh_nets.append(out_net)
+            previous = out_net
+
+        # Drive every driver-input net from the mesh so output drivers are
+        # connected to the block's internals.  The driver-input nets come in
+        # groups of three per channel bit (rail 0 data, rail 1 data, shared
+        # enable); both rails' feed gates tap the *same* mesh and capture
+        # nets, reflecting that the two rails of a dual-rail bit are produced
+        # by the same bit-slice logic cone.
+        feeders = mesh_nets if mesh_nets else sources
+        for index, target_net in enumerate(interface.driver_input_nets):
+            group = index // 3
+            feeder = feeders[group % len(feeders)]
+            second = sources[group % len(sources)]
+            if index % 3 == 2:
+                # The enable/acknowledge feed taps the next mesh cell so the
+                # bit slice is anchored by two neighbouring internal nodes.
+                feeder = feeders[(group + 1) % len(feeders)]
+            netlist.add_instance(
+                f"{block.name}/feed_{index}",
+                "AND2",
+                {"A": feeder, "B": second, "Z": target_net},
+                block=block.name,
+            )
+
+
+def build_aes_netlist(word_width: int = 32, *, detail: float = 0.3,
+                      name: str = "async_aes") -> Netlist:
+    """Convenience wrapper: build the asynchronous AES structural netlist.
+
+    ``detail`` scales the per-block gate budgets (1.0 ≈ the full-size design,
+    which is slow to place in pure Python; 0.3 keeps the interface structure
+    intact while shrinking the filler logic).
+    """
+    architecture = AesArchitecture(word_width=word_width, detail=detail)
+    return AesNetlistGenerator(architecture, name=name).build()

@@ -1,0 +1,112 @@
+"""Top-level model of the asynchronous AES crypto-processor.
+
+Ties the pieces of Fig. 8 together: the structural netlist (physical-design
+view), the controller, the ciphering data path and the sub-key data path
+(functional views) and the power-trace generator (side-channel view).  A
+:class:`AsyncAesProcessor` is the object the examples and benchmarks handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..circuits.netlist import Netlist
+from ..core.dpa import TraceSet
+from ..crypto.aes import AES
+from ..electrical.noise import NoiseModel
+from ..electrical.technology import HCMOS9_LIKE, Technology
+from ..electrical.waveform import Waveform
+from .architecture import AesArchitecture
+from .controller import RoundController
+from .datapath import CipherDataPath, EncryptionRun
+from .keypath import KeySchedulePath
+from .netlist_gen import AesNetlistGenerator
+from .tracegen import AesPowerTraceGenerator, TraceGeneratorConfig
+
+
+class ProcessorError(Exception):
+    """Raised for inconsistent processor configurations."""
+
+
+@dataclass
+class AsyncAesProcessor:
+    """The asynchronous AES crypto-processor of Section VI.
+
+    Parameters
+    ----------
+    key:
+        16-byte AES-128 key stored in the device.
+    architecture:
+        Block/channel structure (defaults to the full 32-bit architecture).
+    netlist:
+        Optional pre-built (typically placed and extracted) structural
+        netlist; built on demand otherwise.
+    technology:
+        Electrical parameters used by the trace generator.
+    noise:
+        Optional noise model applied to generated traces.
+    """
+
+    key: Sequence[int]
+    architecture: AesArchitecture = field(default_factory=AesArchitecture)
+    netlist: Optional[Netlist] = None
+    technology: Technology = field(default_factory=lambda: HCMOS9_LIKE)
+    noise: Optional[NoiseModel] = None
+    trace_config: Optional[TraceGeneratorConfig] = None
+
+    def __post_init__(self) -> None:
+        self.key = list(self.key)
+        if len(self.key) != 16:
+            raise ProcessorError("the asynchronous AES implements AES-128 (16-byte keys)")
+        self.controller = RoundController()
+        self.datapath = CipherDataPath(self.key)
+        self.keypath = KeySchedulePath(self.key)
+        self.reference = AES(self.key)
+        self._trace_generator: Optional[AesPowerTraceGenerator] = None
+
+    # ------------------------------------------------------------ structure
+    def build_netlist(self) -> Netlist:
+        """Build (or return the cached) structural netlist of the processor."""
+        if self.netlist is None:
+            self.netlist = AesNetlistGenerator(self.architecture).build()
+        return self.netlist
+
+    def trace_generator(self) -> AesPowerTraceGenerator:
+        if self._trace_generator is None:
+            self._trace_generator = AesPowerTraceGenerator(
+                self.build_netlist(), self.key, architecture=self.architecture,
+                technology=self.technology, noise=self.noise,
+                config=self.trace_config,
+            )
+        return self._trace_generator
+
+    # ------------------------------------------------------------ function
+    def encrypt(self, plaintext: Sequence[int]) -> List[int]:
+        """Encrypt one block through the architecture model.
+
+        The result is checked against the software AES reference; a mismatch
+        would mean the architectural data flow is wrong.
+        """
+        run = self.datapath.encrypt(plaintext)
+        expected = self.reference.encrypt_block(plaintext)
+        if run.ciphertext != expected:
+            raise ProcessorError("asynchronous data path diverged from the AES reference")
+        return run.ciphertext
+
+    def encrypt_with_activity(self, plaintext: Sequence[int]) -> EncryptionRun:
+        """Encrypt and return the full channel-activity record."""
+        return self.datapath.encrypt(plaintext)
+
+    def round_keys(self) -> List[List[int]]:
+        """The expanded round keys (bytes), computed by the sub-key path."""
+        return self.keypath.round_keys_bytes()
+
+    # --------------------------------------------------------- side channel
+    def power_trace(self, plaintext: Sequence[int]) -> Waveform:
+        """Synthesize the supply-current trace of one encryption."""
+        return self.trace_generator().trace(plaintext)
+
+    def acquire_traces(self, count: int, *, seed: Optional[int] = None) -> TraceSet:
+        """Acquire ``count`` traces over random plaintexts (the DPA campaign)."""
+        return self.trace_generator().random_trace_set(count, seed=seed)

@@ -1,0 +1,136 @@
+"""Helpers for constructing QDI blocks inside a netlist.
+
+:class:`BlockBuilder` wraps a :class:`~repro.circuits.netlist.Netlist` and a
+block name, prefixing instance and net names so that several blocks can share
+one flat netlist (as required by the place-and-route substrate, which places
+cells of every block on one die while remembering which block each cell
+belongs to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .channels import ChannelNets, ChannelSpec
+from .netlist import Instance, Netlist
+
+
+class BlockBuilder:
+    """Incrementally builds the cells of one named block."""
+
+    def __init__(self, netlist: Netlist, block: str = ""):
+        self.netlist = netlist
+        self.block = block
+        self._counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- nameing
+    def _prefixed(self, name: str) -> str:
+        return f"{self.block}/{name}" if self.block else name
+
+    def unique_name(self, stem: str) -> str:
+        """Return a block-unique name derived from ``stem``."""
+        count = self._counters.get(stem, 0)
+        self._counters[stem] = count + 1
+        suffix = "" if count == 0 else f"_{count}"
+        return self._prefixed(f"{stem}{suffix}")
+
+    # ------------------------------------------------------------ elements
+    def net(self, name: str, *, channel: Optional[str] = None,
+            rail: Optional[int] = None) -> str:
+        """Declare (or reuse) a block-local net and return its full name."""
+        full = self._prefixed(name)
+        self.netlist.add_net(full, block=self.block, channel=channel, rail=rail)
+        return full
+
+    def external_net(self, name: str) -> str:
+        """Declare (or reuse) a net that is *not* renamed (block boundary)."""
+        self.netlist.add_net(name)
+        return name
+
+    def gate(self, cell: str, connections: Mapping[str, str],
+             name: Optional[str] = None) -> Instance:
+        """Instantiate a cell; the instance name is block-prefixed."""
+        instance_name = self._prefixed(name) if name else self.unique_name(cell.lower())
+        return self.netlist.add_instance(instance_name, cell, dict(connections),
+                                         block=self.block)
+
+    def channel(self, name: str, radix: int = 2) -> ChannelNets:
+        """Declare a block-local channel (rails + acknowledge)."""
+        spec = ChannelSpec(name=self._prefixed(name), radix=radix)
+        return spec.declare(self.netlist, block=self.block)
+
+
+@dataclass
+class QDIBlock:
+    """Handle returned by the QDI cell builders of :mod:`repro.circuits.library`.
+
+    It records everything the analysis layers need: the channels at the block
+    boundary, the acknowledge nets, the logical level of each gate and the
+    ``(level, j)`` grid used by the paper to index gate load capacitances
+    (``Cl_ij`` = load capacitance of the j-th gate of level i).
+    """
+
+    name: str
+    netlist: Netlist
+    inputs: List[ChannelNets] = field(default_factory=list)
+    outputs: List[ChannelNets] = field(default_factory=list)
+    ack_out: Optional[str] = None
+    ack_in: Optional[str] = None
+    reset: Optional[str] = None
+    level_of_instance: Dict[str, int] = field(default_factory=dict)
+    gate_grid: Dict[Tuple[int, int], str] = field(default_factory=dict)
+    rail_cones: Dict[str, List[str]] = field(default_factory=dict)
+
+    # --------------------------------------------------------------- access
+    def instance_at(self, level: int, position: int) -> str:
+        """Instance name of the gate at ``(level, position)`` (1-based)."""
+        try:
+            return self.gate_grid[(level, position)]
+        except KeyError:
+            raise KeyError(
+                f"block {self.name!r} has no gate at level {level}, position {position}"
+            ) from None
+
+    def net_at(self, level: int, position: int) -> str:
+        """Output net of the gate at ``(level, position)``.
+
+        This is the net whose load capacitance the paper calls ``Cl_ij``; the
+        Fig. 7 experiments modify exactly these values.
+        """
+        instance = self.instance_at(level, position)
+        cell = self.netlist.cell_of(instance)
+        return self.netlist.instance(instance).net_of(cell.output)
+
+    def set_level_cap(self, level: int, position: int, cap_ff: float) -> None:
+        """Set the routing capacitance of the ``(level, position)`` gate output."""
+        self.netlist.set_routing_cap(self.net_at(level, position), cap_ff)
+
+    def level_caps(self) -> Dict[Tuple[int, int], float]:
+        """Current routing capacitance of every gate-output net in the grid."""
+        return {
+            key: self.netlist.net(self.net_at(*key)).routing_cap_ff
+            for key in sorted(self.gate_grid)
+        }
+
+    @property
+    def depth(self) -> int:
+        """Number of logical levels (the paper's ``Nc``)."""
+        if not self.level_of_instance:
+            return 0
+        return max(self.level_of_instance.values())
+
+    def gates_per_level(self) -> Dict[int, int]:
+        """Number of gates at each logical level."""
+        counts: Dict[int, int] = {}
+        for level in self.level_of_instance.values():
+            counts[level] = counts.get(level, 0) + 1
+        return counts
+
+    def internal_nets(self) -> List[str]:
+        """Nets driven by gates of this block (the nets that dissipate)."""
+        result = []
+        for net in self.netlist.nets():
+            if net.driver is not None and net.driver.instance in self.level_of_instance:
+                result.append(net.name)
+        return result

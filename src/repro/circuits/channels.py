@@ -1,0 +1,227 @@
+"""Dual-rail and 1-of-N channel abstractions with the four-phase protocol.
+
+Section II of the paper describes the encoding used by secured QDI circuits:
+one bit is carried by two wires (dual rail), and more generally a digit of
+radix N is carried by N wires of which exactly one is high in the *valid*
+state and none is high in the *invalid* (NULL / return-to-zero) state.  The
+acknowledgement wire travels in the opposite direction and implements the
+four-phase handshake of Fig. 2:
+
+1. the sender raises exactly one rail (invalid → valid),
+2. the receiver raises the acknowledgement,
+3. the sender lowers the rail (valid → invalid, return to zero),
+4. the receiver lowers the acknowledgement.
+
+This module provides the value-level view of channels (encoding, decoding,
+state classification) and the structural helper that declares a channel's nets
+inside a :class:`~repro.circuits.netlist.Netlist`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .netlist import Netlist
+from .signals import Logic
+
+
+class ChannelState(enum.Enum):
+    """Protocol state of a 1-of-N channel, derived from its rail values."""
+
+    NULL = "null"          #: all rails low (invalid data / return-to-zero)
+    VALID = "valid"        #: exactly one rail high
+    ILLEGAL = "illegal"    #: more than one rail high — forbidden by the code
+
+
+class EncodingError(Exception):
+    """Raised when a value cannot be represented on a channel."""
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Static description of a 1-of-N channel.
+
+    Attributes
+    ----------
+    name:
+        Channel name; rails are conventionally named ``<name>_r<i>`` and the
+        acknowledgement ``<name>_ack``.
+    radix:
+        Number of rails (N of the 1-of-N code).  ``radix == 2`` is the
+        dual-rail case of Table 1 of the paper.
+    """
+
+    name: str
+    radix: int = 2
+
+    def __post_init__(self) -> None:
+        if self.radix < 2:
+            raise ValueError(f"1-of-N channel needs N >= 2, got {self.radix}")
+
+    @property
+    def rail_names(self) -> Tuple[str, ...]:
+        return tuple(f"{self.name}_r{i}" for i in range(self.radix))
+
+    @property
+    def ack_name(self) -> str:
+        return f"{self.name}_ack"
+
+    def rail_name(self, index: int) -> str:
+        if not 0 <= index < self.radix:
+            raise IndexError(f"rail index {index} out of range for radix {self.radix}")
+        return self.rail_names[index]
+
+    # ---------------------------------------------------------------- coding
+    def encode(self, value: Optional[int]) -> Tuple[Logic, ...]:
+        """Encode ``value`` as rail levels; ``None`` encodes the NULL state."""
+        if value is None:
+            return tuple(Logic.LOW for _ in range(self.radix))
+        if not 0 <= value < self.radix:
+            raise EncodingError(
+                f"value {value} not representable on 1-of-{self.radix} channel {self.name!r}"
+            )
+        return tuple(Logic.HIGH if i == value else Logic.LOW for i in range(self.radix))
+
+    def decode(self, rails: Sequence[Logic]) -> Optional[int]:
+        """Decode rail levels into a value; NULL decodes to ``None``.
+
+        Raises :class:`EncodingError` on illegal (multi-hot) codewords, which
+        never occur in a correct QDI circuit.
+        """
+        if len(rails) != self.radix:
+            raise EncodingError(
+                f"expected {self.radix} rails for channel {self.name!r}, got {len(rails)}"
+            )
+        high = [i for i, level in enumerate(rails) if level is Logic.HIGH]
+        if not high:
+            return None
+        if len(high) > 1:
+            raise EncodingError(
+                f"illegal codeword on channel {self.name!r}: rails {high} simultaneously high"
+            )
+        return high[0]
+
+    def state(self, rails: Sequence[Logic]) -> ChannelState:
+        """Classify the rail levels into NULL / VALID / ILLEGAL."""
+        high = sum(1 for level in rails if level is Logic.HIGH)
+        if high == 0:
+            return ChannelState.NULL
+        if high == 1:
+            return ChannelState.VALID
+        return ChannelState.ILLEGAL
+
+    def transitions_per_handshake(self) -> int:
+        """Rail transitions per complete four-phase handshake (always 2).
+
+        Regardless of the transmitted value, one rail rises during the
+        evaluation phase and the same rail falls during the return-to-zero
+        phase — this constancy is the basis of the DPA resistance claimed in
+        Section II of the paper.
+        """
+        return 2
+
+    # ------------------------------------------------------------- structure
+    def declare(self, netlist: Netlist, *, block: str = "") -> "ChannelNets":
+        """Declare the channel's rail and acknowledge nets in ``netlist``."""
+        rails = []
+        for index, rail in enumerate(self.rail_names):
+            net = netlist.add_net(rail, block=block, channel=self.name, rail=index)
+            rails.append(net.name)
+        ack = netlist.add_net(self.ack_name, block=block).name
+        return ChannelNets(spec=self, rails=tuple(rails), ack=ack)
+
+
+@dataclass(frozen=True)
+class ChannelNets:
+    """The net names materialising a channel inside a particular netlist."""
+
+    spec: ChannelSpec
+    rails: Tuple[str, ...]
+    ack: str
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def radix(self) -> int:
+        return self.spec.radix
+
+
+def dual_rail(name: str) -> ChannelSpec:
+    """Convenience constructor for a dual-rail (1-of-2) channel."""
+    return ChannelSpec(name=name, radix=2)
+
+
+def one_of_n(name: str, radix: int) -> ChannelSpec:
+    """Convenience constructor for a 1-of-N channel."""
+    return ChannelSpec(name=name, radix=radix)
+
+
+@dataclass
+class BusSpec:
+    """A bus of identically-sized 1-of-N channels (e.g. a 32-bit datapath).
+
+    The asynchronous AES of Fig. 8 moves 32-bit words encoded as 32 dual-rail
+    channels; :class:`BusSpec` groups those channels so that higher layers can
+    encode integers and iterate over per-bit channels conveniently.
+    """
+
+    name: str
+    width: int
+    radix: int = 2
+    channels: List[ChannelSpec] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"bus width must be >= 1, got {self.width}")
+        self.channels = [
+            ChannelSpec(name=f"{self.name}_b{i}", radix=self.radix)
+            for i in range(self.width)
+        ]
+
+    def __iter__(self):
+        return iter(self.channels)
+
+    def __len__(self) -> int:
+        return self.width
+
+    def channel(self, bit: int) -> ChannelSpec:
+        if not 0 <= bit < self.width:
+            raise IndexError(f"bit {bit} out of range for {self.width}-bit bus {self.name!r}")
+        return self.channels[bit]
+
+    def encode_word(self, value: Optional[int]) -> List[Tuple[Logic, ...]]:
+        """Encode an integer onto the bus, LSB first; ``None`` encodes NULL."""
+        if value is None:
+            return [spec.encode(None) for spec in self.channels]
+        if self.radix != 2:
+            raise EncodingError("encode_word with integers requires dual-rail channels")
+        if value < 0 or value >= (1 << self.width):
+            raise EncodingError(
+                f"value {value} does not fit in {self.width}-bit bus {self.name!r}"
+            )
+        return [spec.encode((value >> bit) & 1) for bit, spec in enumerate(self.channels)]
+
+    def decode_word(self, rails_per_channel: Sequence[Sequence[Logic]]) -> Optional[int]:
+        """Decode per-channel rails back into an integer (None when all NULL).
+
+        A mixture of NULL and valid channels raises :class:`EncodingError`
+        because a QDI bus is only observed in the all-NULL or all-valid state
+        by a correct completion detector.
+        """
+        digits = [spec.decode(rails) for spec, rails in zip(self.channels, rails_per_channel)]
+        if all(d is None for d in digits):
+            return None
+        if any(d is None for d in digits):
+            raise EncodingError(f"bus {self.name!r} observed partially valid")
+        value = 0
+        for bit, digit in enumerate(digits):
+            value |= (digit & 1) << bit
+        return value
+
+    def declare(self, netlist: Netlist, *, block: str = "") -> List[ChannelNets]:
+        """Declare every per-bit channel of the bus in ``netlist``."""
+        return [spec.declare(netlist, block=block) for spec in self.channels]

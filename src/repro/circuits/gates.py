@@ -1,0 +1,298 @@
+"""Gate primitives of the QDI cell library.
+
+The paper builds its secured blocks out of a small set of primitives:
+
+* ordinary monotonic CMOS gates (OR, NOR, AND, NAND, inverter, buffer),
+* the **Muller C-element**, whose output rises only when *all* inputs are high
+  and falls only when *all* inputs are low (Fig. 5 of the paper,
+  ``Z = X·Y + Z·(X + Y)``),
+* the **resettable Muller gate** (``Cr`` in Fig. 4) used to re-synchronise the
+  dual-rail outputs with the acknowledgement signal.
+
+Each primitive is described by a :class:`GateType` carrying the behavioural
+model and the electrical parameters (input capacitance, intrinsic parasitic
+capacitance, drive factor, area) used by the place-and-route and electrical
+substrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from .signals import Logic
+
+#: Behavioural function: (input values by pin, previous output) -> new output.
+#: Returning the previous output models state-holding elements.
+EvalFunction = Callable[[Mapping[str, Logic], Logic], Logic]
+
+
+@dataclass(frozen=True)
+class GateType:
+    """Static description of a library cell.
+
+    Attributes
+    ----------
+    name:
+        Library cell name, e.g. ``"MULLER2"``.
+    inputs:
+        Ordered input pin names.
+    output:
+        Output pin name (all cells in this library are single-output).
+    evaluate:
+        Behavioural model.  For combinational cells the previous output is
+        ignored; for state-holding cells (Muller gates) it is used to keep the
+        output when the inputs disagree.
+    is_sequential:
+        True for state-holding cells.
+    input_cap_ff:
+        Gate (input pin) capacitance in femtofarads, identical for every pin.
+    parasitic_cap_ff:
+        Intrinsic output parasitic capacitance ``Cpar`` in femtofarads.
+    short_circuit_cap_ff:
+        Equivalent short-circuit capacitance ``Csc`` in femtofarads; the paper
+        lumps the short-circuit dissipation into an equivalent capacitance
+        added to the output node (Section III).
+    drive_ohm:
+        Equivalent output drive resistance in ohms; combined with the output
+        node capacitance it sets the transition time ``Δt`` used in
+        equation (12).
+    area_um2:
+        Cell area used by the placement substrate.
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    output: str
+    evaluate: EvalFunction
+    is_sequential: bool = False
+    input_cap_ff: float = 2.0
+    parasitic_cap_ff: float = 1.0
+    short_circuit_cap_ff: float = 0.5
+    drive_ohm: float = 5000.0
+    area_um2: float = 10.0
+
+    @property
+    def pin_names(self) -> Tuple[str, ...]:
+        return self.inputs + (self.output,)
+
+    def compute(self, values: Mapping[str, Logic], previous: Logic) -> Logic:
+        """Evaluate the cell for the given input values."""
+        return self.evaluate(values, previous)
+
+
+def _all_high(values: Mapping[str, Logic], pins: Sequence[str]) -> bool:
+    return all(values[p] is Logic.HIGH for p in pins)
+
+
+def _all_low(values: Mapping[str, Logic], pins: Sequence[str]) -> bool:
+    return all(values[p] is Logic.LOW for p in pins)
+
+
+def _any_high(values: Mapping[str, Logic], pins: Sequence[str]) -> bool:
+    return any(values[p] is Logic.HIGH for p in pins)
+
+
+def _make_inv() -> GateType:
+    def evaluate(values: Mapping[str, Logic], previous: Logic) -> Logic:
+        return ~values["A"]
+
+    return GateType(
+        name="INV",
+        inputs=("A",),
+        output="Z",
+        evaluate=evaluate,
+        input_cap_ff=1.5,
+        parasitic_cap_ff=0.8,
+        short_circuit_cap_ff=0.3,
+        drive_ohm=4000.0,
+        area_um2=5.0,
+    )
+
+
+def _make_buf() -> GateType:
+    def evaluate(values: Mapping[str, Logic], previous: Logic) -> Logic:
+        return values["A"]
+
+    return GateType(
+        name="BUF",
+        inputs=("A",),
+        output="Z",
+        evaluate=evaluate,
+        input_cap_ff=1.5,
+        parasitic_cap_ff=1.0,
+        short_circuit_cap_ff=0.3,
+        drive_ohm=3500.0,
+        area_um2=7.0,
+    )
+
+
+def _make_simple(name: str, n_inputs: int, fn: Callable[[Sequence[bool]], bool],
+                 area: float, drive: float = 5000.0) -> GateType:
+    pins = tuple(chr(ord("A") + i) for i in range(n_inputs))
+
+    def evaluate(values: Mapping[str, Logic], previous: Logic) -> Logic:
+        bits = [values[p] is Logic.HIGH for p in pins]
+        return Logic.HIGH if fn(bits) else Logic.LOW
+
+    return GateType(
+        name=name,
+        inputs=pins,
+        output="Z",
+        evaluate=evaluate,
+        input_cap_ff=2.0,
+        parasitic_cap_ff=1.0 + 0.3 * n_inputs,
+        short_circuit_cap_ff=0.5,
+        drive_ohm=drive,
+        area_um2=area,
+    )
+
+
+def _make_muller(n_inputs: int) -> GateType:
+    """Muller C-element: output follows inputs only when they all agree."""
+    pins = tuple(chr(ord("A") + i) for i in range(n_inputs))
+
+    def evaluate(values: Mapping[str, Logic], previous: Logic) -> Logic:
+        if _all_high(values, pins):
+            return Logic.HIGH
+        if _all_low(values, pins):
+            return Logic.LOW
+        return previous
+
+    return GateType(
+        name=f"MULLER{n_inputs}",
+        inputs=pins,
+        output="Z",
+        evaluate=evaluate,
+        is_sequential=True,
+        input_cap_ff=2.5,
+        parasitic_cap_ff=1.8,
+        short_circuit_cap_ff=0.6,
+        drive_ohm=5500.0,
+        area_um2=12.0 + 3.0 * n_inputs,
+    )
+
+
+def _make_muller_reset(n_inputs: int) -> GateType:
+    """Resettable Muller gate ``Cr`` of Fig. 4.
+
+    The reset pin (active high) forces the output low regardless of the data
+    inputs; this implements the return-to-zero of the four-phase protocol when
+    the acknowledgement comes back.
+    """
+    pins = tuple(chr(ord("A") + i) for i in range(n_inputs))
+
+    def evaluate(values: Mapping[str, Logic], previous: Logic) -> Logic:
+        if values["RST"] is Logic.HIGH:
+            return Logic.LOW
+        if _all_high(values, pins):
+            return Logic.HIGH
+        if _all_low(values, pins):
+            return Logic.LOW
+        return previous
+
+    return GateType(
+        name=f"MULLER{n_inputs}_R",
+        inputs=pins + ("RST",),
+        output="Z",
+        evaluate=evaluate,
+        is_sequential=True,
+        input_cap_ff=2.5,
+        parasitic_cap_ff=2.0,
+        short_circuit_cap_ff=0.7,
+        drive_ohm=5800.0,
+        area_um2=16.0 + 3.0 * n_inputs,
+    )
+
+
+def _make_muller_set_reset(n_inputs: int) -> GateType:
+    """Muller gate with an active-low set used by half-buffer controllers."""
+    pins = tuple(chr(ord("A") + i) for i in range(n_inputs))
+
+    def evaluate(values: Mapping[str, Logic], previous: Logic) -> Logic:
+        if values["SETN"] is Logic.LOW:
+            return Logic.HIGH
+        if _all_high(values, pins):
+            return Logic.HIGH
+        if _all_low(values, pins):
+            return Logic.LOW
+        return previous
+
+    return GateType(
+        name=f"MULLER{n_inputs}_S",
+        inputs=pins + ("SETN",),
+        output="Z",
+        evaluate=evaluate,
+        is_sequential=True,
+        input_cap_ff=2.5,
+        parasitic_cap_ff=2.0,
+        short_circuit_cap_ff=0.7,
+        drive_ohm=5800.0,
+        area_um2=16.0 + 3.0 * n_inputs,
+    )
+
+
+class CellLibrary:
+    """Catalogue of :class:`GateType` objects, addressable by name.
+
+    The default library mirrors the primitives the paper uses (Section II and
+    Fig. 4/5): inverters, buffers, OR/NOR/AND/NAND of two to four inputs and
+    Muller gates of two to four inputs with and without reset.
+    """
+
+    def __init__(self, cells: Optional[Dict[str, GateType]] = None):
+        self._cells: Dict[str, GateType] = dict(cells) if cells else {}
+
+    def add(self, cell: GateType) -> None:
+        if cell.name in self._cells:
+            raise ValueError(f"cell {cell.name!r} already registered")
+        self._cells[cell.name] = cell
+
+    def get(self, name: str) -> GateType:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown cell {name!r}; available: {sorted(self._cells)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def names(self) -> Sequence[str]:
+        return sorted(self._cells)
+
+
+def default_library() -> CellLibrary:
+    """Build the default QDI cell library used throughout the reproduction."""
+    lib = CellLibrary()
+    lib.add(_make_inv())
+    lib.add(_make_buf())
+    lib.add(_make_simple("AND2", 2, all, area=9.0))
+    lib.add(_make_simple("AND3", 3, all, area=11.0))
+    lib.add(_make_simple("AND4", 4, all, area=13.0))
+    lib.add(_make_simple("NAND2", 2, lambda b: not all(b), area=7.0))
+    lib.add(_make_simple("OR2", 2, any, area=9.0))
+    lib.add(_make_simple("OR3", 3, any, area=11.0))
+    lib.add(_make_simple("OR4", 4, any, area=13.0))
+    lib.add(_make_simple("NOR2", 2, lambda b: not any(b), area=7.0))
+    lib.add(_make_simple("NOR3", 3, lambda b: not any(b), area=9.0))
+    lib.add(_make_simple("NOR4", 4, lambda b: not any(b), area=11.0))
+    lib.add(_make_simple("XOR2", 2, lambda b: b[0] ^ b[1], area=14.0))
+    lib.add(_make_muller(2))
+    lib.add(_make_muller(3))
+    lib.add(_make_muller(4))
+    lib.add(_make_muller_reset(2))
+    lib.add(_make_muller_reset(3))
+    lib.add(_make_muller_set_reset(2))
+    return lib
+
+
+#: Shared default library instance; treat as read-only.
+DEFAULT_LIBRARY = default_library()

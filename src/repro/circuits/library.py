@@ -1,0 +1,416 @@
+"""Builders for the secured QDI cells used throughout the paper.
+
+The central cell is the **dual-rail XOR with four-phase handshake** of Fig. 4
+/ Fig. 5: four Muller gates (level 1) detect the four input minterms, two OR
+gates (level 2) gather the minterms of each output rail, two resettable Muller
+gates (level 3, the ``Cr`` cells) synchronise the output rails with the
+downstream acknowledge, and one OR gate (level 4) produces the completion /
+acknowledge signal sent back to the input producers.  Every computation fires
+exactly one gate per level regardless of the data (``Nt = Nc = 4``,
+``N_ij = 1``), which is the balance property exploited in Section III.
+
+The module also provides balanced dual-rail AND/OR cells, the half-buffer
+(``HB`` in Fig. 8/9), completion-detection trees and a word-wide XOR bank used
+for the AddRoundKey-style DPA experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .builder import BlockBuilder, QDIBlock
+from .channels import ChannelNets, ChannelSpec
+from .netlist import Netlist
+
+#: Default net (routing) capacitance, matching the paper's ``Cd`` = 8 fF.
+DEFAULT_NET_CAP_FF = 8.0
+
+
+def _apply_default_caps(block: QDIBlock, cap_ff: float) -> None:
+    """Give every gate-output net of the block the default routing capacitance."""
+    for net_name in block.internal_nets():
+        block.netlist.set_routing_cap(net_name, cap_ff)
+
+
+def _declare_boundary_channel(netlist: Netlist, name: str, radix: int = 2) -> ChannelNets:
+    spec = ChannelSpec(name=name, radix=radix)
+    return spec.declare(netlist)
+
+
+def build_dual_rail_xor(name: str = "xor", netlist: Optional[Netlist] = None, *,
+                        block: str = "", default_net_cap_ff: float = DEFAULT_NET_CAP_FF,
+                        with_ports: bool = True) -> QDIBlock:
+    """Build the dual-rail XOR gate of Fig. 4 of the paper.
+
+    Parameters
+    ----------
+    name:
+        Base name of the block; boundary nets are named ``<name>_a_r0`` etc.
+    netlist:
+        Netlist to build into (a new one is created when omitted).
+    block:
+        Block annotation used by the hierarchical place-and-route flow.
+    default_net_cap_ff:
+        Routing capacitance assigned to every internal net (the paper's
+        default ``Cd`` = 8 fF).
+    with_ports:
+        Declare top-level ports for the boundary nets (disable when embedding
+        the cell inside a larger netlist).
+
+    Returns
+    -------
+    QDIBlock
+        Handle exposing the gate grid ``(level, j)`` so that experiments can
+        modify individual ``Cl_ij`` values exactly as in Fig. 7.
+    """
+    netlist = netlist if netlist is not None else Netlist(name)
+    builder = BlockBuilder(netlist, block or name)
+
+    a = _declare_boundary_channel(netlist, f"{name}_a")
+    b = _declare_boundary_channel(netlist, f"{name}_b")
+    c = _declare_boundary_channel(netlist, f"{name}_c")
+    ack_in = netlist.add_net(f"{name}_c_ack_n").name      # active-low downstream ack
+    ack_out = netlist.add_net(f"{name}_ack").name          # completion to producers
+    reset = netlist.add_net(f"{name}_reset").name
+
+    if with_ports:
+        for rail in (*a.rails, *b.rails):
+            netlist.add_input(rail)
+        netlist.add_input(ack_in)
+        netlist.add_input(reset)
+        for rail in c.rails:
+            netlist.add_output(rail)
+        netlist.add_output(ack_out)
+
+    # Level 1: the four minterm Muller gates (M1..M4 of Fig. 5).
+    m_same_00 = builder.net("m_a0b0")
+    m_same_11 = builder.net("m_a1b1")
+    m_diff_10 = builder.net("m_a1b0")
+    m_diff_01 = builder.net("m_a0b1")
+    g_m1 = builder.gate("MULLER2", {"A": a.rails[0], "B": b.rails[0], "Z": m_same_00},
+                        name="M1")
+    g_m2 = builder.gate("MULLER2", {"A": a.rails[1], "B": b.rails[1], "Z": m_same_11},
+                        name="M2")
+    g_m3 = builder.gate("MULLER2", {"A": a.rails[1], "B": b.rails[0], "Z": m_diff_10},
+                        name="M3")
+    g_m4 = builder.gate("MULLER2", {"A": a.rails[0], "B": b.rails[1], "Z": m_diff_01},
+                        name="M4")
+
+    # Level 2: one OR gate per output rail (O1, O2).
+    pre_c0 = builder.net("pre_c0")
+    pre_c1 = builder.net("pre_c1")
+    g_o1 = builder.gate("OR2", {"A": m_same_00, "B": m_same_11, "Z": pre_c0}, name="O1")
+    g_o2 = builder.gate("OR2", {"A": m_diff_10, "B": m_diff_01, "Z": pre_c1}, name="O2")
+
+    # Level 3: the resettable Muller output stages (H1, H2 — the Cr cells).
+    g_h1 = builder.gate("MULLER2_R", {"A": pre_c0, "B": ack_in, "RST": reset,
+                                      "Z": c.rails[0]}, name="H1")
+    g_h2 = builder.gate("MULLER2_R", {"A": pre_c1, "B": ack_in, "RST": reset,
+                                      "Z": c.rails[1]}, name="H2")
+
+    # Level 4: completion detection of the output channel (N1).
+    g_n1 = builder.gate("OR2", {"A": c.rails[0], "B": c.rails[1], "Z": ack_out},
+                        name="N1")
+
+    level_of_instance = {
+        g_m1.name: 1, g_m2.name: 1, g_m3.name: 1, g_m4.name: 1,
+        g_o1.name: 2, g_o2.name: 2,
+        g_h1.name: 3, g_h2.name: 3,
+        g_n1.name: 4,
+    }
+    gate_grid = {
+        (1, 1): g_m1.name, (1, 2): g_m2.name, (1, 3): g_m3.name, (1, 4): g_m4.name,
+        (2, 1): g_o1.name, (2, 2): g_o2.name,
+        (3, 1): g_h1.name, (3, 2): g_h2.name,
+        (4, 1): g_n1.name,
+    }
+    rail_cones = {
+        c.rails[0]: [g_m1.name, g_m2.name, g_o1.name, g_h1.name],
+        c.rails[1]: [g_m3.name, g_m4.name, g_o2.name, g_h2.name],
+    }
+
+    handle = QDIBlock(
+        name=name, netlist=netlist, inputs=[a, b], outputs=[c],
+        ack_out=ack_out, ack_in=ack_in, reset=reset,
+        level_of_instance=level_of_instance, gate_grid=gate_grid,
+        rail_cones=rail_cones,
+    )
+    _apply_default_caps(handle, default_net_cap_ff)
+    return handle
+
+
+def _build_dual_rail_minterm_cell(name: str, minterms_rail1: Sequence[Tuple[int, int]],
+                                  netlist: Optional[Netlist], block: str,
+                                  default_net_cap_ff: float,
+                                  with_ports: bool) -> QDIBlock:
+    """Common structure of balanced dual-rail two-input cells.
+
+    ``minterms_rail1`` lists the ``(a, b)`` input pairs for which the output
+    is 1; the remaining pairs drive rail 0.  Both rails get a gathering gate at
+    level 2 so the transition count per computation is constant.
+    """
+    netlist = netlist if netlist is not None else Netlist(name)
+    builder = BlockBuilder(netlist, block or name)
+
+    a = _declare_boundary_channel(netlist, f"{name}_a")
+    b = _declare_boundary_channel(netlist, f"{name}_b")
+    c = _declare_boundary_channel(netlist, f"{name}_c")
+    ack_in = netlist.add_net(f"{name}_c_ack_n").name
+    ack_out = netlist.add_net(f"{name}_ack").name
+    reset = netlist.add_net(f"{name}_reset").name
+
+    if with_ports:
+        for rail in (*a.rails, *b.rails):
+            netlist.add_input(rail)
+        netlist.add_input(ack_in)
+        netlist.add_input(reset)
+        for rail in c.rails:
+            netlist.add_output(rail)
+        netlist.add_output(ack_out)
+
+    all_minterms = [(0, 0), (0, 1), (1, 0), (1, 1)]
+    minterms_rail1 = list(minterms_rail1)
+    minterms_rail0 = [m for m in all_minterms if m not in minterms_rail1]
+
+    level_of_instance: Dict[str, int] = {}
+    gate_grid: Dict[Tuple[int, int], str] = {}
+    rail_cones: Dict[str, List[str]] = {c.rails[0]: [], c.rails[1]: []}
+
+    minterm_nets: Dict[Tuple[int, int], str] = {}
+    position = 1
+    for rail_value, minterms in ((0, minterms_rail0), (1, minterms_rail1)):
+        for (va, vb) in minterms:
+            net = builder.net(f"m_a{va}b{vb}")
+            gate = builder.gate(
+                "MULLER2",
+                {"A": a.rails[va], "B": b.rails[vb], "Z": net},
+                name=f"M_a{va}b{vb}",
+            )
+            minterm_nets[(va, vb)] = net
+            level_of_instance[gate.name] = 1
+            gate_grid[(1, position)] = gate.name
+            rail_cones[c.rails[rail_value]].append(gate.name)
+            position += 1
+
+    def gather(rail_value: int, minterms: Sequence[Tuple[int, int]], position: int) -> str:
+        nets = [minterm_nets[m] for m in minterms]
+        out = builder.net(f"pre_c{rail_value}")
+        if len(nets) == 1:
+            gate = builder.gate("BUF", {"A": nets[0], "Z": out}, name=f"O_c{rail_value}")
+        elif len(nets) == 2:
+            gate = builder.gate("OR2", {"A": nets[0], "B": nets[1], "Z": out},
+                                name=f"O_c{rail_value}")
+        elif len(nets) == 3:
+            gate = builder.gate("OR3", {"A": nets[0], "B": nets[1], "C": nets[2],
+                                        "Z": out}, name=f"O_c{rail_value}")
+        else:
+            gate = builder.gate("OR4", {"A": nets[0], "B": nets[1], "C": nets[2],
+                                        "D": nets[3], "Z": out},
+                                name=f"O_c{rail_value}")
+        level_of_instance[gate.name] = 2
+        gate_grid[(2, position)] = gate.name
+        rail_cones[c.rails[rail_value]].append(gate.name)
+        return out
+
+    pre_c0 = gather(0, minterms_rail0, 1)
+    pre_c1 = gather(1, minterms_rail1, 2)
+
+    g_h1 = builder.gate("MULLER2_R", {"A": pre_c0, "B": ack_in, "RST": reset,
+                                      "Z": c.rails[0]}, name="H_c0")
+    g_h2 = builder.gate("MULLER2_R", {"A": pre_c1, "B": ack_in, "RST": reset,
+                                      "Z": c.rails[1]}, name="H_c1")
+    level_of_instance[g_h1.name] = 3
+    level_of_instance[g_h2.name] = 3
+    gate_grid[(3, 1)] = g_h1.name
+    gate_grid[(3, 2)] = g_h2.name
+    rail_cones[c.rails[0]].append(g_h1.name)
+    rail_cones[c.rails[1]].append(g_h2.name)
+
+    g_n1 = builder.gate("OR2", {"A": c.rails[0], "B": c.rails[1], "Z": ack_out},
+                        name="N1")
+    level_of_instance[g_n1.name] = 4
+    gate_grid[(4, 1)] = g_n1.name
+
+    handle = QDIBlock(
+        name=name, netlist=netlist, inputs=[a, b], outputs=[c],
+        ack_out=ack_out, ack_in=ack_in, reset=reset,
+        level_of_instance=level_of_instance, gate_grid=gate_grid,
+        rail_cones=rail_cones,
+    )
+    _apply_default_caps(handle, default_net_cap_ff)
+    return handle
+
+
+def build_dual_rail_and2(name: str = "and2", netlist: Optional[Netlist] = None, *,
+                         block: str = "", default_net_cap_ff: float = DEFAULT_NET_CAP_FF,
+                         with_ports: bool = True) -> QDIBlock:
+    """Balanced dual-rail AND gate (rail 1 fires only on the ``(1, 1)`` minterm)."""
+    return _build_dual_rail_minterm_cell(
+        name, [(1, 1)], netlist, block, default_net_cap_ff, with_ports
+    )
+
+
+def build_dual_rail_or2(name: str = "or2", netlist: Optional[Netlist] = None, *,
+                        block: str = "", default_net_cap_ff: float = DEFAULT_NET_CAP_FF,
+                        with_ports: bool = True) -> QDIBlock:
+    """Balanced dual-rail OR gate (rail 0 fires only on the ``(0, 0)`` minterm)."""
+    return _build_dual_rail_minterm_cell(
+        name, [(0, 1), (1, 0), (1, 1)], netlist, block, default_net_cap_ff, with_ports
+    )
+
+
+def build_half_buffer(name: str = "hb", netlist: Optional[Netlist] = None, *,
+                      block: str = "", radix: int = 2,
+                      default_net_cap_ff: float = DEFAULT_NET_CAP_FF,
+                      with_ports: bool = True) -> QDIBlock:
+    """Build a 1-of-N half buffer (the ``HB`` cells of Fig. 8 / Fig. 9).
+
+    Each output rail is a resettable Muller gate combining the corresponding
+    input rail with the downstream acknowledge; an OR over the output rails
+    produces the completion signal returned to the producer.
+    """
+    netlist = netlist if netlist is not None else Netlist(name)
+    builder = BlockBuilder(netlist, block or name)
+
+    d = _declare_boundary_channel(netlist, f"{name}_d", radix)
+    q = _declare_boundary_channel(netlist, f"{name}_q", radix)
+    ack_in = netlist.add_net(f"{name}_q_ack_n").name
+    ack_out = netlist.add_net(f"{name}_ack").name
+    reset = netlist.add_net(f"{name}_reset").name
+
+    if with_ports:
+        for rail in d.rails:
+            netlist.add_input(rail)
+        netlist.add_input(ack_in)
+        netlist.add_input(reset)
+        for rail in q.rails:
+            netlist.add_output(rail)
+        netlist.add_output(ack_out)
+
+    level_of_instance: Dict[str, int] = {}
+    gate_grid: Dict[Tuple[int, int], str] = {}
+    rail_cones: Dict[str, List[str]] = {}
+
+    for index in range(radix):
+        gate = builder.gate(
+            "MULLER2_R",
+            {"A": d.rails[index], "B": ack_in, "RST": reset, "Z": q.rails[index]},
+            name=f"H{index}",
+        )
+        level_of_instance[gate.name] = 1
+        gate_grid[(1, index + 1)] = gate.name
+        rail_cones[q.rails[index]] = [gate.name]
+
+    if radix == 2:
+        completion = builder.gate("OR2", {"A": q.rails[0], "B": q.rails[1],
+                                          "Z": ack_out}, name="N1")
+    elif radix == 3:
+        completion = builder.gate("OR3", {"A": q.rails[0], "B": q.rails[1],
+                                          "C": q.rails[2], "Z": ack_out}, name="N1")
+    elif radix == 4:
+        completion = builder.gate("OR4", {"A": q.rails[0], "B": q.rails[1],
+                                          "C": q.rails[2], "D": q.rails[3],
+                                          "Z": ack_out}, name="N1")
+    else:
+        raise ValueError(f"half buffer supports radix 2..4, got {radix}")
+    level_of_instance[completion.name] = 2
+    gate_grid[(2, 1)] = completion.name
+
+    handle = QDIBlock(
+        name=name, netlist=netlist, inputs=[d], outputs=[q],
+        ack_out=ack_out, ack_in=ack_in, reset=reset,
+        level_of_instance=level_of_instance, gate_grid=gate_grid,
+        rail_cones=rail_cones,
+    )
+    _apply_default_caps(handle, default_net_cap_ff)
+    return handle
+
+
+@dataclass
+class CompletionTree:
+    """Result of :func:`build_completion_tree`: the combined completion net."""
+
+    output: str
+    instances: List[str] = field(default_factory=list)
+    depth: int = 0
+
+
+def build_completion_tree(builder: BlockBuilder, valid_nets: Sequence[str], *,
+                          stem: str = "cd") -> CompletionTree:
+    """Combine per-channel completion signals into one with a Muller-gate tree.
+
+    The resulting signal rises once *all* channels are valid and falls once
+    all have returned to zero — the standard QDI completion detection used to
+    acknowledge a whole data word.
+    """
+    if not valid_nets:
+        raise ValueError("completion tree needs at least one input")
+    current = list(valid_nets)
+    instances: List[str] = []
+    depth = 0
+    while len(current) > 1:
+        depth += 1
+        next_level: List[str] = []
+        for pair_index in range(0, len(current) - 1, 2):
+            out = builder.net(f"{stem}_l{depth}_{pair_index // 2}")
+            gate = builder.gate(
+                "MULLER2",
+                {"A": current[pair_index], "B": current[pair_index + 1], "Z": out},
+            )
+            instances.append(gate.name)
+            next_level.append(out)
+        if len(current) % 2 == 1:
+            next_level.append(current[-1])
+        current = next_level
+    return CompletionTree(output=current[0], instances=instances, depth=depth)
+
+
+@dataclass
+class XorBank:
+    """A word-wide dual-rail XOR: one :class:`QDIBlock` per bit plus a shared
+    completion tree.  This is the gate-level model used for the
+    AddRoundKey-style DPA experiments (Section IV of the paper uses an 8-bit
+    XOR as the AES selection function)."""
+
+    name: str
+    netlist: Netlist
+    bits: List[QDIBlock]
+    completion: CompletionTree
+
+    @property
+    def width(self) -> int:
+        return len(self.bits)
+
+    def bit(self, index: int) -> QDIBlock:
+        return self.bits[index]
+
+    def input_channels(self, operand: int) -> List[ChannelNets]:
+        """Channels of operand 0 (``a``) or 1 (``b``), LSB first."""
+        return [block.inputs[operand] for block in self.bits]
+
+    def output_channels(self) -> List[ChannelNets]:
+        return [block.outputs[0] for block in self.bits]
+
+
+def build_xor_bank(width: int, name: str = "xorw", *,
+                   default_net_cap_ff: float = DEFAULT_NET_CAP_FF) -> XorBank:
+    """Build ``width`` dual-rail XOR cells sharing one netlist and one
+    word-level completion detector."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    netlist = Netlist(name)
+    bits: List[QDIBlock] = []
+    for index in range(width):
+        block = build_dual_rail_xor(
+            f"{name}_bit{index}", netlist=netlist, block=f"{name}_bit{index}",
+            default_net_cap_ff=default_net_cap_ff, with_ports=False,
+        )
+        bits.append(block)
+    builder = BlockBuilder(netlist, f"{name}_cd")
+    tree = build_completion_tree(builder, [b.ack_out for b in bits])
+    for instance in tree.instances:
+        cell = netlist.cell_of(instance)
+        out_net = netlist.instance(instance).net_of(cell.output)
+        netlist.set_routing_cap(out_net, default_net_cap_ff)
+    return XorBank(name=name, netlist=netlist, bits=bits, completion=tree)

@@ -1,0 +1,392 @@
+"""Structural netlist representation.
+
+A :class:`Netlist` is the common currency of the reproduction: the QDI cell
+builders (:mod:`repro.circuits.library`) produce netlists, the graph analysis
+(:mod:`repro.graph`) consumes them, the place-and-route substrate
+(:mod:`repro.pnr`) annotates their nets with extracted capacitances, and the
+electrical model (:mod:`repro.electrical`) turns simulated transitions on
+their nets into current waveforms.
+
+The capacitance decomposition follows Section III of the paper:
+
+    ``C = Cl + Cpar + Csc``
+
+where ``Cl`` is the load (gate + routing) capacitance, ``Cpar`` the parasitic
+capacitance of the driving gate and ``Csc`` its equivalent short-circuit
+capacitance.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .gates import CellLibrary, DEFAULT_LIBRARY, GateType
+
+
+class PortDirection(enum.Enum):
+    """Direction of a top-level netlist port."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass
+class Port:
+    """A top-level port of a netlist, bound to one net."""
+
+    name: str
+    direction: PortDirection
+    net: str
+
+
+@dataclass
+class Pin:
+    """A connection point ``instance.pin`` on a net."""
+
+    instance: str
+    pin: str
+
+    def key(self) -> Tuple[str, str]:
+        return (self.instance, self.pin)
+
+
+@dataclass
+class Net:
+    """A single wire (rail) of the design.
+
+    Attributes
+    ----------
+    name:
+        Unique net name.
+    routing_cap_ff:
+        Interconnect (routing) capacitance in femtofarads.  This is the value
+        the place-and-route substrate controls and the value the paper's
+        dissymmetry criterion compares between the two rails of a channel.
+    driver:
+        The pin that drives the net (``None`` for primary inputs).
+    sinks:
+        Pins that load the net.
+    block:
+        Name of the architectural block the net belongs to (used by the
+        hierarchical floorplan); empty string for inter-block channel nets.
+    channel:
+        Optional name of the dual-rail / 1-of-N channel this net is a rail of.
+    rail:
+        Rail index within the channel (0..N-1) or ``None``.
+    """
+
+    name: str
+    routing_cap_ff: float = 0.0
+    driver: Optional[Pin] = None
+    sinks: List[Pin] = field(default_factory=list)
+    block: str = ""
+    channel: Optional[str] = None
+    rail: Optional[int] = None
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+    def connections(self) -> Iterator[Pin]:
+        if self.driver is not None:
+            yield self.driver
+        yield from self.sinks
+
+
+@dataclass
+class Instance:
+    """A gate instance: a named occurrence of a library cell.
+
+    ``connections`` maps cell pin names to net names.  ``block`` records which
+    architectural block (Fig. 8 of the paper) the instance belongs to; it is
+    the handle the hierarchical place-and-route flow uses to fence cells.
+    """
+
+    name: str
+    cell: str
+    connections: Dict[str, str] = field(default_factory=dict)
+    block: str = ""
+
+    def net_of(self, pin: str) -> str:
+        try:
+            return self.connections[pin]
+        except KeyError:
+            raise KeyError(f"instance {self.name!r} has no pin {pin!r}") from None
+
+
+class NetlistError(Exception):
+    """Raised for structural inconsistencies in a netlist."""
+
+
+class Netlist:
+    """A flat gate-level netlist with optional block annotations.
+
+    The netlist is *structural*: it records instances, nets and connectivity.
+    Behaviour comes from the cell library; electrical values come from the
+    extraction step of the place-and-route substrate.
+    """
+
+    def __init__(self, name: str, library: Optional[CellLibrary] = None):
+        self.name = name
+        self.library = library if library is not None else DEFAULT_LIBRARY
+        self._nets: Dict[str, Net] = {}
+        self._instances: Dict[str, Instance] = {}
+        self._ports: Dict[str, Port] = {}
+
+    # ------------------------------------------------------------------ nets
+    def add_net(self, name: str, *, block: str = "", channel: Optional[str] = None,
+                rail: Optional[int] = None) -> Net:
+        """Create a net; returns the existing one if already present."""
+        if name in self._nets:
+            net = self._nets[name]
+            if block and not net.block:
+                net.block = block
+            if channel is not None and net.channel is None:
+                net.channel = channel
+                net.rail = rail
+            return net
+        net = Net(name=name, block=block, channel=channel, rail=rail)
+        self._nets[name] = net
+        return net
+
+    def net(self, name: str) -> Net:
+        try:
+            return self._nets[name]
+        except KeyError:
+            raise NetlistError(f"unknown net {name!r} in netlist {self.name!r}") from None
+
+    def has_net(self, name: str) -> bool:
+        return name in self._nets
+
+    def nets(self) -> Iterator[Net]:
+        return iter(self._nets.values())
+
+    def net_names(self) -> List[str]:
+        return list(self._nets)
+
+    @property
+    def net_count(self) -> int:
+        return len(self._nets)
+
+    # ------------------------------------------------------------- instances
+    def add_instance(self, name: str, cell: str,
+                     connections: Mapping[str, str], *, block: str = "") -> Instance:
+        """Instantiate a library cell and hook up its pins.
+
+        Every referenced net is created on demand.  Output pins become net
+        drivers; a net with two drivers raises :class:`NetlistError` (QDI
+        circuits in this study never share drivers).
+        """
+        if name in self._instances:
+            raise NetlistError(f"duplicate instance name {name!r}")
+        cell_type = self.library.get(cell)
+        missing = set(cell_type.pin_names) - set(connections)
+        if missing:
+            raise NetlistError(
+                f"instance {name!r} of cell {cell!r} is missing pins {sorted(missing)}"
+            )
+        extra = set(connections) - set(cell_type.pin_names)
+        if extra:
+            raise NetlistError(
+                f"instance {name!r} of cell {cell!r} has unknown pins {sorted(extra)}"
+            )
+        inst = Instance(name=name, cell=cell, connections=dict(connections), block=block)
+        self._instances[name] = inst
+        for pin, net_name in connections.items():
+            net = self.add_net(net_name, block=block)
+            pin_ref = Pin(instance=name, pin=pin)
+            if pin == cell_type.output:
+                if net.driver is not None:
+                    raise NetlistError(
+                        f"net {net_name!r} has two drivers: {net.driver.instance!r} "
+                        f"and {name!r}"
+                    )
+                net.driver = pin_ref
+            else:
+                net.sinks.append(pin_ref)
+        return inst
+
+    def instance(self, name: str) -> Instance:
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise NetlistError(
+                f"unknown instance {name!r} in netlist {self.name!r}"
+            ) from None
+
+    def has_instance(self, name: str) -> bool:
+        return name in self._instances
+
+    def instances(self) -> Iterator[Instance]:
+        return iter(self._instances.values())
+
+    def instance_names(self) -> List[str]:
+        return list(self._instances)
+
+    @property
+    def instance_count(self) -> int:
+        return len(self._instances)
+
+    def cell_of(self, instance_name: str) -> GateType:
+        return self.library.get(self.instance(instance_name).cell)
+
+    # ----------------------------------------------------------------- ports
+    def add_port(self, name: str, direction: PortDirection, net: Optional[str] = None) -> Port:
+        if name in self._ports:
+            raise NetlistError(f"duplicate port {name!r}")
+        net_name = net if net is not None else name
+        self.add_net(net_name)
+        port = Port(name=name, direction=direction, net=net_name)
+        self._ports[name] = port
+        return port
+
+    def add_input(self, name: str, net: Optional[str] = None) -> Port:
+        return self.add_port(name, PortDirection.INPUT, net)
+
+    def add_output(self, name: str, net: Optional[str] = None) -> Port:
+        return self.add_port(name, PortDirection.OUTPUT, net)
+
+    def ports(self) -> Iterator[Port]:
+        return iter(self._ports.values())
+
+    def port(self, name: str) -> Port:
+        try:
+            return self._ports[name]
+        except KeyError:
+            raise NetlistError(f"unknown port {name!r}") from None
+
+    def input_nets(self) -> List[str]:
+        return [p.net for p in self._ports.values() if p.direction is PortDirection.INPUT]
+
+    def output_nets(self) -> List[str]:
+        return [p.net for p in self._ports.values() if p.direction is PortDirection.OUTPUT]
+
+    # ----------------------------------------------------------- electricals
+    def pin_cap_ff(self, net_name: str) -> float:
+        """Total gate (pin) capacitance loading a net, in femtofarads."""
+        net = self.net(net_name)
+        total = 0.0
+        for sink in net.sinks:
+            cell = self.cell_of(sink.instance)
+            total += cell.input_cap_ff
+        return total
+
+    def driver_cell(self, net_name: str) -> Optional[GateType]:
+        net = self.net(net_name)
+        if net.driver is None:
+            return None
+        return self.cell_of(net.driver.instance)
+
+    def total_cap_ff(self, net_name: str) -> float:
+        """Total node capacitance ``C = Cl + Cpar + Csc`` (Section III).
+
+        ``Cl`` is the routing capacitance plus the input capacitance of the
+        fanout pins; ``Cpar`` and ``Csc`` come from the driving cell.  Nets
+        driven by primary inputs only contribute their load part.
+        """
+        net = self.net(net_name)
+        load = net.routing_cap_ff + self.pin_cap_ff(net_name)
+        driver = self.driver_cell(net_name)
+        if driver is None:
+            return load
+        return load + driver.parasitic_cap_ff + driver.short_circuit_cap_ff
+
+    def load_cap_ff(self, net_name: str) -> float:
+        """Load capacitance ``Cl`` (routing + fanout pins) of a net."""
+        net = self.net(net_name)
+        return net.routing_cap_ff + self.pin_cap_ff(net_name)
+
+    def set_routing_cap(self, net_name: str, cap_ff: float) -> None:
+        if cap_ff < 0:
+            raise ValueError(f"routing capacitance must be >= 0, got {cap_ff}")
+        self.net(net_name).routing_cap_ff = cap_ff
+
+    def set_routing_caps(self, caps: Mapping[str, float]) -> None:
+        for name, value in caps.items():
+            self.set_routing_cap(name, value)
+
+    def total_area_um2(self) -> float:
+        """Sum of the areas of all instantiated cells."""
+        return sum(self.cell_of(name).area_um2 for name in self._instances)
+
+    # ------------------------------------------------------------- structure
+    def blocks(self) -> List[str]:
+        """Sorted list of non-empty block names used by instances."""
+        return sorted({inst.block for inst in self._instances.values() if inst.block})
+
+    def instances_in_block(self, block: str) -> List[Instance]:
+        return [inst for inst in self._instances.values() if inst.block == block]
+
+    def channels(self) -> Dict[str, List[Net]]:
+        """Group nets by channel name (rails sorted by rail index)."""
+        grouped: Dict[str, List[Net]] = {}
+        for net in self._nets.values():
+            if net.channel is not None:
+                grouped.setdefault(net.channel, []).append(net)
+        for rails in grouped.values():
+            rails.sort(key=lambda n: (n.rail if n.rail is not None else 0, n.name))
+        return grouped
+
+    def fanout_of(self, instance_name: str) -> List[Instance]:
+        """Instances driven (directly) by the output of ``instance_name``."""
+        inst = self.instance(instance_name)
+        cell = self.library.get(inst.cell)
+        out_net = inst.net_of(cell.output)
+        return [self.instance(sink.instance) for sink in self.net(out_net).sinks]
+
+    def fanin_of(self, instance_name: str) -> List[Instance]:
+        """Instances whose outputs feed the inputs of ``instance_name``."""
+        inst = self.instance(instance_name)
+        cell = self.library.get(inst.cell)
+        result: List[Instance] = []
+        for pin in cell.inputs:
+            net = self.net(inst.net_of(pin))
+            if net.driver is not None:
+                result.append(self.instance(net.driver.instance))
+        return result
+
+    def validate(self) -> List[str]:
+        """Run structural checks; return a list of human-readable problems."""
+        problems: List[str] = []
+        input_nets = set(self.input_nets())
+        for net in self._nets.values():
+            if net.driver is None and net.name not in input_nets and net.sinks:
+                problems.append(f"net {net.name!r} has sinks but no driver and is not an input")
+            if net.driver is None and not net.sinks and net.name not in input_nets:
+                problems.append(f"net {net.name!r} is dangling")
+        for port in self._ports.values():
+            if port.direction is PortDirection.OUTPUT:
+                net = self.net(port.net)
+                if net.driver is None:
+                    problems.append(f"output port {port.name!r} is undriven")
+        return problems
+
+    def merge(self, other: "Netlist", prefix: str = "") -> None:
+        """Copy the contents of ``other`` into this netlist.
+
+        ``prefix`` is prepended to instance and net names to avoid clashes
+        (ports of ``other`` are not copied; connect the prefixed nets
+        explicitly instead).
+        """
+        def rename(name: str) -> str:
+            return f"{prefix}{name}" if prefix else name
+
+        for net in other.nets():
+            new = self.add_net(rename(net.name), block=net.block,
+                               channel=(rename(net.channel) if net.channel else None),
+                               rail=net.rail)
+            new.routing_cap_ff = net.routing_cap_ff
+        for inst in other.instances():
+            self.add_instance(
+                rename(inst.name), inst.cell,
+                {pin: rename(net) for pin, net in inst.connections.items()},
+                block=inst.block,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist(name={self.name!r}, instances={self.instance_count}, "
+            f"nets={self.net_count})"
+        )

@@ -1,0 +1,159 @@
+"""Logic values, transitions and events for the QDI gate-level substrate.
+
+Quasi Delay Insensitive (QDI) circuits are modelled here at the switch/gate
+level: every *rail* (wire) carries a binary logic value, and computation is a
+sequence of monotonic transitions between the *invalid* (all-zero, "return to
+zero") state and a *valid* state where exactly one rail of each 1-of-N channel
+is high.  The simulator in :mod:`repro.circuits.simulator` consumes and
+produces the event types defined in this module.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Logic(enum.IntEnum):
+    """Binary logic value of a single rail.
+
+    QDI circuits are hazard free by construction, so an explicit ``X``
+    (unknown) value is only used for nets that have never been driven.
+    """
+
+    LOW = 0
+    HIGH = 1
+
+    def __invert__(self) -> "Logic":
+        return Logic.LOW if self is Logic.HIGH else Logic.HIGH
+
+    @property
+    def is_high(self) -> bool:
+        return self is Logic.HIGH
+
+    @property
+    def is_low(self) -> bool:
+        return self is Logic.LOW
+
+
+#: Sentinel used for nets whose value has never been assigned.  QDI blocks are
+#: always reset to the all-zero (invalid) state before use, so ``UNKNOWN`` only
+#: appears transiently during netlist elaboration.
+UNKNOWN: Optional[Logic] = None
+
+
+class TransitionKind(enum.Enum):
+    """Direction of a rail transition."""
+
+    RISING = "rising"
+    FALLING = "falling"
+
+    @staticmethod
+    def from_values(old: Logic, new: Logic) -> "TransitionKind":
+        if new is Logic.HIGH and old is not Logic.HIGH:
+            return TransitionKind.RISING
+        if new is Logic.LOW and old is not Logic.LOW:
+            return TransitionKind.FALLING
+        raise ValueError(f"no transition between {old!r} and {new!r}")
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A recorded change of a net value at a given simulation time.
+
+    Attributes
+    ----------
+    net:
+        Name of the net that switched.
+    time:
+        Simulation time (seconds) at which the new value became visible.
+    value:
+        The new logic value of the net.
+    kind:
+        Rising or falling edge.
+    cause:
+        Name of the gate instance (or environment process) that drove the
+        transition.  ``None`` for primary-input stimuli.
+    level:
+        Logical level of the driving gate inside its block (annotated by the
+        graph analysis); ``0`` when unknown.  Used by the electrical model to
+        attribute current pulses to levels, matching equation (5) of the
+        paper.
+    """
+
+    net: str
+    time: float
+    value: Logic
+    kind: TransitionKind
+    cause: Optional[str] = None
+    level: int = 0
+
+    @property
+    def is_rising(self) -> bool:
+        return self.kind is TransitionKind.RISING
+
+    @property
+    def is_falling(self) -> bool:
+        return self.kind is TransitionKind.FALLING
+
+
+@dataclass(order=True)
+class Event:
+    """A pending net update inside the event-driven simulator.
+
+    Events are ordered by ``(time, sequence)`` so that simultaneous events are
+    processed in issue order, which keeps runs deterministic.
+    """
+
+    time: float
+    sequence: int
+    net: str = field(compare=False)
+    value: Logic = field(compare=False)
+    cause: Optional[str] = field(compare=False, default=None)
+
+
+@dataclass
+class TraceRecord:
+    """Complete record of one simulation run.
+
+    The electrical model (:mod:`repro.electrical.current_sim`) converts the
+    list of transitions into a transient current waveform; the DPA machinery
+    then works on those waveforms.
+    """
+
+    transitions: list = field(default_factory=list)
+    end_time: float = 0.0
+
+    def add(self, transition: Transition) -> None:
+        self.transitions.append(transition)
+        if transition.time > self.end_time:
+            self.end_time = transition.time
+
+    def transitions_for(self, net: str) -> list:
+        """Return the transitions of a single net, in time order."""
+        return [t for t in self.transitions if t.net == net]
+
+    def count(self, kind: Optional[TransitionKind] = None) -> int:
+        """Number of recorded transitions, optionally filtered by direction."""
+        if kind is None:
+            return len(self.transitions)
+        return sum(1 for t in self.transitions if t.kind is kind)
+
+    def nets_toggled(self) -> set:
+        """Set of net names that switched at least once during the run."""
+        return {t.net for t in self.transitions}
+
+    def window(self, start: float, stop: float) -> "TraceRecord":
+        """Return a copy containing only transitions in ``[start, stop)``."""
+        sub = TraceRecord()
+        for t in self.transitions:
+            if start <= t.time < stop:
+                sub.add(t)
+        return sub
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
+    def __iter__(self):
+        return iter(self.transitions)

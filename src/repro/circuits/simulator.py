@@ -1,0 +1,281 @@
+"""Event-driven simulator for QDI gate-level netlists.
+
+The simulator propagates logic transitions through a
+:class:`~repro.circuits.netlist.Netlist` with **capacitance-dependent gate
+delays**: the time a gate takes to switch its output is an RC product of its
+drive resistance and the total capacitance of its output node
+(``C = Cl + Cpar + Csc``).  This is the mechanism by which an unbalanced
+routing capacitance shifts all downstream transitions in time — exactly the
+effect equation (12) of the paper formalises and Fig. 7 illustrates.
+
+Environment behaviour (four-phase producers and consumers, reset generators)
+is modelled with :class:`Process` objects that react to net changes and
+schedule new stimuli.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .gates import GateType
+from .netlist import Netlist
+from .signals import Event, Logic, TraceRecord, Transition, TransitionKind
+
+
+class SimulationError(Exception):
+    """Raised when the simulation cannot proceed (deadlock, runaway, ...)."""
+
+
+@dataclass
+class DelayModel:
+    """Gate delay as an affine function of the output node capacitance.
+
+    ``delay = intrinsic_s + drive_ohm * C_total`` where ``C_total`` is the
+    femtofarad node capacitance converted to farads.  The same ``Δt`` is the
+    charge/discharge time that enters the electrical signature of
+    equation (12).
+    """
+
+    intrinsic_s: float = 10e-12
+    resistance_scale: float = 1.0
+
+    def gate_delay(self, netlist: Netlist, cell: GateType, output_net: str) -> float:
+        cap_farad = netlist.total_cap_ff(output_net) * 1e-15
+        return self.intrinsic_s + self.resistance_scale * cell.drive_ohm * cap_farad
+
+    def transition_time(self, netlist: Netlist, output_net: str) -> float:
+        """Charge/discharge time Δt of a net (used by the electrical model)."""
+        cell = netlist.driver_cell(output_net)
+        drive = cell.drive_ohm if cell is not None else 5000.0
+        cap_farad = netlist.total_cap_ff(output_net) * 1e-15
+        return self.resistance_scale * drive * cap_farad
+
+
+class Process:
+    """Base class for environment processes attached to the simulator.
+
+    Subclasses override :meth:`start` (called once before the run) and
+    :meth:`on_change` (called after every committed net transition the process
+    is sensitive to).  Processes drive nets with
+    :meth:`Simulator.schedule_drive`.
+    """
+
+    name: str = "process"
+
+    def sensitivity(self) -> Sequence[str]:
+        """Nets whose transitions should wake this process."""
+        return ()
+
+    def start(self, sim: "Simulator") -> None:  # pragma: no cover - default no-op
+        """Called once when the simulation starts."""
+
+    def on_change(self, sim: "Simulator", net: str, value: Logic, time: float) -> None:
+        """Called after a sensitive net committed a new value."""
+
+
+class Simulator:
+    """Discrete-event simulator over a gate-level netlist."""
+
+    def __init__(self, netlist: Netlist, delay_model: Optional[DelayModel] = None):
+        self.netlist = netlist
+        self.delay_model = delay_model if delay_model is not None else DelayModel()
+        self._values: Dict[str, Logic] = {}
+        self._events: List[Event] = []
+        self._sequence = 0
+        self._time = 0.0
+        self.trace = TraceRecord()
+        self._processes: List[Process] = []
+        self._watchers: Dict[str, List[Process]] = {}
+        self._levels: Dict[str, int] = {}
+        self.record_trace = True
+        self._started = False
+        self.reset_all_low()
+
+    # --------------------------------------------------------------- set-up
+    def reset_all_low(self) -> None:
+        """Force every net to the all-low (NULL) state without recording it.
+
+        QDI circuits are reset to the invalid state before any computation
+        (four-phase protocol, phase 3/4); this models the power-on reset.
+        """
+        for net in self.netlist.nets():
+            self._values[net.name] = Logic.LOW
+
+    def set_levels(self, levels: Mapping[str, int]) -> None:
+        """Attach logical-level annotations (instance name → level).
+
+        Levels come from :mod:`repro.graph.levels`; they are copied onto the
+        recorded transitions so the electrical model can attribute current
+        pulses to logical levels, as in equation (5) of the paper.
+        """
+        self._levels = dict(levels)
+
+    def add_process(self, process: Process) -> None:
+        self._processes.append(process)
+        for net in process.sensitivity():
+            self._watchers.setdefault(net, []).append(process)
+
+    # -------------------------------------------------------------- queries
+    @property
+    def time(self) -> float:
+        return self._time
+
+    def value(self, net: str) -> Logic:
+        try:
+            return self._values[net]
+        except KeyError:
+            raise SimulationError(f"net {net!r} does not exist") from None
+
+    def values(self, nets: Iterable[str]) -> List[Logic]:
+        return [self.value(n) for n in nets]
+
+    def pending_events(self) -> int:
+        return len(self._events)
+
+    # ------------------------------------------------------------ scheduling
+    def schedule_drive(self, net: str, value: Logic, time: Optional[float] = None,
+                       cause: Optional[str] = None) -> None:
+        """Schedule a net to take ``value`` at ``time`` (default: now)."""
+        if net not in self._values:
+            raise SimulationError(f"cannot drive unknown net {net!r}")
+        when = self._time if time is None else time
+        if when < self._time:
+            raise SimulationError(
+                f"cannot schedule event in the past: {when} < {self._time}"
+            )
+        heapq.heappush(self._events, Event(when, self._sequence, net, value, cause))
+        self._sequence += 1
+
+    def drive_input(self, net: str, value: Logic, time: Optional[float] = None) -> None:
+        """Drive a primary-input net from the environment."""
+        self.schedule_drive(net, value, time, cause=None)
+
+    # ---------------------------------------------------------------- engine
+    def _commit(self, event: Event) -> bool:
+        """Apply an event; return True when the net actually changed.
+
+        Events caused by a gate are re-evaluated against the gate's *current*
+        inputs before being applied (inertial-delay behaviour): if the inputs
+        changed again while the output event was in flight, the stale value is
+        discarded and the fan-out evaluation triggered by the newer input
+        change produces the correct output instead.
+        """
+        value = event.value
+        if event.cause is not None and self.netlist.has_instance(event.cause):
+            inst = self.netlist.instance(event.cause)
+            cell = self.netlist.library.get(inst.cell)
+            inputs = {pin: self._values[inst.net_of(pin)] for pin in cell.inputs}
+            value = cell.compute(inputs, self._values[event.net])
+        old = self._values[event.net]
+        if old is value:
+            return False
+        self._values[event.net] = value
+        event = Event(event.time, event.sequence, event.net, value, event.cause)
+        if self.record_trace:
+            level = 0
+            if event.cause is not None:
+                level = self._levels.get(event.cause, 0)
+            self.trace.add(
+                Transition(
+                    net=event.net,
+                    time=event.time,
+                    value=event.value,
+                    kind=TransitionKind.from_values(old, event.value),
+                    cause=event.cause,
+                    level=level,
+                )
+            )
+        return True
+
+    def _evaluate_fanout(self, net: str, time: float) -> None:
+        """Re-evaluate every gate whose inputs include ``net``."""
+        for sink in self.netlist.net(net).sinks:
+            inst = self.netlist.instance(sink.instance)
+            cell = self.netlist.library.get(inst.cell)
+            input_values = {
+                pin: self._values[inst.net_of(pin)] for pin in cell.inputs
+            }
+            out_net = inst.net_of(cell.output)
+            previous = self._values[out_net]
+            new_value = cell.compute(input_values, previous)
+            if new_value is not previous:
+                delay = self.delay_model.gate_delay(self.netlist, cell, out_net)
+                self.schedule_drive(out_net, new_value, time + delay, cause=inst.name)
+
+    def _notify(self, net: str, value: Logic, time: float) -> None:
+        for process in self._watchers.get(net, ()):  # processes see committed values
+            process.on_change(self, net, value, time)
+
+    def _evaluate_all_gates(self, time: float) -> None:
+        """Schedule the outputs of gates whose current output is inconsistent.
+
+        QDI blocks reset to the all-low state, which is self-consistent for
+        the monotonic cells they are built from; cells such as inverters,
+        however, must produce their true output at start-up.  This pass makes
+        the simulator equally usable for ordinary combinational netlists.
+        """
+        for inst in self.netlist.instances():
+            cell = self.netlist.library.get(inst.cell)
+            input_values = {pin: self._values[inst.net_of(pin)] for pin in cell.inputs}
+            out_net = inst.net_of(cell.output)
+            previous = self._values[out_net]
+            new_value = cell.compute(input_values, previous)
+            if new_value is not previous:
+                delay = self.delay_model.gate_delay(self.netlist, cell, out_net)
+                self.schedule_drive(out_net, new_value, time + delay, cause=inst.name)
+
+    def run(self, until: Optional[float] = None, max_events: int = 2_000_000) -> TraceRecord:
+        """Run until the event queue drains, ``until`` is reached, or the
+        event budget is exhausted (which raises, as it indicates a livelock).
+        """
+        if not self._started:
+            self._evaluate_all_gates(self._time)
+            for process in self._processes:
+                process.start(self)
+            self._started = True
+        processed = 0
+        while self._events:
+            if until is not None and self._events[0].time > until:
+                self._time = until
+                break
+            event = heapq.heappop(self._events)
+            self._time = max(self._time, event.time)
+            changed = self._commit(event)
+            if changed:
+                self._evaluate_fanout(event.net, event.time)
+                self._notify(event.net, event.value, event.time)
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"event budget of {max_events} exceeded at t={self._time:.3e}s; "
+                    "the circuit is probably oscillating"
+                )
+        self.trace.end_time = max(self.trace.end_time, self._time)
+        return self.trace
+
+    def run_for(self, duration: float, **kwargs) -> TraceRecord:
+        """Run for ``duration`` seconds beyond the current time."""
+        return self.run(until=self._time + duration, **kwargs)
+
+    def settle(self, max_events: int = 2_000_000) -> TraceRecord:
+        """Run until no events remain (the circuit is quiescent)."""
+        return self.run(until=None, max_events=max_events)
+
+    def is_quiescent(self) -> bool:
+        return not self._events
+
+
+def settle_combinational(netlist: Netlist, inputs: Mapping[str, Logic],
+                         delay_model: Optional[DelayModel] = None) -> Dict[str, Logic]:
+    """Convenience helper: apply ``inputs``, settle, and return all net values.
+
+    Useful for functionally checking small QDI blocks without setting up
+    handshake processes.
+    """
+    sim = Simulator(netlist, delay_model=delay_model)
+    for net, value in inputs.items():
+        sim.drive_input(net, value)
+    sim.settle()
+    return {net.name: sim.value(net.name) for net in netlist.nets()}

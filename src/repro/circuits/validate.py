@@ -1,0 +1,207 @@
+"""Validation of QDI blocks: protocol, balance and structural checks.
+
+The security argument of Section II rests on two properties that this module
+makes checkable:
+
+* **one-hot / return-to-zero discipline** — a 1-of-N channel never shows more
+  than one rail high, and alternates between NULL and valid states;
+* **balance** — every computation of a secured block involves the same number
+  of logical transitions regardless of the data, and the cones of logic
+  feeding the rails of an output channel are structurally symmetric.
+
+It also provides a small single-computation testbench harness reused by the
+electrical model and the DPA experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .builder import QDIBlock
+from .channels import ChannelNets, ChannelState
+from .handshake import FourPhaseConsumer, FourPhaseProducer, ResetPulse
+from .netlist import Netlist
+from .signals import Logic, TraceRecord
+from .simulator import DelayModel, Simulator
+
+
+class BalanceError(Exception):
+    """Raised when a block that should be balanced is not."""
+
+
+# --------------------------------------------------------------------- checks
+def check_one_hot_discipline(trace: TraceRecord, channel: ChannelNets) -> List[str]:
+    """Replay a trace and report every instant the channel shows an illegal code.
+
+    Returns a list of human-readable violations (empty when the channel obeys
+    the 1-of-N discipline for the whole trace).
+    """
+    values: Dict[str, Logic] = {rail: Logic.LOW for rail in channel.rails}
+    violations: List[str] = []
+    for transition in sorted(trace.transitions, key=lambda t: t.time):
+        if transition.net not in values:
+            continue
+        values[transition.net] = transition.value
+        state = channel.spec.state([values[r] for r in channel.rails])
+        if state is ChannelState.ILLEGAL:
+            violations.append(
+                f"channel {channel.name!r} illegal at t={transition.time:.3e}s "
+                f"after {transition.net!r} -> {transition.value.name}"
+            )
+    return violations
+
+
+def count_valid_phases(trace: TraceRecord, channel: ChannelNets) -> int:
+    """Number of NULL→VALID excursions the channel makes during the trace."""
+    values: Dict[str, Logic] = {rail: Logic.LOW for rail in channel.rails}
+    count = 0
+    was_null = True
+    for transition in sorted(trace.transitions, key=lambda t: t.time):
+        if transition.net not in values:
+            continue
+        values[transition.net] = transition.value
+        state = channel.spec.state([values[r] for r in channel.rails])
+        if state is ChannelState.VALID and was_null:
+            count += 1
+            was_null = False
+        elif state is ChannelState.NULL:
+            was_null = True
+    return count
+
+
+def check_structural_balance(block: QDIBlock) -> List[str]:
+    """Compare the logic cones of the output rails of a block.
+
+    For every output channel, the cones driving each rail must contain the
+    same number of gates per logical level; otherwise the number of
+    transitions could depend on the data, which is the first-order leak the
+    secured design style removes.
+    """
+    problems: List[str] = []
+    for channel in block.outputs:
+        per_rail_profile: List[Tuple[str, Dict[int, int]]] = []
+        for rail in channel.rails:
+            cone = block.rail_cones.get(rail, [])
+            profile: Dict[int, int] = {}
+            for instance in cone:
+                level = block.level_of_instance.get(instance, 0)
+                profile[level] = profile.get(level, 0) + 1
+            per_rail_profile.append((rail, profile))
+        reference_rail, reference = per_rail_profile[0]
+        for rail, profile in per_rail_profile[1:]:
+            if set(profile) != set(reference):
+                problems.append(
+                    f"channel {channel.name!r}: rails {reference_rail!r} and {rail!r} "
+                    f"span different levels ({sorted(reference)} vs {sorted(profile)})"
+                )
+                continue
+            for level in sorted(reference):
+                if profile[level] != reference[level]:
+                    problems.append(
+                        f"channel {channel.name!r}: level {level} has "
+                        f"{reference[level]} gate(s) on rail {reference_rail!r} but "
+                        f"{profile[level]} on rail {rail!r}"
+                    )
+    return problems
+
+
+def verify_netlist(netlist: Netlist) -> None:
+    """Raise :class:`BalanceError` when the netlist has structural problems."""
+    problems = netlist.validate()
+    if problems:
+        raise BalanceError("; ".join(problems))
+
+
+# ----------------------------------------------------------------- testbench
+@dataclass
+class ComputationResult:
+    """Outcome of a single-block, multi-computation simulation."""
+
+    trace: TraceRecord
+    outputs: List[List[int]]
+    block_transition_count: int
+    per_computation_counts: List[int] = field(default_factory=list)
+
+    @property
+    def first_output(self) -> Optional[int]:
+        if self.outputs and self.outputs[0]:
+            return self.outputs[0][0]
+        return None
+
+
+def simulate_two_operand_block(block: QDIBlock, operand_pairs: Sequence[Tuple[int, int]],
+                               *, delay_model: Optional[DelayModel] = None,
+                               env_delay: float = 20e-12) -> ComputationResult:
+    """Drive a two-input/one-output QDI block through a list of computations.
+
+    The block is expected to follow the convention of the library builders:
+    two input channels (``a``, ``b``) acknowledged by ``block.ack_out`` and
+    one output channel acknowledged (active low) through ``block.ack_in``.
+    """
+    if len(block.inputs) != 2 or len(block.outputs) != 1:
+        raise ValueError(
+            f"simulate_two_operand_block expects 2 inputs / 1 output, block "
+            f"{block.name!r} has {len(block.inputs)} / {len(block.outputs)}"
+        )
+    sim = Simulator(block.netlist, delay_model=delay_model)
+    sim.set_levels(block.level_of_instance)
+
+    a_values = [pair[0] for pair in operand_pairs]
+    b_values = [pair[1] for pair in operand_pairs]
+    producer_a = FourPhaseProducer(block.inputs[0], block.ack_out, a_values,
+                                   env_delay=env_delay, start_time=200e-12)
+    producer_b = FourPhaseProducer(block.inputs[1], block.ack_out, b_values,
+                                   env_delay=env_delay, start_time=200e-12)
+    consumer = FourPhaseConsumer(block.outputs[0], ack_net=block.ack_in,
+                                 ack_active_high=False, env_delay=env_delay)
+    sim.add_process(producer_a)
+    sim.add_process(producer_b)
+    sim.add_process(consumer)
+    if block.reset is not None:
+        sim.add_process(ResetPulse(block.reset, duration=100e-12))
+
+    trace = sim.settle()
+
+    block_nets = set(block.internal_nets())
+    block_transitions = [t for t in trace.transitions if t.net in block_nets]
+
+    # Split the block transitions into per-computation groups using the
+    # acknowledge falling edges as separators.
+    boundaries = [t.time for t in trace.transitions
+                  if t.net == block.ack_out and t.is_falling]
+    per_computation: List[int] = []
+    previous = 0.0
+    for boundary in boundaries:
+        per_computation.append(
+            sum(1 for t in block_transitions if previous < t.time <= boundary)
+        )
+        previous = boundary
+
+    return ComputationResult(
+        trace=trace,
+        outputs=[consumer.received],
+        block_transition_count=len(block_transitions),
+        per_computation_counts=per_computation,
+    )
+
+
+def check_constant_transition_count(block: QDIBlock,
+                                    operand_pairs: Sequence[Tuple[int, int]],
+                                    **kwargs) -> int:
+    """Verify that every computation toggles the same number of block nets.
+
+    Returns the (constant) per-computation transition count, or raises
+    :class:`BalanceError` if the count varies with the data — i.e. the block
+    is not balanced in the sense of Section II of the paper.
+    """
+    result = simulate_two_operand_block(block, operand_pairs, **kwargs)
+    counts = result.per_computation_counts
+    if not counts:
+        raise BalanceError(f"block {block.name!r}: no computation observed")
+    if len(set(counts)) != 1:
+        raise BalanceError(
+            f"block {block.name!r} is unbalanced: per-computation transition "
+            f"counts {counts} for operands {list(operand_pairs)}"
+        )
+    return counts[0]

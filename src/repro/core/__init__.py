@@ -1,0 +1,143 @@
+"""The paper's contribution: formal model, DPA formalisation, criterion, flow.
+
+* :mod:`repro.core.power_model` — equations (1)–(6): dynamic power and the
+  block current profile derived from the annotated graph;
+* :mod:`repro.core.signature`  — equations (10)–(12): the electrical
+  signature of symmetric data paths and its capacitance decomposition;
+* :mod:`repro.core.dpa`        — equations (7)–(9): the DPA attack on trace
+  sets (partitioning, set averages, bias signal, key ranking);
+* :mod:`repro.core.selection`  — the D functions (AES AddRoundKey, DES S-box);
+* :mod:`repro.core.criterion`  — the channel dissymmetry criterion of
+  Section VI and Table-2 style reports;
+* :mod:`repro.core.flow`       — the secure hierarchical design flow;
+* :mod:`repro.core.metrics`    — peaks, SNR, key-recovery curves, area
+  overhead.
+"""
+
+from .criterion import (
+    ChannelCriterion,
+    CriterionError,
+    CriterionReport,
+    channel_dissymmetry,
+    compare_reports,
+    evaluate_capacitance_map,
+    evaluate_channel,
+    evaluate_netlist_channels,
+)
+from .dpa import (
+    DPAError,
+    DPAResult,
+    GuessResult,
+    PowerTrace,
+    TraceSet,
+    dpa_attack,
+    dpa_bias,
+    messages_to_disclosure,
+    partition_by_values,
+    partition_traces,
+    selection_bits,
+)
+from .flow import (
+    FlowComparison,
+    FlowConfig,
+    FlowIteration,
+    FlowResult,
+    compare_flat_vs_hierarchical,
+    run_secure_flow,
+)
+from .metrics import (
+    AreaReport,
+    KeyRecoveryCurve,
+    KeyRecoveryPoint,
+    Peak,
+    area_overhead,
+    find_peaks,
+    peak_to_rms_ratio,
+    signal_to_noise_ratio,
+)
+from .power_model import (
+    FormalCurrentModel,
+    GateCurrentTerm,
+    PathCurrentModel,
+    block_dynamic_power,
+    block_power_from_netlist,
+    gate_dynamic_power,
+    qdi_gate_dynamic_power,
+    xor_current_decomposition,
+)
+from .selection import (
+    AesAddRoundKeySelection,
+    AesSboxSelection,
+    DesSboxSelection,
+    HammingWeightSelection,
+    SelectionFunction,
+    list_standard_selections,
+)
+from .signature import (
+    SignatureReport,
+    SignatureTerm,
+    compare_formal_and_simulated,
+    formal_signature,
+    set_average,
+    signature_from_traces,
+    signature_peak_count,
+    signature_terms,
+)
+
+__all__ = [
+    "ChannelCriterion",
+    "CriterionError",
+    "CriterionReport",
+    "channel_dissymmetry",
+    "compare_reports",
+    "evaluate_capacitance_map",
+    "evaluate_channel",
+    "evaluate_netlist_channels",
+    "DPAError",
+    "DPAResult",
+    "GuessResult",
+    "PowerTrace",
+    "TraceSet",
+    "dpa_attack",
+    "dpa_bias",
+    "messages_to_disclosure",
+    "partition_by_values",
+    "partition_traces",
+    "selection_bits",
+    "FlowComparison",
+    "FlowConfig",
+    "FlowIteration",
+    "FlowResult",
+    "compare_flat_vs_hierarchical",
+    "run_secure_flow",
+    "AreaReport",
+    "KeyRecoveryCurve",
+    "KeyRecoveryPoint",
+    "Peak",
+    "area_overhead",
+    "find_peaks",
+    "peak_to_rms_ratio",
+    "signal_to_noise_ratio",
+    "FormalCurrentModel",
+    "GateCurrentTerm",
+    "PathCurrentModel",
+    "block_dynamic_power",
+    "block_power_from_netlist",
+    "gate_dynamic_power",
+    "qdi_gate_dynamic_power",
+    "xor_current_decomposition",
+    "AesAddRoundKeySelection",
+    "AesSboxSelection",
+    "DesSboxSelection",
+    "HammingWeightSelection",
+    "SelectionFunction",
+    "list_standard_selections",
+    "SignatureReport",
+    "SignatureTerm",
+    "compare_formal_and_simulated",
+    "formal_signature",
+    "set_average",
+    "signature_from_traces",
+    "signature_peak_count",
+    "signature_terms",
+]

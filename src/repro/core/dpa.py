@@ -1,0 +1,281 @@
+"""Differential Power Analysis on power-trace sets (equations (7)–(9)).
+
+Following the formalisation of Messerges et al. recalled in Section IV of the
+paper, a DPA attack:
+
+1. collects ``N`` power traces ``S_ij`` (trace ``i``, sample ``j``) together
+   with the plaintexts ``PTI_i`` that produced them;
+2. for every key guess, splits the traces into two sets according to a
+   selection function ``D`` (equation (7));
+3. averages each set (equation (8)) and computes the bias signal
+   ``T[j] = A0[j] − A1[j]`` (equation (9));
+4. declares the guess whose bias shows the strongest peaks to be the key.
+
+The classes here are agnostic of where the traces come from: the library's
+own synthesized traces (XOR block, asynchronous AES) or any externally
+acquired waveform set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..electrical.waveform import Waveform, align_waveforms
+from .selection import SelectionFunction
+
+
+class DPAError(Exception):
+    """Raised on malformed trace sets or attack parameters."""
+
+
+@dataclass
+class PowerTrace:
+    """One acquired power trace and the plaintext that produced it."""
+
+    waveform: Waveform
+    plaintext: List[int]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+class TraceSet:
+    """An ordered collection of :class:`PowerTrace` with a common time base."""
+
+    def __init__(self, traces: Optional[Iterable[PowerTrace]] = None):
+        self._traces: List[PowerTrace] = list(traces) if traces is not None else []
+
+    def add(self, waveform: Waveform, plaintext: Sequence[int], **metadata) -> None:
+        self._traces.append(PowerTrace(waveform=waveform, plaintext=list(plaintext),
+                                       metadata=dict(metadata)))
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __iter__(self):
+        return iter(self._traces)
+
+    def __getitem__(self, index: int) -> PowerTrace:
+        return self._traces[index]
+
+    def subset(self, count: int) -> "TraceSet":
+        """The first ``count`` traces (used for messages-to-disclosure sweeps)."""
+        return TraceSet(self._traces[:count])
+
+    def plaintexts(self) -> List[List[int]]:
+        return [t.plaintext for t in self._traces]
+
+    def waveforms(self) -> List[Waveform]:
+        return [t.waveform for t in self._traces]
+
+    @property
+    def dt(self) -> float:
+        if not self._traces:
+            raise DPAError("empty trace set has no time base")
+        return self._traces[0].waveform.dt
+
+    def matrix(self) -> np.ndarray:
+        """Stack all traces into an ``(n_traces, n_samples)`` matrix."""
+        if not self._traces:
+            raise DPAError("cannot build a matrix from an empty trace set")
+        aligned = align_waveforms([t.waveform for t in self._traces])
+        return np.vstack([w.samples for w in aligned])
+
+    def time_base(self) -> Waveform:
+        aligned = align_waveforms([t.waveform for t in self._traces])
+        return aligned[0]
+
+
+# ----------------------------------------------------------------- partition
+def selection_bits(traces: TraceSet, selection: SelectionFunction,
+                   key_guess: int) -> np.ndarray:
+    """The D-function value for every trace of the set (0/1 vector)."""
+    return np.array(
+        [selection(trace.plaintext, key_guess) for trace in traces], dtype=int
+    )
+
+
+def partition_traces(traces: TraceSet, selection: SelectionFunction,
+                     key_guess: int) -> Tuple[List[Waveform], List[Waveform]]:
+    """Equation (7): split traces into ``S0`` (D = 0) and ``S1`` (D = 1)."""
+    bits = selection_bits(traces, selection, key_guess)
+    set0 = [trace.waveform for trace, bit in zip(traces, bits) if bit == 0]
+    set1 = [trace.waveform for trace, bit in zip(traces, bits) if bit == 1]
+    return set0, set1
+
+
+def partition_by_values(traces: TraceSet, bits: Sequence[int]
+                        ) -> Tuple[List[Waveform], List[Waveform]]:
+    """Split traces by externally supplied bit values (known-key assessment)."""
+    if len(bits) != len(traces):
+        raise DPAError(
+            f"got {len(bits)} selection bits for {len(traces)} traces"
+        )
+    set0 = [trace.waveform for trace, bit in zip(traces, bits) if bit == 0]
+    set1 = [trace.waveform for trace, bit in zip(traces, bits) if bit == 1]
+    return set0, set1
+
+
+def _bias_from_matrix(matrix: np.ndarray, bits: np.ndarray) -> Optional[np.ndarray]:
+    mask1 = bits == 1
+    mask0 = ~mask1
+    if not mask0.any() or not mask1.any():
+        return None
+    return matrix[mask0].mean(axis=0) - matrix[mask1].mean(axis=0)
+
+
+def dpa_bias(traces: TraceSet, selection: SelectionFunction,
+             key_guess: int) -> Waveform:
+    """Equations (8)–(9): the DPA bias signal ``T[j]`` for one key guess."""
+    matrix = traces.matrix()
+    bits = selection_bits(traces, selection, key_guess)
+    bias = _bias_from_matrix(matrix, bits)
+    base = traces.time_base()
+    if bias is None:
+        return Waveform(np.zeros(matrix.shape[1]), base.dt, base.t0)
+    return Waveform(bias, base.dt, base.t0)
+
+
+# -------------------------------------------------------------------- attack
+@dataclass
+class GuessResult:
+    """Bias signal and summary statistics for one key guess."""
+
+    guess: int
+    peak: float
+    peak_time: float
+    rms: float
+    bias: Optional[Waveform] = None
+
+    def __repr__(self) -> str:
+        return (f"GuessResult(guess={self.guess:#x}, peak={self.peak:.3e}, "
+                f"t={self.peak_time:.3e})")
+
+
+@dataclass
+class DPAResult:
+    """Outcome of a full DPA attack (all key guesses of a selection function)."""
+
+    selection_name: str
+    trace_count: int
+    results: List[GuessResult] = field(default_factory=list)
+
+    def ranking(self) -> List[GuessResult]:
+        """Guesses sorted by decreasing bias peak."""
+        return sorted(self.results, key=lambda r: r.peak, reverse=True)
+
+    @property
+    def best_guess(self) -> int:
+        return self.ranking()[0].guess
+
+    @property
+    def best_peak(self) -> float:
+        return self.ranking()[0].peak
+
+    def result_for(self, guess: int) -> GuessResult:
+        for result in self.results:
+            if result.guess == guess:
+                return result
+        raise DPAError(f"guess {guess:#x} was not part of the attack")
+
+    def rank_of(self, guess: int) -> int:
+        """1-based rank of a guess (1 = the attack's best candidate)."""
+        ranked = self.ranking()
+        for index, result in enumerate(ranked):
+            if result.guess == guess:
+                return index + 1
+        raise DPAError(f"guess {guess:#x} was not part of the attack")
+
+    def discrimination_ratio(self, correct_guess: int) -> float:
+        """Peak of the correct guess divided by the best wrong-guess peak.
+
+        Values above 1 mean the attack distinguishes the key; large values
+        mean it does so comfortably.
+        """
+        correct = self.result_for(correct_guess).peak
+        wrong = [r.peak for r in self.results if r.guess != correct_guess]
+        if not wrong:
+            return float("inf")
+        best_wrong = max(wrong)
+        if best_wrong == 0.0:
+            return float("inf") if correct > 0 else 1.0
+        return correct / best_wrong
+
+
+def dpa_attack(traces: TraceSet, selection: SelectionFunction, *,
+               guesses: Optional[Sequence[int]] = None,
+               keep_bias: bool = False) -> DPAResult:
+    """Run the DPA attack of Section IV over a set of key guesses.
+
+    Parameters
+    ----------
+    traces:
+        The acquired traces with their plaintexts.
+    selection:
+        The D function; its :meth:`guesses` provides the default guess space.
+    guesses:
+        Optional subset of key guesses to evaluate.
+    keep_bias:
+        Store the full bias waveform of every guess (memory-heavier; useful
+        for plotting or for inspecting secondary peaks).
+    """
+    if len(traces) == 0:
+        raise DPAError("cannot attack an empty trace set")
+    matrix = traces.matrix()
+    base = traces.time_base()
+    guess_space = list(guesses) if guesses is not None else list(selection.guesses())
+
+    result = DPAResult(selection_name=selection.name, trace_count=len(traces))
+    for guess in guess_space:
+        bits = selection_bits(traces, selection, guess)
+        bias = _bias_from_matrix(matrix, bits)
+        if bias is None:
+            result.results.append(GuessResult(guess=guess, peak=0.0,
+                                              peak_time=base.t0, rms=0.0,
+                                              bias=None))
+            continue
+        abs_bias = np.abs(bias)
+        peak_index = int(np.argmax(abs_bias))
+        guess_result = GuessResult(
+            guess=guess,
+            peak=float(abs_bias[peak_index]),
+            peak_time=base.t0 + peak_index * base.dt,
+            rms=float(np.sqrt(np.mean(bias ** 2))),
+        )
+        if keep_bias:
+            guess_result.bias = Waveform(bias.copy(), base.dt, base.t0)
+        result.results.append(guess_result)
+    return result
+
+
+def messages_to_disclosure(traces: TraceSet, selection: SelectionFunction,
+                           correct_guess: int, *,
+                           start: int = 16, step: int = 16,
+                           stable_runs: int = 1) -> Optional[int]:
+    """Smallest number of traces after which the correct key ranks first.
+
+    The attack is re-run on growing prefixes of the trace set; the returned
+    value is the size of the first prefix for which the correct guess is
+    ranked first and stays first for ``stable_runs`` consecutive prefix sizes.
+    Returns ``None`` when the full set never discloses the key.
+    """
+    if start < 2:
+        raise DPAError("need at least 2 traces to run a DPA attack")
+    consecutive = 0
+    first_success: Optional[int] = None
+    count = start
+    while count <= len(traces):
+        prefix = traces.subset(count)
+        attack = dpa_attack(prefix, selection)
+        if attack.rank_of(correct_guess) == 1:
+            if consecutive == 0:
+                first_success = count
+            consecutive += 1
+            if consecutive >= stable_runs:
+                return first_success
+        else:
+            consecutive = 0
+            first_success = None
+        count += step
+    return None

@@ -1,0 +1,340 @@
+"""Formal power and current model of secured QDI blocks (Section III).
+
+This module implements equations (1)–(6) of the paper:
+
+* equation (1):  ``Pd = η · f · C · Vdd²``               (CMOS gate dynamic power)
+* equation (2):  ``Pda = η · fa · C · Vdd²``             (gate in a QDI environment,
+  clocked by the acknowledge frequency ``fa`` instead of a global clock)
+* equation (3):  ``Pb = Σ_{i=1..Nt} fa · η · Ci · Vdd²`` (block dynamic power, the
+  sum running over the fixed number ``Nt`` of transitions of the block)
+* equation (4):  ``I(t) = C · dV/dt``                    (gate dynamic current)
+* equation (5):  ``Pdc(t) = Σ_{i=1..Nc} Σ_{j=1..Nij} I_ij(t) + Pdn(t)``
+* equation (6):  the dual-rail XOR instance of (5), with ``Nt = Nc = 4`` and one
+  gate per level: ``Pdc(t) = I11 + I21 + I31 + I41 + Pdn``.
+
+The :class:`FormalCurrentModel` is the analytic counterpart of the event-driven
+electrical simulation: it predicts the block current profile of a computation
+directly from the annotated graph (levels, node capacitances, transition
+times), which is exactly how the paper evaluates DPA sensitivity "in theory,
+with the formal model".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..circuits.builder import QDIBlock
+from ..circuits.netlist import Netlist
+from ..electrical.capacitance import node_capacitance, transition_time_s
+from ..electrical.technology import HCMOS9_LIKE, Technology
+from ..electrical.waveform import Waveform, triangular_pulse
+
+
+# ----------------------------------------------------------- equations (1-3)
+def gate_dynamic_power(switching_activity: float, frequency_hz: float,
+                       cap_ff: float, vdd: float) -> float:
+    """Equation (1): dynamic power of a CMOS gate, in watts.
+
+    ``switching_activity`` is the activity ratio η, ``frequency_hz`` the
+    switching frequency f, ``cap_ff`` the total output node capacitance in
+    femtofarads and ``vdd`` the supply voltage.
+    """
+    if switching_activity < 0 or frequency_hz < 0 or cap_ff < 0 or vdd < 0:
+        raise ValueError("power model parameters must be non-negative")
+    return switching_activity * frequency_hz * cap_ff * 1e-15 * vdd * vdd
+
+
+def qdi_gate_dynamic_power(switching_activity: float, ack_frequency_hz: float,
+                           cap_ff: float, vdd: float) -> float:
+    """Equation (2): the same expression with the acknowledge frequency ``fa``.
+
+    In a QDI circuit the rate at which a gate is exercised is set by the
+    four-phase handshake, i.e. by the frequency of the acknowledge signal.
+    """
+    return gate_dynamic_power(switching_activity, ack_frequency_hz, cap_ff, vdd)
+
+
+def block_dynamic_power(node_caps_ff: Sequence[float], ack_frequency_hz: float,
+                        vdd: float, switching_activity: float = 1.0) -> float:
+    """Equation (3): dynamic power of a balanced QDI block.
+
+    ``node_caps_ff`` lists the capacitance switched by each of the ``Nt``
+    transitions of one computation; because ``Nt`` is fixed by construction,
+    the sum is data independent *in structure* — but not in value unless the
+    capacitances themselves are matched, which is the paper's central point.
+    """
+    return sum(
+        qdi_gate_dynamic_power(switching_activity, ack_frequency_hz, cap, vdd)
+        for cap in node_caps_ff
+    )
+
+
+def block_power_from_netlist(netlist: Netlist, switching_nets: Sequence[str],
+                             ack_frequency_hz: float,
+                             technology: Technology = HCMOS9_LIKE) -> float:
+    """Equation (3) evaluated on a netlist: sum over the switched nets."""
+    caps = [node_capacitance(netlist, net).total_ff for net in switching_nets]
+    return block_dynamic_power(caps, ack_frequency_hz, technology.vdd)
+
+
+# ----------------------------------------------------------- equations (4-6)
+@dataclass(frozen=True)
+class GateCurrentTerm:
+    """One ``I_ij(t)`` term of equation (5).
+
+    Attributes
+    ----------
+    level:
+        Logical level ``i`` of the switching gate.
+    position:
+        Index ``j`` of the gate within its level.
+    net:
+        Output net of the gate.
+    cap_ff:
+        Total node capacitance ``C`` charged or discharged by the transition.
+    transition_time_s:
+        Charge/discharge time ``Δt`` of the node (RC product).
+    onset_s:
+        Time at which the transition starts, measured from the beginning of
+        the phase (the sum of the ``Δt`` of the upstream levels on the same
+        path).
+    weight:
+        Probability that this gate is the one firing at its level when the
+        output takes the path's value.  For the dual-rail XOR, level 1 has
+        two minterm gates per rail value (M1/M2 for rail 0), each firing for
+        half of the uniformly distributed inputs — this is the ``½`` in front
+        of ``I11`` and ``I12`` in equation (10).
+    """
+
+    level: int
+    position: int
+    net: str
+    cap_ff: float
+    transition_time_s: float
+    onset_s: float
+    weight: float = 1.0
+
+    def charge_coulomb(self, vdd: float) -> float:
+        """Charge moved by the transition: ``Q = C · Vdd``."""
+        return self.cap_ff * 1e-15 * vdd
+
+    def average_current_a(self, vdd: float) -> float:
+        """Equation (4) averaged over the transition: ``I ≈ C · ΔV / Δt``."""
+        if self.transition_time_s <= 0:
+            raise ValueError("transition time must be > 0")
+        return self.charge_coulomb(vdd) / self.transition_time_s
+
+    def pulse(self, dt: float, vdd: float) -> Waveform:
+        """The transition rendered as a triangular current pulse.
+
+        The pulse area is the moved charge scaled by the firing probability
+        ``weight`` — i.e. the *expected* contribution to the set average of
+        equation (8).
+        """
+        width = max(self.transition_time_s, 2 * dt)
+        samples = triangular_pulse(self.weight * self.charge_coulomb(vdd), width, dt)
+        return Waveform(samples, dt, self.onset_s)
+
+
+@dataclass
+class PathCurrentModel:
+    """The sequence of gate current terms fired when one output rail is produced.
+
+    For the dual-rail XOR this is one of the two symmetric data paths whose
+    averaged difference gives the electrical signature of equations (10)–(12).
+    """
+
+    rail: str
+    rail_value: int
+    terms: List[GateCurrentTerm] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        return max((t.level for t in self.terms), default=0)
+
+    def total_cap_ff(self) -> float:
+        return sum(t.cap_ff for t in self.terms)
+
+    def completion_time_s(self) -> float:
+        """Time at which the last transition of the path finishes."""
+        return max((t.onset_s + t.transition_time_s for t in self.terms), default=0.0)
+
+    def profile(self, dt: float, vdd: float, duration: Optional[float] = None) -> Waveform:
+        """Render the path's current profile ``Σ_i I_i(t)`` as a waveform."""
+        length = duration if duration is not None else self.completion_time_s() + 20 * dt
+        waveform = Waveform.zeros(length, dt, 0.0)
+        for term in self.terms:
+            pulse = term.pulse(dt, vdd)
+            waveform.add_pulse(pulse.t0, pulse.samples)
+        return waveform
+
+
+@dataclass
+class FormalCurrentModel:
+    """Analytic current model of a balanced QDI block (equations (5)–(6)).
+
+    ``paths`` maps each output-rail value to its :class:`PathCurrentModel`;
+    ``shared_terms`` lists the terms common to all paths (e.g. the completion
+    detector, the ``I_41`` of equation (10)/(11) which appears in both sets).
+    """
+
+    block_name: str
+    technology: Technology
+    paths: Dict[int, PathCurrentModel] = field(default_factory=dict)
+    shared_terms: List[GateCurrentTerm] = field(default_factory=list)
+    noise_floor_a: float = 0.0
+
+    # ------------------------------------------------------------ building
+    @classmethod
+    def from_block(cls, block: QDIBlock, *, output_index: int = 0,
+                   technology: Technology = HCMOS9_LIKE) -> "FormalCurrentModel":
+        """Build the model from a library block's rail cones and levels.
+
+        For every rail of the selected output channel, the gates of the
+        rail's cone are ordered by logical level; the onset of each term is
+        the accumulated transition time of the upstream terms on the same
+        path (the mechanism by which an early heavy net shifts the whole rest
+        of the path, visible in Fig. 7c/7d).  Gates that belong to no rail
+        cone (completion detection) become shared terms, placed after the
+        deepest path level.
+        """
+        netlist = block.netlist
+        channel = block.outputs[output_index]
+        model = cls(block_name=block.name, technology=technology)
+
+        assigned: set = set()
+        for rail_value, rail_net in enumerate(channel.rails):
+            cone = block.rail_cones.get(rail_net, [])
+            by_level: Dict[int, List[str]] = {}
+            for instance_name in cone:
+                level = block.level_of_instance.get(instance_name, 0)
+                by_level.setdefault(level, []).append(instance_name)
+            path = PathCurrentModel(rail=rail_net, rail_value=rail_value)
+            onset = 0.0
+            for level in sorted(by_level):
+                gates = sorted(by_level[level])
+                # When several gates of the cone share a level (the minterm
+                # detectors), exactly one of them fires per computation; each
+                # contributes with probability 1/len(gates) to the set average.
+                weight = 1.0 / len(gates)
+                level_delta = 0.0
+                for instance_name in gates:
+                    cell = netlist.cell_of(instance_name)
+                    out_net = netlist.instance(instance_name).net_of(cell.output)
+                    cap = node_capacitance(netlist, out_net).total_ff
+                    delta_t = transition_time_s(netlist, out_net, technology)
+                    position = _position_in_grid(block, instance_name)
+                    path.terms.append(GateCurrentTerm(
+                        level=level, position=position, net=out_net, cap_ff=cap,
+                        transition_time_s=delta_t, onset_s=onset, weight=weight,
+                    ))
+                    assigned.add(instance_name)
+                    level_delta = max(level_delta, delta_t)
+                # The next level starts once the slowest alternative of this
+                # level has finished charging its output node.
+                onset += level_delta
+            model.paths[rail_value] = path
+
+        # Shared terms (completion detection and other gates outside every rail
+        # cone) fire after the active path has completed; their stored onset is
+        # therefore *relative to the end of the path* and is rebased per rail
+        # value in :meth:`terms_for`.  This is what makes a slowed-down path
+        # shift the completion pulse and create the end-of-phase peak of
+        # Fig. 7.
+        shared_onset = 0.0
+        for instance_name, level in sorted(block.level_of_instance.items(),
+                                           key=lambda item: item[1]):
+            if instance_name in assigned:
+                continue
+            cell = netlist.cell_of(instance_name)
+            out_net = netlist.instance(instance_name).net_of(cell.output)
+            cap = node_capacitance(netlist, out_net).total_ff
+            delta_t = transition_time_s(netlist, out_net, technology)
+            position = _position_in_grid(block, instance_name)
+            model.shared_terms.append(GateCurrentTerm(
+                level=level, position=position, net=out_net, cap_ff=cap,
+                transition_time_s=delta_t, onset_s=shared_onset,
+            ))
+            shared_onset += delta_t
+        return model
+
+    # ------------------------------------------------------------- queries
+    @property
+    def nc(self) -> int:
+        """``Nc``: the number of logical levels along the critical path."""
+        levels = [t.level for p in self.paths.values() for t in p.terms]
+        levels += [t.level for t in self.shared_terms]
+        return max(levels, default=0)
+
+    def nij(self, rail_value: int) -> Dict[int, int]:
+        """``N_ij``: gates switching per level for one computation.
+
+        Alternative gates of one level (weight < 1) are counted as the single
+        gate that actually fires, so for the dual-rail XOR every level counts
+        one gate — ``N_1j = N_2j = N_3j = N_4j = 1`` as in the paper.
+        """
+        weights: Dict[int, float] = {}
+        for term in list(self.paths[rail_value].terms) + list(self.shared_terms):
+            weights[term.level] = weights.get(term.level, 0.0) + term.weight
+        return {level: int(round(value)) for level, value in weights.items()}
+
+    def nt(self, rail_value: int) -> int:
+        """``Nt``: total number of transitions of one evaluation phase."""
+        return sum(self.nij(rail_value).values())
+
+    def terms_for(self, rail_value: int) -> List[GateCurrentTerm]:
+        """All terms fired when the output takes ``rail_value`` (eq. (10)/(11)).
+
+        Shared terms (completion detection) are rebased to start when the
+        selected path has finished charging its last node, so a capacitance
+        imbalance on one path also shifts the shared pulses in time — the
+        second peak visible in Fig. 7b.
+        """
+        path = self.paths[rail_value]
+        completion = path.completion_time_s()
+        rebased = [replace(term, onset_s=term.onset_s + completion)
+                   for term in self.shared_terms]
+        return list(path.terms) + rebased
+
+    def profile(self, rail_value: int, *, dt: Optional[float] = None,
+                duration: Optional[float] = None) -> Waveform:
+        """Equation (5)/(6): the predicted block current for one computation."""
+        step = dt if dt is not None else self.technology.time_step_s
+        terms = self.terms_for(rail_value)
+        end = max((t.onset_s + t.transition_time_s for t in terms), default=0.0)
+        length = duration if duration is not None else end + 20 * step
+        waveform = Waveform.zeros(length, step, 0.0)
+        for term in terms:
+            pulse = term.pulse(step, self.technology.vdd)
+            waveform.add_pulse(pulse.t0, pulse.samples)
+        return waveform
+
+    def block_power_w(self, ack_frequency_hz: float, rail_value: int = 0) -> float:
+        """Equation (3) evaluated with the model's capacitances."""
+        caps = [t.cap_ff for t in self.terms_for(rail_value)]
+        return block_dynamic_power(caps, ack_frequency_hz, self.technology.vdd)
+
+
+def _position_in_grid(block: QDIBlock, instance_name: str) -> int:
+    for (level, position), name in block.gate_grid.items():
+        if name == instance_name:
+            return position
+    return 0
+
+
+def xor_current_decomposition(block: QDIBlock, rail_value: int, *,
+                              technology: Technology = HCMOS9_LIKE
+                              ) -> List[Tuple[str, GateCurrentTerm]]:
+    """Equation (6) for the dual-rail XOR: the ordered ``I_i1(t)`` terms.
+
+    Returns ``[("I11", term), ("I21", term), ("I31", term), ("I41", term)]``
+    style labels so tests and benchmarks can check the decomposition matches
+    the paper's ``Nt = Nc = 4``, one gate per level.
+    """
+    model = FormalCurrentModel.from_block(block, technology=technology)
+    labelled = []
+    for term in model.terms_for(rail_value):
+        labelled.append((f"I{term.level}{term.position}", term))
+    labelled.sort(key=lambda item: (item[1].level, item[1].position))
+    return labelled

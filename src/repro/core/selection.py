@@ -1,0 +1,199 @@
+"""DPA selection functions (the ``D`` functions of Section IV).
+
+A selection function predicts, from the known plaintext and a *guessed* part
+of the key, one bit of an intermediate value of the cipher.  The paper gives
+the two classical examples:
+
+* DES:  ``D(C1, P6, K0) = SBOX1(P6 ⊕ K0)(C1)`` — bit ``C1`` of the output of
+  the first S-box of the first round;
+* AES:  ``D(C1, P8, K8) = XOR(P8, K8)(C1)`` — bit ``C1`` of the XOR of one
+  plaintext byte with the corresponding first-round key byte (the initial
+  AddRoundKey of Rijndael).
+
+Every selection function exposes its key-guess space so that the attack loop
+in :mod:`repro.core.dpa` can enumerate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol, Sequence
+
+from ..crypto.aes_tables import SBOX
+from ..crypto.des import expanded_plaintext_chunk, sbox_lookup
+from ..crypto.keys import bit_of, hamming_weight
+
+
+class SelectionFunction(Protocol):
+    """Protocol of DPA selection functions."""
+
+    name: str
+
+    def guesses(self) -> Sequence[int]:
+        """The key-guess space to enumerate."""
+        ...
+
+    def __call__(self, plaintext: Sequence[int], key_guess: int) -> int:
+        """Return the predicted bit (0 or 1) for one plaintext and key guess."""
+        ...
+
+
+@dataclass(frozen=True)
+class AesAddRoundKeySelection:
+    """AES selection function of Section IV: a bit of ``plaintext ⊕ key``.
+
+    Parameters
+    ----------
+    byte_index:
+        Which plaintext/key byte (0..15) the attack targets — the paper's
+        ``P8`` / ``K8``.
+    bit_index:
+        Which bit of the XOR output is predicted — the paper's ``C1``
+        (0 = least significant bit).
+    """
+
+    byte_index: int = 0
+    bit_index: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.byte_index < 16:
+            raise ValueError(f"byte_index must be 0..15, got {self.byte_index}")
+        if not 0 <= self.bit_index < 8:
+            raise ValueError(f"bit_index must be 0..7, got {self.bit_index}")
+
+    @property
+    def name(self) -> str:
+        return f"aes-addkey[byte={self.byte_index},bit={self.bit_index}]"
+
+    def guesses(self) -> Sequence[int]:
+        return range(256)
+
+    def intermediate(self, plaintext: Sequence[int], key_guess: int) -> int:
+        """The full intermediate byte ``plaintext[byte] ⊕ key_guess``."""
+        return plaintext[self.byte_index] ^ (key_guess & 0xFF)
+
+    def __call__(self, plaintext: Sequence[int], key_guess: int) -> int:
+        return bit_of(self.intermediate(plaintext, key_guess), self.bit_index)
+
+
+@dataclass(frozen=True)
+class AesSboxSelection:
+    """A first-round SubBytes selection: a bit of ``SBOX(plaintext ⊕ key)``.
+
+    Not used in the paper's formal development but standard practice for AES
+    DPA; provided as the natural extension for the end-to-end key-recovery
+    experiments (the S-box makes wrong guesses decorrelate much faster).
+    """
+
+    byte_index: int = 0
+    bit_index: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.byte_index < 16:
+            raise ValueError(f"byte_index must be 0..15, got {self.byte_index}")
+        if not 0 <= self.bit_index < 8:
+            raise ValueError(f"bit_index must be 0..7, got {self.bit_index}")
+
+    @property
+    def name(self) -> str:
+        return f"aes-sbox[byte={self.byte_index},bit={self.bit_index}]"
+
+    def guesses(self) -> Sequence[int]:
+        return range(256)
+
+    def intermediate(self, plaintext: Sequence[int], key_guess: int) -> int:
+        return SBOX[plaintext[self.byte_index] ^ (key_guess & 0xFF)]
+
+    def __call__(self, plaintext: Sequence[int], key_guess: int) -> int:
+        return bit_of(self.intermediate(plaintext, key_guess), self.bit_index)
+
+
+@dataclass(frozen=True)
+class DesSboxSelection:
+    """DES selection function of Section IV: a bit of ``SBOX1(P6 ⊕ K0)``.
+
+    ``P6`` is derived from the plaintext through the initial permutation and
+    the expansion E of the first round; ``K0`` is the guessed 6-bit chunk of
+    the first round key feeding the selected S-box.
+    """
+
+    sbox_index: int = 0
+    bit_index: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sbox_index < 8:
+            raise ValueError(f"sbox_index must be 0..7, got {self.sbox_index}")
+        if not 0 <= self.bit_index < 4:
+            raise ValueError(f"bit_index must be 0..3, got {self.bit_index}")
+
+    @property
+    def name(self) -> str:
+        return f"des-sbox{self.sbox_index + 1}[bit={self.bit_index}]"
+
+    def guesses(self) -> Sequence[int]:
+        return range(64)
+
+    def intermediate(self, plaintext: Sequence[int], key_guess: int) -> int:
+        chunk = expanded_plaintext_chunk(plaintext, self.sbox_index)
+        return sbox_lookup(self.sbox_index, chunk ^ (key_guess & 0x3F))
+
+    def __call__(self, plaintext: Sequence[int], key_guess: int) -> int:
+        return bit_of(self.intermediate(plaintext, key_guess), self.bit_index)
+
+
+@dataclass(frozen=True)
+class HammingWeightSelection:
+    """Multi-bit selection: partition by the Hamming weight of an intermediate.
+
+    Wraps another selection function's intermediate value and predicts 1 when
+    its Hamming weight exceeds a threshold.  Mentioned in Section IV as the
+    multi-bit alternative ("the number of bits chosen for Ci in the selection
+    function determinates the number of sets to create").
+    """
+
+    inner: AesAddRoundKeySelection
+    threshold: int = 4
+
+    @property
+    def name(self) -> str:
+        return f"hw[{self.inner.name},>={self.threshold}]"
+
+    def guesses(self) -> Sequence[int]:
+        return self.inner.guesses()
+
+    def __call__(self, plaintext: Sequence[int], key_guess: int) -> int:
+        weight = hamming_weight(self.inner.intermediate(plaintext, key_guess))
+        return 1 if weight >= self.threshold else 0
+
+
+@dataclass(frozen=True)
+class KnownValueSelection:
+    """Selection by a pre-computed intermediate value (no key guess).
+
+    Useful for leakage assessment: when the key is known, partitioning by the
+    true intermediate bit measures the worst-case information available to an
+    attacker (the "strong correlation" case of Section IV).
+    """
+
+    values: tuple
+    bit_index: int = 0
+    name: str = "known-value"
+
+    def guesses(self) -> Sequence[int]:
+        return (0,)
+
+    def __call__(self, plaintext: Sequence[int], key_guess: int) -> int:
+        # ``plaintext`` is ignored: the caller indexes traces positionally via
+        # the pre-computed values tuple.
+        raise NotImplementedError(
+            "KnownValueSelection partitions by index; use dpa.partition_by_values"
+        )
+
+
+def list_standard_selections() -> List[str]:
+    """Names of the selection functions the library provides out of the box."""
+    return [
+        AesAddRoundKeySelection().name,
+        AesSboxSelection().name,
+        DesSboxSelection().name,
+    ]

@@ -1,0 +1,89 @@
+"""Software reference implementations of the ciphers used by the paper.
+
+* :mod:`repro.crypto.aes` — Rijndael / AES (FIPS-197) with a round-by-round
+  trace API, the algorithm implemented by the asynchronous crypto-processor
+  of Section VI;
+* :mod:`repro.crypto.des` — DES (FIPS-46), whose first-round S-box is the
+  classical DPA selection-function example recalled in Section IV;
+* :mod:`repro.crypto.keys` — reproducible plaintext/key generation and
+  bit-level helpers.
+"""
+
+from .aes import (
+    AES,
+    AESError,
+    RoundTrace,
+    add_round_key,
+    bytes_to_state,
+    inv_mix_columns,
+    inv_shift_rows,
+    inv_sub_bytes,
+    key_expansion,
+    mix_columns,
+    shift_rows,
+    state_to_bytes,
+    sub_bytes,
+)
+from .aes import decrypt as aes_decrypt
+from .aes import encrypt as aes_encrypt
+from .aes_tables import INV_SBOX, RCON, SBOX, gf_inverse, gf_mul, gf_pow
+from .des import (
+    DES,
+    DESError,
+    expanded_plaintext_chunk,
+    feistel,
+    key_schedule,
+    round_key_sbox_chunk,
+    sbox_lookup,
+)
+from .des import decrypt as des_decrypt
+from .des import encrypt as des_encrypt
+from .keys import (
+    PlaintextGenerator,
+    bit_of,
+    bytes_to_int,
+    hamming_distance,
+    hamming_weight,
+    int_to_bytes,
+    random_key,
+)
+
+__all__ = [
+    "AES",
+    "AESError",
+    "RoundTrace",
+    "add_round_key",
+    "bytes_to_state",
+    "inv_mix_columns",
+    "inv_shift_rows",
+    "inv_sub_bytes",
+    "key_expansion",
+    "mix_columns",
+    "shift_rows",
+    "state_to_bytes",
+    "sub_bytes",
+    "aes_decrypt",
+    "aes_encrypt",
+    "INV_SBOX",
+    "RCON",
+    "SBOX",
+    "gf_inverse",
+    "gf_mul",
+    "gf_pow",
+    "DES",
+    "DESError",
+    "expanded_plaintext_chunk",
+    "feistel",
+    "key_schedule",
+    "round_key_sbox_chunk",
+    "sbox_lookup",
+    "des_decrypt",
+    "des_encrypt",
+    "PlaintextGenerator",
+    "bit_of",
+    "bytes_to_int",
+    "hamming_distance",
+    "hamming_weight",
+    "int_to_bytes",
+    "random_key",
+]

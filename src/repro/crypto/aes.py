@@ -1,0 +1,270 @@
+"""Reference implementation of the AES (Rijndael) block cipher.
+
+The asynchronous AES crypto-processor evaluated in Section VI of the paper
+implements the Rijndael algorithm of FIPS-197 with a 32-bit iterative
+datapath.  This module provides the software reference: block encryption and
+decryption for 128/192/256-bit keys, the key expansion, and a round-by-round
+API exposing every intermediate state so that
+
+* the gate/block-level asynchronous model (:mod:`repro.asyncaes`) can be
+  checked for functional equivalence, and
+* the DPA experiments can compute the exact intermediate values targeted by
+  the selection functions of Section IV.
+
+The state is represented as a list of 16 byte values in the column-major
+order of FIPS-197 (``state[r + 4*c]`` is row ``r`` of column ``c``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .aes_tables import (
+    INV_MIX_COLUMNS_MATRIX,
+    INV_SBOX,
+    MIX_COLUMNS_MATRIX,
+    RCON,
+    SBOX,
+    gf_mul,
+)
+
+#: Number of rounds per key length (in bytes).
+ROUNDS_BY_KEY_SIZE = {16: 10, 24: 12, 32: 14}
+
+State = List[int]
+
+
+class AESError(Exception):
+    """Raised for malformed keys or blocks."""
+
+
+# ----------------------------------------------------------------- utilities
+def _check_block(block: Sequence[int]) -> List[int]:
+    if len(block) != 16 or any(not 0 <= b <= 0xFF for b in block):
+        raise AESError("AES block must be 16 bytes in range 0..255")
+    return list(block)
+
+
+def bytes_to_state(block: Sequence[int]) -> State:
+    """Convert a 16-byte block (natural order) into the column-major state."""
+    block = _check_block(block)
+    state = [0] * 16
+    for index, value in enumerate(block):
+        column, row = divmod(index, 4)
+        state[row + 4 * column] = value
+    return state
+
+
+def state_to_bytes(state: State) -> List[int]:
+    """Convert a column-major state back to a 16-byte block."""
+    block = [0] * 16
+    for column in range(4):
+        for row in range(4):
+            block[4 * column + row] = state[row + 4 * column]
+    return block
+
+
+# ------------------------------------------------------------- round steps
+def sub_bytes(state: State) -> State:
+    """Apply the S-box to every state byte (the ByteSub of the paper)."""
+    return [SBOX[b] for b in state]
+
+
+def inv_sub_bytes(state: State) -> State:
+    return [INV_SBOX[b] for b in state]
+
+
+def shift_rows(state: State) -> State:
+    """Rotate row ``r`` left by ``r`` positions (the ShiftRow block)."""
+    result = [0] * 16
+    for row in range(4):
+        for column in range(4):
+            result[row + 4 * column] = state[row + 4 * ((column + row) % 4)]
+    return result
+
+
+def inv_shift_rows(state: State) -> State:
+    result = [0] * 16
+    for row in range(4):
+        for column in range(4):
+            result[row + 4 * ((column + row) % 4)] = state[row + 4 * column]
+    return result
+
+
+def _mix_single_column(column: Sequence[int], matrix) -> List[int]:
+    return [
+        gf_mul(matrix[row][0], column[0])
+        ^ gf_mul(matrix[row][1], column[1])
+        ^ gf_mul(matrix[row][2], column[2])
+        ^ gf_mul(matrix[row][3], column[3])
+        for row in range(4)
+    ]
+
+
+def mix_columns(state: State) -> State:
+    """Multiply every column by the MixColumn matrix."""
+    result = [0] * 16
+    for column in range(4):
+        mixed = _mix_single_column(state[4 * column: 4 * column + 4], MIX_COLUMNS_MATRIX)
+        result[4 * column: 4 * column + 4] = mixed
+    return result
+
+
+def inv_mix_columns(state: State) -> State:
+    result = [0] * 16
+    for column in range(4):
+        mixed = _mix_single_column(state[4 * column: 4 * column + 4],
+                                   INV_MIX_COLUMNS_MATRIX)
+        result[4 * column: 4 * column + 4] = mixed
+    return result
+
+
+def add_round_key(state: State, round_key: Sequence[int]) -> State:
+    """XOR the state with a 16-byte round key (the AddRoundKey block)."""
+    if len(round_key) != 16:
+        raise AESError("round key must be 16 bytes")
+    return [s ^ k for s, k in zip(state, round_key)]
+
+
+# ------------------------------------------------------------ key expansion
+def key_expansion(key: Sequence[int]) -> List[List[int]]:
+    """Expand the cipher key into ``rounds + 1`` round keys of 16 bytes.
+
+    Round keys are returned in natural byte order (not column-major); use
+    :func:`bytes_to_state` before adding them to a state, or rely on
+    :class:`AES` which handles the conversion.
+    """
+    key = list(key)
+    if len(key) not in ROUNDS_BY_KEY_SIZE:
+        raise AESError(f"AES key must be 16, 24 or 32 bytes, got {len(key)}")
+    if any(not 0 <= b <= 0xFF for b in key):
+        raise AESError("AES key bytes must be in range 0..255")
+
+    nk = len(key) // 4
+    rounds = ROUNDS_BY_KEY_SIZE[len(key)]
+    words: List[List[int]] = [key[4 * i: 4 * i + 4] for i in range(nk)]
+
+    for i in range(nk, 4 * (rounds + 1)):
+        temp = list(words[i - 1])
+        if i % nk == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= RCON[i // nk - 1]
+        elif nk > 6 and i % nk == 4:
+            temp = [SBOX[b] for b in temp]
+        words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+
+    round_keys = []
+    for round_index in range(rounds + 1):
+        round_key: List[int] = []
+        for word in words[4 * round_index: 4 * round_index + 4]:
+            round_key.extend(word)
+        round_keys.append(round_key)
+    return round_keys
+
+
+# ---------------------------------------------------------------- round API
+@dataclass
+class RoundTrace:
+    """Intermediate states of one encryption, keyed by step name.
+
+    ``states`` maps labels such as ``"round1:subbytes"`` to the column-major
+    state after that step; ``initial_addkey`` is the state after the initial
+    AddRoundKey, the step attacked by the AES selection function of
+    Section IV (``D = bit of XOR(plaintext byte, key byte)``).
+    """
+
+    plaintext: List[int]
+    ciphertext: List[int] = field(default_factory=list)
+    states: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def initial_addkey(self) -> List[int]:
+        return self.states["round0:addkey"]
+
+    def state_after(self, label: str) -> List[int]:
+        return self.states[label]
+
+
+class AES:
+    """AES cipher bound to a fixed key."""
+
+    def __init__(self, key: Sequence[int]):
+        self.key = list(key)
+        self.round_keys = key_expansion(self.key)
+        self.rounds = ROUNDS_BY_KEY_SIZE[len(self.key)]
+        self._round_key_states = [bytes_to_state(rk) for rk in self.round_keys]
+
+    # ------------------------------------------------------------ encrypt
+    def encrypt_block(self, plaintext: Sequence[int]) -> List[int]:
+        """Encrypt one 16-byte block and return the 16-byte ciphertext."""
+        return self.encrypt_with_trace(plaintext).ciphertext
+
+    def encrypt_with_trace(self, plaintext: Sequence[int]) -> RoundTrace:
+        """Encrypt one block, recording the state after every step."""
+        plaintext = _check_block(plaintext)
+        trace = RoundTrace(plaintext=list(plaintext))
+        state = bytes_to_state(plaintext)
+        trace.states["round0:input"] = list(state)
+
+        state = add_round_key(state, self._round_key_states[0])
+        trace.states["round0:addkey"] = list(state)
+
+        for round_index in range(1, self.rounds):
+            state = sub_bytes(state)
+            trace.states[f"round{round_index}:subbytes"] = list(state)
+            state = shift_rows(state)
+            trace.states[f"round{round_index}:shiftrows"] = list(state)
+            state = mix_columns(state)
+            trace.states[f"round{round_index}:mixcolumns"] = list(state)
+            state = add_round_key(state, self._round_key_states[round_index])
+            trace.states[f"round{round_index}:addkey"] = list(state)
+
+        state = sub_bytes(state)
+        trace.states[f"round{self.rounds}:subbytes"] = list(state)
+        state = shift_rows(state)
+        trace.states[f"round{self.rounds}:shiftrows"] = list(state)
+        state = add_round_key(state, self._round_key_states[self.rounds])
+        trace.states[f"round{self.rounds}:addkey"] = list(state)
+
+        trace.ciphertext = state_to_bytes(state)
+        return trace
+
+    # ------------------------------------------------------------ decrypt
+    def decrypt_block(self, ciphertext: Sequence[int]) -> List[int]:
+        """Decrypt one 16-byte block and return the 16-byte plaintext."""
+        ciphertext = _check_block(ciphertext)
+        state = bytes_to_state(ciphertext)
+        state = add_round_key(state, self._round_key_states[self.rounds])
+        state = inv_shift_rows(state)
+        state = inv_sub_bytes(state)
+        for round_index in range(self.rounds - 1, 0, -1):
+            state = add_round_key(state, self._round_key_states[round_index])
+            state = inv_mix_columns(state)
+            state = inv_shift_rows(state)
+            state = inv_sub_bytes(state)
+        state = add_round_key(state, self._round_key_states[0])
+        return state_to_bytes(state)
+
+    # ------------------------------------------------------------ helpers
+    def first_round_addkey_byte(self, plaintext: Sequence[int], byte_index: int) -> int:
+        """Value of byte ``byte_index`` after the initial AddRoundKey.
+
+        This is the intermediate value the AES selection function of
+        Section IV predicts: ``plaintext[i] XOR key[i]``.
+        """
+        plaintext = _check_block(plaintext)
+        if not 0 <= byte_index < 16:
+            raise AESError(f"byte index must be in 0..15, got {byte_index}")
+        return plaintext[byte_index] ^ self.round_keys[0][byte_index]
+
+
+def encrypt(plaintext: Sequence[int], key: Sequence[int]) -> List[int]:
+    """One-shot block encryption convenience wrapper."""
+    return AES(key).encrypt_block(plaintext)
+
+
+def decrypt(ciphertext: Sequence[int], key: Sequence[int]) -> List[int]:
+    """One-shot block decryption convenience wrapper."""
+    return AES(key).decrypt_block(ciphertext)

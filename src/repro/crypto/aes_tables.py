@@ -1,0 +1,98 @@
+"""Constant tables of the Rijndael / AES algorithm (FIPS-197).
+
+The S-box is generated from its algebraic definition (multiplicative inverse
+in GF(2^8) followed by an affine transformation) rather than hard-coded, so
+the test-suite can cross-check the generated table against the published
+reference values.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: The AES irreducible polynomial x^8 + x^4 + x^3 + x + 1.
+AES_MODULUS = 0x11B
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiplication in GF(2^8) modulo the AES polynomial."""
+    result = 0
+    a &= 0xFF
+    b &= 0xFF
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= AES_MODULUS
+        b >>= 1
+    return result & 0xFF
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    """Exponentiation in GF(2^8)."""
+    result = 1
+    base = a & 0xFF
+    e = exponent
+    while e:
+        if e & 1:
+            result = gf_mul(result, base)
+        base = gf_mul(base, base)
+        e >>= 1
+    return result
+
+
+def gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); the inverse of 0 is defined as 0."""
+    if a == 0:
+        return 0
+    # The multiplicative group has order 255, so a^254 = a^-1.
+    return gf_pow(a, 254)
+
+
+def _affine(byte: int) -> int:
+    """The affine transformation of the AES S-box."""
+    result = 0
+    for bit in range(8):
+        value = (
+            (byte >> bit) & 1
+            ^ (byte >> ((bit + 4) % 8)) & 1
+            ^ (byte >> ((bit + 5) % 8)) & 1
+            ^ (byte >> ((bit + 6) % 8)) & 1
+            ^ (byte >> ((bit + 7) % 8)) & 1
+            ^ (0x63 >> bit) & 1
+        )
+        result |= value << bit
+    return result
+
+
+def _build_sbox() -> Tuple[List[int], List[int]]:
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for value in range(256):
+        transformed = _affine(gf_inverse(value))
+        sbox[value] = transformed
+        inv_sbox[transformed] = value
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+#: Round constants for the key expansion (first byte of each RCON word).
+RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8, 0xAB, 0x4D]
+
+#: MixColumns coefficient matrix (encryption direction).
+MIX_COLUMNS_MATRIX = (
+    (2, 3, 1, 1),
+    (1, 2, 3, 1),
+    (1, 1, 2, 3),
+    (3, 1, 1, 2),
+)
+
+#: InvMixColumns coefficient matrix (decryption direction).
+INV_MIX_COLUMNS_MATRIX = (
+    (14, 11, 13, 9),
+    (9, 14, 11, 13),
+    (13, 9, 14, 11),
+    (11, 13, 9, 14),
+)

@@ -1,0 +1,278 @@
+"""Reference implementation of the DES block cipher.
+
+Reference [5] of the paper (and the selection-function example of
+Section IV) uses DES: the classical DPA of Kocher / Messerges targets the
+output of the first S-box of the first round,
+
+    ``D(C1, P6, K0) = SBOX1(P6 ⊕ K0)(C1)``
+
+where ``P6`` is the 6-bit chunk of expanded plaintext entering S-box 1 and
+``K0`` the corresponding 6 bits of the first round key.  This module provides
+the full cipher (so test vectors can be checked) together with the low-level
+accessors the DPA selection functions need: the expansion of the right half,
+the per-round 48-bit keys and the individual S-boxes.
+
+Bit ordering follows the FIPS-46 convention: bit 1 is the most significant
+bit of the 64-bit block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+# --------------------------------------------------------------- DES tables
+IP = [
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9, 1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7,
+]
+
+FP = [
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9, 49, 17, 57, 25,
+]
+
+E = [
+    32, 1, 2, 3, 4, 5, 4, 5, 6, 7, 8, 9,
+    8, 9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17,
+    16, 17, 18, 19, 20, 21, 20, 21, 22, 23, 24, 25,
+    24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
+]
+
+P = [
+    16, 7, 20, 21, 29, 12, 28, 17, 1, 15, 23, 26, 5, 18, 31, 10,
+    2, 8, 24, 14, 32, 27, 3, 9, 19, 13, 30, 6, 22, 11, 4, 25,
+]
+
+PC1 = [
+    57, 49, 41, 33, 25, 17, 9, 1, 58, 50, 42, 34, 26, 18,
+    10, 2, 59, 51, 43, 35, 27, 19, 11, 3, 60, 52, 44, 36,
+    63, 55, 47, 39, 31, 23, 15, 7, 62, 54, 46, 38, 30, 22,
+    14, 6, 61, 53, 45, 37, 29, 21, 13, 5, 28, 20, 12, 4,
+]
+
+PC2 = [
+    14, 17, 11, 24, 1, 5, 3, 28, 15, 6, 21, 10,
+    23, 19, 12, 4, 26, 8, 16, 7, 27, 20, 13, 2,
+    41, 52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48,
+    44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32,
+]
+
+SHIFT_SCHEDULE = [1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1]
+
+SBOXES = [
+    # S1
+    [
+        [14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7],
+        [0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8],
+        [4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0],
+        [15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13],
+    ],
+    # S2
+    [
+        [15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10],
+        [3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5],
+        [0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15],
+        [13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9],
+    ],
+    # S3
+    [
+        [10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8],
+        [13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1],
+        [13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7],
+        [1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12],
+    ],
+    # S4
+    [
+        [7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15],
+        [13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9],
+        [10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4],
+        [3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14],
+    ],
+    # S5
+    [
+        [2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9],
+        [14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6],
+        [4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14],
+        [11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3],
+    ],
+    # S6
+    [
+        [12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11],
+        [10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8],
+        [9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6],
+        [4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13],
+    ],
+    # S7
+    [
+        [4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1],
+        [13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6],
+        [1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2],
+        [6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12],
+    ],
+    # S8
+    [
+        [13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7],
+        [1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2],
+        [7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8],
+        [2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11],
+    ],
+]
+
+
+class DESError(Exception):
+    """Raised for malformed keys or blocks."""
+
+
+# -------------------------------------------------------------- bit helpers
+def bytes_to_bits(data: Sequence[int], width: int = 8) -> List[int]:
+    """Expand a byte sequence into a most-significant-bit-first bit list."""
+    bits: List[int] = []
+    for value in data:
+        if not 0 <= value < (1 << width):
+            raise DESError(f"value {value} out of range for width {width}")
+        bits.extend((value >> (width - 1 - i)) & 1 for i in range(width))
+    return bits
+
+
+def bits_to_bytes(bits: Sequence[int], width: int = 8) -> List[int]:
+    """Pack a bit list (MSB first) back into integers of the given width."""
+    if len(bits) % width != 0:
+        raise DESError(f"bit length {len(bits)} is not a multiple of {width}")
+    values = []
+    for index in range(0, len(bits), width):
+        value = 0
+        for bit in bits[index: index + width]:
+            value = (value << 1) | (bit & 1)
+        values.append(value)
+    return values
+
+
+def permute(bits: Sequence[int], table: Sequence[int]) -> List[int]:
+    """Apply a 1-based permutation/selection table to a bit list."""
+    return [bits[position - 1] for position in table]
+
+
+def _rotate_left(bits: List[int], count: int) -> List[int]:
+    return bits[count:] + bits[:count]
+
+
+def _xor_bits(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    return [x ^ y for x, y in zip(a, b)]
+
+
+def sbox_lookup(sbox_index: int, six_bits: int) -> int:
+    """Look up one S-box: 6-bit input, 4-bit output.
+
+    ``six_bits`` uses the DES convention: bits 1 and 6 select the row and bits
+    2–5 the column.
+    """
+    if not 0 <= sbox_index < 8:
+        raise DESError(f"S-box index must be 0..7, got {sbox_index}")
+    if not 0 <= six_bits < 64:
+        raise DESError(f"S-box input must be 6 bits, got {six_bits}")
+    row = ((six_bits >> 5) & 1) << 1 | (six_bits & 1)
+    column = (six_bits >> 1) & 0xF
+    return SBOXES[sbox_index][row][column]
+
+
+# ------------------------------------------------------------- key schedule
+def key_schedule(key: Sequence[int]) -> List[List[int]]:
+    """Derive the sixteen 48-bit round keys (as bit lists) from an 8-byte key."""
+    if len(key) != 8:
+        raise DESError(f"DES key must be 8 bytes, got {len(key)}")
+    key_bits = bytes_to_bits(key)
+    permuted = permute(key_bits, PC1)
+    c, d = permuted[:28], permuted[28:]
+    round_keys = []
+    for shift in SHIFT_SCHEDULE:
+        c = _rotate_left(c, shift)
+        d = _rotate_left(d, shift)
+        round_keys.append(permute(c + d, PC2))
+    return round_keys
+
+
+def round_key_sbox_chunk(round_key_bits: Sequence[int], sbox_index: int) -> int:
+    """The 6-bit chunk of a round key feeding S-box ``sbox_index`` (0-based)."""
+    chunk = round_key_bits[6 * sbox_index: 6 * sbox_index + 6]
+    value = 0
+    for bit in chunk:
+        value = (value << 1) | bit
+    return value
+
+
+# ---------------------------------------------------------------- the cipher
+def feistel(right_bits: Sequence[int], round_key_bits: Sequence[int]) -> List[int]:
+    """The DES round function f(R, K)."""
+    expanded = permute(list(right_bits), E)
+    mixed = _xor_bits(expanded, round_key_bits)
+    substituted: List[int] = []
+    for sbox_index in range(8):
+        six = 0
+        for bit in mixed[6 * sbox_index: 6 * sbox_index + 6]:
+            six = (six << 1) | bit
+        substituted.extend(bytes_to_bits([sbox_lookup(sbox_index, six)], width=4))
+    return permute(substituted, P)
+
+
+def expanded_plaintext_chunk(plaintext: Sequence[int], sbox_index: int) -> int:
+    """The 6-bit chunk of E(R0) feeding S-box ``sbox_index`` in round 1.
+
+    This is the ``P6`` of the DES selection function of Section IV.
+    """
+    bits = permute(bytes_to_bits(list(plaintext)), IP)
+    right = bits[32:]
+    expanded = permute(right, E)
+    chunk = expanded[6 * sbox_index: 6 * sbox_index + 6]
+    value = 0
+    for bit in chunk:
+        value = (value << 1) | bit
+    return value
+
+
+@dataclass
+class DES:
+    """DES cipher bound to a fixed 8-byte key."""
+
+    key: Sequence[int]
+
+    def __post_init__(self) -> None:
+        self.key = list(self.key)
+        self.round_keys = key_schedule(self.key)
+
+    def _crypt(self, block: Sequence[int], keys: Sequence[Sequence[int]]) -> List[int]:
+        if len(block) != 8:
+            raise DESError(f"DES block must be 8 bytes, got {len(block)}")
+        bits = permute(bytes_to_bits(list(block)), IP)
+        left, right = bits[:32], bits[32:]
+        for round_key in keys:
+            left, right = right, _xor_bits(left, feistel(right, round_key))
+        return bits_to_bytes(permute(right + left, FP))
+
+    def encrypt_block(self, plaintext: Sequence[int]) -> List[int]:
+        """Encrypt one 8-byte block."""
+        return self._crypt(plaintext, self.round_keys)
+
+    def decrypt_block(self, ciphertext: Sequence[int]) -> List[int]:
+        """Decrypt one 8-byte block."""
+        return self._crypt(ciphertext, list(reversed(self.round_keys)))
+
+    def first_round_sbox_output(self, plaintext: Sequence[int], sbox_index: int = 0) -> int:
+        """4-bit output of S-box ``sbox_index`` during the first round."""
+        chunk = expanded_plaintext_chunk(plaintext, sbox_index)
+        key_chunk = round_key_sbox_chunk(self.round_keys[0], sbox_index)
+        return sbox_lookup(sbox_index, chunk ^ key_chunk)
+
+
+def encrypt(plaintext: Sequence[int], key: Sequence[int]) -> List[int]:
+    """One-shot DES block encryption."""
+    return DES(key).encrypt_block(plaintext)
+
+
+def decrypt(ciphertext: Sequence[int], key: Sequence[int]) -> List[int]:
+    """One-shot DES block decryption."""
+    return DES(key).decrypt_block(ciphertext)

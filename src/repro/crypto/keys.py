@@ -1,0 +1,91 @@
+"""Key and plaintext utilities shared by the DPA experiments.
+
+DPA attacks are Monte-Carlo experiments over random plaintexts; this module
+centralises the reproducible random generation of plaintexts/keys and a few
+bit-level helpers (Hamming weight, bit extraction) used by selection
+functions and metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+
+def hamming_weight(value: int) -> int:
+    """Number of set bits of a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"hamming_weight expects a non-negative value, got {value}")
+    return bin(value).count("1")
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of differing bits between two non-negative integers."""
+    return hamming_weight(a ^ b)
+
+
+def bit_of(value: int, bit_index: int) -> int:
+    """Extract bit ``bit_index`` (0 = least significant) of an integer."""
+    if bit_index < 0:
+        raise ValueError(f"bit index must be >= 0, got {bit_index}")
+    return (value >> bit_index) & 1
+
+
+def bytes_to_int(data: Sequence[int]) -> int:
+    """Big-endian packing of a byte sequence into an integer."""
+    value = 0
+    for byte in data:
+        if not 0 <= byte <= 0xFF:
+            raise ValueError(f"byte {byte} out of range")
+        value = (value << 8) | byte
+    return value
+
+
+def int_to_bytes(value: int, length: int) -> List[int]:
+    """Big-endian unpacking of an integer into ``length`` bytes."""
+    if value < 0 or value >= (1 << (8 * length)):
+        raise ValueError(f"value {value} does not fit in {length} bytes")
+    return [(value >> (8 * (length - 1 - i))) & 0xFF for i in range(length)]
+
+
+@dataclass
+class PlaintextGenerator:
+    """Reproducible random plaintext source.
+
+    Parameters
+    ----------
+    block_size:
+        Number of bytes per plaintext (16 for AES, 8 for DES).
+    seed:
+        Seed of the dedicated random generator.
+    """
+
+    block_size: int = 16
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ValueError(f"block size must be >= 1, got {self.block_size}")
+        self._rng = np.random.default_rng(self.seed)
+
+    def next(self) -> List[int]:
+        """One uniformly random plaintext block."""
+        return [int(b) for b in self._rng.integers(0, 256, size=self.block_size)]
+
+    def batch(self, count: int) -> List[List[int]]:
+        """A list of ``count`` random plaintext blocks."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return [self.next() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[List[int]]:
+        while True:
+            yield self.next()
+
+
+def random_key(length: int, seed: Optional[int] = None) -> List[int]:
+    """A uniformly random key of ``length`` bytes (reproducible via ``seed``)."""
+    rng = np.random.default_rng(seed)
+    return [int(b) for b in rng.integers(0, 256, size=length)]

@@ -1,0 +1,204 @@
+"""Synthesis of transient supply-current traces from logic simulations.
+
+This module is the reproduction's substitute for the paper's Eldo electrical
+simulations.  Every recorded net transition contributes a triangular current
+pulse whose area is the charge ``Q = C·Vdd`` of the switched node and whose
+width is the charge/discharge time ``Δt = R_drive · C``.  Because the logic
+simulator already delays downstream gates by the same RC products, a net with
+a larger capacitance produces a wider, later pulse *and* shifts every
+subsequent level — the two visible effects in Fig. 7 of the paper.
+
+The result is a :class:`CurrentTrace` carrying the total waveform, the
+per-logical-level decomposition of equation (5) and the per-net contributions
+used by the formal signature analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..circuits.builder import QDIBlock
+from ..circuits.netlist import Netlist
+from ..circuits.signals import TraceRecord, Transition
+from ..circuits.simulator import DelayModel
+from ..circuits.validate import ComputationResult, simulate_two_operand_block
+from .capacitance import node_capacitance, transition_time_s
+from .noise import NoiseModel
+from .technology import HCMOS9_LIKE, Technology
+from .waveform import Waveform, triangular_pulse
+
+
+@dataclass
+class CurrentTrace:
+    """A synthesized transient current trace and its decompositions."""
+
+    total: Waveform
+    per_level: Dict[int, Waveform] = field(default_factory=dict)
+    per_net: Dict[str, Waveform] = field(default_factory=dict)
+    transitions_used: int = 0
+
+    @property
+    def dt(self) -> float:
+        return self.total.dt
+
+    def level(self, index: int) -> Waveform:
+        """Current contributed by the gates of logical level ``index``.
+
+        This is the ``Σ_j I_ij(t)`` inner sum of equation (5).
+        """
+        if index in self.per_level:
+            return self.per_level[index]
+        return Waveform.zeros(self.total.duration, self.total.dt, self.total.t0)
+
+    def charge(self) -> float:
+        """Total charge (coulombs) delivered during the trace."""
+        return self.total.integral()
+
+
+def _default_duration(trace: TraceRecord, margin: float) -> float:
+    return max(trace.end_time + margin, margin)
+
+
+def synthesize_current(netlist: Netlist, trace: TraceRecord, *,
+                       technology: Technology = HCMOS9_LIKE,
+                       dt: Optional[float] = None,
+                       duration: Optional[float] = None,
+                       t0: float = 0.0,
+                       include_nets: Optional[Iterable[str]] = None,
+                       noise: Optional[NoiseModel] = None,
+                       keep_per_net: bool = False) -> CurrentTrace:
+    """Convert a logic-simulation trace into a supply-current waveform.
+
+    Parameters
+    ----------
+    netlist:
+        The netlist the trace was produced from; provides node capacitances.
+    trace:
+        Recorded transitions.
+    technology:
+        Electrical parameters (supply voltage, sampling period).
+    dt, duration, t0:
+        Sampling period, length and origin of the synthesized waveform.
+    include_nets:
+        Restrict the synthesis to these nets (default: every net driven by a
+        gate of the netlist — environment-driven stimuli do not draw current
+        from the block's supply).
+    noise:
+        Optional additive noise model applied to the total waveform.
+    keep_per_net:
+        Also keep one waveform per contributing net (memory-heavier; used by
+        the formal signature analysis).
+    """
+    step = dt if dt is not None else technology.time_step_s
+    length = duration if duration is not None else _default_duration(trace, 200 * step)
+    total = Waveform.zeros(length - t0, step, t0)
+    per_level: Dict[int, Waveform] = {}
+    per_net: Dict[str, Waveform] = {}
+
+    allowed: Optional[Set[str]]
+    if include_nets is not None:
+        allowed = set(include_nets)
+    else:
+        allowed = {net.name for net in netlist.nets() if net.driver is not None}
+
+    used = 0
+    for transition in trace.transitions:
+        if transition.net not in allowed:
+            continue
+        breakdown = node_capacitance(netlist, transition.net)
+        charge = breakdown.total_farad * technology.vdd
+        width = max(transition_time_s(netlist, transition.net, technology), 2 * step)
+        pulse = triangular_pulse(charge, width, step)
+        total.add_pulse(transition.time, pulse)
+        used += 1
+
+        level = transition.level
+        if level not in per_level:
+            per_level[level] = Waveform.zeros(length - t0, step, t0)
+        per_level[level].add_pulse(transition.time, pulse)
+
+        if keep_per_net:
+            if transition.net not in per_net:
+                per_net[transition.net] = Waveform.zeros(length - t0, step, t0)
+            per_net[transition.net].add_pulse(transition.time, pulse)
+
+    if noise is not None:
+        total = noise.apply(total)
+
+    return CurrentTrace(total=total, per_level=per_level, per_net=per_net,
+                        transitions_used=used)
+
+
+@dataclass
+class BlockCurrentResult:
+    """Current trace of a single two-operand block computation sequence."""
+
+    current: CurrentTrace
+    computation: ComputationResult
+    phase_windows: List[Tuple[float, float]] = field(default_factory=list)
+
+    def window_waveforms(self) -> List[Waveform]:
+        """One waveform per computation (evaluation + return-to-zero)."""
+        result = []
+        for start, stop in self.phase_windows:
+            window = Waveform.zeros(stop - start, self.current.dt, start)
+            window.accumulate(self.current.total)
+            result.append(window)
+        return result
+
+
+def block_current(block: QDIBlock, operand_pairs: Sequence[Tuple[int, int]], *,
+                  technology: Technology = HCMOS9_LIKE,
+                  delay_model: Optional[DelayModel] = None,
+                  noise: Optional[NoiseModel] = None,
+                  keep_per_net: bool = False) -> BlockCurrentResult:
+    """Simulate a two-operand QDI block and synthesize its current trace.
+
+    The returned phase windows delimit each complete handshake (evaluation
+    plus return-to-zero), using the falling edges of the block's completion
+    signal as separators — each window is one "computation" in the sense of
+    the DPA trace collection of Section IV.
+    """
+    computation = simulate_two_operand_block(block, operand_pairs,
+                                             delay_model=delay_model)
+    block_nets = set(block.internal_nets())
+    current = synthesize_current(
+        block.netlist, computation.trace, technology=technology,
+        include_nets=block_nets, noise=noise, keep_per_net=keep_per_net,
+    )
+    boundaries = [t.time for t in computation.trace.transitions
+                  if t.net == block.ack_out and t.is_falling]
+    windows: List[Tuple[float, float]] = []
+    previous = 0.0
+    margin = 50 * current.dt
+    for boundary in boundaries:
+        windows.append((previous, boundary + margin))
+        previous = boundary
+    return BlockCurrentResult(current=current, computation=computation,
+                              phase_windows=windows)
+
+
+def per_computation_currents(block: QDIBlock,
+                             operand_pairs: Sequence[Tuple[int, int]], *,
+                             technology: Technology = HCMOS9_LIKE,
+                             delay_model: Optional[DelayModel] = None,
+                             noise: Optional[NoiseModel] = None,
+                             align: bool = True) -> List[Waveform]:
+    """One current waveform per operand pair, each simulated independently.
+
+    Simulating each computation from the reset state gives the cleanly
+    aligned single-computation traces used by the Fig. 6 / Fig. 7 experiments
+    and by the DPA set averaging; ``align`` rebases every waveform to t=0.
+    """
+    waveforms: List[Waveform] = []
+    for pair in operand_pairs:
+        result = block_current(block, [pair], technology=technology,
+                               delay_model=delay_model, noise=noise)
+        waveform = result.current.total
+        if align:
+            waveform = Waveform(waveform.samples.copy(), waveform.dt, 0.0)
+        waveforms.append(waveform)
+    return waveforms

@@ -1,0 +1,112 @@
+"""Noise models for synthesized current traces.
+
+The paper's block current model includes a dynamic noise term ``P_dn(t)``
+(equation (5)) and the DPA averages include a noise signal ``I_n(t)``
+(equations (10)–(11)).  The reproduction models it as additive Gaussian noise
+plus an optional uncorrelated activity term representing other blocks of the
+chip switching concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .waveform import Waveform
+
+
+class NoiseModel:
+    """Interface of additive noise sources."""
+
+    def apply(self, waveform: Waveform) -> Waveform:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass
+class NoNoise(NoiseModel):
+    """The noiseless case used by the electrical validations of Section V
+    ("the electrical simulation offers the possibility to analyze without
+    disturbing signal (noise) the gate's electrical behaviour")."""
+
+    def apply(self, waveform: Waveform) -> Waveform:
+        return waveform.copy()
+
+
+@dataclass
+class GaussianNoise(NoiseModel):
+    """White Gaussian measurement noise of fixed standard deviation.
+
+    Parameters
+    ----------
+    sigma:
+        Standard deviation, in the same unit as the waveform samples
+        (amperes for current traces).
+    seed:
+        Seed of the dedicated random generator, so experiments stay
+        reproducible.
+    """
+
+    sigma: float
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"noise sigma must be >= 0, got {self.sigma}")
+        self._rng = np.random.default_rng(self.seed)
+
+    def apply(self, waveform: Waveform) -> Waveform:
+        noisy = waveform.copy()
+        if self.sigma > 0:
+            noisy.samples = noisy.samples + self._rng.normal(
+                0.0, self.sigma, size=len(noisy.samples)
+            )
+        return noisy
+
+
+@dataclass
+class BackgroundActivityNoise(NoiseModel):
+    """Uncorrelated switching activity of the rest of the chip.
+
+    Modelled as a train of random current pulses of random amplitude; the
+    pulse rate and amplitude control how much the attacker's averaging has to
+    work to reveal the bias.
+    """
+
+    pulse_rate_per_sample: float
+    amplitude: float
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.pulse_rate_per_sample < 0:
+            raise ValueError("pulse rate must be >= 0")
+        if self.amplitude < 0:
+            raise ValueError("amplitude must be >= 0")
+        self._rng = np.random.default_rng(self.seed)
+
+    def apply(self, waveform: Waveform) -> Waveform:
+        noisy = waveform.copy()
+        if self.pulse_rate_per_sample == 0 or self.amplitude == 0:
+            return noisy
+        n = len(noisy.samples)
+        pulse_count = self._rng.poisson(self.pulse_rate_per_sample * n)
+        if pulse_count == 0:
+            return noisy
+        positions = self._rng.integers(0, n, size=pulse_count)
+        amplitudes = self._rng.uniform(0.0, self.amplitude, size=pulse_count)
+        np.add.at(noisy.samples, positions, amplitudes)
+        return noisy
+
+
+@dataclass
+class CompositeNoise(NoiseModel):
+    """Apply several noise models in sequence."""
+
+    models: tuple
+
+    def apply(self, waveform: Waveform) -> Waveform:
+        result = waveform
+        for model in self.models:
+            result = model.apply(result)
+        return result

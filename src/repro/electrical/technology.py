@@ -1,0 +1,92 @@
+"""Technology parameters of the electrical substrate.
+
+The paper's electrical validation uses the HCMOS9 0.13 µm design kit from
+STMicroelectronics simulated with Eldo.  We do not have that kit, so this
+module defines an *HCMOS9-like* parameter set: a 1.2 V supply, a default net
+capacitance of 8 fF (the paper's ``Cd``), a per-micron routing capacitance and
+the timing granularity of the synthesized current waveforms.  Absolute values
+are representative rather than calibrated; every reproduced result depends
+only on ratios of capacitances, which is exactly what the paper's analysis
+(equation (12)) establishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process / environment parameters shared by the electrical models.
+
+    Attributes
+    ----------
+    name:
+        Identifier of the parameter set.
+    vdd:
+        Supply voltage in volts.
+    default_net_cap_ff:
+        Default routing capacitance assigned to nets before extraction — the
+        paper's ``Cd`` = 8 fF.
+    routing_cap_ff_per_um:
+        Extracted routing capacitance per micron of estimated wirelength.
+    via_cap_ff:
+        Fixed capacitance added per routed net (vias, pin accesses).
+    time_step_s:
+        Sampling period of synthesized current waveforms.
+    transition_scale:
+        Multiplier applied to the RC product when converting a node
+        capacitance into a charge/discharge time ``Δt``.
+    cell_height_um:
+        Standard-cell row height used by the placement substrate.
+    cell_unit_width_um:
+        Width of one unit of cell area (area_um2 / cell_height rounded up).
+    """
+
+    name: str = "hcmos9-like-130nm"
+    vdd: float = 1.2
+    default_net_cap_ff: float = 8.0
+    routing_cap_ff_per_um: float = 0.20
+    via_cap_ff: float = 0.4
+    time_step_s: float = 1e-12
+    transition_scale: float = 1.0
+    cell_height_um: float = 3.7
+    cell_unit_width_um: float = 0.4
+
+    def with_(self, **kwargs) -> "Technology":
+        """Return a copy with some parameters replaced."""
+        return replace(self, **kwargs)
+
+    def charge_fc(self, cap_ff: float) -> float:
+        """Charge (femtocoulombs) needed to swing ``cap_ff`` by ``vdd``."""
+        return cap_ff * self.vdd
+
+    def switching_energy_fj(self, cap_ff: float) -> float:
+        """Energy (femtojoules) of one full charge/discharge cycle: ``C·Vdd²``."""
+        return cap_ff * self.vdd * self.vdd
+
+    def wire_cap_ff(self, length_um: float) -> float:
+        """Routing capacitance of a wire of the given estimated length."""
+        if length_um < 0:
+            raise ValueError(f"wire length must be >= 0, got {length_um}")
+        return self.via_cap_ff + self.routing_cap_ff_per_um * length_um
+
+
+#: Default technology instance used when none is supplied.
+HCMOS9_LIKE = Technology()
+
+
+def scaled_technology(factor: float, base: Technology = HCMOS9_LIKE) -> Technology:
+    """A technology whose capacitances are scaled by ``factor``.
+
+    Useful for sensitivity studies: the DPA bias of equation (12) scales with
+    the *difference* of capacitances, so a uniformly scaled technology must
+    produce a proportionally scaled bias — a property the test-suite checks.
+    """
+    if factor <= 0:
+        raise ValueError(f"scale factor must be > 0, got {factor}")
+    return base.with_(
+        default_net_cap_ff=base.default_net_cap_ff * factor,
+        routing_cap_ff_per_um=base.routing_cap_ff_per_um * factor,
+        via_cap_ff=base.via_cap_ff * factor,
+    )

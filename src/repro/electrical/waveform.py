@@ -1,0 +1,225 @@
+"""Uniformly-sampled waveforms and elementary current pulses.
+
+The electrical substrate represents supply-current traces as uniformly
+sampled :class:`Waveform` objects.  Each gate transition contributes a
+triangular current pulse whose *area* equals the charge ``Q = C·Vdd`` moved on
+the output node and whose *width* equals the charge/discharge time ``Δt``.
+Because the area is fixed by the charge, a larger capacitance produces a
+wider, taller and later pulse — the three effects that together build the
+DPA signature of equation (12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class WaveformError(Exception):
+    """Raised on incompatible waveform operations."""
+
+
+def _same_period(dt_a: float, dt_b: float, tolerance: float = 1e-6) -> bool:
+    """Relative comparison of sampling periods (absolute tolerances are
+    meaningless for picosecond-scale values)."""
+    return abs(dt_a - dt_b) <= tolerance * max(abs(dt_a), abs(dt_b))
+
+
+@dataclass
+class Waveform:
+    """A real-valued signal sampled at a fixed period starting at ``t0``."""
+
+    samples: np.ndarray
+    dt: float
+    t0: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.samples = np.asarray(self.samples, dtype=float)
+        if self.dt <= 0:
+            raise WaveformError(f"sampling period must be > 0, got {self.dt}")
+
+    # ------------------------------------------------------------- basics
+    @classmethod
+    def zeros(cls, duration: float, dt: float, t0: float = 0.0) -> "Waveform":
+        if dt <= 0:
+            raise WaveformError(f"sampling period must be > 0, got {dt}")
+        # Round before the ceiling so that an exact multiple of dt (up to
+        # floating-point noise) does not gain a spurious extra sample.
+        n = max(1, int(np.ceil(round(duration / dt, 9))))
+        return cls(np.zeros(n), dt, t0)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def duration(self) -> float:
+        return len(self.samples) * self.dt
+
+    @property
+    def end_time(self) -> float:
+        return self.t0 + self.duration
+
+    def times(self) -> np.ndarray:
+        return self.t0 + np.arange(len(self.samples)) * self.dt
+
+    def copy(self) -> "Waveform":
+        return Waveform(self.samples.copy(), self.dt, self.t0)
+
+    # ---------------------------------------------------------- arithmetic
+    def _check_compatible(self, other: "Waveform") -> None:
+        if not _same_period(self.dt, other.dt):
+            raise WaveformError(
+                f"incompatible sampling periods: {self.dt} vs {other.dt}"
+            )
+
+    def __add__(self, other: "Waveform") -> "Waveform":
+        self._check_compatible(other)
+        t0 = min(self.t0, other.t0)
+        end = max(self.end_time, other.end_time)
+        result = Waveform.zeros(end - t0, self.dt, t0)
+        result.accumulate(self)
+        result.accumulate(other)
+        return result
+
+    def __sub__(self, other: "Waveform") -> "Waveform":
+        negated = other.copy()
+        negated.samples = -negated.samples
+        return self + negated
+
+    def __mul__(self, scalar: float) -> "Waveform":
+        result = self.copy()
+        result.samples *= scalar
+        return result
+
+    __rmul__ = __mul__
+
+    def accumulate(self, other: "Waveform") -> None:
+        """Add ``other`` in place (the overlap is summed; no resizing)."""
+        self._check_compatible(other)
+        offset = int(round((other.t0 - self.t0) / self.dt))
+        if offset < 0:
+            raise WaveformError("cannot accumulate a waveform starting earlier")
+        end = min(len(self.samples), offset + len(other.samples))
+        if end <= offset:
+            return
+        self.samples[offset:end] += other.samples[: end - offset]
+
+    def add_pulse(self, start: float, pulse: np.ndarray) -> None:
+        """Add a pulse (sample array) starting at absolute time ``start``."""
+        offset = int(round((start - self.t0) / self.dt))
+        if offset >= len(self.samples):
+            return
+        if offset < 0:
+            pulse = pulse[-offset:]
+            offset = 0
+        end = min(len(self.samples), offset + len(pulse))
+        if end <= offset:
+            return
+        self.samples[offset:end] += pulse[: end - offset]
+
+    # ------------------------------------------------------------- queries
+    def value_at(self, time: float) -> float:
+        index = int(round((time - self.t0) / self.dt))
+        if index < 0 or index >= len(self.samples):
+            return 0.0
+        return float(self.samples[index])
+
+    def integral(self) -> float:
+        """Numerical integral (e.g. total charge of a current waveform)."""
+        return float(np.sum(self.samples) * self.dt)
+
+    def energy(self) -> float:
+        """Integral of the squared waveform (used for signature magnitudes)."""
+        return float(np.sum(self.samples ** 2) * self.dt)
+
+    def peak(self) -> Tuple[float, float]:
+        """``(time, value)`` of the sample with the largest absolute value."""
+        if len(self.samples) == 0:
+            return (self.t0, 0.0)
+        index = int(np.argmax(np.abs(self.samples)))
+        return (self.t0 + index * self.dt, float(self.samples[index]))
+
+    def max_abs(self) -> float:
+        if len(self.samples) == 0:
+            return 0.0
+        return float(np.max(np.abs(self.samples)))
+
+    def rms(self) -> float:
+        if len(self.samples) == 0:
+            return 0.0
+        return float(np.sqrt(np.mean(self.samples ** 2)))
+
+    def resample(self, new_length: int) -> "Waveform":
+        """Return a copy truncated or zero-padded to ``new_length`` samples."""
+        if new_length <= len(self.samples):
+            samples = self.samples[:new_length].copy()
+        else:
+            samples = np.concatenate(
+                [self.samples, np.zeros(new_length - len(self.samples))]
+            )
+        return Waveform(samples, self.dt, self.t0)
+
+
+def triangular_pulse(charge: float, width: float, dt: float) -> np.ndarray:
+    """A triangular pulse of the given area (charge) and base width.
+
+    The pulse rises linearly to its apex at ``width / 2`` and falls back to
+    zero at ``width``; its integral equals ``charge``.
+    """
+    if width <= 0:
+        raise WaveformError(f"pulse width must be > 0, got {width}")
+    n = max(2, int(np.ceil(width / dt)))
+    x = np.linspace(0.0, 1.0, n)
+    shape = 1.0 - np.abs(2.0 * x - 1.0)
+    area = np.sum(shape) * dt
+    if area == 0.0:
+        return np.zeros(n)
+    return shape * (charge / area)
+
+
+def exponential_pulse(charge: float, tau: float, dt: float, *,
+                      cutoff: float = 5.0) -> np.ndarray:
+    """An RC-discharge shaped pulse ``I(t) = (Q/τ)·exp(-t/τ)`` truncated at
+    ``cutoff`` time constants and renormalised to the requested charge."""
+    if tau <= 0:
+        raise WaveformError(f"time constant must be > 0, got {tau}")
+    n = max(2, int(np.ceil(cutoff * tau / dt)))
+    t = np.arange(n) * dt
+    shape = np.exp(-t / tau)
+    area = np.sum(shape) * dt
+    return shape * (charge / area)
+
+
+def align_waveforms(waveforms: Sequence[Waveform]) -> List[Waveform]:
+    """Pad a set of waveforms to a common origin and length."""
+    if not waveforms:
+        return []
+    dt = waveforms[0].dt
+    for w in waveforms:
+        if not _same_period(w.dt, dt):
+            raise WaveformError("cannot align waveforms with different sampling periods")
+    t0 = min(w.t0 for w in waveforms)
+    end = max(w.end_time for w in waveforms)
+    length = max(1, int(np.ceil(round((end - t0) / dt, 9))))
+    aligned = []
+    for w in waveforms:
+        padded = Waveform.zeros(length * dt, dt, t0)
+        padded.accumulate(w)
+        aligned.append(padded)
+    return aligned
+
+
+def average_waveform(waveforms: Sequence[Waveform]) -> Waveform:
+    """Point-wise average of a set of waveforms (the A0/A1 of equation (8))."""
+    if not waveforms:
+        raise WaveformError("cannot average an empty set of waveforms")
+    aligned = align_waveforms(waveforms)
+    stack = np.vstack([w.samples for w in aligned])
+    return Waveform(stack.mean(axis=0), aligned[0].dt, aligned[0].t0)
+
+
+def difference_waveform(set_a: Sequence[Waveform], set_b: Sequence[Waveform]) -> Waveform:
+    """``mean(set_a) − mean(set_b)`` — the DPA bias signal of equation (9)."""
+    return average_waveform(list(set_a)) - average_waveform(list(set_b))

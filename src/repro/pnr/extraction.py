@@ -1,0 +1,93 @@
+"""Parasitic extraction: routed length → net routing capacitance.
+
+This is the back-end annotation step of the paper's methodology: after place
+and route, the graph/netlist is annotated with the *real* physical net
+capacitances, which is when the dissymmetry criterion becomes meaningful.
+The extraction model is linear: ``Cl_routing = C_via + c_per_um · length``,
+with the per-micron coefficient taken from the technology parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..circuits.netlist import Netlist
+from ..electrical.technology import HCMOS9_LIKE, Technology
+from .placement import Placement
+from .routing import RoutingEstimate, estimate_routing
+
+
+@dataclass
+class ExtractionReport:
+    """Extracted routing capacitance of every net (femtofarads)."""
+
+    caps_ff: Dict[str, float] = field(default_factory=dict)
+    total_wirelength_um: float = 0.0
+
+    def cap_of(self, net_name: str) -> float:
+        return self.caps_ff.get(net_name, 0.0)
+
+    def __len__(self) -> int:
+        return len(self.caps_ff)
+
+    @property
+    def total_cap_ff(self) -> float:
+        return sum(self.caps_ff.values())
+
+    @property
+    def max_cap_ff(self) -> float:
+        return max(self.caps_ff.values(), default=0.0)
+
+
+def extract_capacitances(netlist: Netlist, placement: Placement, *,
+                         technology: Technology = HCMOS9_LIKE,
+                         routing: Optional[RoutingEstimate] = None,
+                         annotate: bool = True) -> ExtractionReport:
+    """Extract per-net routing capacitances from a placement.
+
+    Parameters
+    ----------
+    netlist:
+        The design; when ``annotate`` is true each net's ``routing_cap_ff`` is
+        updated in place (the "back-annotation" of the paper's flow).
+    placement:
+        The placed cells.
+    technology:
+        Provides the capacitance-per-micron and via capacitance.
+    routing:
+        Optional pre-computed routing estimate (otherwise computed here).
+    """
+    estimate = routing if routing is not None else estimate_routing(netlist, placement)
+    report = ExtractionReport(total_wirelength_um=estimate.total_wirelength_um())
+    for net in netlist.nets():
+        routed = estimate.nets.get(net.name)
+        if routed is None:
+            # Unplaced or single-pin nets keep a purely local capacitance.
+            cap = technology.via_cap_ff
+        else:
+            cap = technology.wire_cap_ff(routed.length_um)
+        report.caps_ff[net.name] = cap
+        if annotate:
+            net.routing_cap_ff = cap
+    return report
+
+
+def channel_rail_caps(netlist: Netlist, *, use_load_cap: bool = True
+                      ) -> Dict[str, list]:
+    """Per-channel rail capacitances after extraction.
+
+    Returns ``channel name → [rail0 cap, rail1 cap, ...]`` using either the
+    full load capacitance (routing plus fanout pins, the paper's ``Cl``) or
+    only the routing part.
+    """
+    result: Dict[str, list] = {}
+    for channel_name, rails in netlist.channels().items():
+        caps = []
+        for net in rails:
+            if use_load_cap:
+                caps.append(netlist.load_cap_ff(net.name))
+            else:
+                caps.append(net.routing_cap_ff)
+        result[channel_name] = caps
+    return result

@@ -1,0 +1,188 @@
+"""Floorplans: die outline and per-block placement fences.
+
+The improvement proposed in Section VI is "a hierarchical place and route flow
+which consists in dividing the design into small blocks and constraining
+their relative placement.  The cells that implement a given function are
+gathered in a specified physical area which limits net length and
+dispersion."  A :class:`Floorplan` captures exactly that: the die rectangle
+plus one fenced :class:`Region` per architectural block (Fig. 9 of the paper
+shows the constrained AES floorplan).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .cells import PlacedCell, block_areas_um2, die_side_for_area
+
+
+class FloorplanError(Exception):
+    """Raised for infeasible floorplan requests."""
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle (origin at the lower-left corner), in microns."""
+
+    x_um: float
+    y_um: float
+    width_um: float
+    height_um: float
+
+    def __post_init__(self) -> None:
+        if self.width_um <= 0 or self.height_um <= 0:
+            raise FloorplanError(
+                f"rectangle must have positive size, got {self.width_um} x {self.height_um}"
+            )
+
+    @property
+    def area_um2(self) -> float:
+        return self.width_um * self.height_um
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.x_um + self.width_um / 2.0, self.y_um + self.height_um / 2.0)
+
+    @property
+    def x_max(self) -> float:
+        return self.x_um + self.width_um
+
+    @property
+    def y_max(self) -> float:
+        return self.y_um + self.height_um
+
+    def contains(self, x_um: float, y_um: float, *, tolerance: float = 1e-6) -> bool:
+        return (self.x_um - tolerance <= x_um <= self.x_max + tolerance
+                and self.y_um - tolerance <= y_um <= self.y_max + tolerance)
+
+    def clamp(self, x_um: float, y_um: float) -> Tuple[float, float]:
+        """The closest point of the rectangle to ``(x, y)``."""
+        return (min(max(x_um, self.x_um), self.x_max),
+                min(max(y_um, self.y_um), self.y_max))
+
+    def shrunk(self, margin_um: float) -> "Rect":
+        """A copy shrunk by ``margin_um`` on every side."""
+        if 2 * margin_um >= min(self.width_um, self.height_um):
+            raise FloorplanError("margin larger than the rectangle")
+        return Rect(self.x_um + margin_um, self.y_um + margin_um,
+                    self.width_um - 2 * margin_um, self.height_um - 2 * margin_um)
+
+
+@dataclass
+class Region:
+    """A named placement fence bound to an architectural block."""
+
+    block: str
+    rect: Rect
+
+    @property
+    def area_um2(self) -> float:
+        return self.rect.area_um2
+
+
+@dataclass
+class Floorplan:
+    """Die outline plus (optionally) one fence per block."""
+
+    die: Rect
+    regions: Dict[str, Region] = field(default_factory=dict)
+
+    @property
+    def is_hierarchical(self) -> bool:
+        return bool(self.regions)
+
+    def region_for(self, block: str) -> Optional[Region]:
+        return self.regions.get(block)
+
+    def placement_rect(self, block: str) -> Rect:
+        """The rectangle cells of ``block`` must stay within."""
+        region = self.regions.get(block)
+        return region.rect if region is not None else self.die
+
+    def total_region_area_um2(self) -> float:
+        return sum(region.area_um2 for region in self.regions.values())
+
+    def describe(self) -> str:
+        lines = [f"die: {self.die.width_um:.1f} x {self.die.height_um:.1f} um "
+                 f"({self.die.area_um2:.0f} um2)"]
+        for block in sorted(self.regions):
+            rect = self.regions[block].rect
+            lines.append(
+                f"  {block:<24s} at ({rect.x_um:7.1f}, {rect.y_um:7.1f}) "
+                f"size {rect.width_um:6.1f} x {rect.height_um:6.1f} um"
+            )
+        return "\n".join(lines)
+
+
+def flat_floorplan(cells: Mapping[str, PlacedCell], *, utilization: float = 0.85,
+                   aspect_ratio: float = 1.0) -> Floorplan:
+    """Die-only floorplan used by the flat (reference) flow."""
+    area = sum(cell.area_um2 for cell in cells.values())
+    width, height = die_side_for_area(area, utilization, aspect_ratio)
+    return Floorplan(die=Rect(0.0, 0.0, width, height))
+
+
+def hierarchical_floorplan(cells: Mapping[str, PlacedCell], *,
+                           block_utilization: float = 0.78,
+                           channel_margin_um: float = 3.0,
+                           aspect_ratio: float = 1.0,
+                           block_order: Optional[Sequence[str]] = None) -> Floorplan:
+    """Build a constrained floorplan with one fence per block.
+
+    Blocks are arranged in rows (a simple slicing arrangement comparable to
+    the AES floorplan of Fig. 9): the blocks are packed left-to-right into
+    rows of roughly equal width, each fence sized for the block's cell area at
+    ``block_utilization``.  A routing channel of ``channel_margin_um`` is left
+    between fences, which is where the area overhead of the hierarchical flow
+    (about 20 % in the paper) comes from.
+    """
+    if not 0 < block_utilization <= 1:
+        raise FloorplanError(f"block utilization must be in (0, 1], got {block_utilization}")
+    areas = {block: area for block, area in block_areas_um2(dict(cells)).items() if block}
+    if not areas:
+        raise FloorplanError("no block annotations found; cannot build a hierarchical floorplan")
+    glue_area = block_areas_um2(dict(cells)).get("", 0.0)
+
+    order = list(block_order) if block_order is not None else sorted(
+        areas, key=lambda b: areas[b], reverse=True
+    )
+    unknown = set(order) - set(areas)
+    if unknown:
+        raise FloorplanError(f"unknown blocks in block_order: {sorted(unknown)}")
+    missing = [b for b in sorted(areas) if b not in order]
+    order.extend(missing)
+
+    fence_sizes: Dict[str, Tuple[float, float]] = {}
+    for block in order:
+        fence_area = areas[block] / block_utilization
+        width = math.sqrt(fence_area)
+        fence_sizes[block] = (width, fence_area / width)
+
+    total_fence_area = sum(w * h for w, h in fence_sizes.values())
+    target_row_width = math.sqrt(total_fence_area * aspect_ratio) * 1.05
+
+    regions: Dict[str, Region] = {}
+    cursor_x = channel_margin_um
+    cursor_y = channel_margin_um
+    row_height = 0.0
+    die_width = 0.0
+    for block in order:
+        width, height = fence_sizes[block]
+        if cursor_x > channel_margin_um and cursor_x + width > target_row_width:
+            cursor_x = channel_margin_um
+            cursor_y += row_height + channel_margin_um
+            row_height = 0.0
+        regions[block] = Region(block=block,
+                                rect=Rect(cursor_x, cursor_y, width, height))
+        cursor_x += width + channel_margin_um
+        row_height = max(row_height, height)
+        die_width = max(die_width, cursor_x)
+    die_height = cursor_y + row_height + channel_margin_um
+
+    # Reserve extra area for glue cells (placed anywhere on the die).
+    if glue_area > 0:
+        die_height += glue_area / block_utilization / max(die_width, 1.0)
+
+    return Floorplan(die=Rect(0.0, 0.0, die_width, die_height), regions=regions)

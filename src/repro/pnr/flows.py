@@ -1,0 +1,144 @@
+"""Complete place-and-route flows: flat reference vs hierarchical constrained.
+
+``run_flat_flow`` reproduces the AES_v2 reference of the paper (one global
+placement, no control over net capacitances); ``run_hierarchical_flow``
+reproduces the proposed AES_v1 methodology (per-block fences, structured
+placement).  Both return a :class:`PlacedDesign` whose netlist carries the
+extracted routing capacitances, ready for the dissymmetry-criterion
+evaluation and for power-trace generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..circuits.netlist import Netlist
+from ..electrical.technology import HCMOS9_LIKE, Technology
+from .extraction import ExtractionReport, extract_capacitances
+from .floorplan import Floorplan
+from .placement import (
+    AnnealingSchedule,
+    FlatPlacer,
+    HierarchicalPlacer,
+    Placement,
+)
+from .routing import RoutingEstimate, estimate_routing
+
+
+@dataclass
+class PlacedDesign:
+    """A placed, routed (estimated) and extracted design."""
+
+    name: str
+    flow: str
+    seed: int
+    netlist: Netlist
+    placement: Placement
+    routing: RoutingEstimate
+    extraction: ExtractionReport
+
+    @property
+    def floorplan(self) -> Floorplan:
+        return self.placement.floorplan
+
+    def area_report(self):
+        """Area accounting of the placed design (a
+        :class:`repro.core.metrics.AreaReport`).
+
+        Imported lazily: the place-and-route substrate must stay importable
+        without the analysis layer to avoid a circular dependency.
+        """
+        from ..core.metrics import AreaReport
+
+        return AreaReport(
+            design=self.name,
+            cell_area_um2=self.placement.cell_area_um2(),
+            die_area_um2=self.placement.die_area_um2(),
+        )
+
+    def summary(self) -> str:
+        area = self.area_report()
+        return (
+            f"{self.name} [{self.flow}, seed={self.seed}]: "
+            f"{len(self.placement)} cells, die {area.die_area_um2:.0f} um2 "
+            f"(utilization {area.utilization:.0%}), total wirelength "
+            f"{self.routing.total_wirelength_um():.0f} um, "
+            f"max net cap {self.extraction.max_cap_ff:.1f} fF"
+        )
+
+
+def run_flat_flow(netlist: Netlist, *, seed: int = 0,
+                  technology: Technology = HCMOS9_LIKE,
+                  utilization: float = 0.85,
+                  effort: float = 1.0,
+                  schedule: Optional[AnnealingSchedule] = None,
+                  design_name: Optional[str] = None) -> PlacedDesign:
+    """Place, route-estimate and extract the design with the flat flow."""
+    placer = FlatPlacer(seed=seed, utilization=utilization, effort=effort)
+    if schedule is not None:
+        placer.schedule = schedule
+    placement = placer.place(netlist, technology)
+    routing = estimate_routing(netlist, placement)
+    extraction = extract_capacitances(netlist, placement, technology=technology,
+                                      routing=routing)
+    return PlacedDesign(
+        name=design_name or f"{netlist.name}_flat",
+        flow="flat",
+        seed=seed,
+        netlist=netlist,
+        placement=placement,
+        routing=routing,
+        extraction=extraction,
+    )
+
+
+def run_hierarchical_flow(netlist: Netlist, *, seed: int = 0,
+                          technology: Technology = HCMOS9_LIKE,
+                          block_utilization: float = 0.78,
+                          channel_margin_um: float = 3.0,
+                          effort: float = 1.0,
+                          schedule: Optional[AnnealingSchedule] = None,
+                          block_order: Optional[Sequence[str]] = None,
+                          floorplan: Optional[Floorplan] = None,
+                          design_name: Optional[str] = None) -> PlacedDesign:
+    """Place, route-estimate and extract the design with the hierarchical flow."""
+    placer = HierarchicalPlacer(
+        seed=seed, block_utilization=block_utilization,
+        channel_margin_um=channel_margin_um, effort=effort,
+        block_order=block_order,
+    )
+    if schedule is not None:
+        placer.schedule = schedule
+    placement = placer.place(netlist, technology, floorplan=floorplan)
+    routing = estimate_routing(netlist, placement)
+    extraction = extract_capacitances(netlist, placement, technology=technology,
+                                      routing=routing)
+    return PlacedDesign(
+        name=design_name or f"{netlist.name}_hier",
+        flow="hierarchical",
+        seed=seed,
+        netlist=netlist,
+        placement=placement,
+        routing=routing,
+        extraction=extraction,
+    )
+
+
+def compare_flows(flat: PlacedDesign, hierarchical: PlacedDesign) -> Dict[str, float]:
+    """Headline numbers of the flat-vs-hierarchical comparison.
+
+    Returns the area overhead of the hierarchical flow (the paper reports
+    about +20 %) together with the wirelength ratio.
+    """
+    flat_area = flat.area_report()
+    hier_area = hierarchical.area_report()
+    overhead = (hier_area.die_area_um2 - flat_area.die_area_um2) / flat_area.die_area_um2
+    wl_ratio = (hierarchical.routing.total_wirelength_um()
+                / max(flat.routing.total_wirelength_um(), 1e-9))
+    return {
+        "area_overhead": overhead,
+        "wirelength_ratio": wl_ratio,
+        "flat_die_area_um2": flat_area.die_area_um2,
+        "hier_die_area_um2": hier_area.die_area_um2,
+    }

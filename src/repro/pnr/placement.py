@@ -1,0 +1,433 @@
+"""Placement engines: flat (reference) and hierarchical (constrained).
+
+Two flows are compared in Section VI of the paper:
+
+* **flat** (AES_v2): the whole netlist is placed on the die in one go.  The
+  optimizer only minimises global wirelength, so the lengths of the two rails
+  of a dual-rail channel are left to chance — "the designer has no control on
+  the net capacitances";
+* **hierarchical** (AES_v1): every architectural block is constrained into a
+  fence of the floorplan; cells implementing one function stay gathered,
+  which bounds the length *and the dispersion* of the channel nets.
+
+Both flows share the same machinery: a row-based initial placement followed by
+a simulated-annealing refinement that minimises half-perimeter wirelength
+(HPWL) while honouring each cell's allowed placement rectangle.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..circuits.netlist import Netlist
+from ..electrical.technology import HCMOS9_LIKE, Technology
+from .cells import PlacedCell, cells_from_netlist
+from .floorplan import Floorplan, Rect
+
+
+class PlacementError(Exception):
+    """Raised when a placement cannot be produced or is illegal."""
+
+
+@dataclass
+class Placement:
+    """The result of a placement: positioned cells plus the floorplan used."""
+
+    cells: Dict[str, PlacedCell]
+    floorplan: Floorplan
+
+    def position_of(self, cell_name: str) -> Tuple[float, float]:
+        try:
+            return self.cells[cell_name].position
+        except KeyError:
+            raise PlacementError(f"cell {cell_name!r} is not placed") from None
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def cell_area_um2(self) -> float:
+        return sum(cell.area_um2 for cell in self.cells.values())
+
+    def die_area_um2(self) -> float:
+        return self.floorplan.die.area_um2
+
+    def check_legality(self, *, tolerance: float = 1e-6) -> List[str]:
+        """Verify every cell lies inside its allowed rectangle."""
+        problems = []
+        for cell in self.cells.values():
+            rect = self.floorplan.placement_rect(cell.block)
+            if not rect.contains(cell.x_um, cell.y_um, tolerance=tolerance):
+                problems.append(
+                    f"cell {cell.name!r} at ({cell.x_um:.1f}, {cell.y_um:.1f}) "
+                    f"is outside its region"
+                )
+        return problems
+
+
+# ----------------------------------------------------------- initial placing
+def _row_fill(cells: Sequence[PlacedCell], rect: Rect) -> None:
+    """Place cells in rows filling the rectangle left-to-right, bottom-up."""
+    if not cells:
+        return
+    row_height = max(cell.height_um for cell in cells)
+    x = rect.x_um
+    y = rect.y_um + row_height / 2.0
+    for cell in cells:
+        if x + cell.width_um > rect.x_max and x > rect.x_um:
+            x = rect.x_um
+            y += row_height
+            if y > rect.y_max:
+                # Overflow: wrap around and overlap rather than fail; the
+                # annealer only needs approximate positions.
+                y = rect.y_um + row_height / 2.0
+        cell.x_um = min(x + cell.width_um / 2.0, rect.x_max)
+        cell.y_um = min(y, rect.y_max)
+        x += cell.width_um
+
+
+def initial_placement(cells: Mapping[str, PlacedCell], floorplan: Floorplan, *,
+                      rng: random.Random, ordered: bool = False) -> None:
+    """Produce a legal starting placement (in place).
+
+    ``ordered=True`` keeps cells in name order inside each region, which keeps
+    the cells of one bit slice adjacent — the structured, datapath-aware start
+    used by the hierarchical flow.  ``ordered=False`` shuffles them, modelling
+    the unconstrained flat flow.
+    """
+    by_region: Dict[str, List[PlacedCell]] = {}
+    for cell in cells.values():
+        region = cell.block if floorplan.region_for(cell.block) is not None else ""
+        by_region.setdefault(region, []).append(cell)
+    for region_key, region_cells in by_region.items():
+        if ordered:
+            region_cells.sort(key=lambda c: c.name)
+        else:
+            rng.shuffle(region_cells)
+        rect = (floorplan.regions[region_key].rect if region_key and
+                region_key in floorplan.regions else floorplan.die)
+        _row_fill(region_cells, rect)
+
+
+# ------------------------------------------------------------------ wire model
+class _WirelengthModel:
+    """Incremental HPWL bookkeeping over the movable pins of each net."""
+
+    def __init__(self, netlist: Netlist, cells: Mapping[str, PlacedCell], *,
+                 fanout_limit: int = 24):
+        self.cells = cells
+        self.net_pins: Dict[str, List[str]] = {}
+        self.cell_nets: Dict[str, List[str]] = {name: [] for name in cells}
+        for net in netlist.nets():
+            pins = []
+            for pin in net.connections():
+                if pin.instance in cells:
+                    pins.append(pin.instance)
+            unique = sorted(set(pins))
+            if len(unique) < 2 or len(unique) > fanout_limit:
+                continue
+            self.net_pins[net.name] = unique
+            for cell_name in unique:
+                self.cell_nets[cell_name].append(net.name)
+        self.lengths: Dict[str, float] = {
+            net: self._hpwl(pins) for net, pins in self.net_pins.items()
+        }
+
+    def _hpwl(self, pins: Sequence[str]) -> float:
+        xs = [self.cells[p].x_um for p in pins]
+        ys = [self.cells[p].y_um for p in pins]
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    def total(self) -> float:
+        return sum(self.lengths.values())
+
+    def nets_of(self, cell_name: str) -> List[str]:
+        return self.cell_nets.get(cell_name, [])
+
+    def delta_for_move(self, cell_names: Iterable[str]) -> float:
+        """Recompute the nets touching the moved cells; return the cost delta."""
+        delta = 0.0
+        touched: Set[str] = set()
+        for cell_name in cell_names:
+            touched.update(self.cell_nets.get(cell_name, ()))
+        for net in touched:
+            new_length = self._hpwl(self.net_pins[net])
+            delta += new_length - self.lengths[net]
+            self.lengths[net] = new_length
+        return delta
+
+
+# ------------------------------------------------------- analytic refinement
+def _center_of_gravity_sweeps(model: "_WirelengthModel", cells: Dict[str, PlacedCell],
+                              floorplan: Floorplan, rng: random.Random,
+                              sweeps: int) -> None:
+    """Iteratively move each cell to the centroid of its connected pins.
+
+    This is the cheap analytic optimisation step of the flow (comparable to a
+    quadratic placement): it pulls the cells of one bit slice together and
+    shortens every net, while the per-cell allowed rectangle keeps
+    hierarchical cells inside their fences.
+    """
+    movable = [name for name, cell in cells.items() if not cell.fixed]
+    for _ in range(max(0, sweeps)):
+        rng.shuffle(movable)
+        for name in movable:
+            cell = cells[name]
+            nets = model.nets_of(name)
+            if not nets:
+                continue
+            sum_x = 0.0
+            sum_y = 0.0
+            count = 0
+            for net in nets:
+                for pin in model.net_pins[net]:
+                    if pin == name:
+                        continue
+                    other = cells[pin]
+                    sum_x += other.x_um
+                    sum_y += other.y_um
+                    count += 1
+            if count == 0:
+                continue
+            rect = floorplan.placement_rect(cell.block)
+            target = rect.clamp(sum_x / count, sum_y / count)
+            cell.x_um, cell.y_um = target
+        model.lengths = {net: model._hpwl(pins) for net, pins in model.net_pins.items()}
+
+
+def _legalize(cells: Dict[str, PlacedCell], floorplan: Floorplan) -> None:
+    """Spread overlapping cells into rows while preserving relative positions.
+
+    Cells are grouped by placement region, snapped to the nearest cell row and
+    packed left-to-right in target-x order; when a row overflows its region it
+    is compressed proportionally.  The residual displacement this introduces
+    is precisely the "no control over the net capacitances" randomness of the
+    flat flow — in the hierarchical flow it is bounded by the fence size.
+    """
+    by_region: Dict[str, List[PlacedCell]] = {}
+    for cell in cells.values():
+        region = cell.block if floorplan.region_for(cell.block) is not None else ""
+        by_region.setdefault(region, []).append(cell)
+
+    for region_key, region_cells in by_region.items():
+        rect = (floorplan.regions[region_key].rect if region_key
+                and region_key in floorplan.regions else floorplan.die)
+        row_height = max(cell.height_um for cell in region_cells)
+        row_count = max(1, int(rect.height_um // row_height))
+        rows: Dict[int, List[PlacedCell]] = {index: [] for index in range(row_count)}
+        for cell in region_cells:
+            index = int((cell.y_um - rect.y_um) / row_height)
+            index = min(max(index, 0), row_count - 1)
+            rows[index].append(cell)
+        # Balance badly overloaded rows by spilling cells to neighbours.
+        capacity = rect.width_um
+        for index in range(row_count):
+            rows[index].sort(key=lambda c: c.x_um)
+            packed_width = sum(c.width_um for c in rows[index])
+            spill_target = index + 1 if index + 1 < row_count else index - 1
+            while packed_width > 1.6 * capacity and 0 <= spill_target < row_count \
+                    and spill_target != index and rows[index]:
+                spilled = rows[index].pop()
+                packed_width -= spilled.width_um
+                rows[spill_target].append(spilled)
+        for index in range(row_count):
+            row_cells = sorted(rows[index], key=lambda c: c.x_um)
+            if not row_cells:
+                continue
+            packed_width = sum(c.width_um for c in row_cells)
+            scale = min(1.0, (rect.width_um / packed_width) if packed_width > 0 else 1.0)
+            y = min(rect.y_um + (index + 0.5) * row_height, rect.y_max)
+            # Minimum-displacement packing: keep every cell as close to its
+            # target x as the already-placed cells allow, pushing right only
+            # when overlaps force it and clamping the tail to the row end.
+            cursor = rect.x_um
+            for cell in row_cells:
+                width = cell.width_um * scale
+                target_left = cell.x_um - width / 2.0
+                left = max(cursor, min(target_left, rect.x_max - width))
+                left = max(left, rect.x_um)
+                cell.x_um = min(left + width / 2.0, rect.x_max)
+                cell.y_um = y
+                cursor = left + width
+
+
+# -------------------------------------------------------------------- anneal
+@dataclass
+class AnnealingSchedule:
+    """Placement effort knobs (analytic sweeps plus annealing refinement)."""
+
+    cog_sweeps: int = 6
+    legalize_rounds: int = 2
+    moves_per_cell: int = 15
+    initial_acceptance: float = 0.3
+    cooling: float = 0.75
+    temperature_steps: int = 20
+
+    def scaled(self, effort: float) -> "AnnealingSchedule":
+        """Scale the optimisation effort by a factor (>= 0)."""
+        return AnnealingSchedule(
+            cog_sweeps=max(1, int(round(self.cog_sweeps * effort))),
+            legalize_rounds=self.legalize_rounds,
+            moves_per_cell=max(0, int(self.moves_per_cell * effort)),
+            initial_acceptance=self.initial_acceptance,
+            cooling=self.cooling,
+            temperature_steps=self.temperature_steps,
+        )
+
+
+def _refine_with_annealing(model: _WirelengthModel, cells: Dict[str, PlacedCell],
+                           floorplan: Floorplan, rng: random.Random,
+                           schedule: AnnealingSchedule) -> None:
+    """Low-temperature annealing refinement of an already-legal placement."""
+    movable = [name for name, cell in cells.items() if not cell.fixed]
+    if not movable or not model.net_pins or schedule.moves_per_cell == 0:
+        return
+
+    total_moves = schedule.moves_per_cell * len(movable)
+    moves_per_step = max(1, total_moves // schedule.temperature_steps)
+
+    # Calibrate the starting temperature from the cost spread of small moves.
+    probe_deltas: List[float] = []
+    for _ in range(min(200, total_moves)):
+        name = rng.choice(movable)
+        cell = cells[name]
+        old = (cell.x_um, cell.y_um)
+        rect = floorplan.placement_rect(cell.block)
+        radius = 0.05 * max(rect.width_um, rect.height_um)
+        cell.x_um, cell.y_um = rect.clamp(cell.x_um + rng.uniform(-radius, radius),
+                                          cell.y_um + rng.uniform(-radius, radius))
+        probe_deltas.append(abs(model.delta_for_move([name])))
+        cell.x_um, cell.y_um = old
+        model.delta_for_move([name])
+    mean_delta = sum(probe_deltas) / len(probe_deltas) if probe_deltas else 1.0
+    temperature = max(mean_delta, 1e-9) / max(
+        1e-9, -math.log(max(schedule.initial_acceptance, 1e-6))
+    )
+
+    for step in range(schedule.temperature_steps):
+        fraction = 1.0 - step / max(schedule.temperature_steps - 1, 1)
+        for _ in range(moves_per_step):
+            name = rng.choice(movable)
+            cell = cells[name]
+            rect = floorplan.placement_rect(cell.block)
+            swap_target: Optional[str] = None
+            old_positions = {name: (cell.x_um, cell.y_um)}
+            if rng.random() < 0.3:
+                candidate = rng.choice(movable)
+                if candidate != name:
+                    other = cells[candidate]
+                    other_rect = floorplan.placement_rect(other.block)
+                    if (other_rect.contains(cell.x_um, cell.y_um)
+                            and rect.contains(other.x_um, other.y_um)):
+                        swap_target = candidate
+                        old_positions[candidate] = (other.x_um, other.y_um)
+                        cell.x_um, other.x_um = other.x_um, cell.x_um
+                        cell.y_um, other.y_um = other.y_um, cell.y_um
+            if swap_target is None:
+                span = max(rect.width_um, rect.height_um)
+                radius = max(span * 0.02, span * 0.25 * fraction)
+                cell.x_um, cell.y_um = rect.clamp(
+                    cell.x_um + rng.uniform(-radius, radius),
+                    cell.y_um + rng.uniform(-radius, radius),
+                )
+
+            delta = model.delta_for_move(list(old_positions))
+            accept = delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12))
+            if not accept:
+                for moved_name, (x, y) in old_positions.items():
+                    cells[moved_name].x_um = x
+                    cells[moved_name].y_um = y
+                model.delta_for_move(list(old_positions))
+        temperature *= schedule.cooling
+
+
+def _optimize(netlist: Netlist, cells: Dict[str, PlacedCell], floorplan: Floorplan,
+              rng: random.Random, schedule: AnnealingSchedule) -> float:
+    """Run the full placement optimisation pipeline in place.
+
+    The pipeline alternates centre-of-gravity sweeps with row legalisation
+    (the analytic phase), applies a low-temperature annealing refinement, and
+    legalises once more.  Returns the final total wirelength.
+    """
+    model = _WirelengthModel(netlist, cells)
+    if not model.net_pins:
+        _legalize(cells, floorplan)
+        return model.total()
+
+    rounds = max(1, schedule.legalize_rounds)
+    sweeps_per_round = max(1, schedule.cog_sweeps // rounds)
+    for _ in range(rounds):
+        _center_of_gravity_sweeps(model, cells, floorplan, rng, sweeps_per_round)
+        _legalize(cells, floorplan)
+        model.lengths = {net: model._hpwl(pins) for net, pins in model.net_pins.items()}
+
+    _refine_with_annealing(model, cells, floorplan, rng, schedule)
+
+    _legalize(cells, floorplan)
+    model.lengths = {net: model._hpwl(pins) for net, pins in model.net_pins.items()}
+    return model.total()
+
+
+# ------------------------------------------------------------------- placers
+@dataclass
+class FlatPlacer:
+    """The reference flow: one global, unconstrained placement (AES_v2).
+
+    ``seed`` selects the random run; the paper observes that "the most
+    sensitive channels are never the same from one place and route to
+    another", which the test-suite reproduces by comparing seeds.
+    """
+
+    seed: int = 0
+    utilization: float = 0.85
+    schedule: AnnealingSchedule = field(default_factory=AnnealingSchedule)
+    effort: float = 1.0
+
+    def place(self, netlist: Netlist,
+              technology: Technology = HCMOS9_LIKE,
+              floorplan: Optional[Floorplan] = None) -> Placement:
+        from .floorplan import flat_floorplan
+
+        rng = random.Random(self.seed)
+        cells = cells_from_netlist(netlist, technology)
+        plan = floorplan if floorplan is not None else flat_floorplan(
+            cells, utilization=self.utilization
+        )
+        # The flat flow ignores block fences entirely.
+        plan = Floorplan(die=plan.die, regions={})
+        initial_placement(cells, plan, rng=rng, ordered=False)
+        _optimize(netlist, cells, plan, rng, self.schedule.scaled(self.effort))
+        return Placement(cells=cells, floorplan=plan)
+
+
+@dataclass
+class HierarchicalPlacer:
+    """The proposed flow: per-block fences and structured placement (AES_v1)."""
+
+    seed: int = 0
+    block_utilization: float = 0.78
+    channel_margin_um: float = 3.0
+    schedule: AnnealingSchedule = field(default_factory=AnnealingSchedule)
+    effort: float = 1.0
+    block_order: Optional[Sequence[str]] = None
+
+    def place(self, netlist: Netlist,
+              technology: Technology = HCMOS9_LIKE,
+              floorplan: Optional[Floorplan] = None) -> Placement:
+        from .floorplan import hierarchical_floorplan
+
+        rng = random.Random(self.seed)
+        cells = cells_from_netlist(netlist, technology)
+        plan = floorplan if floorplan is not None else hierarchical_floorplan(
+            cells, block_utilization=self.block_utilization,
+            channel_margin_um=self.channel_margin_um,
+            block_order=self.block_order,
+        )
+        initial_placement(cells, plan, rng=rng, ordered=True)
+        _optimize(netlist, cells, plan, rng, self.schedule.scaled(self.effort))
+        legality = Placement(cells=cells, floorplan=plan).check_legality()
+        if legality:
+            raise PlacementError("; ".join(legality[:5]))
+        return Placement(cells=cells, floorplan=plan)

@@ -1,0 +1,112 @@
+"""Routing estimation: per-net wirelength from a placement.
+
+A full detailed router is unnecessary for the paper's analysis — the
+dissymmetry criterion only needs per-net capacitances, which scale with the
+routed length.  The estimator uses the standard half-perimeter wirelength
+(HPWL) of each net's pin bounding box, corrected for fanout with the usual
+Steiner-tree compensation factor, which is the same class of estimate
+placement tools use internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..circuits.netlist import Net, Netlist
+from .placement import Placement
+
+
+class RoutingError(Exception):
+    """Raised when a net cannot be estimated (e.g. unplaced pins)."""
+
+
+#: Fanout-dependent HPWL correction factors (net with k pins needs roughly
+#: ``factor * HPWL`` of wire); values follow the classical RISA coefficients.
+_FANOUT_FACTORS = {
+    1: 1.0,
+    2: 1.0,
+    3: 1.08,
+    4: 1.15,
+    5: 1.22,
+    6: 1.28,
+    7: 1.34,
+    8: 1.40,
+    9: 1.45,
+    10: 1.50,
+}
+
+
+def fanout_factor(pin_count: int) -> float:
+    """Steiner compensation factor for a net with ``pin_count`` pins."""
+    if pin_count <= 10:
+        return _FANOUT_FACTORS.get(max(pin_count, 1), 1.0)
+    # Beyond ten pins the factor grows roughly with the square root of the
+    # pin count.
+    return 1.50 + 0.12 * ((pin_count - 10) ** 0.5)
+
+
+@dataclass
+class RoutedNet:
+    """Estimated routing of one net."""
+
+    net: str
+    pin_count: int
+    hpwl_um: float
+    length_um: float
+
+    @property
+    def is_point_to_point(self) -> bool:
+        return self.pin_count == 2
+
+
+@dataclass
+class RoutingEstimate:
+    """Per-net routed-length estimates for a placed design."""
+
+    nets: Dict[str, RoutedNet] = field(default_factory=dict)
+
+    def length_of(self, net_name: str) -> float:
+        try:
+            return self.nets[net_name].length_um
+        except KeyError:
+            raise RoutingError(f"net {net_name!r} was not estimated") from None
+
+    def total_wirelength_um(self) -> float:
+        return sum(net.length_um for net in self.nets.values())
+
+    def longest(self, count: int = 10) -> List[RoutedNet]:
+        return sorted(self.nets.values(), key=lambda n: n.length_um, reverse=True)[:count]
+
+
+def net_pin_positions(netlist: Netlist, placement: Placement,
+                      net: Net) -> List[Tuple[float, float]]:
+    """Placed positions of every pin of a net (driver and sinks)."""
+    positions = []
+    for pin in net.connections():
+        if pin.instance in placement.cells:
+            positions.append(placement.position_of(pin.instance))
+    return positions
+
+
+def estimate_net(netlist: Netlist, placement: Placement, net: Net) -> Optional[RoutedNet]:
+    """Estimate one net; returns ``None`` for nets with fewer than 2 placed pins."""
+    positions = net_pin_positions(netlist, placement, net)
+    if len(positions) < 2:
+        return None
+    xs = [p[0] for p in positions]
+    ys = [p[1] for p in positions]
+    hpwl = (max(xs) - min(xs)) + (max(ys) - min(ys))
+    length = hpwl * fanout_factor(len(positions))
+    return RoutedNet(net=net.name, pin_count=len(positions), hpwl_um=hpwl,
+                     length_um=length)
+
+
+def estimate_routing(netlist: Netlist, placement: Placement) -> RoutingEstimate:
+    """Estimate the routed length of every net of the design."""
+    estimate = RoutingEstimate()
+    for net in netlist.nets():
+        routed = estimate_net(netlist, placement, net)
+        if routed is not None:
+            estimate.nets[net.name] = routed
+    return estimate

@@ -1,0 +1,182 @@
+"""Tests of the asynchronous AES functional models (controller, key path,
+data path, processor) against the software reference."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asyncaes import (
+    AsyncAesProcessor,
+    CipherDataPath,
+    ControllerError,
+    DatapathError,
+    KeySchedulePath,
+    RoundController,
+    RoundStep,
+    block_to_words,
+    bytes_to_word,
+    rot_word,
+    sub_word,
+    word_to_bytes,
+    words_to_block,
+)
+from repro.crypto import AES, key_expansion, random_key
+
+KEY = [0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6,
+       0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C]
+PLAINTEXT = [0x32, 0x43, 0xF6, 0xA8, 0x88, 0x5A, 0x30, 0x8D,
+             0x31, 0x31, 0x98, 0xA2, 0xE0, 0x37, 0x07, 0x34]
+
+
+class TestRoundController:
+    def test_sequence_length(self):
+        controller = RoundController()
+        tokens = controller.run()
+        assert len(tokens) == controller.token_count() == 42
+
+    def test_sequence_structure(self):
+        tokens = RoundController().run()
+        assert tokens[0].step is RoundStep.LOAD
+        assert tokens[1].step is RoundStep.ADD_KEY0
+        assert tokens[-1].step is RoundStep.OUTPUT
+        mixcolumns = [t for t in tokens if t.step is RoundStep.MIX_COLUMNS]
+        assert len(mixcolumns) == 9  # the last round skips MixColumns
+
+    def test_steps_of_round(self):
+        controller = RoundController()
+        assert RoundStep.MIX_COLUMNS in controller.steps_of_round(5)
+        assert RoundStep.MIX_COLUMNS not in controller.steps_of_round(10)
+        with pytest.raises(ControllerError):
+            controller.steps_of_round(11)
+
+    def test_validate_sequence(self):
+        controller = RoundController()
+        tokens = controller.run()
+        assert controller.validate_sequence(tokens) == []
+        assert controller.validate_sequence(tokens[:-1])
+        swapped = [tokens[1], tokens[0]] + tokens[2:]
+        assert controller.validate_sequence(swapped)
+
+    def test_invalid_round_count(self):
+        with pytest.raises(ControllerError):
+            RoundController(rounds=0)
+
+
+class TestWordHelpers:
+    def test_word_byte_roundtrip(self):
+        assert word_to_bytes(bytes_to_word([0xDE, 0xAD, 0xBE, 0xEF])) == \
+            [0xDE, 0xAD, 0xBE, 0xEF]
+
+    def test_block_word_roundtrip(self):
+        block = list(range(16))
+        assert words_to_block(block_to_words(block)) == block
+
+    def test_rot_and_sub_word(self):
+        assert rot_word(0x01020304) == 0x02030401
+        assert sub_word(0x00000000) == 0x63636363
+
+    def test_invalid_sizes(self):
+        with pytest.raises(Exception):
+            bytes_to_word([1, 2, 3])
+        with pytest.raises(Exception):
+            block_to_words([0] * 15)
+
+
+class TestKeySchedulePath:
+    def test_matches_software_key_expansion(self):
+        path = KeySchedulePath(KEY)
+        assert path.round_keys_bytes() == key_expansion(KEY)
+
+    def test_run_records_transfers(self):
+        path = KeySchedulePath(KEY)
+        round_words, end_slot = path.run()
+        assert len(round_words) == 11
+        assert end_slot > 0
+        assert path.transfers_on("xorkey_to_dup")
+        assert path.transfers_on("ksbox_to_demux12")
+
+    def test_subkey_transfers_follow_core_slots(self):
+        path = KeySchedulePath(KEY)
+        round_words, _ = path.run()
+        transfers = path.subkey_transfers(round_words, {0: 10, 1: 50, 10: 400})
+        buses = {t.bus for t in transfers}
+        assert buses == {"key0_to_addkey0", "subkey_to_ark", "subkey_to_alk"}
+        assert len(transfers) == 12
+
+    def test_rejects_non_128_bit_keys(self):
+        with pytest.raises(Exception):
+            KeySchedulePath(list(range(24)))
+
+    @given(st.lists(st.integers(0, 255), min_size=16, max_size=16))
+    @settings(max_examples=15, deadline=None)
+    def test_key_expansion_property(self, key):
+        assert KeySchedulePath(key).round_keys_bytes() == key_expansion(key)
+
+
+class TestCipherDataPath:
+    def test_ciphertext_matches_reference(self):
+        run = CipherDataPath(KEY).encrypt(PLAINTEXT)
+        assert run.ciphertext == AES(KEY).encrypt_block(PLAINTEXT)
+
+    def test_addkey0_transfer_carries_pt_xor_key(self):
+        """The DPA-relevant transfer: plaintext XOR key crosses addkey0_to_mux."""
+        run = CipherDataPath(KEY).encrypt(PLAINTEXT)
+        transfers = sorted(run.transfers_on("addkey0_to_mux"), key=lambda t: t.slot)
+        expected = block_to_words([p ^ k for p, k in zip(PLAINTEXT, KEY)])
+        assert [t.word for t in transfers[:4]] == expected
+
+    def test_output_transfers_carry_ciphertext(self):
+        run = CipherDataPath(KEY).encrypt(PLAINTEXT)
+        transfers = sorted(run.transfers_on("data_out"), key=lambda t: t.slot)
+        assert [t.word for t in transfers] == block_to_words(run.ciphertext)
+
+    def test_every_data_channel_sees_traffic(self):
+        run = CipherDataPath(KEY).encrypt(PLAINTEXT)
+        used = {t.bus for t in run.transfers}
+        for bus in ("data_in", "mux41_to_addkey0", "addkey0_to_mux", "mux_to_dmux",
+                    "c0_to_bytesub0", "bytesub3_to_sr3", "sr1_to_muxmix",
+                    "muxmix_to_mixcol", "mixcol_to_ark", "roundloop_to_mux",
+                    "muxmix_to_alk", "alk_to_dmuxout", "data_out"):
+            assert bus in used, bus
+
+    def test_round_key_slots_cover_all_rounds(self):
+        run = CipherDataPath(KEY).encrypt(PLAINTEXT)
+        assert set(run.round_key_slots) == set(range(11))
+        slots = [run.round_key_slots[r] for r in range(11)]
+        assert slots == sorted(slots)
+
+    def test_slots_strictly_positive_and_bounded(self):
+        run = CipherDataPath(KEY).encrypt(PLAINTEXT)
+        assert all(0 <= t.slot < run.total_slots for t in run.transfers)
+
+    def test_invalid_plaintext(self):
+        with pytest.raises(DatapathError):
+            CipherDataPath(KEY).encrypt([0] * 15)
+
+    @given(st.lists(st.integers(0, 255), min_size=16, max_size=16),
+           st.lists(st.integers(0, 255), min_size=16, max_size=16))
+    @settings(max_examples=10, deadline=None)
+    def test_equivalence_property(self, plaintext, key):
+        """The architectural data flow always matches the software AES."""
+        run = CipherDataPath(key).encrypt(plaintext)
+        assert run.ciphertext == AES(key).encrypt_block(plaintext)
+
+
+class TestProcessor:
+    def test_encrypt_checks_reference(self):
+        processor = AsyncAesProcessor(KEY)
+        assert processor.encrypt(PLAINTEXT) == AES(KEY).encrypt_block(PLAINTEXT)
+
+    def test_round_keys_exposed(self):
+        processor = AsyncAesProcessor(KEY)
+        assert processor.round_keys() == key_expansion(KEY)
+
+    def test_rejects_wrong_key_size(self):
+        with pytest.raises(Exception):
+            AsyncAesProcessor(list(range(24)))
+
+    def test_first_round_target_word(self):
+        datapath = CipherDataPath(KEY)
+        word = datapath.first_round_target_word(PLAINTEXT, column=0)
+        expected = block_to_words([p ^ k for p, k in zip(PLAINTEXT, KEY)])[0]
+        assert word == expected

@@ -1,0 +1,116 @@
+"""Tests of the asynchronous AES architecture description and netlist generator."""
+
+import pytest
+
+from repro.asyncaes import (
+    AesArchitecture,
+    AesNetlistGenerator,
+    ALL_BLOCKS,
+    ALL_CHANNELS,
+    build_aes_netlist,
+)
+
+
+class TestArchitecture:
+    def test_default_architecture_is_consistent(self):
+        assert AesArchitecture().validate() == []
+
+    def test_block_and_channel_lookup(self):
+        arch = AesArchitecture()
+        assert arch.block("addkey0").side == "core"
+        assert arch.channel("subkey_to_ark").source == "duplicate"
+        with pytest.raises(KeyError):
+            arch.block("nonexistent")
+        with pytest.raises(KeyError):
+            arch.channel("nonexistent")
+
+    def test_fig8_blocks_present(self):
+        names = set(AesArchitecture().block_names())
+        for expected in ("addkey0", "mixcolumn", "addroundkey", "addlastkey",
+                         "bytesub0", "xor_key", "fifo_key", "duplicate"):
+            assert expected in names
+
+    def test_core_and_key_paths_connected(self):
+        """The Sub-key channel of Fig. 8 joins the two self-timed loops."""
+        arch = AesArchitecture()
+        key_to_core = [c for c in arch.channels
+                       if c.source == "duplicate" and c.sink in
+                       ("addkey0", "addroundkey", "addlastkey")]
+        assert len(key_to_core) == 3
+
+    def test_incoming_outgoing(self):
+        arch = AesArchitecture()
+        assert any(c.name == "mux41_to_addkey0" for c in arch.incoming("addkey0"))
+        assert any(c.name == "addkey0_to_mux" for c in arch.outgoing("addkey0"))
+
+    def test_word_width_scaling(self):
+        arch = AesArchitecture(word_width=8)
+        data_channels = [c for c in arch.channels if c.width > 4]
+        assert all(c.width == 8 for c in data_channels)
+        # Control channels keep their narrow width.
+        assert arch.channel("core_ctrl").width == 4
+
+    def test_gate_budget_scaling(self):
+        full = AesArchitecture(detail=1.0)
+        small = AesArchitecture(detail=0.25)
+        assert small.total_gate_budget() < full.total_gate_budget()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AesArchitecture(word_width=2)
+        with pytest.raises(ValueError):
+            AesArchitecture(detail=0.0)
+
+    def test_channel_naming_helpers(self):
+        channel = AesArchitecture().channel("data_in")
+        assert channel.channel_name(3) == "data_in_b3"
+        assert channel.rail_net(3, 1) == "data_in_b3_r1"
+        assert channel.ack_net(3) == "data_in_b3_ack"
+
+
+class TestNetlistGenerator:
+    @pytest.fixture(scope="class")
+    def small_netlist(self):
+        return build_aes_netlist(word_width=8, detail=0.05, name="aes8")
+
+    def test_structure_is_valid(self, small_netlist):
+        assert small_netlist.validate() == []
+
+    def test_every_block_has_cells(self, small_netlist):
+        blocks = set(small_netlist.blocks())
+        for block in AesArchitecture().block_names():
+            assert block in blocks
+
+    def test_channel_nets_annotated(self, small_netlist):
+        arch = AesArchitecture(word_width=8)
+        net = small_netlist.net(arch.channel("addkey0_to_mux").rail_net(2, 1))
+        assert net.channel == "addkey0_to_mux_b2"
+        assert net.rail == 1
+
+    def test_channel_rails_driven_and_loaded(self, small_netlist):
+        arch = AesArchitecture(word_width=8)
+        for bit in range(8):
+            for rail in range(2):
+                net = small_netlist.net(arch.channel("mixcol_to_ark").rail_net(bit, rail))
+                assert net.driver is not None
+                assert net.driver.instance.startswith("mixcolumn/")
+                sink_blocks = {s.instance.split("/")[0] for s in net.sinks}
+                assert "addroundkey" in sink_blocks
+
+    def test_channel_count_matches_architecture(self, small_netlist):
+        arch = AesArchitecture(word_width=8)
+        expected = sum(c.width for c in arch.channels)
+        assert len(small_netlist.channels()) == expected
+
+    def test_detail_controls_size(self):
+        small = build_aes_netlist(word_width=8, detail=0.05)
+        large = build_aes_netlist(word_width=8, detail=0.5)
+        assert large.instance_count > small.instance_count
+
+    def test_invalid_architecture_rejected(self):
+        arch = AesArchitecture()
+        # Corrupt the channel list to point at an unknown block.
+        from repro.asyncaes.architecture import ChannelBusSpec
+        arch.channels = arch.channels + (ChannelBusSpec("bad", "nowhere", "mux"),)
+        with pytest.raises(ValueError):
+            AesNetlistGenerator(arch)

@@ -1,0 +1,125 @@
+"""Tests of the asynchronous-AES power-trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.asyncaes import (
+    AesArchitecture,
+    AesNetlistGenerator,
+    AesPowerTraceGenerator,
+    TraceGenerationError,
+    TraceGeneratorConfig,
+)
+from repro.circuits import Netlist
+from repro.crypto import random_key
+from repro.electrical import GaussianNoise
+
+KEY = random_key(16, seed=3)
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    """A small (8-bit wide) AES netlist with default capacitances."""
+    architecture = AesArchitecture(word_width=8, detail=0.05)
+    netlist = AesNetlistGenerator(architecture, name="aes8").build()
+    return architecture, netlist
+
+
+class TestTraceGenerator:
+    def test_trace_shape_and_positivity(self, small_setup):
+        architecture, netlist = small_setup
+        generator = AesPowerTraceGenerator(netlist, KEY, architecture=architecture)
+        trace = generator.trace([0] * 16)
+        assert len(trace) > 0
+        assert np.all(trace.samples >= 0.0)
+        assert trace.samples.max() > 0.0
+
+    def test_traces_have_fixed_length(self, small_setup):
+        architecture, netlist = small_setup
+        generator = AesPowerTraceGenerator(netlist, KEY, architecture=architecture)
+        a = generator.trace([0] * 16)
+        b = generator.trace(list(range(16)))
+        assert len(a) == len(b)
+        assert a.dt == b.dt
+
+    def test_determinism(self, small_setup):
+        architecture, netlist = small_setup
+        generator = AesPowerTraceGenerator(netlist, KEY, architecture=architecture)
+        plaintext = list(range(16))
+        assert np.allclose(generator.trace(plaintext).samples,
+                           generator.trace(plaintext).samples)
+
+    def test_balanced_rails_give_data_independent_traces(self, small_setup):
+        """With identical rail capacitances the trace is plaintext independent —
+        the ideal secured-QDI behaviour of Section II."""
+        architecture, netlist = small_setup
+        generator = AesPowerTraceGenerator(netlist, KEY, architecture=architecture)
+        a = generator.trace([0x00] * 16)
+        b = generator.trace([0xFF] * 16)
+        assert np.allclose(a.samples, b.samples)
+
+    def test_unbalanced_rail_creates_data_dependence(self, small_setup):
+        """Unbalancing one rail capacitance makes the trace depend on the data."""
+        architecture, _ = small_setup
+        netlist = AesNetlistGenerator(architecture, name="aes8b").build()
+        target = architecture.channel("addkey0_to_mux").rail_net(0, 1)
+        netlist.set_routing_cap(target, netlist.net(target).routing_cap_ff + 40.0)
+        generator = AesPowerTraceGenerator(netlist, KEY, architecture=architecture)
+        # On the 8-bit-wide test architecture, bit 0 of the transferred word is
+        # the least-significant bit of plaintext byte 3 XOR key byte 3:
+        # flipping that plaintext bit flips which rail of the unbalanced
+        # channel toggles.
+        plaintext_a = [0x00] * 16
+        plaintext_b = list(plaintext_a)
+        plaintext_b[3] ^= 0x01
+        a = generator.trace(plaintext_a)
+        b = generator.trace(plaintext_b)
+        assert not np.allclose(a.samples, b.samples)
+
+    def test_trace_set_carries_plaintexts(self, small_setup):
+        architecture, netlist = small_setup
+        generator = AesPowerTraceGenerator(netlist, KEY, architecture=architecture)
+        traces = generator.random_trace_set(5, seed=9)
+        assert len(traces) == 5
+        assert all(len(t.plaintext) == 16 for t in traces)
+
+    def test_random_trace_set_reproducible(self, small_setup):
+        architecture, netlist = small_setup
+        generator = AesPowerTraceGenerator(netlist, KEY, architecture=architecture)
+        a = generator.random_trace_set(3, seed=1)
+        b = generator.random_trace_set(3, seed=1)
+        assert a.plaintexts() == b.plaintexts()
+
+    def test_noise_model_applied(self, small_setup):
+        architecture, netlist = small_setup
+        noisy_generator = AesPowerTraceGenerator(
+            netlist, KEY, architecture=architecture,
+            noise=GaussianNoise(sigma=1e-6, seed=2),
+        )
+        clean_generator = AesPowerTraceGenerator(netlist, KEY, architecture=architecture)
+        plaintext = [0] * 16
+        assert not np.allclose(noisy_generator.trace(plaintext).samples,
+                               clean_generator.trace(plaintext).samples)
+
+    def test_mismatched_netlist_rejected(self, small_setup):
+        architecture, _ = small_setup
+        with pytest.raises(TraceGenerationError):
+            AesPowerTraceGenerator(Netlist("empty"), KEY, architecture=architecture)
+
+    def test_target_slot_and_dissymmetry_helpers(self, small_setup):
+        architecture, netlist = small_setup
+        generator = AesPowerTraceGenerator(netlist, KEY, architecture=architecture)
+        assert generator.target_slot() > 0
+        assert generator.channel_dissymmetry("addkey0_to_mux", 0) == pytest.approx(0.0)
+        assert generator.rail_cap_ff("addkey0_to_mux", 0, 0) > 0
+
+    def test_config_disables_key_path(self, small_setup):
+        architecture, netlist = small_setup
+        with_key = AesPowerTraceGenerator(netlist, KEY, architecture=architecture)
+        without_key = AesPowerTraceGenerator(
+            netlist, KEY, architecture=architecture,
+            config=TraceGeneratorConfig(include_key_path=False),
+        )
+        plaintext = [0] * 16
+        assert with_key.trace(plaintext).integral() > \
+            without_key.trace(plaintext).integral()

@@ -1,0 +1,130 @@
+"""Tests of 1-of-N channel encoding and the four-phase value model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    BusSpec,
+    ChannelSpec,
+    ChannelState,
+    EncodingError,
+    Logic,
+    Netlist,
+    dual_rail,
+    one_of_n,
+)
+
+
+class TestChannelSpec:
+    def test_dual_rail_encoding_matches_table1(self):
+        """Table 1 of the paper: 0 -> (1, 0), 1 -> (0, 1), invalid -> (0, 0)."""
+        channel = dual_rail("a")
+        assert channel.encode(0) == (Logic.HIGH, Logic.LOW)
+        assert channel.encode(1) == (Logic.LOW, Logic.HIGH)
+        assert channel.encode(None) == (Logic.LOW, Logic.LOW)
+
+    def test_decode_roundtrip(self):
+        channel = one_of_n("d", 4)
+        for value in range(4):
+            assert channel.decode(channel.encode(value)) == value
+        assert channel.decode(channel.encode(None)) is None
+
+    def test_illegal_codeword_rejected(self):
+        channel = dual_rail("a")
+        with pytest.raises(EncodingError):
+            channel.decode((Logic.HIGH, Logic.HIGH))
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(EncodingError):
+            dual_rail("a").encode(2)
+
+    def test_wrong_rail_count_rejected(self):
+        with pytest.raises(EncodingError):
+            dual_rail("a").decode((Logic.LOW,))
+
+    def test_state_classification(self):
+        channel = one_of_n("d", 3)
+        assert channel.state(channel.encode(None)) is ChannelState.NULL
+        assert channel.state(channel.encode(2)) is ChannelState.VALID
+        assert channel.state((Logic.HIGH, Logic.HIGH, Logic.LOW)) is ChannelState.ILLEGAL
+
+    def test_radix_must_be_at_least_two(self):
+        with pytest.raises(ValueError):
+            ChannelSpec("x", radix=1)
+
+    def test_rail_names(self):
+        channel = dual_rail("data")
+        assert channel.rail_names == ("data_r0", "data_r1")
+        assert channel.ack_name == "data_ack"
+        with pytest.raises(IndexError):
+            channel.rail_name(5)
+
+    def test_transitions_per_handshake_constant(self):
+        """The security property of Section II: 2 transitions per handshake
+        regardless of the transmitted value."""
+        for radix in (2, 3, 4, 8):
+            assert one_of_n("c", radix).transitions_per_handshake() == 2
+
+    def test_declare_annotates_netlist(self):
+        netlist = Netlist("top")
+        nets = dual_rail("q").declare(netlist, block="blk")
+        assert netlist.net("q_r0").channel == "q"
+        assert netlist.net("q_r1").rail == 1
+        assert nets.ack == "q_ack"
+
+    @given(st.integers(min_value=2, max_value=16), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_encode_is_one_hot(self, radix, data):
+        """Property: every valid codeword has exactly one rail high."""
+        channel = one_of_n("p", radix)
+        value = data.draw(st.integers(min_value=0, max_value=radix - 1))
+        rails = channel.encode(value)
+        assert sum(1 for r in rails if r is Logic.HIGH) == 1
+        assert channel.decode(rails) == value
+
+
+class TestBusSpec:
+    def test_width_and_channels(self):
+        bus = BusSpec("w", 8)
+        assert len(bus) == 8
+        assert bus.channel(3).name == "w_b3"
+        with pytest.raises(IndexError):
+            bus.channel(8)
+
+    def test_word_roundtrip(self):
+        bus = BusSpec("w", 16)
+        rails = bus.encode_word(0xBEEF)
+        assert bus.decode_word(rails) == 0xBEEF
+
+    def test_null_word(self):
+        bus = BusSpec("w", 4)
+        assert bus.decode_word(bus.encode_word(None)) is None
+
+    def test_word_out_of_range(self):
+        with pytest.raises(EncodingError):
+            BusSpec("w", 4).encode_word(16)
+
+    def test_partially_valid_rejected(self):
+        bus = BusSpec("w", 2)
+        rails = bus.encode_word(1)
+        rails[1] = (Logic.LOW, Logic.LOW)
+        with pytest.raises(EncodingError):
+            bus.decode_word(rails)
+
+    def test_declare(self):
+        netlist = Netlist("top")
+        channels = BusSpec("bus", 4).declare(netlist)
+        assert len(channels) == 4
+        assert netlist.net("bus_b2_r1").channel == "bus_b2"
+
+    @given(st.integers(min_value=1, max_value=24), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_word_roundtrip_property(self, width, data):
+        bus = BusSpec("w", width)
+        value = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        assert bus.decode_word(bus.encode_word(value)) == value
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            BusSpec("w", 0)

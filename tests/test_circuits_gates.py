@@ -1,0 +1,112 @@
+"""Tests of the QDI cell library gate behaviours."""
+
+import pytest
+
+from repro.circuits import DEFAULT_LIBRARY, Logic, default_library
+from repro.circuits.gates import CellLibrary, GateType
+
+
+def _eval(cell_name, previous=Logic.LOW, **pins):
+    cell = DEFAULT_LIBRARY.get(cell_name)
+    values = {pin: (Logic.HIGH if level else Logic.LOW) for pin, level in pins.items()}
+    return cell.compute(values, previous)
+
+
+class TestCombinationalCells:
+    def test_inverter(self):
+        assert _eval("INV", A=0) is Logic.HIGH
+        assert _eval("INV", A=1) is Logic.LOW
+
+    def test_buffer(self):
+        assert _eval("BUF", A=1) is Logic.HIGH
+        assert _eval("BUF", A=0) is Logic.LOW
+
+    @pytest.mark.parametrize("a,b,expected", [(0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 1)])
+    def test_and2(self, a, b, expected):
+        assert _eval("AND2", A=a, B=b) is (Logic.HIGH if expected else Logic.LOW)
+
+    @pytest.mark.parametrize("a,b,expected", [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 1)])
+    def test_or2(self, a, b, expected):
+        assert _eval("OR2", A=a, B=b) is (Logic.HIGH if expected else Logic.LOW)
+
+    @pytest.mark.parametrize("a,b,expected", [(0, 0, 1), (0, 1, 0), (1, 0, 0), (1, 1, 0)])
+    def test_nor2(self, a, b, expected):
+        assert _eval("NOR2", A=a, B=b) is (Logic.HIGH if expected else Logic.LOW)
+
+    @pytest.mark.parametrize("a,b,expected", [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)])
+    def test_xor2(self, a, b, expected):
+        assert _eval("XOR2", A=a, B=b) is (Logic.HIGH if expected else Logic.LOW)
+
+    def test_or3_or4(self):
+        assert _eval("OR3", A=0, B=0, C=0) is Logic.LOW
+        assert _eval("OR3", A=0, B=1, C=0) is Logic.HIGH
+        assert _eval("OR4", A=0, B=0, C=0, D=1) is Logic.HIGH
+        assert _eval("NOR4", A=0, B=0, C=0, D=0) is Logic.HIGH
+
+
+class TestMullerGates:
+    """The C-element truth table of Fig. 5: Z = XY + Z(X + Y)."""
+
+    def test_all_high_sets_output(self):
+        assert _eval("MULLER2", previous=Logic.LOW, A=1, B=1) is Logic.HIGH
+
+    def test_all_low_clears_output(self):
+        assert _eval("MULLER2", previous=Logic.HIGH, A=0, B=0) is Logic.LOW
+
+    @pytest.mark.parametrize("previous", [Logic.LOW, Logic.HIGH])
+    @pytest.mark.parametrize("a,b", [(0, 1), (1, 0)])
+    def test_disagreement_holds_state(self, previous, a, b):
+        assert _eval("MULLER2", previous=previous, A=a, B=b) is previous
+
+    def test_muller3(self):
+        assert _eval("MULLER3", A=1, B=1, C=1) is Logic.HIGH
+        assert _eval("MULLER3", previous=Logic.HIGH, A=1, B=1, C=0) is Logic.HIGH
+        assert _eval("MULLER3", previous=Logic.HIGH, A=0, B=0, C=0) is Logic.LOW
+
+    def test_reset_dominates(self):
+        assert _eval("MULLER2_R", previous=Logic.HIGH, A=1, B=1, RST=1) is Logic.LOW
+        assert _eval("MULLER2_R", previous=Logic.LOW, A=1, B=1, RST=0) is Logic.HIGH
+        assert _eval("MULLER2_R", previous=Logic.HIGH, A=1, B=0, RST=0) is Logic.HIGH
+
+    def test_set_version(self):
+        assert _eval("MULLER2_S", previous=Logic.LOW, A=0, B=0, SETN=0) is Logic.HIGH
+        assert _eval("MULLER2_S", previous=Logic.HIGH, A=0, B=0, SETN=1) is Logic.LOW
+
+    def test_sequential_flag(self):
+        assert DEFAULT_LIBRARY.get("MULLER2").is_sequential
+        assert not DEFAULT_LIBRARY.get("OR2").is_sequential
+
+
+class TestCellLibrary:
+    def test_default_library_contents(self):
+        library = default_library()
+        for name in ("INV", "BUF", "AND2", "OR2", "NOR2", "XOR2",
+                     "MULLER2", "MULLER3", "MULLER2_R"):
+            assert name in library
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            DEFAULT_LIBRARY.get("NO_SUCH_CELL")
+
+    def test_duplicate_registration_rejected(self):
+        library = CellLibrary()
+        cell = DEFAULT_LIBRARY.get("INV")
+        library.add(cell)
+        with pytest.raises(ValueError):
+            library.add(cell)
+
+    def test_pin_names_include_output(self):
+        cell = DEFAULT_LIBRARY.get("MULLER2_R")
+        assert set(cell.pin_names) == {"A", "B", "RST", "Z"}
+
+    def test_electrical_parameters_positive(self):
+        for cell in DEFAULT_LIBRARY:
+            assert cell.input_cap_ff > 0
+            assert cell.parasitic_cap_ff > 0
+            assert cell.drive_ohm > 0
+            assert cell.area_um2 > 0
+
+    def test_names_sorted(self):
+        names = DEFAULT_LIBRARY.names()
+        assert names == sorted(names)
+        assert len(DEFAULT_LIBRARY) == len(names)

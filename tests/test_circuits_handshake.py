@@ -1,0 +1,124 @@
+"""Tests of the four-phase handshake environment processes."""
+
+import pytest
+
+from repro.circuits import (
+    ChannelMonitor,
+    FourPhaseConsumer,
+    FourPhaseProducer,
+    Logic,
+    Netlist,
+    ProtocolError,
+    ResetPulse,
+    Simulator,
+    build_dual_rail_xor,
+    build_half_buffer,
+    dual_rail,
+)
+
+
+class TestResetPulse:
+    def test_pulse_shape(self):
+        netlist = Netlist("rst")
+        netlist.add_input("reset")
+        netlist.add_instance("b", "BUF", {"A": "reset", "Z": "out"})
+        sim = Simulator(netlist)
+        sim.add_process(ResetPulse("reset", duration=1e-9))
+        trace = sim.settle()
+        reset_events = trace.transitions_for("reset")
+        assert [t.value for t in reset_events] == [Logic.HIGH, Logic.LOW]
+        assert reset_events[1].time == pytest.approx(1e-9)
+
+
+class TestProducerConsumerOnXor:
+    def test_four_phase_sequencing(self):
+        """Producer rails and block acknowledge follow the Fig. 2 sequence."""
+        xor = build_dual_rail_xor("x")
+        sim = Simulator(xor.netlist)
+        producer_a = FourPhaseProducer(xor.inputs[0], xor.ack_out, [1])
+        producer_b = FourPhaseProducer(xor.inputs[1], xor.ack_out, [0])
+        consumer = FourPhaseConsumer(xor.outputs[0], ack_net=xor.ack_in,
+                                     ack_active_high=False)
+        for process in (producer_a, producer_b, consumer):
+            sim.add_process(process)
+        trace = sim.settle()
+
+        assert producer_a.done and producer_b.done
+        assert consumer.received == [1]
+        ack_events = trace.transitions_for(xor.ack_out)
+        # The completion signal rises once (data valid) and falls once (RTZ).
+        assert [t.value for t in ack_events] == [Logic.HIGH, Logic.LOW]
+        # Return-to-zero happens after the acknowledge rose.
+        rail = xor.inputs[0].rails[1]
+        rail_events = trace.transitions_for(rail)
+        assert rail_events[0].value is Logic.HIGH
+        assert rail_events[1].value is Logic.LOW
+        assert rail_events[1].time > ack_events[0].time
+
+    def test_producer_sends_all_values_in_order(self):
+        xor = build_dual_rail_xor("x")
+        sim = Simulator(xor.netlist)
+        values_a = [0, 1, 1, 0, 1]
+        values_b = [1, 1, 0, 0, 1]
+        producer_a = FourPhaseProducer(xor.inputs[0], xor.ack_out, values_a)
+        producer_b = FourPhaseProducer(xor.inputs[1], xor.ack_out, values_b)
+        consumer = FourPhaseConsumer(xor.outputs[0], ack_net=xor.ack_in,
+                                     ack_active_high=False)
+        for process in (producer_a, producer_b, consumer):
+            sim.add_process(process)
+        sim.settle()
+        assert producer_a.sent == values_a
+        assert producer_a.remaining == 0
+        assert consumer.received == [a ^ b for a, b in zip(values_a, values_b)]
+
+    def test_monitor_observes_without_driving(self):
+        xor = build_dual_rail_xor("x")
+        sim = Simulator(xor.netlist)
+        monitor = ChannelMonitor(xor.outputs[0])
+        sim.add_process(FourPhaseProducer(xor.inputs[0], xor.ack_out, [1, 0]))
+        sim.add_process(FourPhaseProducer(xor.inputs[1], xor.ack_out, [1, 1]))
+        sim.add_process(FourPhaseConsumer(xor.outputs[0], ack_net=xor.ack_in,
+                                          ack_active_high=False))
+        sim.add_process(monitor)
+        sim.settle()
+        assert monitor.observed == [0, 1]
+
+
+class TestHalfBufferPipeline:
+    def test_half_buffer_forwards_tokens(self):
+        hb = build_half_buffer("h")
+        sim = Simulator(hb.netlist)
+        producer = FourPhaseProducer(hb.inputs[0], hb.ack_out, [1, 0, 1])
+        consumer = FourPhaseConsumer(hb.outputs[0], ack_net=hb.ack_in,
+                                     ack_active_high=False)
+        sim.add_process(producer)
+        sim.add_process(consumer)
+        sim.settle()
+        assert consumer.received == [1, 0, 1]
+        assert producer.done
+
+
+class TestConsumerProtocolChecks:
+    def test_illegal_codeword_raises(self):
+        netlist = Netlist("glitchy")
+        channel = dual_rail("c").declare(netlist)
+        netlist.add_net("c_ack")
+        sim = Simulator(netlist)
+        consumer = FourPhaseConsumer(channel, ack_net="c_ack")
+        sim.add_process(consumer)
+        sim.schedule_drive("c_r0", Logic.HIGH, 1e-9)
+        sim.schedule_drive("c_r1", Logic.HIGH, 2e-9)
+        with pytest.raises(ProtocolError):
+            sim.settle()
+
+    def test_active_high_consumer_idles_low(self):
+        netlist = Netlist("idle")
+        channel = dual_rail("c").declare(netlist)
+        sim = Simulator(netlist)
+        consumer = FourPhaseConsumer(channel)
+        sim.add_process(consumer)
+        sim.schedule_drive("c_r1", Logic.HIGH, 1e-9)
+        sim.schedule_drive("c_r1", Logic.LOW, 3e-9)
+        sim.settle()
+        assert consumer.received == [1]
+        assert sim.value(channel.ack) is Logic.LOW

@@ -1,0 +1,153 @@
+"""Tests of the QDI cell builders: dual-rail XOR/AND/OR, half buffer, XOR bank."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    BalanceError,
+    build_completion_tree,
+    build_dual_rail_and2,
+    build_dual_rail_or2,
+    build_dual_rail_xor,
+    build_half_buffer,
+    build_xor_bank,
+    check_constant_transition_count,
+    check_one_hot_discipline,
+    check_structural_balance,
+    simulate_two_operand_block,
+)
+from repro.circuits.builder import BlockBuilder
+from repro.circuits.netlist import Netlist
+
+ALL_PAIRS = [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+class TestDualRailXor:
+    def test_structure_matches_fig5(self):
+        """Fig. 5: 9 gates over 4 levels (4 Muller, 2 OR, 2 Cr, 1 completion)."""
+        xor = build_dual_rail_xor("x")
+        assert xor.netlist.instance_count == 9
+        assert xor.depth == 4
+        assert xor.gates_per_level() == {1: 4, 2: 2, 3: 2, 4: 1}
+
+    def test_truth_table(self):
+        xor = build_dual_rail_xor("x")
+        result = simulate_two_operand_block(xor, ALL_PAIRS)
+        assert result.outputs[0] == [a ^ b for a, b in ALL_PAIRS]
+
+    def test_constant_transition_count(self):
+        """Balance property of Section II: same transition count for any data."""
+        xor = build_dual_rail_xor("x")
+        count = check_constant_transition_count(xor, ALL_PAIRS)
+        assert count == 8  # 4 gates switching, evaluation + return-to-zero
+
+    def test_structural_balance(self):
+        assert check_structural_balance(build_dual_rail_xor("x")) == []
+
+    def test_one_hot_discipline_respected(self):
+        xor = build_dual_rail_xor("x")
+        result = simulate_two_operand_block(xor, ALL_PAIRS)
+        assert check_one_hot_discipline(result.trace, xor.outputs[0]) == []
+
+    def test_default_net_capacitance_applied(self):
+        xor = build_dual_rail_xor("x", default_net_cap_ff=8.0)
+        caps = xor.level_caps()
+        assert all(cap == pytest.approx(8.0) for cap in caps.values())
+
+    def test_set_level_cap(self):
+        xor = build_dual_rail_xor("x")
+        xor.set_level_cap(3, 1, 16.0)
+        assert xor.netlist.net(xor.net_at(3, 1)).routing_cap_ff == pytest.approx(16.0)
+        with pytest.raises(KeyError):
+            xor.net_at(5, 1)
+
+    def test_grid_positions_match_rails(self):
+        xor = build_dual_rail_xor("x")
+        c0, c1 = xor.outputs[0].rails
+        assert xor.instance_at(3, 1) in xor.rail_cones[c0]
+        assert xor.instance_at(3, 2) in xor.rail_cones[c1]
+
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                    min_size=1, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_xor_function_property(self, pairs):
+        xor = build_dual_rail_xor("x")
+        result = simulate_two_operand_block(xor, pairs)
+        assert result.outputs[0] == [a ^ b for a, b in pairs]
+
+
+class TestOtherCells:
+    def test_and2_truth_table(self):
+        block = build_dual_rail_and2("a")
+        result = simulate_two_operand_block(block, ALL_PAIRS)
+        assert result.outputs[0] == [a & b for a, b in ALL_PAIRS]
+
+    def test_or2_truth_table(self):
+        block = build_dual_rail_or2("o")
+        result = simulate_two_operand_block(block, ALL_PAIRS)
+        assert result.outputs[0] == [a | b for a, b in ALL_PAIRS]
+
+    def test_and2_balanced_transition_count(self):
+        block = build_dual_rail_and2("a")
+        assert check_constant_transition_count(block, ALL_PAIRS) == 8
+
+    def test_or2_balanced_transition_count(self):
+        block = build_dual_rail_or2("o")
+        assert check_constant_transition_count(block, ALL_PAIRS) == 8
+
+    def test_half_buffer_structure(self):
+        hb = build_half_buffer("h")
+        assert hb.depth == 2
+        assert hb.gates_per_level() == {1: 2, 2: 1}
+
+    def test_half_buffer_radix_4(self):
+        hb = build_half_buffer("h4", radix=4)
+        assert len(hb.outputs[0].rails) == 4
+        assert hb.gates_per_level()[1] == 4
+
+    def test_half_buffer_bad_radix(self):
+        with pytest.raises(ValueError):
+            build_half_buffer("bad", radix=7)
+
+
+class TestCompletionTree:
+    def test_single_input_passthrough(self):
+        netlist = Netlist("cd")
+        builder = BlockBuilder(netlist, "cd")
+        valid = builder.net("v0")
+        tree = build_completion_tree(builder, [valid])
+        assert tree.output == valid
+        assert tree.instances == []
+
+    def test_tree_depth(self):
+        netlist = Netlist("cd")
+        builder = BlockBuilder(netlist, "cd")
+        nets = [builder.net(f"v{i}") for i in range(8)]
+        tree = build_completion_tree(builder, nets)
+        assert tree.depth == 3
+        assert len(tree.instances) == 7
+
+    def test_empty_rejected(self):
+        netlist = Netlist("cd")
+        builder = BlockBuilder(netlist, "cd")
+        with pytest.raises(ValueError):
+            build_completion_tree(builder, [])
+
+
+class TestXorBank:
+    def test_width_and_structure(self):
+        bank = build_xor_bank(4, "w")
+        assert bank.width == 4
+        # 9 gates per bit plus 3 completion Muller gates.
+        assert bank.netlist.instance_count == 4 * 9 + 3
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            build_xor_bank(0)
+
+    def test_channels_accessible(self):
+        bank = build_xor_bank(3, "w")
+        assert len(bank.input_channels(0)) == 3
+        assert len(bank.output_channels()) == 3
+        assert bank.bit(1).name == "w_bit1"

@@ -1,0 +1,138 @@
+"""Tests of the structural netlist representation."""
+
+import pytest
+
+from repro.circuits import Netlist, NetlistError, PortDirection
+
+
+def _small_netlist():
+    netlist = Netlist("small")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_output("y")
+    netlist.add_instance("g1", "AND2", {"A": "a", "B": "b", "Z": "n1"})
+    netlist.add_instance("g2", "INV", {"A": "n1", "Z": "y"})
+    return netlist
+
+
+class TestStructure:
+    def test_counts(self):
+        netlist = _small_netlist()
+        assert netlist.instance_count == 2
+        assert netlist.net_count == 4
+
+    def test_driver_and_sinks(self):
+        netlist = _small_netlist()
+        n1 = netlist.net("n1")
+        assert n1.driver.instance == "g1"
+        assert [s.instance for s in n1.sinks] == ["g2"]
+        assert n1.fanout == 1
+
+    def test_duplicate_instance_rejected(self):
+        netlist = _small_netlist()
+        with pytest.raises(NetlistError):
+            netlist.add_instance("g1", "INV", {"A": "a", "Z": "z2"})
+
+    def test_double_driver_rejected(self):
+        netlist = _small_netlist()
+        with pytest.raises(NetlistError):
+            netlist.add_instance("g3", "INV", {"A": "a", "Z": "n1"})
+
+    def test_missing_pin_rejected(self):
+        netlist = Netlist("bad")
+        with pytest.raises(NetlistError):
+            netlist.add_instance("g", "AND2", {"A": "a", "Z": "z"})
+
+    def test_unknown_pin_rejected(self):
+        netlist = Netlist("bad")
+        with pytest.raises(NetlistError):
+            netlist.add_instance("g", "INV", {"A": "a", "Q": "q", "Z": "z"})
+
+    def test_unknown_net_raises(self):
+        netlist = _small_netlist()
+        with pytest.raises(NetlistError):
+            netlist.net("nope")
+
+    def test_fanin_fanout(self):
+        netlist = _small_netlist()
+        assert [i.name for i in netlist.fanout_of("g1")] == ["g2"]
+        assert [i.name for i in netlist.fanin_of("g2")] == ["g1"]
+
+    def test_ports(self):
+        netlist = _small_netlist()
+        assert set(netlist.input_nets()) == {"a", "b"}
+        assert netlist.output_nets() == ["y"]
+        assert netlist.port("a").direction is PortDirection.INPUT
+
+    def test_validate_clean(self):
+        assert _small_netlist().validate() == []
+
+    def test_validate_detects_undriven_output(self):
+        netlist = Netlist("bad")
+        netlist.add_output("y")
+        problems = netlist.validate()
+        assert any("undriven" in p for p in problems)
+
+    def test_validate_detects_missing_driver(self):
+        netlist = Netlist("bad")
+        netlist.add_instance("g", "INV", {"A": "floating", "Z": "z"})
+        problems = netlist.validate()
+        assert any("floating" in p for p in problems)
+
+
+class TestElectrical:
+    def test_pin_cap_sums_fanout(self):
+        netlist = _small_netlist()
+        inv_cap = netlist.library.get("INV").input_cap_ff
+        assert netlist.pin_cap_ff("n1") == pytest.approx(inv_cap)
+
+    def test_total_cap_includes_driver_parasitics(self):
+        netlist = _small_netlist()
+        netlist.set_routing_cap("n1", 5.0)
+        and2 = netlist.library.get("AND2")
+        inv = netlist.library.get("INV")
+        expected = 5.0 + inv.input_cap_ff + and2.parasitic_cap_ff + and2.short_circuit_cap_ff
+        assert netlist.total_cap_ff("n1") == pytest.approx(expected)
+
+    def test_load_cap_excludes_driver(self):
+        netlist = _small_netlist()
+        netlist.set_routing_cap("n1", 2.0)
+        inv = netlist.library.get("INV")
+        assert netlist.load_cap_ff("n1") == pytest.approx(2.0 + inv.input_cap_ff)
+
+    def test_negative_cap_rejected(self):
+        netlist = _small_netlist()
+        with pytest.raises(ValueError):
+            netlist.set_routing_cap("n1", -1.0)
+
+    def test_total_area(self):
+        netlist = _small_netlist()
+        expected = (netlist.library.get("AND2").area_um2
+                    + netlist.library.get("INV").area_um2)
+        assert netlist.total_area_um2() == pytest.approx(expected)
+
+
+class TestBlocksAndChannels:
+    def test_blocks_listing(self):
+        netlist = Netlist("blocks")
+        netlist.add_instance("x/g", "INV", {"A": "a", "Z": "b"}, block="x")
+        netlist.add_instance("y/g", "INV", {"A": "b", "Z": "c"}, block="y")
+        assert netlist.blocks() == ["x", "y"]
+        assert [i.name for i in netlist.instances_in_block("x")] == ["x/g"]
+
+    def test_channel_grouping(self):
+        netlist = Netlist("chan")
+        netlist.add_net("d_r0", channel="d", rail=0)
+        netlist.add_net("d_r1", channel="d", rail=1)
+        netlist.add_net("plain")
+        channels = netlist.channels()
+        assert list(channels) == ["d"]
+        assert [n.name for n in channels["d"]] == ["d_r0", "d_r1"]
+
+    def test_merge_with_prefix(self):
+        base = Netlist("base")
+        other = _small_netlist()
+        base.merge(other, prefix="u0/")
+        assert base.instance("u0/g1").cell == "AND2"
+        assert base.has_net("u0/n1")
+        assert base.instance_count == 2

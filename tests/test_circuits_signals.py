@@ -1,0 +1,94 @@
+"""Tests of logic values, transitions and trace records."""
+
+import pytest
+
+from repro.circuits import Logic, TraceRecord, Transition, TransitionKind
+
+
+class TestLogic:
+    def test_invert(self):
+        assert ~Logic.HIGH is Logic.LOW
+        assert ~Logic.LOW is Logic.HIGH
+
+    def test_predicates(self):
+        assert Logic.HIGH.is_high and not Logic.HIGH.is_low
+        assert Logic.LOW.is_low and not Logic.LOW.is_high
+
+    def test_int_values(self):
+        assert int(Logic.LOW) == 0
+        assert int(Logic.HIGH) == 1
+
+
+class TestTransitionKind:
+    def test_rising(self):
+        assert TransitionKind.from_values(Logic.LOW, Logic.HIGH) is TransitionKind.RISING
+
+    def test_falling(self):
+        assert TransitionKind.from_values(Logic.HIGH, Logic.LOW) is TransitionKind.FALLING
+
+    def test_no_transition_raises(self):
+        with pytest.raises(ValueError):
+            TransitionKind.from_values(Logic.HIGH, Logic.HIGH)
+
+
+def _transition(net, time, rising=True, cause=None, level=0):
+    return Transition(
+        net=net,
+        time=time,
+        value=Logic.HIGH if rising else Logic.LOW,
+        kind=TransitionKind.RISING if rising else TransitionKind.FALLING,
+        cause=cause,
+        level=level,
+    )
+
+
+class TestTraceRecord:
+    def test_add_updates_end_time(self):
+        trace = TraceRecord()
+        trace.add(_transition("a", 1e-9))
+        trace.add(_transition("b", 3e-9))
+        trace.add(_transition("c", 2e-9))
+        assert trace.end_time == pytest.approx(3e-9)
+        assert len(trace) == 3
+
+    def test_transitions_for_filters_by_net(self):
+        trace = TraceRecord()
+        trace.add(_transition("a", 1e-9))
+        trace.add(_transition("b", 2e-9))
+        trace.add(_transition("a", 3e-9, rising=False))
+        assert len(trace.transitions_for("a")) == 2
+        assert trace.transitions_for("missing") == []
+
+    def test_count_by_kind(self):
+        trace = TraceRecord()
+        trace.add(_transition("a", 1e-9, rising=True))
+        trace.add(_transition("a", 2e-9, rising=False))
+        trace.add(_transition("b", 3e-9, rising=True))
+        assert trace.count() == 3
+        assert trace.count(TransitionKind.RISING) == 2
+        assert trace.count(TransitionKind.FALLING) == 1
+
+    def test_nets_toggled(self):
+        trace = TraceRecord()
+        trace.add(_transition("x", 1e-9))
+        trace.add(_transition("y", 2e-9))
+        assert trace.nets_toggled() == {"x", "y"}
+
+    def test_window(self):
+        trace = TraceRecord()
+        for index in range(5):
+            trace.add(_transition("n", index * 1e-9))
+        window = trace.window(1e-9, 3e-9)
+        assert len(window) == 2
+        assert all(1e-9 <= t.time < 3e-9 for t in window)
+
+    def test_iteration(self):
+        trace = TraceRecord()
+        trace.add(_transition("a", 1e-9))
+        assert [t.net for t in trace] == ["a"]
+
+    def test_transition_properties(self):
+        rising = _transition("a", 0.0, rising=True)
+        falling = _transition("a", 0.0, rising=False)
+        assert rising.is_rising and not rising.is_falling
+        assert falling.is_falling and not falling.is_rising

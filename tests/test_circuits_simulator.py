@@ -1,0 +1,124 @@
+"""Tests of the event-driven simulator and its capacitance-dependent delays."""
+
+import pytest
+
+from repro.circuits import (
+    DelayModel,
+    Logic,
+    Netlist,
+    SimulationError,
+    Simulator,
+    settle_combinational,
+)
+
+
+def _chain_netlist():
+    """a -> INV -> n1 -> INV -> y"""
+    netlist = Netlist("chain")
+    netlist.add_input("a")
+    netlist.add_output("y")
+    netlist.add_instance("i1", "INV", {"A": "a", "Z": "n1"})
+    netlist.add_instance("i2", "INV", {"A": "n1", "Z": "y"})
+    return netlist
+
+
+class TestSimulatorBasics:
+    def test_initial_state_all_low(self):
+        sim = Simulator(_chain_netlist())
+        assert sim.value("a") is Logic.LOW
+        assert sim.value("y") is Logic.LOW
+
+    def test_combinational_propagation(self):
+        netlist = _chain_netlist()
+        values = settle_combinational(netlist, {"a": Logic.HIGH})
+        assert values["n1"] is Logic.LOW
+        assert values["y"] is Logic.HIGH
+
+    def test_settle_reaches_quiescence(self):
+        sim = Simulator(_chain_netlist())
+        sim.drive_input("a", Logic.HIGH)
+        sim.settle()
+        assert sim.is_quiescent()
+        assert sim.value("y") is Logic.HIGH
+
+    def test_trace_records_only_changes(self):
+        sim = Simulator(_chain_netlist())
+        sim.drive_input("a", Logic.HIGH)
+        sim.drive_input("a", Logic.HIGH, time=1e-9)  # no change the second time
+        trace = sim.settle()
+        assert len(trace.transitions_for("a")) == 1
+
+    def test_unknown_net_rejected(self):
+        sim = Simulator(_chain_netlist())
+        with pytest.raises(SimulationError):
+            sim.drive_input("missing", Logic.HIGH)
+
+    def test_past_event_rejected(self):
+        sim = Simulator(_chain_netlist())
+        sim.drive_input("a", Logic.HIGH, time=5e-9)
+        sim.settle()
+        with pytest.raises(SimulationError):
+            sim.drive_input("a", Logic.LOW, time=1e-9)
+
+    def test_run_until_stops_early(self):
+        sim = Simulator(_chain_netlist())
+        sim.drive_input("a", Logic.HIGH, time=10e-9)
+        sim.run(until=1e-9)
+        assert sim.value("a") is Logic.LOW
+        assert sim.pending_events() == 1
+
+    def test_oscillation_detected(self):
+        netlist = Netlist("ring")
+        netlist.add_instance("i1", "INV", {"A": "b", "Z": "a"})
+        netlist.add_instance("i2", "BUF", {"A": "a", "Z": "b"})
+        sim = Simulator(netlist)
+        sim.schedule_drive("a", Logic.HIGH)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=500)
+
+    def test_level_annotation_copied_to_trace(self):
+        netlist = _chain_netlist()
+        sim = Simulator(netlist)
+        sim.set_levels({"i1": 1, "i2": 2})
+        sim.settle()  # reach the quiescent state (n1 high, y low)
+        sim.drive_input("a", Logic.HIGH, time=1e-9)
+        trace = sim.settle()
+        levels = {t.net: t.level for t in trace if t.cause is not None and t.time > 1e-9}
+        assert levels["n1"] == 1
+        assert levels["y"] == 2
+
+
+class TestDelayModel:
+    def test_delay_grows_with_capacitance(self):
+        netlist = _chain_netlist()
+        model = DelayModel()
+        cell = netlist.library.get("INV")
+        small = model.gate_delay(netlist, cell, "n1")
+        netlist.set_routing_cap("n1", 50.0)
+        large = model.gate_delay(netlist, cell, "n1")
+        assert large > small
+
+    def test_transition_time_scales_with_cap(self):
+        netlist = _chain_netlist()
+        model = DelayModel()
+        netlist.set_routing_cap("n1", 8.0)
+        base = model.transition_time(netlist, "n1")
+        netlist.set_routing_cap("n1", 16.0)
+        assert model.transition_time(netlist, "n1") > base
+
+    def test_heavier_output_delays_downstream_transition(self):
+        """The Fig. 7 mechanism: a heavier net shifts all downstream events."""
+        light = _chain_netlist()
+        heavy = _chain_netlist()
+        light.set_routing_cap("n1", 8.0)
+        heavy.set_routing_cap("n1", 32.0)
+
+        def output_time(netlist):
+            sim = Simulator(netlist)
+            sim.settle()  # quiescent state: n1 high, y low
+            sim.drive_input("a", Logic.HIGH, time=1e-9)
+            trace = sim.settle()
+            rises = [t for t in trace.transitions_for("y") if t.time > 1e-9]
+            return rises[0].time
+
+        assert output_time(heavy) > output_time(light)

@@ -1,0 +1,106 @@
+"""Tests of the channel dissymmetry criterion of Section VI."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Netlist, build_xor_bank
+from repro.core import (
+    CriterionError,
+    channel_dissymmetry,
+    compare_reports,
+    evaluate_capacitance_map,
+    evaluate_netlist_channels,
+)
+
+
+class TestChannelDissymmetry:
+    def test_paper_definition(self):
+        """d_A = |Cl0 - Cl1| / min(Cl0, Cl1)."""
+        assert channel_dissymmetry([20.0, 45.0]) == pytest.approx(25.0 / 20.0)
+        assert channel_dissymmetry([46.0, 23.0]) == pytest.approx(1.0)
+
+    def test_balanced_channel_is_zero(self):
+        assert channel_dissymmetry([12.0, 12.0]) == pytest.approx(0.0)
+
+    def test_one_of_n_uses_spread(self):
+        assert channel_dissymmetry([10.0, 12.0, 20.0]) == pytest.approx(1.0)
+
+    def test_zero_capacitance_gives_infinity(self):
+        assert channel_dissymmetry([0.0, 5.0]) == float("inf")
+        assert channel_dissymmetry([0.0, 0.0]) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(CriterionError):
+            channel_dissymmetry([5.0])
+        with pytest.raises(CriterionError):
+            channel_dissymmetry([-1.0, 2.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1000.0), min_size=2, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_nonnegative_property(self, caps):
+        assert channel_dissymmetry(caps) >= 0.0
+
+    @given(st.floats(min_value=0.1, max_value=100.0),
+           st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry_property(self, a, b):
+        assert channel_dissymmetry([a, b]) == pytest.approx(channel_dissymmetry([b, a]))
+
+    @given(st.floats(min_value=0.1, max_value=100.0),
+           st.floats(min_value=0.1, max_value=100.0),
+           st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_scale_invariance_property(self, a, b, scale):
+        """The criterion is a ratio: scaling both rails leaves it unchanged."""
+        assert channel_dissymmetry([a * scale, b * scale]) == pytest.approx(
+            channel_dissymmetry([a, b]), rel=1e-6
+        )
+
+
+class TestReports:
+    def test_capacitance_map_report(self):
+        report = evaluate_capacitance_map({
+            "core/hb_b25": [23.0, 46.0],
+            "core/dmux_b6": [103.0, 110.0],
+            "key/fifo_b3": [30.0, 30.0],
+        }, design_name="AES_v2")
+        assert len(report) == 3
+        assert report.max_dissymmetry == pytest.approx(1.0)
+        worst = report.worst(1)[0]
+        assert worst.channel == "core/hb_b25"
+        assert worst.bit == 25
+        assert report.channels_above(0.5)[0].channel == "core/hb_b25"
+        assert not report.meets_bound(0.13)
+
+    def test_netlist_report_uses_channel_annotations(self):
+        bank = build_xor_bank(4, "w")
+        report = evaluate_netlist_channels(bank.netlist)
+        # Every bit XOR exposes three boundary channels (a, b, c).
+        assert len(report) == 12
+        assert all(len(c.rail_caps_ff) == 2 for c in report.channels)
+
+    def test_report_detects_injected_imbalance(self):
+        bank = build_xor_bank(2, "w")
+        target = bank.bit(0).outputs[0]
+        bank.netlist.set_routing_cap(target.rails[0], 50.0)
+        report = evaluate_netlist_channels(bank.netlist)
+        assert report.worst(1)[0].channel == target.name
+
+    def test_empty_netlist_report(self):
+        report = evaluate_netlist_channels(Netlist("empty"))
+        assert len(report) == 0
+        assert report.max_dissymmetry == 0.0
+        assert report.mean_dissymmetry == 0.0
+        assert report.meets_bound(0.0)
+
+    def test_table_rendering(self):
+        report = evaluate_capacitance_map({"a_b0": [10.0, 30.0]}, design_name="X")
+        table = report.as_table()
+        assert "a_b0" in table and "2.00" in table
+
+    def test_compare_reports_renders_both(self):
+        flat = evaluate_capacitance_map({"c_b0": [10.0, 30.0]}, design_name="flat")
+        hier = evaluate_capacitance_map({"c_b0": [10.0, 11.0]}, design_name="hier")
+        text = compare_reports(flat, hier)
+        assert "flat" in text and "hier" in text

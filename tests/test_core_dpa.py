@@ -1,0 +1,194 @@
+"""Tests of the DPA machinery (equations (7)-(9)) on synthetic traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AesSboxSelection,
+    AesAddRoundKeySelection,
+    DPAError,
+    TraceSet,
+    dpa_attack,
+    dpa_bias,
+    messages_to_disclosure,
+    partition_by_values,
+    partition_traces,
+    selection_bits,
+)
+from repro.crypto import SBOX
+from repro.crypto.keys import PlaintextGenerator, bit_of
+from repro.electrical import Waveform
+
+SECRET_KEY_BYTE = 0x3C
+LEAK_SAMPLE = 25
+TRACE_LENGTH = 60
+
+
+def _leaky_trace(plaintext, *, leak_delta, noise_sigma, rng, selection_value):
+    """A synthetic trace leaking ``selection_value`` at LEAK_SAMPLE."""
+    samples = rng.normal(0.0, noise_sigma, TRACE_LENGTH)
+    samples[LEAK_SAMPLE] += leak_delta * selection_value
+    return Waveform(samples, 1e-9, 0.0)
+
+
+def _build_trace_set(count, *, leak_delta=1e-4, noise_sigma=1e-5, seed=0,
+                     bit_index=0):
+    """Traces leaking the first-round SubBytes output bit of byte 0."""
+    rng = np.random.default_rng(seed)
+    plaintexts = PlaintextGenerator(seed=seed + 1).batch(count)
+    traces = TraceSet()
+    for plaintext in plaintexts:
+        value = bit_of(SBOX[plaintext[0] ^ SECRET_KEY_BYTE], bit_index)
+        traces.add(_leaky_trace(plaintext, leak_delta=leak_delta,
+                                noise_sigma=noise_sigma, rng=rng,
+                                selection_value=value), plaintext)
+    return traces
+
+
+class TestTraceSet:
+    def test_add_and_len(self):
+        traces = _build_trace_set(10)
+        assert len(traces) == 10
+        assert traces[0].waveform.dt == pytest.approx(1e-9)
+
+    def test_matrix_shape(self):
+        traces = _build_trace_set(8)
+        assert traces.matrix().shape == (8, TRACE_LENGTH)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(DPAError):
+            TraceSet().matrix()
+        with pytest.raises(DPAError):
+            dpa_attack(TraceSet(), AesSboxSelection())
+
+    def test_subset(self):
+        traces = _build_trace_set(10)
+        assert len(traces.subset(4)) == 4
+
+
+class TestPartitioning:
+    def test_equation_7_partition_sizes(self):
+        traces = _build_trace_set(64)
+        selection = AesSboxSelection(byte_index=0, bit_index=0)
+        set0, set1 = partition_traces(traces, selection, SECRET_KEY_BYTE)
+        assert len(set0) + len(set1) == 64
+        assert len(set0) > 0 and len(set1) > 0
+
+    def test_selection_bits_match_partition(self):
+        traces = _build_trace_set(32)
+        selection = AesSboxSelection(byte_index=0, bit_index=0)
+        bits = selection_bits(traces, selection, SECRET_KEY_BYTE)
+        set0, set1 = partition_traces(traces, selection, SECRET_KEY_BYTE)
+        assert len(set1) == int(bits.sum())
+        assert len(set0) == len(traces) - int(bits.sum())
+
+    def test_partition_by_values(self):
+        traces = _build_trace_set(16)
+        bits = [i % 2 for i in range(16)]
+        set0, set1 = partition_by_values(traces, bits)
+        assert len(set0) == len(set1) == 8
+        with pytest.raises(DPAError):
+            partition_by_values(traces, [0, 1])
+
+
+class TestBiasSignal:
+    def test_equation_9_peak_at_leak_sample(self):
+        traces = _build_trace_set(256, noise_sigma=1e-6)
+        selection = AesSboxSelection(byte_index=0, bit_index=0)
+        bias = dpa_bias(traces, selection, SECRET_KEY_BYTE)
+        peak_index = int(np.argmax(np.abs(bias.samples)))
+        assert peak_index == LEAK_SAMPLE
+        assert abs(bias.samples[LEAK_SAMPLE]) == pytest.approx(1e-4, rel=0.1)
+
+    def test_wrong_guess_bias_is_small(self):
+        traces = _build_trace_set(256, noise_sigma=1e-6)
+        selection = AesSboxSelection(byte_index=0, bit_index=0)
+        wrong = dpa_bias(traces, selection, SECRET_KEY_BYTE ^ 0x5A)
+        correct = dpa_bias(traces, selection, SECRET_KEY_BYTE)
+        assert wrong.max_abs() < 0.5 * correct.max_abs()
+
+    def test_single_sided_partition_gives_zero_bias(self):
+        """A selection that never splits the traces yields a null bias."""
+        traces = TraceSet()
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            plaintext = [0] * 16
+            traces.add(_leaky_trace(plaintext, leak_delta=0, noise_sigma=1e-6,
+                                    rng=rng, selection_value=0), plaintext)
+        selection = AesAddRoundKeySelection(byte_index=0, bit_index=0)
+        bias = dpa_bias(traces, selection, 0x00)
+        assert bias.max_abs() == pytest.approx(0.0)
+
+
+class TestAttack:
+    def test_correct_key_ranks_first(self):
+        traces = _build_trace_set(300, noise_sigma=2e-5)
+        selection = AesSboxSelection(byte_index=0, bit_index=0)
+        result = dpa_attack(traces, selection)
+        assert result.best_guess == SECRET_KEY_BYTE
+        assert result.rank_of(SECRET_KEY_BYTE) == 1
+        assert result.discrimination_ratio(SECRET_KEY_BYTE) > 1.0
+
+    def test_attack_fails_without_leak(self):
+        traces = _build_trace_set(200, leak_delta=0.0, noise_sigma=1e-5)
+        selection = AesSboxSelection(byte_index=0, bit_index=0)
+        result = dpa_attack(traces, selection)
+        assert result.discrimination_ratio(SECRET_KEY_BYTE) < 2.0
+
+    def test_keep_bias_stores_waveforms(self):
+        traces = _build_trace_set(64)
+        selection = AesSboxSelection(byte_index=0, bit_index=0)
+        result = dpa_attack(traces, selection, guesses=[SECRET_KEY_BYTE, 0x00],
+                            keep_bias=True)
+        assert result.result_for(SECRET_KEY_BYTE).bias is not None
+
+    def test_unknown_guess_raises(self):
+        traces = _build_trace_set(16)
+        selection = AesSboxSelection(byte_index=0, bit_index=0)
+        result = dpa_attack(traces, selection, guesses=[1, 2, 3])
+        with pytest.raises(DPAError):
+            result.rank_of(200)
+
+    def test_ranking_sorted_by_peak(self):
+        traces = _build_trace_set(128)
+        selection = AesSboxSelection(byte_index=0, bit_index=0)
+        result = dpa_attack(traces, selection, guesses=range(0, 256, 16))
+        ranking = result.ranking()
+        peaks = [r.peak for r in ranking]
+        assert peaks == sorted(peaks, reverse=True)
+
+
+class TestMessagesToDisclosure:
+    def test_disclosure_found_with_enough_traces(self):
+        traces = _build_trace_set(400, noise_sigma=2e-5)
+        selection = AesSboxSelection(byte_index=0, bit_index=0)
+        disclosure = messages_to_disclosure(traces, selection, SECRET_KEY_BYTE,
+                                            start=64, step=64)
+        assert disclosure is not None
+        assert disclosure <= 400
+
+    def test_no_disclosure_without_leak(self):
+        traces = _build_trace_set(128, leak_delta=0.0)
+        selection = AesSboxSelection(byte_index=0, bit_index=0)
+        disclosure = messages_to_disclosure(traces, selection, SECRET_KEY_BYTE,
+                                            start=64, step=64)
+        assert disclosure is None
+
+    def test_invalid_start(self):
+        traces = _build_trace_set(16)
+        with pytest.raises(DPAError):
+            messages_to_disclosure(traces, AesSboxSelection(), 0, start=1)
+
+    def test_stronger_leak_discloses_with_fewer_traces(self):
+        selection = AesSboxSelection(byte_index=0, bit_index=0)
+        weak = _build_trace_set(400, leak_delta=4e-5, noise_sigma=4e-5, seed=5)
+        strong = _build_trace_set(400, leak_delta=4e-4, noise_sigma=4e-5, seed=5)
+        weak_n = messages_to_disclosure(weak, selection, SECRET_KEY_BYTE,
+                                        start=32, step=32)
+        strong_n = messages_to_disclosure(strong, selection, SECRET_KEY_BYTE,
+                                          start=32, step=32)
+        assert strong_n is not None
+        if weak_n is not None:
+            assert strong_n <= weak_n

@@ -1,0 +1,108 @@
+"""Tests of the DPA-resistance and design-cost metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AreaReport,
+    KeyRecoveryCurve,
+    KeyRecoveryPoint,
+    area_overhead,
+    find_peaks,
+    peak_to_rms_ratio,
+    signal_to_noise_ratio,
+)
+from repro.electrical import Waveform
+
+
+class TestPeaks:
+    def test_find_single_peak(self):
+        samples = np.zeros(100)
+        samples[42] = 5.0
+        peaks = find_peaks(Waveform(samples, 1e-12, 0.0))
+        assert len(peaks) == 1
+        assert peaks[0].time == pytest.approx(42e-12)
+        assert peaks[0].magnitude == pytest.approx(5.0)
+
+    def test_find_two_peaks_of_opposite_sign(self):
+        samples = np.zeros(300)
+        samples[50] = 2.0
+        samples[200] = -1.8
+        peaks = find_peaks(Waveform(samples, 1e-12, 0.0))
+        assert len(peaks) == 2
+        assert peaks[1].value < 0
+
+    def test_close_peaks_merge(self):
+        samples = np.zeros(100)
+        samples[50] = 2.0
+        samples[53] = 1.9
+        peaks = find_peaks(Waveform(samples, 1e-12, 0.0), min_separation_s=10e-12)
+        assert len(peaks) == 1
+
+    def test_flat_waveform_has_no_peaks(self):
+        assert find_peaks(Waveform(np.zeros(50), 1e-12, 0.0)) == []
+
+    def test_peak_to_rms_ratio(self):
+        samples = np.zeros(100)
+        samples[10] = 10.0
+        spiky = peak_to_rms_ratio(Waveform(samples, 1e-12, 0.0))
+        flat = peak_to_rms_ratio(Waveform(np.ones(100), 1e-12, 0.0))
+        assert spiky > flat
+        assert flat == pytest.approx(1.0)
+        assert peak_to_rms_ratio(Waveform(np.zeros(10), 1e-12, 0.0)) == 0.0
+
+    def test_signal_to_noise_ratio(self):
+        samples = np.zeros(10)
+        samples[3] = 4.0
+        waveform = Waveform(samples, 1e-12, 0.0)
+        assert signal_to_noise_ratio(waveform, 2.0) == pytest.approx(2.0)
+        assert signal_to_noise_ratio(waveform, 0.0) == float("inf")
+
+
+class TestArea:
+    def test_area_overhead_matches_paper_style(self):
+        """The paper reports the hierarchical AES ~20% larger than the flat one."""
+        flat = AreaReport(design="AES_v2", cell_area_um2=80.0, die_area_um2=100.0)
+        hier = AreaReport(design="AES_v1", cell_area_um2=80.0, die_area_um2=120.0)
+        assert area_overhead(flat, hier) == pytest.approx(0.20)
+
+    def test_utilization(self):
+        report = AreaReport(design="x", cell_area_um2=75.0, die_area_um2=100.0)
+        assert report.utilization == pytest.approx(0.75)
+        empty = AreaReport(design="x", cell_area_um2=0.0, die_area_um2=0.0)
+        assert empty.utilization == 0.0
+
+    def test_zero_reference_rejected(self):
+        bad = AreaReport(design="x", cell_area_um2=0.0, die_area_um2=0.0)
+        good = AreaReport(design="y", cell_area_um2=1.0, die_area_um2=2.0)
+        with pytest.raises(ValueError):
+            area_overhead(bad, good)
+
+
+class TestKeyRecoveryCurve:
+    def _curve(self, ranks):
+        curve = KeyRecoveryCurve(selection_name="s", correct_guess=0x42)
+        for index, rank in enumerate(ranks):
+            curve.points.append(KeyRecoveryPoint(
+                trace_count=(index + 1) * 100,
+                rank_of_correct=rank,
+                best_guess=0x42 if rank == 1 else 0x00,
+                correct_peak=1.0,
+                best_wrong_peak=0.5,
+            ))
+        return curve
+
+    def test_messages_to_disclosure_requires_stability(self):
+        curve = self._curve([5, 1, 3, 1, 1])
+        # Rank drops back after the first success; disclosure starts at 400.
+        assert curve.messages_to_disclosure() == 400
+
+    def test_never_disclosed(self):
+        curve = self._curve([7, 5, 3])
+        assert curve.messages_to_disclosure() is None
+        assert curve.final_rank() == 3
+
+    def test_table_rendering(self):
+        curve = self._curve([2, 1])
+        text = curve.as_table()
+        assert "0x42" in text and "200" in text

@@ -1,0 +1,110 @@
+"""Tests of the formal power/current model (equations (1)-(6))."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import build_dual_rail_xor
+from repro.core import (
+    FormalCurrentModel,
+    block_dynamic_power,
+    block_power_from_netlist,
+    gate_dynamic_power,
+    qdi_gate_dynamic_power,
+    xor_current_decomposition,
+)
+from repro.electrical import HCMOS9_LIKE
+
+
+class TestEquations1To3:
+    def test_equation_1_value(self):
+        """Pd = eta f C Vdd^2 with C in fF."""
+        power = gate_dynamic_power(0.5, 1e6, 10.0, 1.2)
+        assert power == pytest.approx(0.5 * 1e6 * 10e-15 * 1.44)
+
+    def test_equation_2_uses_ack_frequency(self):
+        assert qdi_gate_dynamic_power(1.0, 2e6, 8.0, 1.2) == \
+            pytest.approx(gate_dynamic_power(1.0, 2e6, 8.0, 1.2))
+
+    def test_equation_3_sums_transitions(self):
+        caps = [8.0, 8.0, 8.0, 8.0]
+        total = block_dynamic_power(caps, 1e6, 1.2)
+        single = qdi_gate_dynamic_power(1.0, 1e6, 8.0, 1.2)
+        assert total == pytest.approx(4 * single)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            gate_dynamic_power(-1.0, 1e6, 8.0, 1.2)
+
+    def test_block_power_from_netlist(self):
+        xor = build_dual_rail_xor("x")
+        nets = [xor.net_at(level, 1) for level in range(1, 5)]
+        power = block_power_from_netlist(xor.netlist, nets, 1e6)
+        assert power > 0
+
+    @given(st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_power_scales_linearly_with_capacitance(self, factor):
+        base = gate_dynamic_power(1.0, 1e6, 10.0, 1.2)
+        scaled = gate_dynamic_power(1.0, 1e6, 10.0 * factor, 1.2)
+        assert scaled == pytest.approx(base * factor, rel=1e-9)
+
+
+class TestFormalCurrentModel:
+    def test_nt_nc_nij_match_paper(self):
+        """Section III: Nt = Nc = 4 and Nij = 1 for the dual-rail XOR."""
+        model = FormalCurrentModel.from_block(build_dual_rail_xor("x"))
+        assert model.nc == 4
+        for rail_value in (0, 1):
+            assert model.nt(rail_value) == 4
+            assert model.nij(rail_value) == {1: 1, 2: 1, 3: 1, 4: 1}
+
+    def test_equation_6_decomposition_labels(self):
+        """Equation (10)/(11): rail-0 computations involve I11, I12, I21, I31, I41."""
+        labels = [label for label, _ in xor_current_decomposition(build_dual_rail_xor("x"), 0)]
+        assert labels == ["I11", "I12", "I21", "I31", "I41"]
+
+    def test_level1_terms_have_half_weight(self):
+        model = FormalCurrentModel.from_block(build_dual_rail_xor("x"))
+        level1 = [t for t in model.paths[0].terms if t.level == 1]
+        assert len(level1) == 2
+        assert all(t.weight == pytest.approx(0.5) for t in level1)
+
+    def test_profile_charge_matches_expected(self):
+        """The integral of the predicted profile equals the expected charge."""
+        xor = build_dual_rail_xor("x")
+        model = FormalCurrentModel.from_block(xor)
+        profile = model.profile(0)
+        expected = sum(t.weight * t.cap_ff * 1e-15 * HCMOS9_LIKE.vdd
+                       for t in model.terms_for(0))
+        assert profile.integral() == pytest.approx(expected, rel=1e-3)
+
+    def test_heavier_net_widens_and_delays_profile(self):
+        balanced = FormalCurrentModel.from_block(build_dual_rail_xor("x"))
+        heavy_block = build_dual_rail_xor("y")
+        heavy_block.set_level_cap(2, 1, 32.0)
+        heavy = FormalCurrentModel.from_block(heavy_block)
+        assert heavy.paths[0].completion_time_s() > balanced.paths[0].completion_time_s()
+        assert heavy.paths[1].completion_time_s() == pytest.approx(
+            balanced.paths[1].completion_time_s()
+        )
+
+    def test_shared_terms_rebased_per_path(self):
+        """The completion detector fires after the active path completes."""
+        block = build_dual_rail_xor("x")
+        block.set_level_cap(3, 1, 32.0)  # slow down the rail-0 path only
+        model = FormalCurrentModel.from_block(block)
+        shared_onset_0 = [t.onset_s for t in model.terms_for(0) if t.level == 4][0]
+        shared_onset_1 = [t.onset_s for t in model.terms_for(1) if t.level == 4][0]
+        assert shared_onset_0 > shared_onset_1
+
+    def test_block_power_equation3(self):
+        model = FormalCurrentModel.from_block(build_dual_rail_xor("x"))
+        assert model.block_power_w(1e6) > 0
+
+    def test_average_current_from_term(self):
+        model = FormalCurrentModel.from_block(build_dual_rail_xor("x"))
+        term = model.paths[0].terms[0]
+        assert term.average_current_a(1.2) == pytest.approx(
+            term.charge_coulomb(1.2) / term.transition_time_s
+        )

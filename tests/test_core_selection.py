@@ -1,0 +1,111 @@
+"""Tests of the DPA selection functions of Section IV."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AesAddRoundKeySelection,
+    AesSboxSelection,
+    DesSboxSelection,
+    HammingWeightSelection,
+    list_standard_selections,
+)
+from repro.crypto import DES, SBOX
+from repro.crypto.keys import bit_of, hamming_weight
+
+
+class TestAesAddRoundKeySelection:
+    def test_matches_definition(self):
+        """D(C1, P8, K8) = bit C1 of XOR(P8, K8)."""
+        selection = AesAddRoundKeySelection(byte_index=3, bit_index=2)
+        plaintext = [0] * 16
+        plaintext[3] = 0xA5
+        assert selection(plaintext, 0x0F) == bit_of(0xA5 ^ 0x0F, 2)
+
+    def test_guess_space(self):
+        assert list(AesAddRoundKeySelection().guesses()) == list(range(256))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AesAddRoundKeySelection(byte_index=16)
+        with pytest.raises(ValueError):
+            AesAddRoundKeySelection(bit_index=8)
+
+    def test_name_mentions_target(self):
+        assert "byte=2" in AesAddRoundKeySelection(byte_index=2).name
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_xor_selection_depends_only_on_guess_bit(self, byte, guess, bit):
+        """The structural weakness of the XOR D function: its value depends on
+        the guess only through the guessed bit itself."""
+        plaintext = [byte] + [0] * 15
+        selection = AesAddRoundKeySelection(byte_index=0, bit_index=bit)
+        flipped_guess = guess ^ (1 << bit)
+        assert selection(plaintext, guess) == 1 - selection(plaintext, flipped_guess)
+
+
+class TestAesSboxSelection:
+    def test_matches_definition(self):
+        selection = AesSboxSelection(byte_index=1, bit_index=4)
+        plaintext = [0, 0x3C] + [0] * 14
+        assert selection(plaintext, 0x7B) == bit_of(SBOX[0x3C ^ 0x7B], 4)
+
+    def test_distinguishes_guesses(self):
+        """Unlike the XOR selection, the S-box selection separates guesses."""
+        selection = AesSboxSelection(byte_index=0, bit_index=0)
+        plaintexts = [[p] + [0] * 15 for p in range(32)]
+        bits_a = [selection(p, 0x10) for p in plaintexts]
+        bits_b = [selection(p, 0x21) for p in plaintexts]
+        assert bits_a != bits_b
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AesSboxSelection(byte_index=-1)
+
+
+class TestDesSboxSelection:
+    def test_matches_cipher_internal_value(self):
+        """The selection function equals the real first-round S-box output bit
+        when the guess is the true key chunk."""
+        key = [0x13, 0x34, 0x57, 0x79, 0x9B, 0xBC, 0xDF, 0xF1]
+        cipher = DES(key)
+        from repro.crypto import round_key_sbox_chunk
+        true_chunk = round_key_sbox_chunk(cipher.round_keys[0], 0)
+        selection = DesSboxSelection(sbox_index=0, bit_index=1)
+        plaintext = [0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF]
+        expected = bit_of(cipher.first_round_sbox_output(plaintext, 0), 1)
+        assert selection(plaintext, true_chunk) == expected
+
+    def test_guess_space_is_64(self):
+        assert list(DesSboxSelection().guesses()) == list(range(64))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DesSboxSelection(sbox_index=8)
+        with pytest.raises(ValueError):
+            DesSboxSelection(bit_index=4)
+
+
+class TestHammingWeightSelection:
+    def test_partitions_by_weight(self):
+        inner = AesAddRoundKeySelection(byte_index=0, bit_index=0)
+        selection = HammingWeightSelection(inner, threshold=4)
+        plaintext = [0xFF] + [0] * 15
+        assert selection(plaintext, 0x00) == 1       # weight 8
+        assert selection(plaintext, 0xFF) == 0       # weight 0
+
+    def test_threshold_boundary(self):
+        inner = AesAddRoundKeySelection(byte_index=0, bit_index=0)
+        selection = HammingWeightSelection(inner, threshold=4)
+        plaintext = [0x0F] + [0] * 15
+        assert hamming_weight(0x0F) == 4
+        assert selection(plaintext, 0x00) == 1
+
+
+def test_standard_selection_names():
+    names = list_standard_selections()
+    assert len(names) == 3
+    assert any("aes-addkey" in n for n in names)
+    assert any("des-sbox" in n for n in names)

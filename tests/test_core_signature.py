@@ -1,0 +1,153 @@
+"""Tests of the electrical-signature analysis (equations (10)-(12))."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_dual_rail_xor
+from repro.core import (
+    FormalCurrentModel,
+    compare_formal_and_simulated,
+    formal_signature,
+    set_average,
+    signature_from_traces,
+    signature_peak_count,
+    signature_terms,
+)
+from repro.electrical import Waveform, difference_waveform, per_computation_currents
+
+PAIRS_C0 = [(0, 0), (1, 1)]  # computations producing c = 0
+PAIRS_C1 = [(0, 1), (1, 0)]  # computations producing c = 1
+
+
+def _model_with_caps(caps):
+    block = build_dual_rail_xor("x")
+    for (level, position), value in caps.items():
+        block.set_level_cap(level, position, value)
+    return FormalCurrentModel.from_block(block), block
+
+
+class TestFormalSignature:
+    def test_balanced_block_has_null_signature(self):
+        """Equation (12): matched capacitances give a null bias."""
+        model, _ = _model_with_caps({})
+        report = signature_terms(model)
+        assert report.is_balanced
+        assert report.max_term == pytest.approx(0.0)
+        assert report.waveform.max_abs() == pytest.approx(0.0)
+
+    def test_unbalanced_level3_dominates_level3(self):
+        """Fig. 7a: a heavier Cl31 leaks at the end of the data path."""
+        model, _ = _model_with_caps({(3, 1): 16.0})
+        report = signature_terms(model)
+        assert not report.is_balanced
+        assert report.dominant_level() == 3
+        assert report.waveform.max_abs() > 0
+
+    def test_unbalanced_level1_leaks_earlier_than_level3(self):
+        """Fig. 7c/d: the earlier the unbalanced node, the earlier the bias."""
+        def first_deviation(report):
+            samples = np.abs(report.waveform.samples)
+            threshold = 0.05 * samples.max()
+            return np.argmax(samples > threshold) * report.waveform.dt
+
+        late, _ = _model_with_caps({(3, 1): 16.0})
+        early, _ = _model_with_caps({(1, 1): 16.0, (1, 2): 16.0})
+        assert first_deviation(signature_terms(early)) < \
+            first_deviation(signature_terms(late))
+
+    def test_larger_imbalance_larger_ratio_term(self):
+        small, _ = _model_with_caps({(1, 1): 16.0, (1, 2): 16.0})
+        large, _ = _model_with_caps({(1, 1): 32.0, (1, 2): 32.0})
+        small_term = [t for t in signature_terms(small).terms if t.level == 1][0]
+        large_term = [t for t in signature_terms(large).terms if t.level == 1][0]
+        assert abs(large_term.cap_difference_ff) > abs(small_term.cap_difference_ff)
+
+    def test_terms_expose_equation12_ratios(self):
+        model, _ = _model_with_caps({(2, 1): 16.0})
+        term = [t for t in signature_terms(model).terms if t.level == 2][0]
+        assert term.ratio_a > 0 and term.ratio_b > 0
+        assert term.ratio_difference == pytest.approx(term.ratio_a - term.ratio_b)
+
+    def test_shared_completion_cancels(self):
+        """The I41 term common to both sets does not appear in the terms."""
+        model, _ = _model_with_caps({})
+        levels = [t.level for t in signature_terms(model).terms]
+        assert 4 not in levels
+
+    def test_formal_signature_antisymmetry(self):
+        model, _ = _model_with_caps({(3, 1): 16.0})
+        forward = formal_signature(model, value_a=0, value_b=1)
+        backward = formal_signature(model, value_a=1, value_b=0)
+        n = min(len(forward), len(backward))
+        assert np.allclose(forward.samples[:n], -backward.samples[:n])
+
+
+class TestTraceSignature:
+    def test_set_average_matches_numpy_mean(self):
+        a = Waveform(np.full(8, 1.0), 1e-12, 0.0)
+        b = Waveform(np.full(8, 3.0), 1e-12, 0.0)
+        assert set_average([a, b]).value_at(0.0) == pytest.approx(2.0)
+
+    def test_balanced_simulated_signature_is_null(self):
+        xor = build_dual_rail_xor("x")
+        waves = per_computation_currents(xor, PAIRS_C0 + PAIRS_C1)
+        signature = signature_from_traces(waves[:2], waves[2:])
+        assert signature.max_abs() == pytest.approx(0.0)
+
+    def test_unbalanced_simulated_signature_is_not_null(self):
+        xor = build_dual_rail_xor("x")
+        xor.set_level_cap(3, 1, 16.0)
+        waves = per_computation_currents(xor, PAIRS_C0 + PAIRS_C1)
+        signature = signature_from_traces(waves[:2], waves[2:])
+        assert signature.max_abs() > 0
+
+    def test_simulated_signature_grows_with_imbalance(self):
+        """Fig. 7c vs 7d: doubling the imbalance strengthens the signature."""
+        def energy(extra_cap):
+            xor = build_dual_rail_xor("x")
+            xor.set_level_cap(1, 1, extra_cap)
+            xor.set_level_cap(1, 2, extra_cap)
+            waves = per_computation_currents(xor, PAIRS_C0 + PAIRS_C1)
+            return signature_from_traces(waves[:2], waves[2:]).energy()
+
+        assert energy(32.0) > energy(16.0) > 0
+
+    def test_formal_and_simulated_signatures_correlate(self):
+        """Section V validation: the formal model predicts the simulated shape.
+
+        The formal profile starts at the beginning of the evaluation phase
+        while the simulated trace includes the handshake lead-in, so both
+        signatures are re-based at their first significant deviation before
+        being correlated.
+        """
+        def rebase(waveform):
+            samples = np.abs(waveform.samples)
+            threshold = 0.02 * samples.max()
+            start = int(np.argmax(samples > threshold))
+            return Waveform(waveform.samples[start:], waveform.dt, 0.0)
+
+        xor = build_dual_rail_xor("x")
+        xor.set_level_cap(2, 1, 24.0)
+        model = FormalCurrentModel.from_block(xor)
+        formal = rebase(formal_signature(model))
+        waves = per_computation_currents(xor, PAIRS_C0 + PAIRS_C1)
+        simulated_full = rebase(signature_from_traces(waves[:2], waves[2:]))
+        simulated = Waveform(simulated_full.samples[:len(formal)], formal.dt, 0.0)
+        assert formal.max_abs() > 0 and simulated.max_abs() > 0
+        assert compare_formal_and_simulated(formal, simulated) > 0.2
+
+
+class TestPeakCounting:
+    def test_zero_signature_has_no_peaks(self):
+        assert signature_peak_count(Waveform(np.zeros(100), 1e-12, 0.0)) == 0
+
+    def test_single_peak_counted_once(self):
+        samples = np.zeros(200)
+        samples[50:60] = 1.0
+        assert signature_peak_count(Waveform(samples, 1e-12, 0.0)) == 1
+
+    def test_two_separated_peaks(self):
+        samples = np.zeros(400)
+        samples[50:60] = 1.0
+        samples[300:310] = -0.9
+        assert signature_peak_count(Waveform(samples, 1e-12, 0.0)) == 2

@@ -1,0 +1,164 @@
+"""Tests of the AES reference implementation against FIPS-197."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    AES,
+    AESError,
+    INV_SBOX,
+    SBOX,
+    aes_decrypt,
+    aes_encrypt,
+    bytes_to_state,
+    gf_inverse,
+    gf_mul,
+    inv_mix_columns,
+    inv_shift_rows,
+    inv_sub_bytes,
+    key_expansion,
+    mix_columns,
+    shift_rows,
+    state_to_bytes,
+    sub_bytes,
+)
+
+FIPS_KEY = [0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6,
+            0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C]
+FIPS_PLAINTEXT = [0x32, 0x43, 0xF6, 0xA8, 0x88, 0x5A, 0x30, 0x8D,
+                  0x31, 0x31, 0x98, 0xA2, 0xE0, 0x37, 0x07, 0x34]
+FIPS_CIPHERTEXT = [0x39, 0x25, 0x84, 0x1D, 0x02, 0xDC, 0x09, 0xFB,
+                   0xDC, 0x11, 0x85, 0x97, 0x19, 0x6A, 0x0B, 0x32]
+
+C1_PLAINTEXT = [0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                0x88, 0x99, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF]
+
+
+class TestGaloisField:
+    def test_known_products(self):
+        assert gf_mul(0x57, 0x83) == 0xC1
+        assert gf_mul(0x57, 0x13) == 0xFE
+
+    def test_inverse(self):
+        assert gf_inverse(0) == 0
+        for value in (1, 2, 0x53, 0xCA, 0xFF):
+            assert gf_mul(value, gf_inverse(value)) == 1
+
+
+class TestSbox:
+    def test_reference_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_inverse_sbox_consistent(self):
+        for value in range(256):
+            assert INV_SBOX[SBOX[value]] == value
+
+    def test_sbox_is_a_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+
+class TestRoundOperations:
+    def test_shift_rows_roundtrip(self):
+        state = bytes_to_state(list(range(16)))
+        assert inv_shift_rows(shift_rows(state)) == state
+
+    def test_mix_columns_roundtrip(self):
+        state = bytes_to_state(list(range(16)))
+        assert inv_mix_columns(mix_columns(state)) == state
+
+    def test_sub_bytes_roundtrip(self):
+        state = bytes_to_state(list(range(16)))
+        assert inv_sub_bytes(sub_bytes(state)) == state
+
+    def test_state_conversion_roundtrip(self):
+        block = list(range(16))
+        assert state_to_bytes(bytes_to_state(block)) == block
+
+    def test_mix_columns_known_column(self):
+        """FIPS-197 example column: db 13 53 45 -> 8e 4d a1 bc."""
+        state = bytes_to_state([0xDB, 0x13, 0x53, 0x45] + [0] * 12)
+        mixed = mix_columns(state)
+        assert state_to_bytes(mixed)[:4] == [0x8E, 0x4D, 0xA1, 0xBC]
+
+
+class TestKeyExpansion:
+    def test_round_key_count(self):
+        assert len(key_expansion(FIPS_KEY)) == 11
+        assert len(key_expansion(list(range(24)))) == 13
+        assert len(key_expansion(list(range(32)))) == 15
+
+    def test_first_round_key_is_cipher_key(self):
+        assert key_expansion(FIPS_KEY)[0] == FIPS_KEY
+
+    def test_fips_appendix_a_last_word(self):
+        """Appendix A.1: w43 = b6 63 0c a6."""
+        round_keys = key_expansion(FIPS_KEY)
+        assert round_keys[10][12:16] == [0xB6, 0x63, 0x0C, 0xA6]
+
+    def test_bad_key_length(self):
+        with pytest.raises(AESError):
+            key_expansion([0] * 15)
+
+
+class TestCipher:
+    def test_fips_appendix_b_vector(self):
+        assert aes_encrypt(FIPS_PLAINTEXT, FIPS_KEY) == FIPS_CIPHERTEXT
+
+    def test_fips_c1_vector(self):
+        key = list(range(16))
+        expected = [0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30,
+                    0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4, 0xC5, 0x5A]
+        assert aes_encrypt(C1_PLAINTEXT, key) == expected
+
+    def test_fips_c2_c3_vectors(self):
+        expected_192 = [0xDD, 0xA9, 0x7C, 0xA4, 0x86, 0x4C, 0xDF, 0xE0,
+                        0x6E, 0xAF, 0x70, 0xA0, 0xEC, 0x0D, 0x71, 0x91]
+        expected_256 = [0x8E, 0xA2, 0xB7, 0xCA, 0x51, 0x67, 0x45, 0xBF,
+                        0xEA, 0xFC, 0x49, 0x90, 0x4B, 0x49, 0x60, 0x89]
+        assert aes_encrypt(C1_PLAINTEXT, list(range(24))) == expected_192
+        assert aes_encrypt(C1_PLAINTEXT, list(range(32))) == expected_256
+
+    def test_decrypt_inverts_encrypt(self):
+        assert aes_decrypt(FIPS_CIPHERTEXT, FIPS_KEY) == FIPS_PLAINTEXT
+
+    def test_bad_block_length(self):
+        with pytest.raises(AESError):
+            aes_encrypt([0] * 15, FIPS_KEY)
+
+    @given(st.lists(st.integers(0, 255), min_size=16, max_size=16),
+           st.lists(st.integers(0, 255), min_size=16, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, plaintext, key):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(plaintext)) == plaintext
+
+
+class TestRoundTrace:
+    def test_trace_final_state_is_ciphertext(self):
+        cipher = AES(FIPS_KEY)
+        trace = cipher.encrypt_with_trace(FIPS_PLAINTEXT)
+        assert trace.ciphertext == FIPS_CIPHERTEXT
+
+    def test_initial_addkey_state(self):
+        cipher = AES(FIPS_KEY)
+        trace = cipher.encrypt_with_trace(FIPS_PLAINTEXT)
+        expected = [p ^ k for p, k in zip(FIPS_PLAINTEXT, FIPS_KEY)]
+        assert state_to_bytes(trace.initial_addkey) == expected
+
+    def test_trace_has_all_rounds(self):
+        cipher = AES(FIPS_KEY)
+        trace = cipher.encrypt_with_trace(FIPS_PLAINTEXT)
+        for round_index in range(1, 10):
+            assert f"round{round_index}:mixcolumns" in trace.states
+        assert "round10:shiftrows" in trace.states
+        assert "round10:mixcolumns" not in trace.states
+
+    def test_first_round_addkey_byte(self):
+        cipher = AES(FIPS_KEY)
+        value = cipher.first_round_addkey_byte(FIPS_PLAINTEXT, 5)
+        assert value == FIPS_PLAINTEXT[5] ^ FIPS_KEY[5]
+        with pytest.raises(AESError):
+            cipher.first_round_addkey_byte(FIPS_PLAINTEXT, 16)

@@ -1,0 +1,116 @@
+"""Tests of the DES reference implementation and its DPA accessors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    DES,
+    DESError,
+    des_decrypt,
+    des_encrypt,
+    expanded_plaintext_chunk,
+    key_schedule,
+    round_key_sbox_chunk,
+    sbox_lookup,
+)
+from repro.crypto.des import bits_to_bytes, bytes_to_bits, permute
+
+CLASSIC_KEY = [0x13, 0x34, 0x57, 0x79, 0x9B, 0xBC, 0xDF, 0xF1]
+CLASSIC_PLAINTEXT = [0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF]
+CLASSIC_CIPHERTEXT = [0x85, 0xE8, 0x13, 0x54, 0x0F, 0x0A, 0xB4, 0x05]
+
+
+class TestBitHelpers:
+    def test_bits_roundtrip(self):
+        data = [0xDE, 0xAD, 0xBE, 0xEF]
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_bits_msb_first(self):
+        assert bytes_to_bits([0x80]) == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_bad_width(self):
+        with pytest.raises(DESError):
+            bits_to_bytes([1, 0, 1])
+
+    def test_permute_is_selection(self):
+        assert permute([10, 20, 30], [3, 1]) == [30, 10]
+
+
+class TestKeySchedule:
+    def test_sixteen_round_keys_of_48_bits(self):
+        keys = key_schedule(CLASSIC_KEY)
+        assert len(keys) == 16
+        assert all(len(k) == 48 for k in keys)
+
+    def test_known_first_round_key(self):
+        """The classical worked example: K1 = 000110 110000 001011 101111
+        111111 000111 000001 110010."""
+        expected = [int(b) for b in
+                    "000110110000001011101111111111000111000001110010"]
+        assert key_schedule(CLASSIC_KEY)[0] == expected
+
+    def test_sbox_chunk_extraction(self):
+        key1 = key_schedule(CLASSIC_KEY)[0]
+        assert round_key_sbox_chunk(key1, 0) == int("000110", 2)
+        assert round_key_sbox_chunk(key1, 7) == int("110010", 2)
+
+    def test_bad_key_length(self):
+        with pytest.raises(DESError):
+            key_schedule([0] * 7)
+
+
+class TestSboxes:
+    def test_sbox1_corner_values(self):
+        assert sbox_lookup(0, 0b000000) == 14
+        assert sbox_lookup(0, 0b111111) == 13
+
+    def test_sbox_row_column_convention(self):
+        # Input 0b011011: row = 0b01 = 1, column = 0b1101 = 13 -> S1 value 5.
+        assert sbox_lookup(0, 0b011011) == 5
+
+    def test_out_of_range(self):
+        with pytest.raises(DESError):
+            sbox_lookup(8, 0)
+        with pytest.raises(DESError):
+            sbox_lookup(0, 64)
+
+
+class TestCipher:
+    def test_classic_vector(self):
+        assert des_encrypt(CLASSIC_PLAINTEXT, CLASSIC_KEY) == CLASSIC_CIPHERTEXT
+
+    def test_decrypt_inverts(self):
+        assert des_decrypt(CLASSIC_CIPHERTEXT, CLASSIC_KEY) == CLASSIC_PLAINTEXT
+
+    def test_bad_block_length(self):
+        with pytest.raises(DESError):
+            des_encrypt([0] * 7, CLASSIC_KEY)
+
+    @given(st.lists(st.integers(0, 255), min_size=8, max_size=8),
+           st.lists(st.integers(0, 255), min_size=8, max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, plaintext, key):
+        cipher = DES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(plaintext)) == plaintext
+
+
+class TestDpaAccessors:
+    def test_expanded_chunk_in_range(self):
+        for sbox_index in range(8):
+            chunk = expanded_plaintext_chunk(CLASSIC_PLAINTEXT, sbox_index)
+            assert 0 <= chunk < 64
+
+    def test_first_round_sbox_output_consistency(self):
+        """D(C, P6, K0) of Section IV computed two ways must agree."""
+        cipher = DES(CLASSIC_KEY)
+        chunk = expanded_plaintext_chunk(CLASSIC_PLAINTEXT, 0)
+        key_chunk = round_key_sbox_chunk(cipher.round_keys[0], 0)
+        assert cipher.first_round_sbox_output(CLASSIC_PLAINTEXT, 0) == \
+            sbox_lookup(0, chunk ^ key_chunk)
+
+    def test_first_round_sbox_output_range(self):
+        cipher = DES(CLASSIC_KEY)
+        for sbox_index in range(8):
+            value = cipher.first_round_sbox_output(CLASSIC_PLAINTEXT, sbox_index)
+            assert 0 <= value < 16

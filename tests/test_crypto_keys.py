@@ -1,0 +1,82 @@
+"""Tests of plaintext/key generation and bit utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    PlaintextGenerator,
+    bit_of,
+    bytes_to_int,
+    hamming_distance,
+    hamming_weight,
+    int_to_bytes,
+    random_key,
+)
+
+
+class TestBitHelpers:
+    def test_hamming_weight(self):
+        assert hamming_weight(0) == 0
+        assert hamming_weight(0xFF) == 8
+        assert hamming_weight(0b1010) == 2
+        with pytest.raises(ValueError):
+            hamming_weight(-1)
+
+    def test_hamming_distance(self):
+        assert hamming_distance(0b1100, 0b1010) == 2
+        assert hamming_distance(7, 7) == 0
+
+    def test_bit_of(self):
+        assert bit_of(0b100, 2) == 1
+        assert bit_of(0b100, 0) == 0
+        with pytest.raises(ValueError):
+            bit_of(3, -1)
+
+    def test_bytes_int_roundtrip(self):
+        data = [0x12, 0x34, 0x56]
+        assert int_to_bytes(bytes_to_int(data), 3) == data
+        with pytest.raises(ValueError):
+            int_to_bytes(256, 1)
+        with pytest.raises(ValueError):
+            bytes_to_int([300])
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, value):
+        assert bytes_to_int(int_to_bytes(value, 8)) == value
+
+
+class TestGenerators:
+    def test_plaintext_shape(self):
+        generator = PlaintextGenerator(block_size=16, seed=1)
+        block = generator.next()
+        assert len(block) == 16
+        assert all(0 <= b <= 255 for b in block)
+
+    def test_batch(self):
+        generator = PlaintextGenerator(block_size=8, seed=1)
+        batch = generator.batch(5)
+        assert len(batch) == 5
+        assert all(len(b) == 8 for b in batch)
+
+    def test_reproducible(self):
+        a = PlaintextGenerator(seed=42).batch(3)
+        b = PlaintextGenerator(seed=42).batch(3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = PlaintextGenerator(seed=1).batch(3)
+        b = PlaintextGenerator(seed=2).batch(3)
+        assert a != b
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PlaintextGenerator(block_size=0)
+        with pytest.raises(ValueError):
+            PlaintextGenerator(seed=1).batch(-1)
+
+    def test_random_key(self):
+        key = random_key(16, seed=9)
+        assert len(key) == 16
+        assert random_key(16, seed=9) == key

@@ -1,0 +1,244 @@
+"""Tests of the electrical substrate: technology, capacitance, waveforms, noise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import build_dual_rail_xor
+from repro.electrical import (
+    BackgroundActivityNoise,
+    GaussianNoise,
+    HCMOS9_LIKE,
+    NoNoise,
+    Technology,
+    Waveform,
+    WaveformError,
+    align_waveforms,
+    apply_process_variation,
+    average_waveform,
+    block_current,
+    difference_waveform,
+    exponential_pulse,
+    node_capacitance,
+    per_computation_currents,
+    scaled_technology,
+    switching_energy_fj,
+    synthesize_current,
+    transition_time_s,
+    triangular_pulse,
+)
+from repro.circuits.validate import simulate_two_operand_block
+
+
+class TestTechnology:
+    def test_defaults_match_paper(self):
+        assert HCMOS9_LIKE.default_net_cap_ff == pytest.approx(8.0)
+
+    def test_wire_cap_linear(self):
+        tech = HCMOS9_LIKE
+        assert tech.wire_cap_ff(0.0) == pytest.approx(tech.via_cap_ff)
+        assert tech.wire_cap_ff(10.0) > tech.wire_cap_ff(5.0)
+        with pytest.raises(ValueError):
+            tech.wire_cap_ff(-1.0)
+
+    def test_switching_energy(self):
+        tech = Technology(vdd=1.0)
+        assert tech.switching_energy_fj(10.0) == pytest.approx(10.0)
+
+    def test_scaled_technology(self):
+        scaled = scaled_technology(2.0)
+        assert scaled.default_net_cap_ff == pytest.approx(16.0)
+        with pytest.raises(ValueError):
+            scaled_technology(0.0)
+
+    def test_with_override(self):
+        custom = HCMOS9_LIKE.with_(vdd=1.0)
+        assert custom.vdd == 1.0
+        assert HCMOS9_LIKE.vdd == 1.2
+
+
+class TestCapacitance:
+    def test_breakdown_components(self):
+        xor = build_dual_rail_xor("x")
+        net = xor.net_at(2, 1)
+        breakdown = node_capacitance(xor.netlist, net)
+        assert breakdown.routing_ff == pytest.approx(8.0)
+        assert breakdown.fanout_ff > 0
+        assert breakdown.total_ff == pytest.approx(
+            breakdown.load_ff + breakdown.parasitic_ff + breakdown.short_circuit_ff
+        )
+
+    def test_transition_time_monotone_in_cap(self):
+        xor = build_dual_rail_xor("x")
+        net = xor.net_at(3, 1)
+        before = transition_time_s(xor.netlist, net)
+        xor.netlist.set_routing_cap(net, 32.0)
+        assert transition_time_s(xor.netlist, net) > before
+
+    def test_switching_energy_positive(self):
+        xor = build_dual_rail_xor("x")
+        assert switching_energy_fj(xor.netlist, xor.net_at(1, 1)) > 0
+
+    def test_process_variation_changes_caps(self):
+        xor = build_dual_rail_xor("x")
+        before = {net.name: net.routing_cap_ff for net in xor.netlist.nets()}
+        apply_process_variation(xor.netlist, sigma_ff=0.2, seed=3)
+        after = {net.name: net.routing_cap_ff for net in xor.netlist.nets()}
+        changed = [name for name in before if before[name] != after[name]]
+        assert changed
+        assert all(cap >= 0 for cap in after.values())
+
+    def test_process_variation_reproducible(self):
+        a = build_dual_rail_xor("x")
+        b = build_dual_rail_xor("x")
+        apply_process_variation(a.netlist, sigma_ff=0.2, seed=11)
+        apply_process_variation(b.netlist, sigma_ff=0.2, seed=11)
+        for net in a.netlist.net_names():
+            assert a.netlist.net(net).routing_cap_ff == pytest.approx(
+                b.netlist.net(net).routing_cap_ff
+            )
+
+
+class TestWaveform:
+    def test_zeros_and_duration(self):
+        waveform = Waveform.zeros(1e-9, 1e-12)
+        assert len(waveform) == 1000
+        assert waveform.duration == pytest.approx(1e-9)
+
+    def test_triangular_pulse_area_is_charge(self):
+        dt = 1e-12
+        pulse = triangular_pulse(2e-15, 50e-12, dt)
+        assert np.sum(pulse) * dt == pytest.approx(2e-15, rel=1e-9)
+
+    def test_exponential_pulse_area(self):
+        dt = 1e-12
+        pulse = exponential_pulse(3e-15, 20e-12, dt)
+        assert np.sum(pulse) * dt == pytest.approx(3e-15, rel=1e-9)
+
+    def test_invalid_pulse_width(self):
+        with pytest.raises(WaveformError):
+            triangular_pulse(1e-15, 0.0, 1e-12)
+
+    def test_add_and_subtract(self):
+        a = Waveform(np.ones(10), 1e-12, 0.0)
+        b = Waveform(np.ones(5), 1e-12, 2e-12)
+        total = a + b
+        assert total.value_at(3e-12) == pytest.approx(2.0)
+        diff = a - b
+        assert diff.value_at(3e-12) == pytest.approx(0.0)
+        assert diff.value_at(0.0) == pytest.approx(1.0)
+
+    def test_incompatible_dt_rejected(self):
+        a = Waveform(np.ones(4), 1e-12, 0.0)
+        b = Waveform(np.ones(4), 2e-12, 0.0)
+        with pytest.raises(WaveformError):
+            _ = a + b
+
+    def test_peak_and_integral(self):
+        samples = np.zeros(100)
+        samples[40] = -3.0
+        waveform = Waveform(samples, 1e-12, 0.0)
+        time, value = waveform.peak()
+        assert time == pytest.approx(40e-12)
+        assert value == pytest.approx(-3.0)
+        assert waveform.max_abs() == pytest.approx(3.0)
+        assert waveform.integral() == pytest.approx(-3e-12)
+
+    def test_average_and_difference(self):
+        a = Waveform(np.full(10, 2.0), 1e-12, 0.0)
+        b = Waveform(np.full(10, 4.0), 1e-12, 0.0)
+        assert average_waveform([a, b]).value_at(0.0) == pytest.approx(3.0)
+        assert difference_waveform([a], [b]).value_at(0.0) == pytest.approx(-2.0)
+
+    def test_align_pads_to_common_base(self):
+        a = Waveform(np.ones(5), 1e-12, 0.0)
+        b = Waveform(np.ones(5), 1e-12, 5e-12)
+        aligned = align_waveforms([a, b])
+        assert len(aligned[0]) == len(aligned[1]) == 10
+
+    def test_resample(self):
+        a = Waveform(np.ones(5), 1e-12, 0.0)
+        assert len(a.resample(8)) == 8
+        assert len(a.resample(3)) == 3
+
+    @given(st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=1, max_size=64),
+           st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=1, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_addition_is_commutative(self, xs, ys):
+        a = Waveform(np.array(xs), 1e-12, 0.0)
+        b = Waveform(np.array(ys), 1e-12, 0.0)
+        left = (a + b).samples
+        right = (b + a).samples
+        assert np.allclose(left, right)
+
+    @given(st.lists(st.floats(min_value=-5.0, max_value=5.0), min_size=2, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_energy_nonnegative(self, xs):
+        waveform = Waveform(np.array(xs), 1e-12, 0.0)
+        assert waveform.energy() >= 0.0
+
+
+class TestNoise:
+    def test_no_noise_identity(self):
+        waveform = Waveform(np.ones(16), 1e-12, 0.0)
+        assert np.allclose(NoNoise().apply(waveform).samples, waveform.samples)
+
+    def test_gaussian_noise_changes_samples(self):
+        waveform = Waveform(np.zeros(256), 1e-12, 0.0)
+        noisy = GaussianNoise(sigma=1e-6, seed=1).apply(waveform)
+        assert noisy.samples.std() > 0
+
+    def test_gaussian_zero_sigma(self):
+        waveform = Waveform(np.ones(16), 1e-12, 0.0)
+        assert np.allclose(GaussianNoise(sigma=0.0).apply(waveform).samples, 1.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(sigma=-1.0)
+
+    def test_background_activity_adds_pulses(self):
+        waveform = Waveform(np.zeros(1000), 1e-12, 0.0)
+        noisy = BackgroundActivityNoise(pulse_rate_per_sample=0.05, amplitude=1e-5,
+                                        seed=2).apply(waveform)
+        assert noisy.samples.sum() > 0
+
+
+class TestCurrentSynthesis:
+    def test_charge_conservation(self):
+        """The integral of the synthesized current equals the switched charge."""
+        xor = build_dual_rail_xor("x")
+        result = simulate_two_operand_block(xor, [(0, 1)])
+        block_nets = set(xor.internal_nets())
+        trace = synthesize_current(xor.netlist, result.trace,
+                                   include_nets=block_nets)
+        expected = 0.0
+        for transition in result.trace.transitions:
+            if transition.net in block_nets:
+                expected += node_capacitance(xor.netlist, transition.net).total_farad \
+                    * HCMOS9_LIKE.vdd
+        assert trace.total.integral() == pytest.approx(expected, rel=1e-3)
+
+    def test_per_level_decomposition_sums_to_total(self):
+        xor = build_dual_rail_xor("x")
+        result = block_current(xor, [(1, 0)])
+        combined = np.zeros(len(result.current.total))
+        for waveform in result.current.per_level.values():
+            combined += waveform.samples
+        assert np.allclose(combined, result.current.total.samples)
+
+    def test_balanced_block_traces_identical(self):
+        """With equal capacitances all four computations draw the same current."""
+        xor = build_dual_rail_xor("x")
+        waves = per_computation_currents(xor, [(0, 0), (0, 1), (1, 0), (1, 1)])
+        reference = waves[0].samples
+        for waveform in waves[1:]:
+            assert np.allclose(waveform.resample(len(reference)).samples, reference)
+
+    def test_unbalanced_block_traces_differ(self):
+        xor = build_dual_rail_xor("x")
+        xor.set_level_cap(3, 1, 32.0)
+        waves = per_computation_currents(xor, [(0, 0), (0, 1)])
+        a = waves[0].samples
+        b = waves[1].resample(len(a)).samples
+        assert not np.allclose(a, b)

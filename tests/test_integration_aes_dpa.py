@@ -1,0 +1,73 @@
+"""End-to-end integration test: place the asynchronous AES with both flows,
+generate power traces, and verify that the flat design leaks more than the
+hierarchically placed one (the paper's overall conclusion)."""
+
+import numpy as np
+import pytest
+
+from repro.asyncaes import AesArchitecture, AesNetlistGenerator, AesPowerTraceGenerator
+from repro.core import (
+    AesAddRoundKeySelection,
+    dpa_bias,
+    evaluate_netlist_channels,
+)
+from repro.crypto import random_key
+from repro.crypto.keys import PlaintextGenerator
+from repro.pnr import run_flat_flow, run_hierarchical_flow
+
+KEY = random_key(16, seed=21)
+TRACE_COUNT = 120
+
+
+@pytest.fixture(scope="module")
+def placed_designs():
+    """A flat and a hierarchical placement of the same (reduced) AES."""
+    architecture = AesArchitecture(word_width=32, detail=0.1)
+    flat_netlist = AesNetlistGenerator(architecture, name="aes_flat").build()
+    hier_netlist = AesNetlistGenerator(architecture, name="aes_hier").build()
+    run_flat_flow(flat_netlist, seed=5, effort=0.5)
+    run_hierarchical_flow(hier_netlist, seed=5, effort=0.5)
+    return architecture, flat_netlist, hier_netlist
+
+
+class TestFlatVsHierarchicalLeakage:
+    def test_criterion_improvement(self, placed_designs):
+        """Table 2: the hierarchical flow bounds the dissymmetry criterion."""
+        _, flat_netlist, hier_netlist = placed_designs
+        flat_report = evaluate_netlist_channels(flat_netlist, design_name="AES_v2")
+        hier_report = evaluate_netlist_channels(hier_netlist, design_name="AES_v1")
+        assert hier_report.max_dissymmetry < flat_report.max_dissymmetry
+        assert hier_report.mean_dissymmetry < 0.5 * flat_report.mean_dissymmetry
+
+    def test_known_key_bias_is_stronger_on_flat_design(self, placed_designs):
+        """Equations (7)-(9) applied to synthesized traces: the DPA bias of the
+        correct key hypothesis is larger for the flat placement."""
+        architecture, flat_netlist, hier_netlist = placed_designs
+        plaintexts = PlaintextGenerator(seed=31).batch(TRACE_COUNT)
+
+        flat_gen = AesPowerTraceGenerator(flat_netlist, KEY, architecture=architecture)
+        hier_gen = AesPowerTraceGenerator(hier_netlist, KEY, architecture=architecture)
+
+        # Attack the bit of byte 0 whose first-round channel is the most
+        # unbalanced in the flat design (the attacker's best choice).
+        best_bit = max(range(8), key=lambda j: flat_gen.channel_dissymmetry(
+            "addkey0_to_mux", 24 + j))
+        selection = AesAddRoundKeySelection(byte_index=0, bit_index=best_bit)
+
+        flat_traces = flat_gen.trace_set(plaintexts)
+        hier_traces = hier_gen.trace_set(plaintexts)
+        flat_bias = dpa_bias(flat_traces, selection, KEY[0])
+        hier_bias = dpa_bias(hier_traces, selection, KEY[0])
+
+        assert flat_bias.max_abs() > hier_bias.max_abs()
+
+    def test_traces_of_both_designs_have_same_schedule(self, placed_designs):
+        """Both designs run the same algorithm; only capacitances differ."""
+        architecture, flat_netlist, hier_netlist = placed_designs
+        flat_gen = AesPowerTraceGenerator(flat_netlist, KEY, architecture=architecture)
+        hier_gen = AesPowerTraceGenerator(hier_netlist, KEY, architecture=architecture)
+        plaintext = list(range(16))
+        flat_trace = flat_gen.trace(plaintext)
+        hier_trace = hier_gen.trace(plaintext)
+        assert len(flat_trace) == len(hier_trace)
+        assert flat_gen.target_slot() == hier_gen.target_slot()

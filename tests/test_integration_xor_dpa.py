@@ -1,0 +1,102 @@
+"""Integration test of the full gate-level pipeline on the dual-rail XOR:
+
+netlist -> graph analysis -> event simulation -> current synthesis ->
+DPA set averaging -> electrical signature, with and without capacitance
+imbalance (the Section III-V story of the paper end to end).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_dual_rail_xor, simulate_two_operand_block
+from repro.core import (
+    FormalCurrentModel,
+    PowerTrace,
+    TraceSet,
+    dpa_bias,
+    formal_signature,
+    signature_from_traces,
+)
+from repro.core.selection import AesAddRoundKeySelection
+from repro.electrical import apply_process_variation, per_computation_currents
+from repro.graph import build_circuit_graph, compute_levels, switching_profile
+
+ALL_PAIRS = [(0, 0), (1, 1), (0, 1), (1, 0)]
+
+
+def _xor_trace_set(block):
+    """One current trace per (a, b) operand pair.
+
+    Byte 0 of the pseudo plaintext carries the XOR *output* value, so that the
+    AES AddRoundKey selection function with a zero key guess partitions the
+    traces by the produced rail — the known-value leakage assessment of
+    Section IV.
+    """
+    waveforms = per_computation_currents(block, ALL_PAIRS)
+    traces = TraceSet()
+    for (a, b), waveform in zip(ALL_PAIRS, waveforms):
+        traces.add(waveform, [a ^ b] + [0] * 15, operand_a=a, operand_b=b)
+    return traces
+
+
+class TestXorPipeline:
+    def test_balanced_pipeline_has_no_leak(self):
+        xor = build_dual_rail_xor("x")
+        graph = build_circuit_graph(xor.netlist)
+        levels = compute_levels(graph)
+
+        # Logical balance: constant switching profile.
+        profiles = [switching_profile(simulate_two_operand_block(xor, [pair]).trace,
+                                      levels) for pair in ALL_PAIRS]
+        assert all(p.nt == 4 for p in profiles)
+
+        # Electrical balance: null signature between the two DPA sets.
+        waves = per_computation_currents(xor, ALL_PAIRS)
+        signature = signature_from_traces(waves[:2], waves[2:])
+        assert signature.max_abs() == pytest.approx(0.0)
+
+    def test_routing_imbalance_creates_measurable_bias(self):
+        """The central claim: routing capacitance mismatch, not logic, leaks."""
+        xor = build_dual_rail_xor("x")
+        xor.set_level_cap(3, 1, 24.0)   # unbalance the rail-0 output net
+
+        waves = per_computation_currents(xor, ALL_PAIRS)
+        simulated = signature_from_traces(waves[:2], waves[2:])
+        assert simulated.max_abs() > 0
+
+        # The formal model predicts a non-null signature as well.
+        formal = formal_signature(FormalCurrentModel.from_block(xor))
+        assert formal.max_abs() > 0
+
+    def test_dpa_partitioning_on_xor_traces(self):
+        """Partitioning the XOR traces by the output bit reveals the imbalance
+        through equation (9)."""
+        xor = build_dual_rail_xor("x")
+        xor.set_level_cap(3, 1, 24.0)
+        traces = _xor_trace_set(xor)
+        # Selection: output bit = a XOR b; with b stored as metadata and key
+        # guess 0 over byte 0, the D function reduces to bit0(a) — partitioning
+        # by the value of a is enough to expose the rail-capacitance mismatch
+        # because a = 0 computations exercise different minterm gates.
+        selection = AesAddRoundKeySelection(byte_index=0, bit_index=0)
+        bias = dpa_bias(traces, selection, key_guess=0)
+        balanced = build_dual_rail_xor("y")
+        balanced_bias = dpa_bias(_xor_trace_set(balanced), selection, key_guess=0)
+        assert bias.max_abs() > balanced_bias.max_abs()
+
+    def test_process_variation_gives_residual_peaks(self):
+        """Fig. 6: even nominally equal load capacitances leave small residual
+        peaks once intra-die mismatch is accounted for — far smaller than the
+        peaks caused by a deliberate 2x imbalance (Fig. 7)."""
+        residual = build_dual_rail_xor("r")
+        apply_process_variation(residual.netlist, sigma_ff=0.1, seed=5)
+        waves = per_computation_currents(residual, ALL_PAIRS)
+        residual_sig = signature_from_traces(waves[:2], waves[2:])
+
+        unbalanced = build_dual_rail_xor("u")
+        unbalanced.set_level_cap(3, 1, 16.0)
+        waves_u = per_computation_currents(unbalanced, ALL_PAIRS)
+        unbalanced_sig = signature_from_traces(waves_u[:2], waves_u[2:])
+
+        assert residual_sig.max_abs() > 0
+        assert residual_sig.max_abs() < 0.5 * unbalanced_sig.max_abs()
