@@ -51,6 +51,7 @@ from .tracegen import (
     TraceGenerationError,
     TraceGeneratorConfig,
     generate_trace_sets_for_flows,
+    word_digits,
 )
 
 __all__ = [
@@ -88,4 +89,5 @@ __all__ = [
     "TraceGenerationError",
     "TraceGeneratorConfig",
     "generate_trace_sets_for_flows",
+    "word_digits",
 ]

@@ -51,6 +51,12 @@ class EncryptionRun:
     plaintext: List[int]
     ciphertext: List[int]
     transfers: List[ChannelTransfer] = field(default_factory=list)
+    #: Parallel to ``transfers``: ``(state label, column)`` naming the cipher
+    #: state word each transfer carries (label ``"plaintext"`` for the input
+    #: words).  The slot schedule is data-independent, so a batched trace
+    #: generator can rebuild the words of *any* plaintext from these sources
+    #: without re-walking the architecture.
+    word_sources: List[Tuple[str, int]] = field(default_factory=list)
     round_key_slots: Dict[int, int] = field(default_factory=dict)
     total_slots: int = 0
     reference: Optional[RoundTrace] = None
@@ -90,9 +96,11 @@ class CipherDataPath:
         run = EncryptionRun(plaintext=plaintext, ciphertext=[], reference=reference)
         slot = start_slot
 
-        def emit(bus: str, word: int, at: int, label: str) -> None:
+        def emit(bus: str, word: int, at: int, label: str,
+                 source: Tuple[str, int]) -> None:
             run.transfers.append(ChannelTransfer(bus=bus, word=word, slot=at,
                                                  width=32, label=label))
+            run.word_sources.append(source)
 
         def state_words(label: str) -> List[int]:
             return block_to_words(state_to_bytes(reference.states[label]))
@@ -102,67 +110,90 @@ class CipherDataPath:
             if token.step is RoundStep.LOAD:
                 words = block_to_words(plaintext)
                 for offset, word in enumerate(words):
-                    emit("data_in", word, slot + offset, label)
-                    emit("mux41_to_addkey0", word, slot + offset + 1, label)
+                    emit("data_in", word, slot + offset, label,
+                         ("plaintext", offset))
+                    emit("mux41_to_addkey0", word, slot + offset + 1, label,
+                         ("plaintext", offset))
                 slot += 5
 
             elif token.step is RoundStep.ADD_KEY0:
                 run.round_key_slots[0] = slot
-                words = state_words("round0:addkey")
+                state_label = "round0:addkey"
+                words = state_words(state_label)
                 for offset, word in enumerate(words):
-                    emit("addkey0_to_mux", word, slot + offset + 1, label)
-                    emit("mux_to_dmux", word, slot + offset + 2, label)
-                    emit(f"dmux_to_c{offset}", word, slot + offset + 3, label)
+                    emit("addkey0_to_mux", word, slot + offset + 1, label,
+                         (state_label, offset))
+                    emit("mux_to_dmux", word, slot + offset + 2, label,
+                         (state_label, offset))
+                    emit(f"dmux_to_c{offset}", word, slot + offset + 3, label,
+                         (state_label, offset))
                 slot += 7
 
             elif token.step is RoundStep.SUB_BYTES:
-                input_words = (state_words(f"round{token.round_index - 1}:addkey")
-                               if token.round_index > 1
-                               else state_words("round0:addkey"))
-                output_words = state_words(f"round{token.round_index}:subbytes")
+                input_label = (f"round{token.round_index - 1}:addkey"
+                               if token.round_index > 1 else "round0:addkey")
+                output_label = f"round{token.round_index}:subbytes"
+                input_words = state_words(input_label)
+                output_words = state_words(output_label)
                 for offset in range(4):
                     emit(f"c{offset}_to_bytesub{offset}", input_words[offset],
-                         slot + offset, label)
+                         slot + offset, label, (input_label, offset))
                     emit(f"bytesub{offset}_to_sr{offset}", output_words[offset],
-                         slot + offset + 1, label)
+                         slot + offset + 1, label, (output_label, offset))
                 slot += 6
 
             elif token.step is RoundStep.SHIFT_ROWS:
-                words = state_words(f"round{token.round_index}:shiftrows")
+                state_label = f"round{token.round_index}:shiftrows"
+                words = state_words(state_label)
                 for offset, word in enumerate(words):
-                    emit(f"sr{offset}_to_muxmix", word, slot + offset, label)
+                    emit(f"sr{offset}_to_muxmix", word, slot + offset, label,
+                         (state_label, offset))
                 slot += 5
 
             elif token.step is RoundStep.MIX_COLUMNS:
-                input_words = state_words(f"round{token.round_index}:shiftrows")
-                output_words = state_words(f"round{token.round_index}:mixcolumns")
+                input_label = f"round{token.round_index}:shiftrows"
+                output_label = f"round{token.round_index}:mixcolumns"
+                input_words = state_words(input_label)
+                output_words = state_words(output_label)
                 for offset in range(4):
-                    emit("muxmix_to_mixcol", input_words[offset], slot + offset, label)
-                    emit("mixcol_to_ark", output_words[offset], slot + offset + 1, label)
+                    emit("muxmix_to_mixcol", input_words[offset], slot + offset,
+                         label, (input_label, offset))
+                    emit("mixcol_to_ark", output_words[offset], slot + offset + 1,
+                         label, (output_label, offset))
                 slot += 6
 
             elif token.step is RoundStep.ADD_ROUND_KEY:
                 run.round_key_slots[token.round_index] = slot
-                words = state_words(f"round{token.round_index}:addkey")
+                state_label = f"round{token.round_index}:addkey"
+                words = state_words(state_label)
                 for offset, word in enumerate(words):
-                    emit("roundloop_to_mux", word, slot + offset + 1, label)
-                    emit("mux_to_dmux", word, slot + offset + 2, label)
-                    emit(f"dmux_to_c{offset}", word, slot + offset + 3, label)
+                    emit("roundloop_to_mux", word, slot + offset + 1, label,
+                         (state_label, offset))
+                    emit("mux_to_dmux", word, slot + offset + 2, label,
+                         (state_label, offset))
+                    emit(f"dmux_to_c{offset}", word, slot + offset + 3, label,
+                         (state_label, offset))
                 slot += 7
 
             elif token.step is RoundStep.ADD_LAST_KEY:
                 run.round_key_slots[self.rounds] = slot
-                input_words = state_words(f"round{self.rounds}:shiftrows")
-                output_words = state_words(f"round{self.rounds}:addkey")
+                input_label = f"round{self.rounds}:shiftrows"
+                output_label = f"round{self.rounds}:addkey"
+                input_words = state_words(input_label)
+                output_words = state_words(output_label)
                 for offset in range(4):
-                    emit("muxmix_to_alk", input_words[offset], slot + offset, label)
-                    emit("alk_to_dmuxout", output_words[offset], slot + offset + 1, label)
+                    emit("muxmix_to_alk", input_words[offset], slot + offset,
+                         label, (input_label, offset))
+                    emit("alk_to_dmuxout", output_words[offset],
+                         slot + offset + 1, label, (output_label, offset))
                 slot += 6
 
             elif token.step is RoundStep.OUTPUT:
-                words = state_words(f"round{self.rounds}:addkey")
+                state_label = f"round{self.rounds}:addkey"
+                words = state_words(state_label)
                 for offset, word in enumerate(words):
-                    emit("data_out", word, slot + offset, label)
+                    emit("data_out", word, slot + offset, label,
+                         (state_label, offset))
                 slot += 5
 
         run.ciphertext = list(reference.ciphertext)

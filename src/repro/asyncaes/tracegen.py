@@ -28,10 +28,11 @@ import numpy as np
 
 from ..circuits.netlist import Netlist
 from ..core.dpa import TraceSet
+from ..crypto.aes import encrypt_states_batch
 from ..crypto.keys import PlaintextGenerator
 from ..electrical.noise import NoiseModel
 from ..electrical.technology import HCMOS9_LIKE, Technology
-from ..electrical.waveform import Waveform, triangular_pulse
+from ..electrical.waveform import Waveform
 from .architecture import AesArchitecture
 from .datapath import CipherDataPath, EncryptionRun
 from .keypath import ChannelTransfer, KeySchedulePath
@@ -39,6 +40,27 @@ from .keypath import ChannelTransfer, KeySchedulePath
 
 class TraceGenerationError(Exception):
     """Raised when traces cannot be generated for a netlist."""
+
+
+def word_digits(words: Sequence[int], width: int, radix: int) -> np.ndarray:
+    """Base-``radix`` digits of a batch of words, least significant first.
+
+    Returns a ``(len(words), width)`` integer matrix; entry ``[k, i]`` is the
+    value of digit ``i`` of word ``k``, i.e. the index of the rail that fires
+    on channel bit ``i`` of a 1-of-``radix`` encoded transfer.  Digits beyond
+    ``width`` are ignored, mirroring how a bus truncates a wider word.
+    """
+    if radix < 2:
+        raise TraceGenerationError(f"channel radix must be >= 2, got {radix}")
+    words = np.asarray(words, dtype=np.int64)
+    if radix == 2:
+        return (words[:, None] >> np.arange(width, dtype=np.int64)) & 1
+    digits = np.empty((len(words), width), dtype=np.int64)
+    remainder = words.copy()
+    for index in range(width):
+        digits[:, index] = remainder % radix
+        remainder //= radix
+    return digits
 
 
 @dataclass
@@ -125,17 +147,52 @@ class AesPowerTraceGenerator:
                                                            run.round_key_slots))
         return run, transfers
 
+    def _bus_radix(self, bus_name: str) -> int:
+        """Encoding radix of a bus (2 for dual-rail, N for 1-of-N)."""
+        for bus in self.architecture.channels:
+            if bus.name == bus_name:
+                return bus.radix
+        return 2
+
     def _bus_cap_matrix(self, bus_name: str, width: int) -> np.ndarray:
-        """Cached ``(width, 2)`` array of rail load capacitances of one bus."""
+        """Cached ``(width, radix)`` array of rail load capacitances of one bus.
+
+        The shape honours the bus's 1-of-N encoding radix: every rail of
+        every digit contributes its extracted capacitance, instead of the
+        former hard-wired dual-rail assumption that silently dropped the
+        rails of wider encodings.
+        """
         cached = self._cap_matrices.get(bus_name)
         if cached is not None:
             return cached
-        matrix = np.zeros((width, 2))
+        radix = self._bus_radix(bus_name)
+        if radix < 2:
+            raise TraceGenerationError(
+                f"bus {bus_name!r} has radix {radix}; 1-of-N channels need N >= 2"
+            )
+        matrix = np.zeros((width, radix))
         for bit in range(width):
-            for rail in range(2):
+            for rail in range(radix):
                 matrix[bit, rail] = self._rail_caps.get((bus_name, bit, rail), 0.0)
         self._cap_matrices[bus_name] = matrix
         return matrix
+
+    def _sample_geometry(self, total_slots: int) -> Tuple[int, float, int]:
+        """``(sample_count, samples_per_slot, rtz_offset)`` of a trace."""
+        cfg = self.config
+        duration = (total_slots + 4) * cfg.slot_period_s
+        sample_count = max(1, int(np.ceil(duration / cfg.sample_period_s)))
+        samples_per_slot = cfg.slot_period_s / cfg.sample_period_s
+        rtz_offset = int(round(cfg.rtz_fraction * cfg.slot_period_s / cfg.sample_period_s))
+        return sample_count, samples_per_slot, rtz_offset
+
+    def _transfer_currents(self, bus: str, width: int,
+                           words: np.ndarray) -> np.ndarray:
+        """Supply-current contribution of a batch of words on one bus."""
+        caps = self._bus_cap_matrix(bus, width)
+        digits = word_digits(words, width, caps.shape[1])
+        charges = caps[np.arange(width)[None, :], digits].sum(axis=1)
+        return charges * 1e-15 * self.technology.vdd / self.config.sample_period_s
 
     def trace(self, plaintext: Sequence[int]) -> Waveform:
         """Synthesize the supply-current trace of one encryption.
@@ -145,23 +202,20 @@ class AesPowerTraceGenerator:
         each transfer deposits its total charge into the sample bin of its
         slot — the resulting current sample is ``ΣC·Vdd / dt``, which keeps
         exactly the per-bit capacitance dependence the DPA exploits.
+
+        This is the per-trace reference path; :meth:`trace_batch` produces
+        the same samples for a whole batch of plaintexts at once.
         """
         run, transfers = self._transfers_for(plaintext)
         cfg = self.config
-        duration = (run.total_slots + 4) * cfg.slot_period_s
-        sample_count = max(1, int(np.ceil(duration / cfg.sample_period_s)))
+        sample_count, samples_per_slot, rtz_offset = self._sample_geometry(run.total_slots)
         samples = np.zeros(sample_count)
-        rtz_offset = int(round(cfg.rtz_fraction * cfg.slot_period_s / cfg.sample_period_s))
-        samples_per_slot = cfg.slot_period_s / cfg.sample_period_s
 
         bus_widths = {bus.name: bus.width for bus in self.architecture.channels}
-        bit_indices = np.arange(64, dtype=np.int64)
         for transfer in transfers:
             width = min(transfer.width, bus_widths.get(transfer.bus, transfer.width))
-            caps = self._bus_cap_matrix(transfer.bus, width)
-            rails = (transfer.word >> bit_indices[:width]) & 1
-            charge = float(caps[np.arange(width), rails].sum()) * 1e-15 * self.technology.vdd
-            current = charge / cfg.sample_period_s
+            current = float(self._transfer_currents(
+                transfer.bus, width, np.array([transfer.word], dtype=np.int64))[0])
             index = int(round(transfer.slot * samples_per_slot))
             if 0 <= index < sample_count:
                 samples[index] += current
@@ -176,12 +230,159 @@ class AesPowerTraceGenerator:
         return waveform
 
     # ------------------------------------------------------------ trace sets
+    def _key_path_template(self, sample_count: int, samples_per_slot: float,
+                           rtz_offset: int, round_key_slots: Dict[int, int]
+                           ) -> np.ndarray:
+        """Per-trace contribution of the key path (identical for every trace).
+
+        The key-schedule channel activity depends only on the key, so its
+        scatter into the sample bins is computed once per batch and broadcast
+        over all rows of the trace matrix.
+        """
+        if self._key_transfers_cache is None:
+            round_words, _ = self.keypath.run(start_slot=0)
+            self._key_transfers_cache = (round_words, list(self.keypath.transfers))
+        round_words, key_transfers = self._key_transfers_cache
+        transfers = list(key_transfers)
+        transfers.extend(self.keypath.subkey_transfers(round_words, round_key_slots))
+
+        template = np.zeros(sample_count)
+        bus_widths = {bus.name: bus.width for bus in self.architecture.channels}
+        for transfer in transfers:
+            width = min(transfer.width, bus_widths.get(transfer.bus, transfer.width))
+            current = float(self._transfer_currents(
+                transfer.bus, width, np.array([transfer.word], dtype=np.int64))[0])
+            index = int(round(transfer.slot * samples_per_slot))
+            if 0 <= index < sample_count:
+                template[index] += current
+            if self.config.include_return_to_zero:
+                rtz_index = index + rtz_offset
+                if 0 <= rtz_index < sample_count:
+                    template[rtz_index] += current
+        return template
+
+    def _batch_transfer_words(self, run0, plaintexts: List[List[int]]
+                              ) -> np.ndarray:
+        """``(n_traces, n_transfers)`` words carried by the fixed schedule.
+
+        Runs the vectorized batch cipher once and resolves every transfer's
+        word from its recorded ``(state label, column)`` source.  Falls back
+        to walking the architecture model per plaintext when the schedule
+        carries no source annotations (custom data paths).  The first row is
+        checked against the reference model run, so any drift between the
+        batch cipher and the architecture walk fails loudly.
+        """
+        n_traces, transfer_count = len(plaintexts), len(run0.transfers)
+        if len(run0.word_sources) != transfer_count:
+            words = np.empty((n_traces, transfer_count), dtype=np.int64)
+            words[0] = [t.word for t in run0.transfers]
+            for index, plaintext in enumerate(plaintexts[1:], start=1):
+                run = self.datapath.encrypt(plaintext)
+                if (len(run.transfers) != transfer_count
+                        or run.total_slots != run0.total_slots):
+                    raise TraceGenerationError(
+                        "data-path transfer schedule is not batch-invariant; "
+                        "cannot vectorize trace generation"
+                    )
+                words[index] = [t.word for t in run.transfers]
+            return words
+
+        states = encrypt_states_batch(self.key, plaintexts)
+        word_cache: Dict[str, np.ndarray] = {}
+
+        def words_of(label: str) -> np.ndarray:
+            cached = word_cache.get(label)
+            if cached is None:
+                blocks = (np.asarray(plaintexts, dtype=np.int64)
+                          if label == "plaintext"
+                          else states[label].astype(np.int64))
+                cached = ((blocks[:, 0::4] << 24) | (blocks[:, 1::4] << 16)
+                          | (blocks[:, 2::4] << 8) | blocks[:, 3::4])
+                word_cache[label] = cached
+            return cached
+
+        words = np.empty((n_traces, transfer_count), dtype=np.int64)
+        for position, (label, column) in enumerate(run0.word_sources):
+            words[:, position] = words_of(label)[:, column]
+        reference_words = np.asarray([t.word for t in run0.transfers],
+                                     dtype=np.int64)
+        if not np.array_equal(words[0], reference_words):
+            raise TraceGenerationError(
+                "batched cipher states diverged from the architecture model"
+            )
+        return words
+
+    def trace_batch(self, plaintexts: Iterable[Sequence[int]]) -> TraceSet:
+        """Synthesize the traces of a whole batch of plaintexts at once.
+
+        The generation splits into a cheap per-plaintext step — running the
+        data-flow model to obtain the transferred words — and a vectorized
+        scatter: the transfer *schedule* (which bus occupies which slot) is
+        data-independent, so the slot sample indices and rail-capacitance
+        lookups are computed once and reused across the batch, and all
+        per-transfer charges land in the ``(n_traces, n_samples)`` matrix
+        through a single ``np.add.at`` per pulse phase.  Numerically
+        equivalent to calling :meth:`trace` per plaintext (``np.allclose``).
+        """
+        plaintexts = [list(p) for p in plaintexts]
+        if not plaintexts:
+            return TraceSet()
+        cfg = self.config
+        # One walk of the architecture model fixes the (bus, slot) schedule
+        # and names the cipher-state word each transfer carries; the words of
+        # every other plaintext come from the vectorized batch cipher.
+        run0 = self.datapath.encrypt(plaintexts[0])
+        schedule = run0.transfers
+        transfer_count = len(schedule)
+        n_traces = len(plaintexts)
+        sample_count, samples_per_slot, rtz_offset = self._sample_geometry(
+            run0.total_slots)
+        matrix = np.zeros((n_traces, sample_count))
+
+        words = self._batch_transfer_words(run0, plaintexts)
+
+        # Per-transfer currents, grouped by bus so each group resolves its
+        # words against one cached capacitance matrix in a single lookup.
+        bus_widths = {bus.name: bus.width for bus in self.architecture.channels}
+        groups: Dict[Tuple[str, int], List[int]] = {}
+        for position, transfer in enumerate(schedule):
+            width = min(transfer.width, bus_widths.get(transfer.bus, transfer.width))
+            groups.setdefault((transfer.bus, width), []).append(position)
+        currents = np.empty((n_traces, transfer_count))
+        for (bus, width), positions in groups.items():
+            flat = self._transfer_currents(bus, width, words[:, positions].ravel())
+            currents[:, positions] = flat.reshape(n_traces, len(positions))
+
+        # One scatter per pulse phase (evaluation, then return-to-zero).
+        sample_indices = np.array(
+            [int(round(t.slot * samples_per_slot)) for t in schedule], dtype=np.int64
+        )
+        rows = np.arange(n_traces)[:, None]
+        phases = [sample_indices]
+        if cfg.include_return_to_zero:
+            phases.append(sample_indices + rtz_offset)
+        for indices in phases:
+            in_range = (indices >= 0) & (indices < sample_count)
+            if in_range.any():
+                np.add.at(matrix, (rows, indices[in_range][None, :]),
+                          currents[:, in_range])
+
+        if cfg.include_key_path:
+            matrix += self._key_path_template(
+                sample_count, samples_per_slot, rtz_offset, run0.round_key_slots
+            )[None, :]
+
+        if self.noise is not None:
+            matrix = self.noise.apply_matrix(matrix, cfg.sample_period_s, 0.0)
+        return TraceSet.from_matrix(matrix, plaintexts, cfg.sample_period_s, 0.0)
+
     def trace_set(self, plaintexts: Iterable[Sequence[int]]) -> TraceSet:
-        """Synthesize one trace per plaintext and bundle them for the DPA."""
-        traces = TraceSet()
-        for plaintext in plaintexts:
-            traces.add(self.trace(plaintext), list(plaintext))
-        return traces
+        """Synthesize one trace per plaintext and bundle them for the DPA.
+
+        Delegates to the batched engine; every existing caller of
+        ``trace_set`` gets the vectorized path transparently.
+        """
+        return self.trace_batch(plaintexts)
 
     def random_trace_set(self, count: int, *, seed: Optional[int] = None) -> TraceSet:
         """Trace set over ``count`` uniformly random plaintexts."""

@@ -91,6 +91,18 @@ class Simulator:
         self._levels: Dict[str, int] = {}
         self.record_trace = True
         self._started = False
+        # Static per-instance evaluation info, resolved once: the cell, the
+        # (input pin, input net) pairs and the output net.  The hot loops
+        # (_commit / _evaluate_fanout) would otherwise chase the
+        # instance → cell → pin → net indirection on every event.
+        self._inst_info: Dict[str, Tuple[GateType, List[Tuple[str, str]], str]] = {}
+        for inst in netlist.instances():
+            cell = netlist.library.get(inst.cell)
+            input_nets = [(pin, inst.net_of(pin)) for pin in cell.inputs]
+            self._inst_info[inst.name] = (cell, input_nets, inst.net_of(cell.output))
+        self._net_sinks: Dict[str, List[str]] = {
+            net.name: [sink.instance for sink in net.sinks] for net in netlist.nets()
+        }
         self.reset_all_low()
 
     # --------------------------------------------------------------- set-up
@@ -163,11 +175,12 @@ class Simulator:
         change produces the correct output instead.
         """
         value = event.value
-        if event.cause is not None and self.netlist.has_instance(event.cause):
-            inst = self.netlist.instance(event.cause)
-            cell = self.netlist.library.get(inst.cell)
-            inputs = {pin: self._values[inst.net_of(pin)] for pin in cell.inputs}
-            value = cell.compute(inputs, self._values[event.net])
+        if event.cause is not None:
+            info = self._inst_info.get(event.cause)
+            if info is not None:
+                cell, input_nets, _ = info
+                inputs = {pin: self._values[net] for pin, net in input_nets}
+                value = cell.compute(inputs, self._values[event.net])
         old = self._values[event.net]
         if old is value:
             return False
@@ -191,18 +204,14 @@ class Simulator:
 
     def _evaluate_fanout(self, net: str, time: float) -> None:
         """Re-evaluate every gate whose inputs include ``net``."""
-        for sink in self.netlist.net(net).sinks:
-            inst = self.netlist.instance(sink.instance)
-            cell = self.netlist.library.get(inst.cell)
-            input_values = {
-                pin: self._values[inst.net_of(pin)] for pin in cell.inputs
-            }
-            out_net = inst.net_of(cell.output)
+        for sink_name in self._net_sinks.get(net, ()):
+            cell, input_nets, out_net = self._inst_info[sink_name]
+            input_values = {pin: self._values[in_net] for pin, in_net in input_nets}
             previous = self._values[out_net]
             new_value = cell.compute(input_values, previous)
             if new_value is not previous:
                 delay = self.delay_model.gate_delay(self.netlist, cell, out_net)
-                self.schedule_drive(out_net, new_value, time + delay, cause=inst.name)
+                self.schedule_drive(out_net, new_value, time + delay, cause=sink_name)
 
     def _notify(self, net: str, value: Logic, time: float) -> None:
         for process in self._watchers.get(net, ()):  # processes see committed values
@@ -216,15 +225,13 @@ class Simulator:
         however, must produce their true output at start-up.  This pass makes
         the simulator equally usable for ordinary combinational netlists.
         """
-        for inst in self.netlist.instances():
-            cell = self.netlist.library.get(inst.cell)
-            input_values = {pin: self._values[inst.net_of(pin)] for pin in cell.inputs}
-            out_net = inst.net_of(cell.output)
+        for inst_name, (cell, input_nets, out_net) in self._inst_info.items():
+            input_values = {pin: self._values[in_net] for pin, in_net in input_nets}
             previous = self._values[out_net]
             new_value = cell.compute(input_values, previous)
             if new_value is not previous:
                 delay = self.delay_model.gate_delay(self.netlist, cell, out_net)
-                self.schedule_drive(out_net, new_value, time + delay, cause=inst.name)
+                self.schedule_drive(out_net, new_value, time + delay, cause=inst_name)
 
     def run(self, until: Optional[float] = None, max_events: int = 2_000_000) -> TraceRecord:
         """Run until the event queue drains, ``until`` is reached, or the

@@ -31,6 +31,7 @@ from .dpa import (
     PowerTrace,
     TraceSet,
     dpa_attack,
+    dpa_attack_reference,
     dpa_bias,
     messages_to_disclosure,
     partition_by_values,
@@ -38,6 +39,11 @@ from .dpa import (
     selection_bits,
 )
 from .flow import (
+    AttackCampaign,
+    CampaignDesign,
+    CampaignResult,
+    CampaignRow,
+    CampaignSelection,
     FlowComparison,
     FlowConfig,
     FlowIteration,
@@ -72,6 +78,7 @@ from .selection import (
     HammingWeightSelection,
     SelectionFunction,
     list_standard_selections,
+    selection_matrix,
 )
 from .signature import (
     SignatureReport,
@@ -99,11 +106,17 @@ __all__ = [
     "PowerTrace",
     "TraceSet",
     "dpa_attack",
+    "dpa_attack_reference",
     "dpa_bias",
     "messages_to_disclosure",
     "partition_by_values",
     "partition_traces",
     "selection_bits",
+    "AttackCampaign",
+    "CampaignDesign",
+    "CampaignResult",
+    "CampaignRow",
+    "CampaignSelection",
     "FlowComparison",
     "FlowConfig",
     "FlowIteration",
@@ -132,6 +145,7 @@ __all__ = [
     "HammingWeightSelection",
     "SelectionFunction",
     "list_standard_selections",
+    "selection_matrix",
     "SignatureReport",
     "SignatureTerm",
     "compare_formal_and_simulated",

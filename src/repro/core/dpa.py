@@ -11,6 +11,15 @@ paper, a DPA attack:
    ``T[j] = A0[j] − A1[j]`` (equation (9));
 4. declares the guess whose bias shows the strongest peaks to be the key.
 
+The whole attack is linear algebra over the ``(n_traces, n_samples)`` sample
+matrix: with the selection bits of every guess stacked into a matrix ``B``
+(``n_guesses × n_traces``), the per-guess set sums of equation (8) are the
+single matmul ``B · S`` and the bias signals of equation (9) follow from two
+row-wise divisions.  :func:`dpa_attack` therefore evaluates **all key guesses
+at once**; the per-trace, per-guess formulation it replaces is kept as
+:func:`dpa_attack_reference` so the batched engine can always be checked
+against the literal textbook loop.
+
 The classes here are agnostic of where the traces come from: the library's
 own synthesized traces (XOR block, asynchronous AES) or any externally
 acquired waveform set.
@@ -23,8 +32,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..electrical.waveform import Waveform, align_waveforms
-from .selection import SelectionFunction
+from ..electrical.waveform import Waveform, stack_aligned
+from .selection import SelectionFunction, selection_matrix
 
 
 class DPAError(Exception):
@@ -41,14 +50,65 @@ class PowerTrace:
 
 
 class TraceSet:
-    """An ordered collection of :class:`PowerTrace` with a common time base."""
+    """An ordered collection of :class:`PowerTrace` with a common time base.
+
+    The set is backed by a contiguous ``(n_traces, n_samples)`` sample matrix
+    plus an ``(n_traces, block)`` plaintext matrix, both built lazily and
+    cached (alignment happens exactly once; :meth:`add` invalidates the
+    caches).  The per-trace :class:`PowerTrace` API — iteration, indexing,
+    ``waveforms()`` — is preserved as a view over the matrix rows, so existing
+    per-trace code keeps working while the attack engine stays array-first.
+    """
 
     def __init__(self, traces: Optional[Iterable[PowerTrace]] = None):
         self._traces: List[PowerTrace] = list(traces) if traces is not None else []
+        self._matrix: Optional[np.ndarray] = None
+        self._dt: Optional[float] = None
+        self._t0: Optional[float] = None
+        self._plaintext_matrix: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray, plaintexts: Sequence[Sequence[int]],
+                    dt: float, t0: float = 0.0,
+                    metadata: Optional[Sequence[Mapping[str, object]]] = None
+                    ) -> "TraceSet":
+        """Build a trace set directly from an aligned sample matrix.
+
+        This is the fast path used by the batched trace generators: the matrix
+        is adopted as-is (rows become the waveforms of the per-trace view), so
+        no per-trace alignment or copying ever happens.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise DPAError(f"expected an (n_traces, n_samples) matrix, "
+                           f"got shape {matrix.shape}")
+        if len(plaintexts) != matrix.shape[0]:
+            raise DPAError(f"got {len(plaintexts)} plaintexts for "
+                           f"{matrix.shape[0]} trace rows")
+        if dt <= 0:
+            raise DPAError(f"sampling period must be > 0, got {dt}")
+        traces = cls()
+        for index, plaintext in enumerate(plaintexts):
+            extra = dict(metadata[index]) if metadata is not None else {}
+            traces._traces.append(PowerTrace(
+                waveform=Waveform(matrix[index], dt, t0),
+                plaintext=list(plaintext), metadata=extra,
+            ))
+        traces._matrix = matrix
+        traces._dt = dt
+        traces._t0 = t0
+        return traces
+
+    def _invalidate(self) -> None:
+        self._matrix = None
+        self._dt = None
+        self._t0 = None
+        self._plaintext_matrix = None
 
     def add(self, waveform: Waveform, plaintext: Sequence[int], **metadata) -> None:
         self._traces.append(PowerTrace(waveform=waveform, plaintext=list(plaintext),
                                        metadata=dict(metadata)))
+        self._invalidate()
 
     def __len__(self) -> int:
         return len(self._traces)
@@ -60,11 +120,36 @@ class TraceSet:
         return self._traces[index]
 
     def subset(self, count: int) -> "TraceSet":
-        """The first ``count`` traces (used for messages-to-disclosure sweeps)."""
+        """The first ``count`` traces (used for messages-to-disclosure sweeps).
+
+        When the sample matrix is already built the subset shares its rows (a
+        zero-copy slice), so growing-prefix sweeps never re-align anything.
+        """
+        if self._matrix is not None:
+            return TraceSet.from_matrix(
+                self._matrix[:count],
+                [t.plaintext for t in self._traces[:count]],
+                self._dt, self._t0,
+                metadata=[t.metadata for t in self._traces[:count]],
+            )
         return TraceSet(self._traces[:count])
 
     def plaintexts(self) -> List[List[int]]:
         return [t.plaintext for t in self._traces]
+
+    def plaintext_matrix(self) -> np.ndarray:
+        """All plaintexts stacked into an ``(n_traces, block)`` int matrix."""
+        if self._plaintext_matrix is None:
+            if not self._traces:
+                raise DPAError("empty trace set has no plaintext matrix")
+            lengths = {len(t.plaintext) for t in self._traces}
+            if len(lengths) != 1:
+                raise DPAError(f"plaintexts have mixed lengths {sorted(lengths)}; "
+                               "cannot build a rectangular matrix")
+            self._plaintext_matrix = np.asarray(
+                [t.plaintext for t in self._traces], dtype=np.int64
+            )
+        return self._plaintext_matrix
 
     def waveforms(self) -> List[Waveform]:
         return [t.waveform for t in self._traces]
@@ -76,24 +161,35 @@ class TraceSet:
         return self._traces[0].waveform.dt
 
     def matrix(self) -> np.ndarray:
-        """Stack all traces into an ``(n_traces, n_samples)`` matrix."""
-        if not self._traces:
-            raise DPAError("cannot build a matrix from an empty trace set")
-        aligned = align_waveforms([t.waveform for t in self._traces])
-        return np.vstack([w.samples for w in aligned])
+        """Stack all traces into an ``(n_traces, n_samples)`` matrix.
+
+        Alignment over the set happens on the first call only; the result is
+        cached until the set is mutated.
+        """
+        if self._matrix is None:
+            if not self._traces:
+                raise DPAError("cannot build a matrix from an empty trace set")
+            self._matrix, self._dt, self._t0 = stack_aligned(
+                [t.waveform for t in self._traces]
+            )
+        return self._matrix
 
     def time_base(self) -> Waveform:
-        aligned = align_waveforms([t.waveform for t in self._traces])
-        return aligned[0]
+        """The first trace on the set's common time base (cached alignment)."""
+        matrix = self.matrix()
+        return Waveform(matrix[0].copy(), self._dt, self._t0)
+
+    def _time_params(self) -> Tuple[float, float]:
+        """``(dt, t0)`` of the aligned matrix (building it if needed)."""
+        self.matrix()
+        return self._dt, self._t0
 
 
 # ----------------------------------------------------------------- partition
 def selection_bits(traces: TraceSet, selection: SelectionFunction,
                    key_guess: int) -> np.ndarray:
     """The D-function value for every trace of the set (0/1 vector)."""
-    return np.array(
-        [selection(trace.plaintext, key_guess) for trace in traces], dtype=int
-    )
+    return selection_matrix(selection, traces.plaintexts(), [key_guess])[0]
 
 
 def partition_traces(traces: TraceSet, selection: SelectionFunction,
@@ -125,16 +221,38 @@ def _bias_from_matrix(matrix: np.ndarray, bits: np.ndarray) -> Optional[np.ndarr
     return matrix[mask0].mean(axis=0) - matrix[mask1].mean(axis=0)
 
 
+def _bias_matrix(matrix: np.ndarray, bit_matrix: np.ndarray
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """Equations (8)–(9) for every guess at once.
+
+    ``bit_matrix`` is the ``(n_guesses, n_traces)`` selection-bit matrix;
+    the result is the ``(n_guesses, n_samples)`` bias matrix together with a
+    boolean validity vector (a guess whose partition is single-sided has no
+    bias and gets a zero row, matching the per-guess reference).
+    """
+    n_traces = matrix.shape[0]
+    counts1 = bit_matrix.sum(axis=1)
+    counts0 = n_traces - counts1
+    sum1 = bit_matrix.astype(float) @ matrix
+    sum_all = matrix.sum(axis=0)
+    valid = (counts1 > 0) & (counts0 > 0)
+    bias = np.zeros((bit_matrix.shape[0], matrix.shape[1]))
+    if valid.any():
+        bias[valid] = ((sum_all - sum1[valid]) / counts0[valid, None]
+                       - sum1[valid] / counts1[valid, None])
+    return bias, valid
+
+
 def dpa_bias(traces: TraceSet, selection: SelectionFunction,
              key_guess: int) -> Waveform:
     """Equations (8)–(9): the DPA bias signal ``T[j]`` for one key guess."""
     matrix = traces.matrix()
+    dt, t0 = traces._time_params()
     bits = selection_bits(traces, selection, key_guess)
     bias = _bias_from_matrix(matrix, bits)
-    base = traces.time_base()
     if bias is None:
-        return Waveform(np.zeros(matrix.shape[1]), base.dt, base.t0)
-    return Waveform(bias, base.dt, base.t0)
+        return Waveform(np.zeros(matrix.shape[1]), dt, t0)
+    return Waveform(bias, dt, t0)
 
 
 # -------------------------------------------------------------------- attack
@@ -208,6 +326,12 @@ def dpa_attack(traces: TraceSet, selection: SelectionFunction, *,
                keep_bias: bool = False) -> DPAResult:
     """Run the DPA attack of Section IV over a set of key guesses.
 
+    All guesses are evaluated at once: the selection-bit matrix ``B`` of the
+    whole guess space is built vectorized, the per-guess set sums of
+    equation (8) come from the single matmul ``B · S``, and equation (9)'s
+    bias signals follow element-wise.  Numerically equivalent to (and checked
+    in the tests against) :func:`dpa_attack_reference`.
+
     Parameters
     ----------
     traces:
@@ -223,52 +347,142 @@ def dpa_attack(traces: TraceSet, selection: SelectionFunction, *,
     if len(traces) == 0:
         raise DPAError("cannot attack an empty trace set")
     matrix = traces.matrix()
-    base = traces.time_base()
+    dt, t0 = traces._time_params()
+    guess_space = list(guesses) if guesses is not None else list(selection.guesses())
+
+    bit_matrix = selection_matrix(selection, traces.plaintexts(), guess_space)
+    bias, valid = _bias_matrix(matrix, bit_matrix)
+    abs_bias = np.abs(bias)
+    peak_indices = np.argmax(abs_bias, axis=1)
+    peaks = abs_bias[np.arange(len(guess_space)), peak_indices]
+    rms = np.sqrt(np.mean(bias ** 2, axis=1))
+
+    result = DPAResult(selection_name=selection.name, trace_count=len(traces))
+    for index, guess in enumerate(guess_space):
+        if not valid[index]:
+            result.results.append(GuessResult(guess=guess, peak=0.0,
+                                              peak_time=t0, rms=0.0, bias=None))
+            continue
+        guess_result = GuessResult(
+            guess=guess,
+            peak=float(peaks[index]),
+            peak_time=t0 + int(peak_indices[index]) * dt,
+            rms=float(rms[index]),
+        )
+        if keep_bias:
+            guess_result.bias = Waveform(bias[index].copy(), dt, t0)
+        result.results.append(guess_result)
+    return result
+
+
+def dpa_attack_reference(traces: TraceSet, selection: SelectionFunction, *,
+                         guesses: Optional[Sequence[int]] = None,
+                         keep_bias: bool = False) -> DPAResult:
+    """The literal per-guess formulation of the attack (reference path).
+
+    Splits and averages the trace set one key guess at a time, exactly as the
+    equations read.  Kept as the equivalence oracle for :func:`dpa_attack`
+    and as the baseline of the engine-throughput benchmark.
+    """
+    if len(traces) == 0:
+        raise DPAError("cannot attack an empty trace set")
+    matrix = traces.matrix()
+    dt, t0 = traces._time_params()
     guess_space = list(guesses) if guesses is not None else list(selection.guesses())
 
     result = DPAResult(selection_name=selection.name, trace_count=len(traces))
     for guess in guess_space:
-        bits = selection_bits(traces, selection, guess)
+        bits = np.array([selection(t.plaintext, guess) for t in traces], dtype=int)
         bias = _bias_from_matrix(matrix, bits)
         if bias is None:
             result.results.append(GuessResult(guess=guess, peak=0.0,
-                                              peak_time=base.t0, rms=0.0,
-                                              bias=None))
+                                              peak_time=t0, rms=0.0, bias=None))
             continue
         abs_bias = np.abs(bias)
         peak_index = int(np.argmax(abs_bias))
         guess_result = GuessResult(
             guess=guess,
             peak=float(abs_bias[peak_index]),
-            peak_time=base.t0 + peak_index * base.dt,
+            peak_time=t0 + peak_index * dt,
             rms=float(np.sqrt(np.mean(bias ** 2))),
         )
         if keep_bias:
-            guess_result.bias = Waveform(bias.copy(), base.dt, base.t0)
+            guess_result.bias = Waveform(bias.copy(), dt, t0)
         result.results.append(guess_result)
     return result
 
 
+def _stable_rank(peaks: np.ndarray, correct_index: int) -> int:
+    """1-based rank of ``peaks[correct_index]`` under a stable descending sort.
+
+    Matches :meth:`DPAResult.rank_of` exactly: guesses with a strictly larger
+    peak rank first, and ties are broken by position in the guess space.
+    """
+    correct_peak = peaks[correct_index]
+    better = int((peaks > correct_peak).sum())
+    earlier_ties = int((peaks[:correct_index] == correct_peak).sum())
+    return 1 + better + earlier_ties
+
+
 def messages_to_disclosure(traces: TraceSet, selection: SelectionFunction,
                            correct_guess: int, *,
+                           guesses: Optional[Sequence[int]] = None,
                            start: int = 16, step: int = 16,
                            stable_runs: int = 1) -> Optional[int]:
     """Smallest number of traces after which the correct key ranks first.
 
-    The attack is re-run on growing prefixes of the trace set; the returned
-    value is the size of the first prefix for which the correct guess is
-    ranked first and stays first for ``stable_runs`` consecutive prefix sizes.
-    Returns ``None`` when the full set never discloses the key.
+    The attack is evaluated on growing prefixes of the trace set; the
+    returned value is the size of the first prefix for which the correct
+    guess is ranked first and stays first for ``stable_runs`` consecutive
+    prefix sizes.  Returns ``None`` when the full set never discloses the key.
+
+    The prefixes are evaluated *incrementally*: the selection-bit matrix is
+    built once over the whole set, and the per-guess set sums of each prefix
+    are the running cumulative sums of the previous prefix plus one small
+    matmul over the new slice of traces — the whole sweep costs a single full
+    attack, O(N·m) per guess, instead of re-running the attack from scratch
+    at every prefix size (O(N²·m)).
     """
     if start < 2:
         raise DPAError("need at least 2 traces to run a DPA attack")
+    if len(traces) == 0:
+        raise DPAError("cannot attack an empty trace set")
+
+    guess_space = list(guesses) if guesses is not None else list(selection.guesses())
+    try:
+        correct_index = guess_space.index(correct_guess)
+    except ValueError:
+        raise DPAError(f"guess {correct_guess:#x} was not part of the attack") from None
+
+    matrix = traces.matrix()
+    bit_matrix = selection_matrix(selection, traces.plaintexts(), guess_space)
+    n_guesses, n_samples = len(guess_space), matrix.shape[1]
+
+    # Running prefix sums (equation (8) numerators and set sizes).
+    sum1 = np.zeros((n_guesses, n_samples))
+    sum_all = np.zeros(n_samples)
+    counts1 = np.zeros(n_guesses)
+
     consecutive = 0
     first_success: Optional[int] = None
+    previous = 0
     count = start
     while count <= len(traces):
-        prefix = traces.subset(count)
-        attack = dpa_attack(prefix, selection)
-        if attack.rank_of(correct_guess) == 1:
+        segment = slice(previous, count)
+        sum_all += matrix[segment].sum(axis=0)
+        sum1 += bit_matrix[:, segment].astype(float) @ matrix[segment]
+        counts1 += bit_matrix[:, segment].sum(axis=1)
+        previous = count
+
+        counts0 = count - counts1
+        valid = (counts1 > 0) & (counts0 > 0)
+        peaks = np.zeros(n_guesses)
+        if valid.any():
+            bias = ((sum_all - sum1[valid]) / counts0[valid, None]
+                    - sum1[valid] / counts1[valid, None])
+            peaks[valid] = np.abs(bias).max(axis=1)
+
+        if _stable_rank(peaks, correct_index) == 1:
             if consecutive == 0:
                 first_success = count
             consecutive += 1

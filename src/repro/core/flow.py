@@ -20,13 +20,17 @@ for the Table-2 style comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..circuits.netlist import Netlist
+from ..crypto.keys import PlaintextGenerator
+from ..electrical.noise import NoiseModel
 from ..electrical.technology import HCMOS9_LIKE, Technology
 from ..pnr.flows import PlacedDesign, run_flat_flow, run_hierarchical_flow
 from .criterion import CriterionReport, evaluate_netlist_channels
+from .dpa import DPAResult, TraceSet, dpa_attack, messages_to_disclosure
 from .metrics import AreaReport, area_overhead
+from .selection import SelectionFunction
 
 
 @dataclass
@@ -201,3 +205,232 @@ def compare_flat_vs_hierarchical(netlist_factory, *,
     hier_result = run_secure_flow(hier_netlist, config,
                                   design_name=f"{design_name}_v1_hier")
     return FlowComparison(flat=flat_result, hierarchical=hier_result)
+
+
+# ----------------------------------------------------------- attack campaign
+#: A callable producing a :class:`TraceSet` for a list of plaintexts under an
+#: optional noise model — the generic design entry of :class:`AttackCampaign`
+#: (anything that can be traced, not only placed AES netlists).
+TraceSource = Callable[[Sequence[Sequence[int]], Optional[NoiseModel]], TraceSet]
+
+
+@dataclass
+class CampaignDesign:
+    """One device under attack: a placed netlist or a custom trace source."""
+
+    label: str
+    netlist: Optional[Netlist] = None
+    trace_source: Optional[TraceSource] = None
+
+
+@dataclass
+class CampaignSelection:
+    """One D function to attack with, and (optionally) the true sub-key."""
+
+    selection: SelectionFunction
+    correct_guess: Optional[int] = None
+
+
+@dataclass
+class CampaignRow:
+    """Outcome of one (design × selection × noise) attack scenario."""
+
+    design: str
+    selection: str
+    noise: str
+    trace_count: int
+    best_guess: int
+    best_peak: float
+    correct_guess: Optional[int] = None
+    rank_of_correct: Optional[int] = None
+    discrimination: Optional[float] = None
+    disclosure: Optional[int] = None
+    result: Optional[DPAResult] = None
+
+    @property
+    def disclosed(self) -> bool:
+        return self.rank_of_correct == 1
+
+
+@dataclass
+class CampaignResult:
+    """All scenario rows of one campaign run, plus the comparison table."""
+
+    rows: List[CampaignRow] = field(default_factory=list)
+
+    def row(self, design: str, *, selection: Optional[str] = None,
+            noise: Optional[str] = None) -> CampaignRow:
+        for row in self.rows:
+            if row.design != design:
+                continue
+            if selection is not None and row.selection != selection:
+                continue
+            if noise is not None and row.noise != noise:
+                continue
+            return row
+        raise KeyError(f"no campaign row for design={design!r}, "
+                       f"selection={selection!r}, noise={noise!r}")
+
+    def table(self) -> str:
+        """One comparison table over every scenario of the campaign."""
+        header = (f"{'design':<28s} {'selection':<30s} {'noise':<12s} "
+                  f"{'traces':>7s} {'peak':>10s} {'best':>6s} {'true':>6s} "
+                  f"{'rank':>5s} {'discr':>7s} {'MTD':>6s}")
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            true_text = f"{row.correct_guess:#04x}" if row.correct_guess is not None else "-"
+            rank_text = str(row.rank_of_correct) if row.rank_of_correct is not None else "-"
+            discr_text = (f"{row.discrimination:.2f}"
+                          if row.discrimination not in (None, float("inf"))
+                          else ("inf" if row.discrimination is not None else "-"))
+            mtd_text = str(row.disclosure) if row.disclosure is not None else "-"
+            lines.append(
+                f"{row.design:<28s} {row.selection:<30s} {row.noise:<12s} "
+                f"{row.trace_count:>7d} {row.best_peak:>10.3e} {row.best_guess:>#6x} "
+                f"{true_text:>6s} {rank_text:>5s} {discr_text:>7s} {mtd_text:>6s}"
+            )
+        return "\n".join(lines)
+
+
+class AttackCampaign:
+    """Orchestrates batched DPA attacks over designs × selections × noise.
+
+    The campaign is the single entry point of the end-to-end evaluation: it
+    generates each design's traces once per noise level through the batched
+    trace engine (:meth:`AesPowerTraceGenerator.trace_batch`), runs the
+    vectorized multi-guess attack of :func:`repro.core.dpa.dpa_attack` for
+    every selection function, computes messages-to-disclosure incrementally,
+    and emits one comparison table — the Table-2-style flat-vs-hierarchical
+    statement, extended to arbitrary scenario grids.
+
+    Parameters
+    ----------
+    key:
+        The device key (needed for netlist designs; optional for custom trace
+        sources).  When a selection exposes ``byte_index``, the true sub-key
+        byte is derived from it automatically.
+    architecture, technology, generator_config:
+        Forwarded to the AES trace generator for netlist designs.
+    guesses:
+        Optional common guess subset (default: each selection's full space).
+    mtd_start, mtd_step, stable_runs:
+        Parameters of the messages-to-disclosure sweep.
+    """
+
+    def __init__(self, key: Optional[Sequence[int]] = None, *,
+                 architecture=None,
+                 technology: Technology = HCMOS9_LIKE,
+                 generator_config=None,
+                 guesses: Optional[Sequence[int]] = None,
+                 mtd_start: int = 16, mtd_step: int = 16,
+                 stable_runs: int = 1):
+        self.key = list(key) if key is not None else None
+        self.architecture = architecture
+        self.technology = technology
+        self.generator_config = generator_config
+        self.guesses = list(guesses) if guesses is not None else None
+        self.mtd_start = mtd_start
+        self.mtd_step = mtd_step
+        self.stable_runs = stable_runs
+        self._designs: List[CampaignDesign] = []
+        self._selections: List[CampaignSelection] = []
+        self._noises: List[tuple] = []
+
+    # ------------------------------------------------------------- scenario
+    def add_design(self, label: str, netlist: Optional[Netlist] = None, *,
+                   trace_source: Optional[TraceSource] = None) -> "AttackCampaign":
+        if (netlist is None) == (trace_source is None):
+            raise ValueError("a design needs exactly one of netlist / trace_source")
+        if netlist is not None and self.key is None:
+            raise ValueError("netlist designs need the campaign key to trace")
+        self._designs.append(CampaignDesign(label, netlist, trace_source))
+        return self
+
+    def add_selection(self, selection: SelectionFunction, *,
+                      correct_guess: Optional[int] = None) -> "AttackCampaign":
+        if correct_guess is None and self.key is not None:
+            byte_index = getattr(selection, "byte_index", None)
+            if byte_index is not None:
+                correct_guess = self.key[byte_index]
+        self._selections.append(CampaignSelection(selection, correct_guess))
+        return self
+
+    def add_noise(self, label: str = "noiseless",
+                  factory: Optional[Callable[[], NoiseModel]] = None
+                  ) -> "AttackCampaign":
+        """Register a noise level; ``factory`` builds a fresh model per design
+        so every scenario draws from its own reproducible stream."""
+        self._noises.append((label, factory))
+        return self
+
+    # ------------------------------------------------------------------ run
+    def _traces_for(self, design: CampaignDesign,
+                    noise: Optional[NoiseModel],
+                    plaintexts: Sequence[Sequence[int]]) -> TraceSet:
+        if design.trace_source is not None:
+            return design.trace_source(plaintexts, noise)
+        # Imported lazily: repro.asyncaes itself builds on repro.core.
+        from ..asyncaes.tracegen import AesPowerTraceGenerator
+
+        generator = AesPowerTraceGenerator(
+            design.netlist, self.key,
+            architecture=self.architecture, technology=self.technology,
+            noise=noise, config=self.generator_config,
+        )
+        return generator.trace_batch(plaintexts)
+
+    def run(self, trace_count: Optional[int] = None, *,
+            plaintexts: Optional[Sequence[Sequence[int]]] = None,
+            seed: int = 0, compute_disclosure: bool = True,
+            keep_results: bool = False) -> CampaignResult:
+        """Run every (design × selection × noise) scenario of the grid.
+
+        Traces are generated once per design and noise level and shared by
+        all selection functions (the trace set caches its sample matrix, so
+        each additional selection costs one bit-matrix and one matmul).
+        """
+        if not self._designs:
+            raise ValueError("campaign has no designs; call add_design first")
+        if not self._selections:
+            raise ValueError("campaign has no selection functions; "
+                             "call add_selection first")
+        if not self._noises:
+            self.add_noise()
+        if plaintexts is None:
+            if trace_count is None:
+                raise ValueError("need trace_count or explicit plaintexts")
+            plaintexts = PlaintextGenerator(block_size=16, seed=seed).batch(trace_count)
+        plaintexts = [list(p) for p in plaintexts]
+
+        campaign = CampaignResult()
+        for noise_label, noise_factory in self._noises:
+            for design in self._designs:
+                noise = noise_factory() if noise_factory is not None else None
+                traces = self._traces_for(design, noise, plaintexts)
+                for entry in self._selections:
+                    attack = dpa_attack(traces, entry.selection,
+                                        guesses=self.guesses)
+                    row = CampaignRow(
+                        design=design.label,
+                        selection=entry.selection.name,
+                        noise=noise_label,
+                        trace_count=len(traces),
+                        best_guess=attack.best_guess,
+                        best_peak=attack.best_peak,
+                        correct_guess=entry.correct_guess,
+                    )
+                    if entry.correct_guess is not None:
+                        row.rank_of_correct = attack.rank_of(entry.correct_guess)
+                        row.discrimination = attack.discrimination_ratio(
+                            entry.correct_guess)
+                        if compute_disclosure:
+                            row.disclosure = messages_to_disclosure(
+                                traces, entry.selection, entry.correct_guess,
+                                guesses=self.guesses,
+                                start=self.mtd_start, step=self.mtd_step,
+                                stable_runs=self.stable_runs,
+                            )
+                    if keep_results:
+                        row.result = attack
+                    campaign.rows.append(row)
+        return campaign

@@ -19,9 +19,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Protocol, Sequence
 
+import numpy as np
+
 from ..crypto.aes_tables import SBOX
 from ..crypto.des import expanded_plaintext_chunk, sbox_lookup
 from ..crypto.keys import bit_of, hamming_weight
+
+#: Lookup tables as arrays, so whole plaintext × guess grids resolve in one
+#: fancy-indexing operation instead of a Python call per (trace, guess) pair.
+_SBOX_TABLE = np.asarray(SBOX, dtype=np.int64)
+_DES_SBOX_TABLE = np.asarray(
+    [[sbox_lookup(s, v) for v in range(64)] for s in range(8)], dtype=np.int64
+)
+_POPCOUNT_TABLE = np.asarray([bin(v).count("1") for v in range(256)], dtype=np.int64)
 
 
 class SelectionFunction(Protocol):
@@ -36,6 +46,43 @@ class SelectionFunction(Protocol):
     def __call__(self, plaintext: Sequence[int], key_guess: int) -> int:
         """Return the predicted bit (0 or 1) for one plaintext and key guess."""
         ...
+
+
+def selection_matrix(selection: SelectionFunction,
+                     plaintexts: Sequence[Sequence[int]],
+                     guesses: Sequence[int]) -> np.ndarray:
+    """The D-function values of every (guess, trace) pair as a bit matrix.
+
+    Returns a ``(n_guesses, n_traces)`` 0/1 integer matrix ``B`` with
+    ``B[g, i] = D(plaintext_i, guess_g)`` — the selection-bit matrix the
+    batched attack of :func:`repro.core.dpa.dpa_attack` turns into set sums
+    with a single matmul.  Selection functions that implement ``bits_matrix``
+    are evaluated vectorized; any other callable falls back to a generic loop.
+    """
+    guesses = np.asarray(list(guesses), dtype=np.int64)
+    bits_matrix = getattr(selection, "bits_matrix", None)
+    if bits_matrix is not None:
+        matrix = np.asarray(bits_matrix(plaintexts, guesses), dtype=np.int64)
+    else:
+        matrix = np.asarray(
+            [[selection(plaintext, int(guess)) for plaintext in plaintexts]
+             for guess in guesses],
+            dtype=np.int64,
+        ).reshape(len(guesses), len(plaintexts))
+    if matrix.shape != (len(guesses), len(plaintexts)):
+        raise ValueError(
+            f"selection {selection.name!r} produced a {matrix.shape} bit matrix "
+            f"for {len(guesses)} guesses x {len(plaintexts)} plaintexts"
+        )
+    return matrix
+
+
+def _plaintext_bytes(plaintexts: Sequence[Sequence[int]], byte_index: int) -> np.ndarray:
+    """Column ``byte_index`` of a batch of plaintexts as an int array."""
+    array = np.asarray(plaintexts)
+    if array.ndim != 2:
+        raise ValueError("plaintexts must form a rectangular (n, block) batch")
+    return array[:, byte_index].astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -72,6 +119,16 @@ class AesAddRoundKeySelection:
         """The full intermediate byte ``plaintext[byte] ⊕ key_guess``."""
         return plaintext[self.byte_index] ^ (key_guess & 0xFF)
 
+    def intermediate_matrix(self, plaintexts: Sequence[Sequence[int]],
+                            guesses: np.ndarray) -> np.ndarray:
+        """``(n_guesses, n_traces)`` matrix of intermediate bytes."""
+        targets = _plaintext_bytes(plaintexts, self.byte_index)
+        return targets[None, :] ^ (guesses[:, None] & 0xFF)
+
+    def bits_matrix(self, plaintexts: Sequence[Sequence[int]],
+                    guesses: np.ndarray) -> np.ndarray:
+        return (self.intermediate_matrix(plaintexts, guesses) >> self.bit_index) & 1
+
     def __call__(self, plaintext: Sequence[int], key_guess: int) -> int:
         return bit_of(self.intermediate(plaintext, key_guess), self.bit_index)
 
@@ -103,6 +160,15 @@ class AesSboxSelection:
 
     def intermediate(self, plaintext: Sequence[int], key_guess: int) -> int:
         return SBOX[plaintext[self.byte_index] ^ (key_guess & 0xFF)]
+
+    def intermediate_matrix(self, plaintexts: Sequence[Sequence[int]],
+                            guesses: np.ndarray) -> np.ndarray:
+        targets = _plaintext_bytes(plaintexts, self.byte_index)
+        return _SBOX_TABLE[targets[None, :] ^ (guesses[:, None] & 0xFF)]
+
+    def bits_matrix(self, plaintexts: Sequence[Sequence[int]],
+                    guesses: np.ndarray) -> np.ndarray:
+        return (self.intermediate_matrix(plaintexts, guesses) >> self.bit_index) & 1
 
     def __call__(self, plaintext: Sequence[int], key_guess: int) -> int:
         return bit_of(self.intermediate(plaintext, key_guess), self.bit_index)
@@ -137,6 +203,22 @@ class DesSboxSelection:
         chunk = expanded_plaintext_chunk(plaintext, self.sbox_index)
         return sbox_lookup(self.sbox_index, chunk ^ (key_guess & 0x3F))
 
+    def intermediate_matrix(self, plaintexts: Sequence[Sequence[int]],
+                            guesses: np.ndarray) -> np.ndarray:
+        # The IP/E bit permutations are per-plaintext only (no guess
+        # dependence), so one Python pass over the traces feeds a fully
+        # vectorized S-box lookup over the whole guess grid.
+        chunks = np.asarray(
+            [expanded_plaintext_chunk(plaintext, self.sbox_index)
+             for plaintext in plaintexts],
+            dtype=np.int64,
+        )
+        return _DES_SBOX_TABLE[self.sbox_index][chunks[None, :] ^ (guesses[:, None] & 0x3F)]
+
+    def bits_matrix(self, plaintexts: Sequence[Sequence[int]],
+                    guesses: np.ndarray) -> np.ndarray:
+        return (self.intermediate_matrix(plaintexts, guesses) >> self.bit_index) & 1
+
     def __call__(self, plaintext: Sequence[int], key_guess: int) -> int:
         return bit_of(self.intermediate(plaintext, key_guess), self.bit_index)
 
@@ -160,6 +242,24 @@ class HammingWeightSelection:
 
     def guesses(self) -> Sequence[int]:
         return self.inner.guesses()
+
+    def bits_matrix(self, plaintexts: Sequence[Sequence[int]],
+                    guesses: np.ndarray) -> np.ndarray:
+        intermediate_matrix = getattr(self.inner, "intermediate_matrix", None)
+        if intermediate_matrix is None:
+            # Custom inner selections without a vectorized intermediate keep
+            # working through the scalar protocol.
+            return np.asarray(
+                [[self(plaintext, int(guess)) for plaintext in plaintexts]
+                 for guess in guesses],
+                dtype=np.int64,
+            ).reshape(len(guesses), len(plaintexts))
+        values = np.asarray(intermediate_matrix(plaintexts, guesses)).copy()
+        weights = np.zeros_like(values)
+        while (values > 0).any():
+            weights += _POPCOUNT_TABLE[values & 0xFF]
+            values >>= 8
+        return (weights >= self.threshold).astype(np.int64)
 
     def __call__(self, plaintext: Sequence[int], key_guess: int) -> int:
         weight = hamming_weight(self.inner.intermediate(plaintext, key_guess))

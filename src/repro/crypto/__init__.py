@@ -15,6 +15,7 @@ from .aes import (
     RoundTrace,
     add_round_key,
     bytes_to_state,
+    encrypt_states_batch,
     inv_mix_columns,
     inv_shift_rows,
     inv_sub_bytes,
@@ -54,6 +55,7 @@ __all__ = [
     "RoundTrace",
     "add_round_key",
     "bytes_to_state",
+    "encrypt_states_batch",
     "inv_mix_columns",
     "inv_shift_rows",
     "inv_sub_bytes",

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from .aes_tables import (
     INV_MIX_COLUMNS_MATRIX,
     INV_SBOX,
@@ -258,6 +260,78 @@ class AES:
         if not 0 <= byte_index < 16:
             raise AESError(f"byte index must be in 0..15, got {byte_index}")
         return plaintext[byte_index] ^ self.round_keys[0][byte_index]
+
+
+# ------------------------------------------------------------- batch cipher
+#: Vectorized lookup tables (the column-major state layout coincides with the
+#: natural block order, so whole (n, 16) batches go through each round step
+#: as single fancy-indexing / XOR operations).
+_SBOX_TABLE = np.asarray(SBOX, dtype=np.uint8)
+_SHIFT_ROWS_PERM = np.asarray(
+    [row + 4 * ((column + row) % 4) for column in range(4) for row in range(4)],
+    dtype=np.int64,
+)
+_GF_MUL_TABLES = {
+    factor: np.asarray([gf_mul(factor, value) for value in range(256)],
+                       dtype=np.uint8)
+    for factor in {entry for mrow in MIX_COLUMNS_MATRIX for entry in mrow}
+}
+
+
+def encrypt_states_batch(key: Sequence[int],
+                         plaintexts: Sequence[Sequence[int]]
+                         ) -> Dict[str, np.ndarray]:
+    """All intermediate states of a whole batch of encryptions at once.
+
+    Returns the same ``"roundK:step"`` labels as
+    :meth:`AES.encrypt_with_trace`, each mapping to an ``(n, 16)`` uint8
+    matrix whose row ``i`` is the column-major state of plaintext ``i`` after
+    that step.  One fancy-indexed table lookup (SubBytes, MixColumns factors)
+    or XOR (AddRoundKey) per step covers the entire batch — this is what lets
+    the batched trace generator skip the per-plaintext Python cipher.
+    """
+    states_in = np.asarray(plaintexts, dtype=np.int64)
+    if states_in.ndim != 2 or states_in.shape[1] != 16:
+        raise AESError(f"plaintext batch must be (n, 16), got {states_in.shape}")
+    if states_in.size and (states_in.min() < 0 or states_in.max() > 0xFF):
+        raise AESError("plaintext bytes must be in range 0..255")
+    round_keys = np.asarray(key_expansion(key), dtype=np.uint8)
+    rounds = ROUNDS_BY_KEY_SIZE[len(list(key))]
+
+    def mixed_columns(state: np.ndarray) -> np.ndarray:
+        result = np.empty_like(state)
+        for column in range(4):
+            block = state[:, 4 * column: 4 * column + 4]
+            for row in range(4):
+                acc = np.zeros(state.shape[0], dtype=np.uint8)
+                for j in range(4):
+                    acc ^= _GF_MUL_TABLES[MIX_COLUMNS_MATRIX[row][j]][block[:, j]]
+                result[:, 4 * column + row] = acc
+        return result
+
+    states: Dict[str, np.ndarray] = {}
+    state = states_in.astype(np.uint8)
+    states["round0:input"] = state
+    state = state ^ round_keys[0]
+    states["round0:addkey"] = state
+
+    for round_index in range(1, rounds):
+        state = _SBOX_TABLE[state]
+        states[f"round{round_index}:subbytes"] = state
+        state = state[:, _SHIFT_ROWS_PERM]
+        states[f"round{round_index}:shiftrows"] = state
+        state = mixed_columns(state)
+        states[f"round{round_index}:mixcolumns"] = state
+        state = state ^ round_keys[round_index]
+        states[f"round{round_index}:addkey"] = state
+
+    state = _SBOX_TABLE[state]
+    states[f"round{rounds}:subbytes"] = state
+    state = state[:, _SHIFT_ROWS_PERM]
+    states[f"round{rounds}:shiftrows"] = state
+    state = state ^ round_keys[rounds]
+    states[f"round{rounds}:addkey"] = state
+    return states
 
 
 def encrypt(plaintext: Sequence[int], key: Sequence[int]) -> List[int]:

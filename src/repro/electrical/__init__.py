@@ -40,6 +40,7 @@ from .waveform import (
     average_waveform,
     difference_waveform,
     exponential_pulse,
+    stack_aligned,
     triangular_pulse,
 )
 
@@ -71,5 +72,6 @@ __all__ = [
     "average_waveform",
     "difference_waveform",
     "exponential_pulse",
+    "stack_aligned",
     "triangular_pulse",
 ]

@@ -23,6 +23,21 @@ class NoiseModel:
     def apply(self, waveform: Waveform) -> Waveform:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def apply_matrix(self, matrix: np.ndarray, dt: float = 1.0,
+                     t0: float = 0.0) -> np.ndarray:
+        """Apply the noise to a whole ``(n_traces, n_samples)`` matrix at once.
+
+        The base implementation falls back to the per-trace :meth:`apply` so
+        any custom model keeps working with the batched trace engine —
+        ``dt``/``t0`` carry the traces' real time base to models whose noise
+        depends on it, and each row is copied so in-place ``apply``
+        implementations cannot corrupt the caller's matrix.  The built-in
+        models override this to sample their randomness in one draw (they are
+        time-base independent, so they ignore ``dt``/``t0``).
+        """
+        rows = [self.apply(Waveform(row.copy(), dt, t0)).samples for row in matrix]
+        return np.vstack(rows) if rows else matrix.copy()
+
 
 @dataclass
 class NoNoise(NoiseModel):
@@ -32,6 +47,10 @@ class NoNoise(NoiseModel):
 
     def apply(self, waveform: Waveform) -> Waveform:
         return waveform.copy()
+
+    def apply_matrix(self, matrix: np.ndarray, dt: float = 1.0,
+                     t0: float = 0.0) -> np.ndarray:
+        return matrix.copy()
 
 
 @dataclass
@@ -63,6 +82,12 @@ class GaussianNoise(NoiseModel):
                 0.0, self.sigma, size=len(noisy.samples)
             )
         return noisy
+
+    def apply_matrix(self, matrix: np.ndarray, dt: float = 1.0,
+                     t0: float = 0.0) -> np.ndarray:
+        if self.sigma == 0:
+            return matrix.copy()
+        return matrix + self._rng.normal(0.0, self.sigma, size=matrix.shape)
 
 
 @dataclass
@@ -98,6 +123,21 @@ class BackgroundActivityNoise(NoiseModel):
         np.add.at(noisy.samples, positions, amplitudes)
         return noisy
 
+    def apply_matrix(self, matrix: np.ndarray, dt: float = 1.0,
+                     t0: float = 0.0) -> np.ndarray:
+        noisy = matrix.copy()
+        if self.pulse_rate_per_sample == 0 or self.amplitude == 0:
+            return noisy
+        total = noisy.size
+        pulse_count = self._rng.poisson(self.pulse_rate_per_sample * total)
+        if pulse_count == 0:
+            return noisy
+        positions = self._rng.integers(0, total, size=pulse_count)
+        amplitudes = self._rng.uniform(0.0, self.amplitude, size=pulse_count)
+        flat = noisy.reshape(-1)
+        np.add.at(flat, positions, amplitudes)
+        return noisy
+
 
 @dataclass
 class CompositeNoise(NoiseModel):
@@ -109,4 +149,11 @@ class CompositeNoise(NoiseModel):
         result = waveform
         for model in self.models:
             result = model.apply(result)
+        return result
+
+    def apply_matrix(self, matrix: np.ndarray, dt: float = 1.0,
+                     t0: float = 0.0) -> np.ndarray:
+        result = matrix
+        for model in self.models:
+            result = model.apply_matrix(result, dt, t0)
         return result

@@ -196,6 +196,20 @@ def align_waveforms(waveforms: Sequence[Waveform]) -> List[Waveform]:
     """Pad a set of waveforms to a common origin and length."""
     if not waveforms:
         return []
+    matrix, dt, t0 = stack_aligned(waveforms)
+    return [Waveform(matrix[i], dt, t0) for i in range(matrix.shape[0])]
+
+
+def stack_aligned(waveforms: Sequence[Waveform]) -> Tuple[np.ndarray, float, float]:
+    """Align a set of waveforms in one pass into an ``(n, m)`` sample matrix.
+
+    Returns ``(matrix, dt, t0)``; row ``i`` holds the samples of waveform
+    ``i`` padded to the common origin and length.  This is the batched form of
+    :func:`align_waveforms` — it writes each waveform straight into its row,
+    without building intermediate padded :class:`Waveform` objects.
+    """
+    if not waveforms:
+        raise WaveformError("cannot stack an empty set of waveforms")
     dt = waveforms[0].dt
     for w in waveforms:
         if not _same_period(w.dt, dt):
@@ -203,12 +217,13 @@ def align_waveforms(waveforms: Sequence[Waveform]) -> List[Waveform]:
     t0 = min(w.t0 for w in waveforms)
     end = max(w.end_time for w in waveforms)
     length = max(1, int(np.ceil(round((end - t0) / dt, 9))))
-    aligned = []
-    for w in waveforms:
-        padded = Waveform.zeros(length * dt, dt, t0)
-        padded.accumulate(w)
-        aligned.append(padded)
-    return aligned
+    matrix = np.zeros((len(waveforms), length))
+    for row, w in zip(matrix, waveforms):
+        offset = int(round((w.t0 - t0) / dt))
+        stop = min(length, offset + len(w.samples))
+        if stop > offset:
+            row[offset:stop] = w.samples[: stop - offset]
+    return matrix, dt, t0
 
 
 def average_waveform(waveforms: Sequence[Waveform]) -> Waveform:
