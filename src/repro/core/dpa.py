@@ -122,9 +122,16 @@ class TraceSet:
     def subset(self, count: int) -> "TraceSet":
         """The first ``count`` traces (used for messages-to-disclosure sweeps).
 
-        When the sample matrix is already built the subset shares its rows (a
-        zero-copy slice), so growing-prefix sweeps never re-align anything.
+        ``count`` must be non-negative (a negative value raises
+        :class:`DPAError` instead of silently slicing from the end) and is
+        clamped to the set size, so ``subset(count)`` always holds exactly
+        ``min(count, len(self))`` traces.  When the sample matrix is already
+        built the subset shares its rows (a zero-copy slice), so
+        growing-prefix sweeps never re-align anything.
         """
+        if count < 0:
+            raise DPAError(f"subset count must be >= 0, got {count}")
+        count = min(count, len(self._traces))
         if self._matrix is not None:
             return TraceSet.from_matrix(
                 self._matrix[:count],
@@ -424,50 +431,28 @@ def _stable_rank(peaks: np.ndarray, correct_index: int) -> int:
     return 1 + better + earlier_ties
 
 
-def messages_to_disclosure(traces: TraceSet, selection: SelectionFunction,
-                           correct_guess: int, *,
-                           guesses: Optional[Sequence[int]] = None,
-                           start: int = 16, step: int = 16,
-                           stable_runs: int = 1) -> Optional[int]:
-    """Smallest number of traces after which the correct key ranks first.
+def dom_prefix_peaks(matrix: np.ndarray, bit_matrix: np.ndarray,
+                     boundaries: Sequence[int]):
+    """Per-guess bias peaks at every prefix boundary, incrementally.
 
-    The attack is evaluated on growing prefixes of the trace set; the
-    returned value is the size of the first prefix for which the correct
-    guess is ranked first and stays first for ``stable_runs`` consecutive
-    prefix sizes.  Returns ``None`` when the full set never discloses the key.
+    Yields ``(count, peaks)`` pairs where ``peaks[g]`` is the maximum
+    absolute bias of guess ``g`` over the first ``count`` traces.  The
+    per-guess set sums of each prefix are the running cumulative sums of the
+    previous prefix plus one small matmul over the new slice of traces — the
+    whole sweep costs a single full attack, O(N·m) per guess, instead of
+    re-running the attack from scratch at every prefix size (O(N²·m)).
 
-    The prefixes are evaluated *incrementally*: the selection-bit matrix is
-    built once over the whole set, and the per-guess set sums of each prefix
-    are the running cumulative sums of the previous prefix plus one small
-    matmul over the new slice of traces — the whole sweep costs a single full
-    attack, O(N·m) per guess, instead of re-running the attack from scratch
-    at every prefix size (O(N²·m)).
+    This is the difference-of-means instance of the attack-kernel
+    ``prefix_peaks`` protocol; :mod:`repro.core.cpa` provides the Pearson
+    and second-order instances.
     """
-    if start < 2:
-        raise DPAError("need at least 2 traces to run a DPA attack")
-    if len(traces) == 0:
-        raise DPAError("cannot attack an empty trace set")
-
-    guess_space = list(guesses) if guesses is not None else list(selection.guesses())
-    try:
-        correct_index = guess_space.index(correct_guess)
-    except ValueError:
-        raise DPAError(f"guess {correct_guess:#x} was not part of the attack") from None
-
-    matrix = traces.matrix()
-    bit_matrix = selection_matrix(selection, traces.plaintexts(), guess_space)
-    n_guesses, n_samples = len(guess_space), matrix.shape[1]
-
+    n_guesses, n_samples = bit_matrix.shape[0], matrix.shape[1]
     # Running prefix sums (equation (8) numerators and set sizes).
     sum1 = np.zeros((n_guesses, n_samples))
     sum_all = np.zeros(n_samples)
     counts1 = np.zeros(n_guesses)
-
-    consecutive = 0
-    first_success: Optional[int] = None
     previous = 0
-    count = start
-    while count <= len(traces):
+    for count in boundaries:
         segment = slice(previous, count)
         sum_all += matrix[segment].sum(axis=0)
         sum1 += bit_matrix[:, segment].astype(float) @ matrix[segment]
@@ -481,7 +466,49 @@ def messages_to_disclosure(traces: TraceSet, selection: SelectionFunction,
             bias = ((sum_all - sum1[valid]) / counts0[valid, None]
                     - sum1[valid] / counts1[valid, None])
             peaks[valid] = np.abs(bias).max(axis=1)
+        yield count, peaks
 
+
+def messages_to_disclosure(traces: TraceSet, attack, correct_guess: int, *,
+                           guesses: Optional[Sequence[int]] = None,
+                           start: int = 16, step: int = 16,
+                           stable_runs: int = 1) -> Optional[int]:
+    """Smallest number of traces after which the correct key ranks first.
+
+    The attack is evaluated on growing prefixes of the trace set; the
+    returned value is the size of the first prefix for which the correct
+    guess is ranked first and stays first for ``stable_runs`` consecutive
+    prefix sizes.  Returns ``None`` when the full set never discloses the key.
+
+    ``attack`` is either a plain :class:`SelectionFunction` (the historical
+    difference-of-means sweep) or any attack kernel exposing the
+    ``prefix_peaks(matrix, plaintexts, guess_space, boundaries)`` protocol —
+    e.g. the CPA and second-order kernels of :mod:`repro.core.cpa` — so every
+    attack of the suite shares one incremental disclosure engine.
+    """
+    if start < 2:
+        raise DPAError("need at least 2 traces to run a DPA attack")
+    if len(traces) == 0:
+        raise DPAError("cannot attack an empty trace set")
+
+    guess_space = list(guesses) if guesses is not None else list(attack.guesses())
+    try:
+        correct_index = guess_space.index(correct_guess)
+    except ValueError:
+        raise DPAError(f"guess {correct_guess:#x} was not part of the attack") from None
+
+    matrix = traces.matrix()
+    boundaries = range(start, len(traces) + 1, step)
+    prefix_peaks = getattr(attack, "prefix_peaks", None)
+    if prefix_peaks is not None:
+        sweep = prefix_peaks(matrix, traces.plaintexts(), guess_space, boundaries)
+    else:
+        bit_matrix = selection_matrix(attack, traces.plaintexts(), guess_space)
+        sweep = dom_prefix_peaks(matrix, bit_matrix, boundaries)
+
+    consecutive = 0
+    first_success: Optional[int] = None
+    for count, peaks in sweep:
         if _stable_rank(peaks, correct_index) == 1:
             if consecutive == 0:
                 first_success = count
@@ -491,5 +518,4 @@ def messages_to_disclosure(traces: TraceSet, selection: SelectionFunction,
         else:
             consecutive = 0
             first_success = None
-        count += step
     return None

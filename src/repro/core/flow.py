@@ -19,17 +19,30 @@ for the Table-2 style comparison.
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..circuits.netlist import Netlist
 from ..crypto.keys import PlaintextGenerator
 from ..electrical.noise import NoiseModel
 from ..electrical.technology import HCMOS9_LIKE, Technology
 from ..pnr.flows import PlacedDesign, run_flat_flow, run_hierarchical_flow
+from .cpa import (
+    AttackKernel,
+    CpaKernel,
+    DpaKernel,
+    SecondOrderKernel,
+    run_attack,
+)
 from .criterion import CriterionReport, evaluate_netlist_channels
-from .dpa import DPAResult, TraceSet, dpa_attack, messages_to_disclosure
+from .dpa import DPAResult, TraceSet, messages_to_disclosure
 from .metrics import AreaReport, area_overhead
+from .power_model import (
+    HammingDistanceModel,
+    HammingWeightModel,
+    SelectionBitModel,
+)
 from .selection import SelectionFunction
 
 
@@ -231,12 +244,117 @@ class CampaignSelection:
     correct_guess: Optional[int] = None
 
 
+# Kernel builders are small frozen dataclasses (not closures) so a campaign
+# configured with standard attacks stays picklable across shard boundaries.
+def _leakage_model_for(model: str, selection: SelectionFunction,
+                       reference: Optional[int]):
+    if model == "bit":
+        return SelectionBitModel(selection)
+    if model == "hw":
+        return HammingWeightModel(selection)
+    if model == "hd":
+        return HammingDistanceModel(selection, reference)
+    raise ValueError(f"unknown CPA leakage model {model!r}; "
+                     "expected 'bit', 'hw' or 'hd'")
+
+
+@dataclass(frozen=True)
+class _DpaBuilder:
+    def __call__(self, selection: SelectionFunction) -> AttackKernel:
+        return DpaKernel(selection)
+
+
+@dataclass(frozen=True)
+class _CpaBuilder:
+    model: str = "bit"
+    reference: Optional[int] = 0
+
+    def __call__(self, selection: SelectionFunction) -> AttackKernel:
+        return CpaKernel(_leakage_model_for(self.model, selection,
+                                            self.reference))
+
+
+@dataclass(frozen=True)
+class _SecondOrderBuilder:
+    inner: Callable[[SelectionFunction], AttackKernel]
+    pairs: Optional[Tuple[Tuple[int, int], ...]] = None
+    window: Optional[int] = None
+    region: Optional[Tuple[int, ...]] = None
+
+    def __call__(self, selection: SelectionFunction) -> AttackKernel:
+        return SecondOrderKernel(self.inner(selection), pairs=self.pairs,
+                                 window=self.window, region=self.region)
+
+
+@dataclass
+class CampaignAttack:
+    """One attack family of the grid: a label plus a selection → kernel map."""
+
+    label: str
+    build: Callable[[SelectionFunction], AttackKernel]
+
+
+#: Sentinel distinguishing "option not passed" from meaningful values (e.g.
+#: ``reference=None`` selects the plaintext-byte Hamming-distance reference).
+_UNSET = object()
+
+
+def standard_attack(kind: str = "dpa", *, label: Optional[str] = None,
+                    model=_UNSET, reference=_UNSET, pairs=_UNSET,
+                    window=_UNSET, region=_UNSET) -> CampaignAttack:
+    """The attack families the campaign provides out of the box.
+
+    ``kind`` is ``"dpa"`` (difference of means, Section IV), ``"cpa"``
+    (Pearson correlation against the ``model`` leakage: ``"bit"``, ``"hw"``
+    or ``"hd"`` with ``reference``), or their centered-product second-order
+    forms ``"dpa2"`` / ``"cpa2"`` (restrict the combined samples with
+    ``pairs``/``window``/``region``).  Options that do not apply to the
+    chosen kind are rejected rather than silently dropped.
+    """
+    def reject_unused(**named) -> None:
+        for name, value in named.items():
+            if value is not _UNSET:
+                raise ValueError(
+                    f"option {name!r} does not apply to attack kind {kind!r}")
+
+    model_value = "bit" if model is _UNSET else model
+    reference_value = 0 if reference is _UNSET else reference
+    frozen_pairs = (tuple((int(j), int(k)) for j, k in pairs)
+                    if pairs not in (_UNSET, None) else None)
+    frozen_window = window if window is not _UNSET else None
+    frozen_region = (tuple(int(c) for c in region)
+                     if region not in (_UNSET, None) else None)
+    if kind == "dpa":
+        reject_unused(model=model, reference=reference, pairs=pairs,
+                      window=window, region=region)
+        return CampaignAttack(label or "dpa", _DpaBuilder())
+    if kind == "cpa":
+        reject_unused(pairs=pairs, window=window, region=region)
+        return CampaignAttack(label or f"cpa-{model_value}",
+                              _CpaBuilder(model_value, reference_value))
+    if kind in ("dpa2", "cpa2"):
+        if kind == "dpa2":
+            reject_unused(model=model, reference=reference)
+            inner = _DpaBuilder()
+            default = "dpa2"
+        else:
+            inner = _CpaBuilder(model_value, reference_value)
+            default = f"cpa2-{model_value}"
+        return CampaignAttack(label or default,
+                              _SecondOrderBuilder(inner, frozen_pairs,
+                                                  frozen_window,
+                                                  frozen_region))
+    raise ValueError(f"unknown attack kind {kind!r}; "
+                     "expected 'dpa', 'cpa', 'dpa2' or 'cpa2'")
+
+
 @dataclass
 class CampaignRow:
-    """Outcome of one (design × selection × noise) attack scenario."""
+    """Outcome of one (design × attack × selection × noise) scenario."""
 
     design: str
     selection: str
+    attack: str
     noise: str
     trace_count: int
     best_guess: int
@@ -259,21 +377,26 @@ class CampaignResult:
     rows: List[CampaignRow] = field(default_factory=list)
 
     def row(self, design: str, *, selection: Optional[str] = None,
+            attack: Optional[str] = None,
             noise: Optional[str] = None) -> CampaignRow:
         for row in self.rows:
             if row.design != design:
                 continue
             if selection is not None and row.selection != selection:
                 continue
+            if attack is not None and row.attack != attack:
+                continue
             if noise is not None and row.noise != noise:
                 continue
             return row
         raise KeyError(f"no campaign row for design={design!r}, "
-                       f"selection={selection!r}, noise={noise!r}")
+                       f"selection={selection!r}, attack={attack!r}, "
+                       f"noise={noise!r}")
 
     def table(self) -> str:
         """One comparison table over every scenario of the campaign."""
-        header = (f"{'design':<28s} {'selection':<30s} {'noise':<12s} "
+        header = (f"{'design':<28s} {'selection':<30s} {'attack':<10s} "
+                  f"{'noise':<12s} "
                   f"{'traces':>7s} {'peak':>10s} {'best':>6s} {'true':>6s} "
                   f"{'rank':>5s} {'discr':>7s} {'MTD':>6s}")
         lines = [header, "-" * len(header)]
@@ -285,7 +408,8 @@ class CampaignResult:
                           else ("inf" if row.discrimination is not None else "-"))
             mtd_text = str(row.disclosure) if row.disclosure is not None else "-"
             lines.append(
-                f"{row.design:<28s} {row.selection:<30s} {row.noise:<12s} "
+                f"{row.design:<28s} {row.selection:<30s} {row.attack:<10s} "
+                f"{row.noise:<12s} "
                 f"{row.trace_count:>7d} {row.best_peak:>10.3e} {row.best_guess:>#6x} "
                 f"{true_text:>6s} {rank_text:>5s} {discr_text:>7s} {mtd_text:>6s}"
             )
@@ -334,6 +458,7 @@ class AttackCampaign:
         self.stable_runs = stable_runs
         self._designs: List[CampaignDesign] = []
         self._selections: List[CampaignSelection] = []
+        self._attacks: List[CampaignAttack] = []
         self._noises: List[tuple] = []
 
     # ------------------------------------------------------------- scenario
@@ -353,6 +478,29 @@ class AttackCampaign:
             if byte_index is not None:
                 correct_guess = self.key[byte_index]
         self._selections.append(CampaignSelection(selection, correct_guess))
+        return self
+
+    def add_attack(self, attack="dpa", *, label: Optional[str] = None,
+                   **options) -> "AttackCampaign":
+        """Register an attack family of the grid.
+
+        ``attack`` is a :class:`CampaignAttack`, a standard kind string
+        (``"dpa"``, ``"cpa"``, ``"dpa2"``, ``"cpa2"`` — forwarded to
+        :func:`standard_attack` with ``options``), or any callable mapping a
+        selection function to an attack kernel (``label`` required).  When no
+        attack is registered the campaign defaults to plain DPA, so existing
+        single-attack campaigns keep their behaviour.
+        """
+        if isinstance(attack, CampaignAttack):
+            self._attacks.append(attack)
+        elif isinstance(attack, str):
+            self._attacks.append(standard_attack(attack, label=label, **options))
+        elif callable(attack):
+            if label is None:
+                raise ValueError("custom attack builders need an explicit label")
+            self._attacks.append(CampaignAttack(label, attack))
+        else:
+            raise TypeError(f"cannot register {attack!r} as a campaign attack")
         return self
 
     def add_noise(self, label: str = "noiseless",
@@ -379,58 +527,135 @@ class AttackCampaign:
         )
         return generator.trace_batch(plaintexts)
 
+    def _run_scenario(self, scenario: Tuple[str, Optional[Callable], CampaignDesign],
+                      plaintexts: Sequence[Sequence[int]], *,
+                      attacks: Sequence[CampaignAttack],
+                      compute_disclosure: bool,
+                      keep_results: bool) -> List[CampaignRow]:
+        """One shard: generate a (noise × design) trace set, run every attack.
+
+        The traces are generated once and shared by every (selection ×
+        attack) pair of the shard — the trace set caches its sample matrix,
+        so each additional attack costs one hypothesis matrix and one
+        matmul.
+        """
+        noise_label, noise_factory, design = scenario
+        noise = noise_factory() if noise_factory is not None else None
+        traces = self._traces_for(design, noise, plaintexts)
+        rows: List[CampaignRow] = []
+        for entry in self._selections:
+            for attack_spec in attacks:
+                kernel = attack_spec.build(entry.selection)
+                attack = run_attack(traces, kernel, guesses=self.guesses)
+                row = CampaignRow(
+                    design=design.label,
+                    selection=entry.selection.name,
+                    attack=attack_spec.label,
+                    noise=noise_label,
+                    trace_count=len(traces),
+                    best_guess=attack.best_guess,
+                    best_peak=attack.best_peak,
+                    correct_guess=entry.correct_guess,
+                )
+                if entry.correct_guess is not None:
+                    row.rank_of_correct = attack.rank_of(entry.correct_guess)
+                    row.discrimination = attack.discrimination_ratio(
+                        entry.correct_guess)
+                    if compute_disclosure:
+                        row.disclosure = messages_to_disclosure(
+                            traces, kernel, entry.correct_guess,
+                            guesses=self.guesses,
+                            start=self.mtd_start, step=self.mtd_step,
+                            stable_runs=self.stable_runs,
+                        )
+                if keep_results:
+                    row.result = attack
+                rows.append(row)
+        return rows
+
+    def _run_sharded(self, scenarios: List[tuple],
+                     plaintexts: Sequence[Sequence[int]],
+                     workers: int, options: Dict[str, bool]
+                     ) -> List[List[CampaignRow]]:
+        """Fan the scenario list over a forked worker pool, order-preserving.
+
+        Each worker re-generates its own shard's traces (per-shard trace
+        generation: nothing but the scenario index crosses the process
+        boundary on the way in, so unpicklable netlists, trace sources and
+        noise factories all work), and ships back plain result rows.  Falls
+        back to the serial path when ``fork`` is unavailable — the results
+        are identical either way, only the wall-clock changes.
+        """
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return [self._run_scenario(scenario, plaintexts, **options)
+                    for scenario in scenarios]
+        global _SHARD_STATE
+        context = multiprocessing.get_context("fork")
+        _SHARD_STATE = (self, scenarios, plaintexts, options)
+        try:
+            with context.Pool(processes=min(workers, len(scenarios))) as pool:
+                return pool.map(_scenario_shard_worker, range(len(scenarios)),
+                                chunksize=1)
+        finally:
+            _SHARD_STATE = None
+
     def run(self, trace_count: Optional[int] = None, *,
             plaintexts: Optional[Sequence[Sequence[int]]] = None,
             seed: int = 0, compute_disclosure: bool = True,
-            keep_results: bool = False) -> CampaignResult:
-        """Run every (design × selection × noise) scenario of the grid.
+            keep_results: bool = False, workers: int = 1) -> CampaignResult:
+        """Run every (design × attack × selection × noise) scenario of the grid.
 
         Traces are generated once per design and noise level and shared by
-        all selection functions (the trace set caches its sample matrix, so
-        each additional selection costs one bit-matrix and one matmul).
+        all selection functions and attack kernels.  With ``workers > 1`` the
+        (noise × design) scenarios — the units that own a trace generation —
+        are sharded across a ``fork``-based process pool; every shard
+        generates its own traces and the merged table is *identical* to the
+        serial one (same plaintexts, same per-scenario noise streams, same
+        row order), so sharding is purely a wall-clock knob.
         """
         if not self._designs:
             raise ValueError("campaign has no designs; call add_design first")
         if not self._selections:
             raise ValueError("campaign has no selection functions; "
                              "call add_selection first")
-        if not self._noises:
-            self.add_noise()
+        # Defaults are applied locally so run() never mutates the campaign's
+        # configured grid.
+        attacks = list(self._attacks) or [standard_attack("dpa")]
+        noises = list(self._noises) or [("noiseless", None)]
         if plaintexts is None:
             if trace_count is None:
                 raise ValueError("need trace_count or explicit plaintexts")
             plaintexts = PlaintextGenerator(block_size=16, seed=seed).batch(trace_count)
         plaintexts = [list(p) for p in plaintexts]
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+
+        scenarios = [(noise_label, noise_factory, design)
+                     for noise_label, noise_factory in noises
+                     for design in self._designs]
+        options = dict(attacks=attacks,
+                       compute_disclosure=compute_disclosure,
+                       keep_results=keep_results)
+        if workers > 1 and len(scenarios) > 1:
+            shard_rows = self._run_sharded(scenarios, plaintexts, workers,
+                                           options)
+        else:
+            shard_rows = [self._run_scenario(scenario, plaintexts, **options)
+                          for scenario in scenarios]
 
         campaign = CampaignResult()
-        for noise_label, noise_factory in self._noises:
-            for design in self._designs:
-                noise = noise_factory() if noise_factory is not None else None
-                traces = self._traces_for(design, noise, plaintexts)
-                for entry in self._selections:
-                    attack = dpa_attack(traces, entry.selection,
-                                        guesses=self.guesses)
-                    row = CampaignRow(
-                        design=design.label,
-                        selection=entry.selection.name,
-                        noise=noise_label,
-                        trace_count=len(traces),
-                        best_guess=attack.best_guess,
-                        best_peak=attack.best_peak,
-                        correct_guess=entry.correct_guess,
-                    )
-                    if entry.correct_guess is not None:
-                        row.rank_of_correct = attack.rank_of(entry.correct_guess)
-                        row.discrimination = attack.discrimination_ratio(
-                            entry.correct_guess)
-                        if compute_disclosure:
-                            row.disclosure = messages_to_disclosure(
-                                traces, entry.selection, entry.correct_guess,
-                                guesses=self.guesses,
-                                start=self.mtd_start, step=self.mtd_step,
-                                stable_runs=self.stable_runs,
-                            )
-                    if keep_results:
-                        row.result = attack
-                    campaign.rows.append(row)
+        for rows in shard_rows:
+            campaign.rows.extend(rows)
         return campaign
+
+
+#: Campaign state inherited by forked shard workers (set around the pool's
+#: lifetime only).  Passing the index alone keeps the inbound task payload
+#: trivially picklable; the forked child reads everything else from its
+#: copy-on-write memory image.
+_SHARD_STATE: Optional[tuple] = None
+
+
+def _scenario_shard_worker(index: int) -> List[CampaignRow]:
+    campaign, scenarios, plaintexts, options = _SHARD_STATE
+    return campaign._run_scenario(scenarios[index], plaintexts, **options)

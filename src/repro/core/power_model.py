@@ -22,13 +22,16 @@ with the formal model".
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
 
 from ..circuits.builder import QDIBlock
 from ..circuits.netlist import Netlist
 from ..electrical.capacitance import node_capacitance, transition_time_s
 from ..electrical.technology import HCMOS9_LIKE, Technology
 from ..electrical.waveform import Waveform, triangular_pulse
+from .selection import SelectionFunction, popcount_matrix, selection_matrix
 
 
 # ----------------------------------------------------------- equations (1-3)
@@ -321,6 +324,158 @@ def _position_in_grid(block: QDIBlock, instance_name: str) -> int:
         if name == instance_name:
             return position
     return 0
+
+
+# ------------------------------------------------------ CPA leakage models
+#
+# Where the DPA of Section IV predicts a single *bit* of an intermediate value
+# (the D functions of :mod:`repro.core.selection`), a correlation attack
+# predicts the *amount of power* an intermediate consumes.  A leakage model
+# turns a (plaintext, key guess) grid into a real-valued hypothetical power
+# matrix — the ``H`` of a Brier-style CPA — that :func:`repro.core.cpa.
+# cpa_attack` correlates against the measured trace matrix.  The models build
+# on the selection functions' vectorized ``intermediate_matrix`` API, so the
+# whole 256-guess hypothesis grid resolves in a handful of table lookups.
+
+
+class LeakageModel(Protocol):
+    """Protocol of CPA leakage models (hypothetical power predictors)."""
+
+    name: str
+
+    def guesses(self) -> Sequence[int]:
+        """The key-guess space to enumerate."""
+        ...
+
+    def model_matrix(self, plaintexts: Sequence[Sequence[int]],
+                     guesses: np.ndarray) -> np.ndarray:
+        """Hypothetical power of every (guess, trace) pair, ``(G, N)`` floats."""
+        ...
+
+
+def leakage_matrix(model: LeakageModel,
+                   plaintexts: Sequence[Sequence[int]],
+                   guesses: Sequence[int]) -> np.ndarray:
+    """The hypothetical power matrix ``H[g, i]`` of a model, shape-checked.
+
+    The CPA counterpart of :func:`repro.core.selection.selection_matrix`:
+    ``H[g, i]`` is the power the model predicts for plaintext ``i`` under key
+    guess ``g``.  Returned as floats so the correlation kernel can center it
+    in place.
+    """
+    guesses = np.asarray(list(guesses), dtype=np.int64)
+    matrix = np.asarray(model.model_matrix(plaintexts, guesses), dtype=float)
+    if matrix.shape != (len(guesses), len(plaintexts)):
+        raise ValueError(
+            f"leakage model {model.name!r} produced a {matrix.shape} matrix "
+            f"for {len(guesses)} guesses x {len(plaintexts)} plaintexts"
+        )
+    return matrix
+
+
+def _intermediate_grid(target, plaintexts: Sequence[Sequence[int]],
+                       guesses: np.ndarray) -> np.ndarray:
+    """``(G, N)`` intermediate values of a selection-function target."""
+    intermediate_matrix = getattr(target, "intermediate_matrix", None)
+    if intermediate_matrix is not None:
+        return np.asarray(intermediate_matrix(plaintexts, guesses),
+                          dtype=np.int64)
+    intermediate = getattr(target, "intermediate", None)
+    if intermediate is None:
+        raise TypeError(
+            f"{getattr(target, 'name', target)!r} exposes no intermediate "
+            "value; CPA leakage models need a selection function with an "
+            "intermediate/intermediate_matrix API"
+        )
+    return np.asarray(
+        [[intermediate(plaintext, int(guess)) for plaintext in plaintexts]
+         for guess in guesses],
+        dtype=np.int64,
+    ).reshape(len(guesses), len(plaintexts))
+
+
+@dataclass(frozen=True)
+class HammingWeightModel:
+    """Classic CPA model: power ∝ Hamming weight of the intermediate value.
+
+    ``target`` is any selection function exposing ``intermediate`` /
+    ``intermediate_matrix`` (e.g. :class:`AesSboxSelection`); its ``bit_index``
+    is ignored — the model consumes the whole intermediate word.
+    """
+
+    target: SelectionFunction
+
+    @property
+    def name(self) -> str:
+        return f"hw({self.target.name})"
+
+    def guesses(self) -> Sequence[int]:
+        return self.target.guesses()
+
+    def model_matrix(self, plaintexts: Sequence[Sequence[int]],
+                     guesses: np.ndarray) -> np.ndarray:
+        return popcount_matrix(
+            _intermediate_grid(self.target, plaintexts, guesses)
+        ).astype(float)
+
+
+@dataclass(frozen=True)
+class HammingDistanceModel:
+    """CPA model: power ∝ Hamming distance to a reference state.
+
+    ``reference`` is either a fixed integer (e.g. the precharge value of a
+    bus — 0 models the all-zero spacer of a return-to-zero QDI channel) or
+    ``None``, in which case the reference is the targeted plaintext byte
+    itself (the register-overwrite model of clocked implementations).
+    """
+
+    target: SelectionFunction
+    reference: Optional[int] = 0
+
+    @property
+    def name(self) -> str:
+        ref = "pt" if self.reference is None else f"{self.reference:#x}"
+        return f"hd({self.target.name},ref={ref})"
+
+    def guesses(self) -> Sequence[int]:
+        return self.target.guesses()
+
+    def model_matrix(self, plaintexts: Sequence[Sequence[int]],
+                     guesses: np.ndarray) -> np.ndarray:
+        grid = _intermediate_grid(self.target, plaintexts, guesses)
+        if self.reference is None:
+            byte_index = getattr(self.target, "byte_index", 0)
+            array = np.asarray(plaintexts, dtype=np.int64)
+            reference = array[:, byte_index][None, :]
+        else:
+            reference = np.int64(self.reference)
+        return popcount_matrix(grid ^ reference).astype(float)
+
+
+@dataclass(frozen=True)
+class SelectionBitModel:
+    """CPA model: power ∝ the single selection bit itself.
+
+    Correlating against the D-function bit is the normalized form of the
+    difference-of-means test — Pearson's coefficient divides out the
+    per-sample trace variance, which suppresses the amplitude-driven ghost
+    peaks that plague the raw bias ranking.  On the reference asynchronous
+    AES this roughly halves the traces needed to disclose a key byte.
+    """
+
+    selection: SelectionFunction
+
+    @property
+    def name(self) -> str:
+        return f"bit({self.selection.name})"
+
+    def guesses(self) -> Sequence[int]:
+        return self.selection.guesses()
+
+    def model_matrix(self, plaintexts: Sequence[Sequence[int]],
+                     guesses: np.ndarray) -> np.ndarray:
+        return selection_matrix(self.selection, plaintexts,
+                                guesses).astype(float)
 
 
 def xor_current_decomposition(block: QDIBlock, rail_value: int, *,

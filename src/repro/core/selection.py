@@ -34,6 +34,25 @@ _DES_SBOX_TABLE = np.asarray(
 _POPCOUNT_TABLE = np.asarray([bin(v).count("1") for v in range(256)], dtype=np.int64)
 
 
+def popcount_matrix(values: np.ndarray) -> np.ndarray:
+    """Element-wise Hamming weight of an integer array (any shape).
+
+    Works byte by byte through the 256-entry popcount table, so arbitrarily
+    wide non-negative integers are supported.  This is the shared primitive of
+    the multi-bit selection functions and of the CPA Hamming-weight/distance
+    leakage models in :mod:`repro.core.power_model`.
+    """
+    values = np.asarray(values)
+    if values.size and values.min() < 0:
+        raise ValueError("popcount is only defined for non-negative integers")
+    remaining = values.astype(np.int64, copy=True)
+    weights = np.zeros_like(remaining)
+    while (remaining > 0).any():
+        weights += _POPCOUNT_TABLE[remaining & 0xFF]
+        remaining >>= 8
+    return weights
+
+
 class SelectionFunction(Protocol):
     """Protocol of DPA selection functions."""
 
@@ -254,11 +273,7 @@ class HammingWeightSelection:
                  for guess in guesses],
                 dtype=np.int64,
             ).reshape(len(guesses), len(plaintexts))
-        values = np.asarray(intermediate_matrix(plaintexts, guesses)).copy()
-        weights = np.zeros_like(values)
-        while (values > 0).any():
-            weights += _POPCOUNT_TABLE[values & 0xFF]
-            values >>= 8
+        weights = popcount_matrix(intermediate_matrix(plaintexts, guesses))
         return (weights >= self.threshold).astype(np.int64)
 
     def __call__(self, plaintext: Sequence[int], key_guess: int) -> int:

@@ -1,0 +1,435 @@
+"""Tests of the attack suite: CPA, second-order variants, sharded campaigns.
+
+Three layers:
+
+* statistical — on synthetic traces with injected Hamming-weight leakage,
+  DPA and CPA must both rank the true key byte first and CPA must disclose
+  it with fewer traces (all seeded, fully deterministic);
+* numerical — the vectorized Pearson engine against ``np.corrcoef``, the
+  incremental prefix sweep against the full re-computation, the DPA kernel
+  against the historical ``dpa_attack``;
+* orchestration — noise ``apply`` vs ``apply_matrix`` equivalence, sharded
+  vs serial :class:`AttackCampaign` table identity, ``TraceSet.subset``
+  edge cases.
+
+The module-scoped ``reference_design`` fixture runs the end-to-end
+acceptance statement on the placed asynchronous AES: CPA discloses the key
+byte in at most half the traces single-bit DPA needs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.asyncaes import AesArchitecture, AesNetlistGenerator, AesPowerTraceGenerator
+from repro.core import (
+    AesSboxSelection,
+    AttackCampaign,
+    CpaKernel,
+    DPAError,
+    DpaKernel,
+    HammingWeightModel,
+    HammingWeightSelection,
+    SecondOrderKernel,
+    SelectionBitModel,
+    TraceSet,
+    centered_product_matrix,
+    cpa_attack,
+    dpa_attack,
+    leakage_matrix,
+    messages_to_disclosure,
+    pearson_statistics,
+    run_attack,
+    second_order_cpa_attack,
+    second_order_dpa_attack,
+)
+from repro.core.cpa import cpa_prefix_peaks
+from repro.crypto import SBOX, random_key
+from repro.crypto.keys import PlaintextGenerator
+from repro.electrical import Waveform
+from repro.electrical.noise import (
+    BackgroundActivityNoise,
+    CompositeNoise,
+    GaussianNoise,
+    NoNoise,
+    NoiseModel,
+)
+from repro.pnr import run_flat_flow
+
+POPCOUNT = np.asarray([bin(value).count("1") for value in range(256)])
+SECRET = 0x3C
+SELECTION = AesSboxSelection(byte_index=0, bit_index=0)
+
+
+def _sbox_bytes(plaintexts):
+    return np.asarray([SBOX[p[0] ^ SECRET] for p in plaintexts])
+
+
+def _hw_leaky_traces(count=400, *, sigma=0.4, scale=0.25, samples=30,
+                     leak_at=12, seed=0):
+    """Traces whose sample ``leak_at`` leaks the Hamming weight of the
+    first-round S-box output of byte 0 under additive Gaussian noise."""
+    rng = np.random.default_rng(seed)
+    plaintexts = PlaintextGenerator(seed=seed + 1).batch(count)
+    matrix = rng.normal(0.0, sigma, (count, samples))
+    matrix[:, leak_at] += scale * POPCOUNT[_sbox_bytes(plaintexts)]
+    return TraceSet.from_matrix(matrix, plaintexts, 1e-9)
+
+
+def _masked_traces(count=500, *, sigma=0.15, scale=0.35, seed=3):
+    """First-order-masked traces: one sample leaks HW(mask), another
+    HW(value ^ mask), and no sample leaks the value itself."""
+    rng = np.random.default_rng(seed)
+    plaintexts = PlaintextGenerator(seed=seed + 1).batch(count)
+    masks = rng.integers(0, 256, count)
+    values = _sbox_bytes(plaintexts)
+    matrix = rng.normal(0.0, sigma, (count, 8))
+    matrix[:, 2] += scale * POPCOUNT[masks]
+    matrix[:, 5] += scale * POPCOUNT[values ^ masks]
+    return TraceSet.from_matrix(matrix, plaintexts, 1e-9)
+
+
+# ------------------------------------------------------------- statistical
+class TestHammingWeightLeakage:
+    @pytest.fixture(scope="class")
+    def traces(self):
+        return _hw_leaky_traces()
+
+    def test_dpa_ranks_true_key_first(self, traces):
+        assert dpa_attack(traces, SELECTION).best_guess == SECRET
+
+    def test_cpa_ranks_true_key_first(self, traces):
+        result = cpa_attack(traces, HammingWeightModel(SELECTION))
+        assert result.best_guess == SECRET
+        # Peaks are Pearson coefficients, so they live in [0, 1].
+        assert 0.0 < result.best_peak <= 1.0
+
+    def test_cpa_needs_fewer_traces_than_dpa(self, traces):
+        dpa_mtd = messages_to_disclosure(traces, SELECTION, SECRET,
+                                         start=16, step=16)
+        cpa_mtd = messages_to_disclosure(
+            traces, CpaKernel(HammingWeightModel(SELECTION)), SECRET,
+            start=16, step=16)
+        assert dpa_mtd is not None and cpa_mtd is not None
+        # The HW model reads all eight bits where the D function reads one.
+        assert cpa_mtd < dpa_mtd
+        assert 2 * cpa_mtd <= dpa_mtd
+
+    def test_selection_bit_model_also_discloses(self, traces):
+        result = cpa_attack(traces, SELECTION)  # coerced to SelectionBitModel
+        assert result.best_guess == SECRET
+
+
+class TestSecondOrder:
+    @pytest.fixture(scope="class")
+    def traces(self):
+        return _masked_traces()
+
+    def test_first_order_cpa_fails_on_masked_traces(self, traces):
+        result = cpa_attack(traces, HammingWeightModel(SELECTION))
+        assert result.rank_of(SECRET) > 8
+
+    def test_second_order_cpa_defeats_the_mask(self, traces):
+        result = second_order_cpa_attack(traces, HammingWeightModel(SELECTION),
+                                         window=8)
+        assert result.best_guess == SECRET
+
+    def test_second_order_dpa_defeats_the_mask(self, traces):
+        # A single predicted bit captures too little of the HW-linear
+        # product leakage; the multi-bit Hamming-weight partition of
+        # Section IV is the matching D function for second-order DoM.
+        partition = HammingWeightSelection(inner=SELECTION, threshold=4)
+        result = second_order_dpa_attack(traces, partition, pairs=[(2, 5)])
+        assert result.best_guess == SECRET
+
+    def test_explicit_pairs_restrict_the_combination(self, traces):
+        result = second_order_cpa_attack(traces, HammingWeightModel(SELECTION),
+                                         pairs=[(2, 5)])
+        assert result.best_guess == SECRET
+
+    def test_second_order_disclosure_sweep(self, traces):
+        kernel = SecondOrderKernel(CpaKernel(HammingWeightModel(SELECTION)),
+                                   pairs=((2, 5),))
+        mtd = messages_to_disclosure(traces, kernel, SECRET, start=50, step=50)
+        assert mtd is not None
+
+    def test_empty_pair_set_rejected(self, traces):
+        with pytest.raises(DPAError):
+            centered_product_matrix(traces.matrix(), pairs=[])
+
+
+# --------------------------------------------------------------- numerical
+class TestPearsonEngine:
+    def test_matches_corrcoef(self):
+        rng = np.random.default_rng(5)
+        matrix = rng.normal(size=(50, 7))
+        hypothesis = rng.normal(size=(3, 50))
+        corr = pearson_statistics(matrix, hypothesis)
+        for g in range(3):
+            for j in range(7):
+                expected = np.corrcoef(hypothesis[g], matrix[:, j])[0, 1]
+                assert corr[g, j] == pytest.approx(expected, abs=1e-12)
+
+    def test_constant_columns_yield_zero(self):
+        matrix = np.ones((20, 4))
+        hypothesis = np.arange(20, dtype=float)[None, :]
+        assert np.all(pearson_statistics(matrix, hypothesis) == 0.0)
+        constant_model = np.ones((1, 20))
+        varying = np.random.default_rng(0).normal(size=(20, 4))
+        assert np.all(pearson_statistics(varying, constant_model) == 0.0)
+
+    def test_trace_count_mismatch_rejected(self):
+        with pytest.raises(DPAError):
+            pearson_statistics(np.zeros((10, 3)), np.zeros((2, 11)))
+
+    def test_prefix_peaks_match_full_recomputation(self):
+        traces = _hw_leaky_traces(200, seed=9)
+        matrix = traces.matrix()
+        hypothesis = leakage_matrix(HammingWeightModel(SELECTION),
+                                    traces.plaintexts(), range(256))
+        boundaries = [32, 60, 128, 200]
+        for count, peaks in cpa_prefix_peaks(matrix, hypothesis, boundaries):
+            full = np.abs(pearson_statistics(
+                matrix[:count], hypothesis[:, :count])).max(axis=1)
+            assert np.allclose(peaks, full, atol=1e-10)
+
+    def test_dpa_kernel_matches_dpa_attack(self):
+        traces = _hw_leaky_traces(150, seed=2)
+        reference = dpa_attack(traces, SELECTION)
+        kernel_result = run_attack(traces, DpaKernel(SELECTION))
+        for ref, ker in zip(reference.results, kernel_result.results):
+            assert ker.guess == ref.guess
+            assert ker.peak == pytest.approx(ref.peak)
+            assert ker.peak_time == pytest.approx(ref.peak_time)
+        assert kernel_result.best_guess == reference.best_guess
+
+    def test_kernel_disclosure_matches_selection_disclosure(self):
+        traces = _hw_leaky_traces(300, seed=4)
+        by_selection = messages_to_disclosure(traces, SELECTION, SECRET,
+                                              start=16, step=16)
+        by_kernel = messages_to_disclosure(traces, DpaKernel(SELECTION),
+                                           SECRET, start=16, step=16)
+        assert by_kernel == by_selection
+
+
+# ----------------------------------------------------------- noise models
+class _RampNoise(NoiseModel):
+    """Custom model implementing only ``apply`` (exercises the fallback)."""
+
+    def apply(self, waveform: Waveform) -> Waveform:
+        noisy = waveform.copy()
+        noisy.samples = noisy.samples + np.arange(len(noisy.samples))
+        return noisy
+
+
+class TestNoiseEquivalence:
+    def _matrix(self, shape=(40, 25), seed=11):
+        return np.random.default_rng(seed).normal(size=shape)
+
+    def test_gaussian_apply_matches_apply_matrix(self):
+        matrix = self._matrix()
+        by_matrix = GaussianNoise(1e-3, seed=21).apply_matrix(matrix, 1e-9)
+        per_trace = GaussianNoise(1e-3, seed=21)
+        by_rows = np.vstack([
+            per_trace.apply(Waveform(row.copy(), 1e-9, 0.0)).samples
+            for row in matrix
+        ])
+        assert np.array_equal(by_matrix, by_rows)
+
+    def test_no_noise_is_the_identity_in_both_paths(self):
+        matrix = self._matrix()
+        model = NoNoise()
+        assert np.array_equal(model.apply_matrix(matrix, 1e-9), matrix)
+        row = Waveform(matrix[0].copy(), 1e-9, 0.0)
+        assert np.array_equal(model.apply(row).samples, matrix[0])
+
+    def test_composite_gaussians_match(self):
+        matrix = self._matrix()
+        make = lambda: CompositeNoise((GaussianNoise(1e-3, seed=5),
+                                       GaussianNoise(2e-3, seed=6)))
+        by_matrix = make().apply_matrix(matrix, 1e-9)
+        per_trace = make()
+        by_rows = np.vstack([
+            per_trace.apply(Waveform(row.copy(), 1e-9, 0.0)).samples
+            for row in matrix
+        ])
+        assert np.array_equal(by_matrix, by_rows)
+
+    def test_fallback_apply_matrix_equals_per_trace_apply(self):
+        matrix = self._matrix()
+        original = matrix.copy()
+        by_matrix = _RampNoise().apply_matrix(matrix, 1e-9)
+        expected = matrix + np.arange(matrix.shape[1])[None, :]
+        assert np.array_equal(by_matrix, expected)
+        # The fallback must not corrupt the caller's matrix.
+        assert np.array_equal(matrix, original)
+
+    def test_background_activity_deposits_the_same_charge(self):
+        """The batched path draws its pulses in one shot, so per-sample
+        equality is impossible — the injected charge must still agree."""
+        matrix = np.zeros((200, 100))
+        per_trace = BackgroundActivityNoise(0.5, 2e-3, seed=8)
+        by_rows = np.vstack([
+            per_trace.apply(Waveform(row.copy(), 1e-9, 0.0)).samples
+            for row in matrix
+        ])
+        by_matrix = BackgroundActivityNoise(0.5, 2e-3, seed=8).apply_matrix(
+            matrix, 1e-9)
+        assert by_matrix.sum() == pytest.approx(by_rows.sum(), rel=0.1)
+
+
+# ------------------------------------------------------- sharded campaigns
+def _synthetic_source(plaintexts, noise):
+    plaintexts = [list(p) for p in plaintexts]
+    rng = np.random.default_rng(17)
+    matrix = rng.normal(0.0, 0.4, (len(plaintexts), 24))
+    matrix[:, 7] += 0.3 * POPCOUNT[_sbox_bytes(plaintexts)]
+    if noise is not None:
+        matrix = noise.apply_matrix(matrix, 1e-9, 0.0)
+    return TraceSet.from_matrix(matrix, plaintexts, 1e-9)
+
+
+class TestShardedCampaign:
+    def _campaign(self):
+        campaign = AttackCampaign(mtd_start=50, mtd_step=50)
+        campaign.add_design("synth-a", trace_source=_synthetic_source)
+        campaign.add_design("synth-b", trace_source=_synthetic_source)
+        campaign.add_selection(AesSboxSelection(byte_index=0, bit_index=0),
+                               correct_guess=SECRET)
+        campaign.add_attack("dpa")
+        campaign.add_attack("cpa", model="hw")
+        campaign.add_noise("noiseless")
+        campaign.add_noise("gaussian", lambda: GaussianNoise(0.1, seed=13))
+        return campaign
+
+    def test_sharded_table_is_identical_to_serial(self):
+        serial = self._campaign().run(trace_count=150, seed=3)
+        sharded = self._campaign().run(trace_count=150, seed=3, workers=4)
+        assert sharded.table() == serial.table()
+        for left, right in zip(serial.rows, sharded.rows):
+            assert left == right
+
+    def test_sharded_keep_results_crosses_the_pool(self):
+        sharded = self._campaign().run(trace_count=120, seed=3, workers=2,
+                                       compute_disclosure=False,
+                                       keep_results=True)
+        row = sharded.row("synth-a", attack="cpa-hw", noise="noiseless")
+        assert row.result is not None
+        assert row.result.best_guess == row.best_guess
+
+    def test_attack_grid_distinguishes_dpa_from_cpa(self):
+        result = self._campaign().run(trace_count=150, seed=3,
+                                      compute_disclosure=True)
+        dpa_row = result.row("synth-a", attack="dpa", noise="noiseless")
+        cpa_row = result.row("synth-a", attack="cpa-hw", noise="noiseless")
+        assert dpa_row.rank_of_correct == 1
+        assert cpa_row.rank_of_correct == 1
+        assert cpa_row.disclosure <= dpa_row.disclosure
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            self._campaign().run(trace_count=64, workers=0)
+
+    def test_unknown_attack_kind_rejected(self):
+        campaign = AttackCampaign()
+        with pytest.raises(ValueError):
+            campaign.add_attack("template")
+        with pytest.raises(ValueError):
+            campaign.add_attack(lambda selection: DpaKernel(selection))
+
+    def test_inapplicable_attack_options_rejected(self):
+        campaign = AttackCampaign()
+        with pytest.raises(ValueError):
+            campaign.add_attack("cpa", window=8)  # second-order-only option
+        with pytest.raises(ValueError):
+            campaign.add_attack("dpa", model="hw")  # CPA-only option
+        with pytest.raises(ValueError):
+            campaign.add_attack("dpa2", model="hw")
+
+    def test_run_does_not_mutate_the_campaign_grid(self):
+        campaign = AttackCampaign(mtd_start=50, mtd_step=50)
+        campaign.add_design("synth", trace_source=_synthetic_source)
+        campaign.add_selection(AesSboxSelection(byte_index=0, bit_index=0),
+                               correct_guess=SECRET)
+        first = campaign.run(trace_count=64, compute_disclosure=False)
+        assert [row.attack for row in first.rows] == ["dpa"]
+        # Registering a CPA attack after a defaulted run must not leave the
+        # implicit DPA (or noise level) behind in the grid.
+        campaign.add_attack("cpa", model="hw")
+        second = campaign.run(trace_count=64, compute_disclosure=False)
+        assert [row.attack for row in second.rows] == ["cpa-hw"]
+
+
+# --------------------------------------------------------- subset edge cases
+class TestTraceSetSubset:
+    def _traces(self, count=10, *, build_matrix):
+        traces = _hw_leaky_traces(count, seed=6)
+        if build_matrix:
+            traces.matrix()
+        else:
+            traces = TraceSet(list(traces))
+        return traces
+
+    @pytest.mark.parametrize("build_matrix", [True, False],
+                             ids=["matrix-built", "lazy"])
+    def test_negative_count_raises(self, build_matrix):
+        traces = self._traces(build_matrix=build_matrix)
+        with pytest.raises(DPAError):
+            traces.subset(-1)
+
+    @pytest.mark.parametrize("build_matrix", [True, False],
+                             ids=["matrix-built", "lazy"])
+    def test_zero_count_is_the_empty_set(self, build_matrix):
+        traces = self._traces(build_matrix=build_matrix)
+        assert len(traces.subset(0)) == 0
+
+    @pytest.mark.parametrize("build_matrix", [True, False],
+                             ids=["matrix-built", "lazy"])
+    def test_oversized_count_clamps(self, build_matrix):
+        traces = self._traces(build_matrix=build_matrix)
+        subset = traces.subset(10_000)
+        assert len(subset) == len(traces)
+        assert subset.plaintexts() == traces.plaintexts()
+
+    def test_subset_stays_zero_copy_when_matrix_is_built(self):
+        traces = self._traces(build_matrix=True)
+        subset = traces.subset(4)
+        assert np.shares_memory(subset.matrix(), traces.matrix())
+
+    def test_empty_set_subset(self):
+        assert len(TraceSet().subset(0)) == 0
+        assert len(TraceSet().subset(5)) == 0
+        with pytest.raises(DPAError):
+            TraceSet().subset(-3)
+
+
+# --------------------------------------- reference-design acceptance test
+@pytest.fixture(scope="module")
+def reference_design():
+    """The flat-placed asynchronous AES of the end-to-end experiments."""
+    key = random_key(16, seed=7)
+    architecture = AesArchitecture(word_width=32, detail=0.15)
+    netlist = AesNetlistGenerator(architecture, name="aes_attack_suite").build()
+    run_flat_flow(netlist, seed=7, effort=0.8)
+    generator = AesPowerTraceGenerator(netlist, key, architecture=architecture)
+    traces = generator.trace_batch(PlaintextGenerator(seed=8).batch(600))
+    best_bit = max(range(8), key=lambda j: generator.channel_dissymmetry(
+        "bytesub0_to_sr0", 24 + j))
+    selection = AesSboxSelection(byte_index=0, bit_index=best_bit)
+    return key, traces, selection
+
+
+class TestReferenceDesignAcceptance:
+    def test_cpa_halves_the_trace_budget(self, reference_design):
+        key, traces, selection = reference_design
+        dpa_mtd = messages_to_disclosure(traces, selection, key[0],
+                                         start=20, step=20)
+        cpa_mtd = messages_to_disclosure(
+            traces, CpaKernel(SelectionBitModel(selection)), key[0],
+            start=20, step=20)
+        assert dpa_mtd is not None and cpa_mtd is not None
+        assert 2 * cpa_mtd <= dpa_mtd
+
+    def test_cpa_ranks_the_key_first_on_the_full_set(self, reference_design):
+        key, traces, selection = reference_design
+        result = cpa_attack(traces, selection)
+        assert result.best_guess == key[0]

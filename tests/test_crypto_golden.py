@@ -1,0 +1,137 @@
+"""Golden-vector tests: the crypto references pinned to published vectors.
+
+AES is pinned to FIPS-197 Appendix B (the worked 128-bit example, including
+its round-by-round intermediate states) and Appendix C (the 128/192/256-bit
+example vectors); the batched cipher ``encrypt_states_batch`` is held to the
+same vectors and to the scalar round API label by label.  DES is pinned to
+the NIST/NBS known-answer vectors (variable-plaintext, variable-key and
+table known-answer tests) plus the classic worked example.
+
+These vectors are the ground truth every attack of the suite ultimately
+relies on (selection functions and leakage models predict *these*
+intermediates), so they are pinned independently of the algorithmic tests in
+``test_crypto_aes.py`` / ``test_crypto_des.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto import AES, DES, aes_decrypt, aes_encrypt, des_decrypt
+from repro.crypto.aes import encrypt_states_batch
+
+
+def unhex(text: str):
+    return [int(text[i:i + 2], 16) for i in range(0, len(text), 2)]
+
+
+def hexstr(block) -> str:
+    return "".join(f"{value:02x}" for value in block)
+
+
+# --------------------------------------------------- FIPS-197 Appendix B
+FIPS_B_KEY = unhex("2b7e151628aed2a6abf7158809cf4f3c")
+FIPS_B_PLAINTEXT = unhex("3243f6a8885a308d313198a2e0370734")
+FIPS_B_CIPHERTEXT = unhex("3925841d02dc09fbdc118597196a0b32")
+
+#: Intermediate states of the Appendix B walkthrough (column-major byte
+#: order, which for this implementation coincides with the block order).
+FIPS_B_STATES = {
+    "round0:addkey": "193de3bea0f4e22b9ac68d2ae9f84808",
+    "round1:subbytes": "d42711aee0bf98f1b8b45de51e415230",
+    "round1:shiftrows": "d4bf5d30e0b452aeb84111f11e2798e5",
+    "round1:mixcolumns": "046681e5e0cb199a48f8d37a2806264c",
+    "round1:addkey": "a49c7ff2689f352b6b5bea43026a5049",
+    "round9:addkey": "eb40f21e592e38848ba113e71bc342d2",
+    "round10:subbytes": "e9098972cb31075f3d327d94af2e2cb5",
+    "round10:shiftrows": "e9317db5cb322c723d2e895faf090794",
+}
+
+# --------------------------------------------------- FIPS-197 Appendix C
+FIPS_C_PLAINTEXT = unhex("00112233445566778899aabbccddeeff")
+FIPS_C_VECTORS = [
+    ("000102030405060708090a0b0c0d0e0f",
+     "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    ("000102030405060708090a0b0c0d0e0f1011121314151617",
+     "dda97ca4864cdfe06eaf70a0ec0d7191"),
+    ("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+     "8ea2b7ca516745bfeafc49904b496089"),
+]
+
+# ------------------------------------------------------- DES known answers
+#: (key, plaintext, ciphertext) from the NBS/NIST known-answer test tables.
+DES_VECTORS = [
+    # Variable-plaintext known-answer test (key of odd parity ones).
+    ("0101010101010101", "8000000000000000", "95f8a5e5dd31d900"),
+    ("0101010101010101", "4000000000000000", "dd7f121ca5015619"),
+    # Variable-key known-answer test.
+    ("8001010101010101", "0000000000000000", "95a8d72813daa94d"),
+    # Table known-answer test.
+    ("7ca110454a1a6e57", "01a1d6d039776742", "690f5b0d9a26939b"),
+    # The classic worked example.
+    ("133457799bbcdff1", "0123456789abcdef", "85e813540f0ab405"),
+]
+
+
+class TestAesAppendixB:
+    def test_ciphertext(self):
+        assert aes_encrypt(FIPS_B_PLAINTEXT, FIPS_B_KEY) == FIPS_B_CIPHERTEXT
+
+    def test_round_states(self):
+        trace = AES(FIPS_B_KEY).encrypt_with_trace(FIPS_B_PLAINTEXT)
+        for label, expected in FIPS_B_STATES.items():
+            assert hexstr(trace.states[label]) == expected, label
+
+    def test_decrypt_inverts(self):
+        assert aes_decrypt(FIPS_B_CIPHERTEXT, FIPS_B_KEY) == FIPS_B_PLAINTEXT
+
+
+class TestAesAppendixC:
+    @pytest.mark.parametrize("key_hex,cipher_hex", FIPS_C_VECTORS,
+                             ids=["aes128", "aes192", "aes256"])
+    def test_encrypt(self, key_hex, cipher_hex):
+        assert aes_encrypt(FIPS_C_PLAINTEXT, unhex(key_hex)) == unhex(cipher_hex)
+
+    @pytest.mark.parametrize("key_hex,cipher_hex", FIPS_C_VECTORS,
+                             ids=["aes128", "aes192", "aes256"])
+    def test_decrypt(self, key_hex, cipher_hex):
+        assert aes_decrypt(unhex(cipher_hex), unhex(key_hex)) == FIPS_C_PLAINTEXT
+
+
+class TestBatchCipherGolden:
+    """``encrypt_states_batch`` held to the same FIPS-197 ground truth."""
+
+    def test_appendix_vectors_in_one_batch(self):
+        plaintexts = [FIPS_B_PLAINTEXT, FIPS_C_PLAINTEXT, [0] * 16, [0xFF] * 16]
+        states = encrypt_states_batch(FIPS_B_KEY, plaintexts)
+        assert hexstr(states["round10:addkey"][0]) == hexstr(FIPS_B_CIPHERTEXT)
+        for label, expected in FIPS_B_STATES.items():
+            assert hexstr(states[label][0]) == expected, label
+
+    def test_matches_scalar_rounds_for_every_label(self):
+        plaintexts = [FIPS_C_PLAINTEXT, FIPS_B_PLAINTEXT]
+        key = unhex(FIPS_C_VECTORS[0][0])
+        states = encrypt_states_batch(key, plaintexts)
+        cipher = AES(key)
+        for index, plaintext in enumerate(plaintexts):
+            trace = cipher.encrypt_with_trace(plaintext)
+            for label, state in trace.states.items():
+                if label == "round0:input":
+                    continue
+                assert np.array_equal(states[label][index],
+                                      np.asarray(state, dtype=np.uint8)), label
+
+    def test_appendix_c_ciphertext_via_batch(self):
+        key = unhex(FIPS_C_VECTORS[0][0])
+        states = encrypt_states_batch(key, [FIPS_C_PLAINTEXT])
+        assert hexstr(states["round10:addkey"][0]) == FIPS_C_VECTORS[0][1]
+
+
+class TestDesKnownAnswers:
+    @pytest.mark.parametrize("key_hex,plain_hex,cipher_hex", DES_VECTORS)
+    def test_encrypt(self, key_hex, plain_hex, cipher_hex):
+        cipher = DES(unhex(key_hex))
+        assert hexstr(cipher.encrypt_block(unhex(plain_hex))) == cipher_hex
+
+    @pytest.mark.parametrize("key_hex,plain_hex,cipher_hex", DES_VECTORS)
+    def test_decrypt(self, key_hex, plain_hex, cipher_hex):
+        assert hexstr(des_decrypt(unhex(cipher_hex), unhex(key_hex))) == plain_hex
