@@ -1,0 +1,117 @@
+"""Bounded-memory smoke test: a 50k-trace streaming assessment under an RSS budget.
+
+Runs a full streaming campaign — non-specific TVLA, specific t-test, SNR and
+a 256-guess streaming CPA — over 50 000 synthetic traces of 1024 samples in
+``chunk_size=2048`` blocks, and asserts with ``resource.getrusage`` that the
+process peak RSS stays under a fixed budget.
+
+The point of the assertion: the full trace matrix would be
+``50_000 x 1024 x 8 B = 410 MB`` — materializing it anywhere in the pipeline
+blows the budget immediately, so staying under it *proves* the campaign
+never holds more than one chunk (16 MB) plus the accumulators.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_streaming_rss.py
+           [--traces 50000] [--chunk 2048] [--budget-mb 256]
+
+The report lands in ``benchmarks/results/streaming_rss.txt``.
+"""
+
+import argparse
+import resource
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import AesSboxSelection, AttackCampaign, TraceSet
+from repro.crypto.aes_tables import SBOX
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_SBOX = np.asarray(SBOX, dtype=np.int64)
+_POPCOUNT = np.asarray([bin(v).count("1") for v in range(256)], dtype=np.int64)
+KEY = list(range(16))
+SAMPLES = 1024
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    if sys.platform == "darwin":
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+def _synthetic_source(plaintexts, noise):
+    """Row-deterministic leaky traces (1024 samples, one HW leak)."""
+    plaintexts = [list(p) for p in plaintexts]
+    points = np.asarray(plaintexts, dtype=np.int64)
+    matrix = np.zeros((len(plaintexts), SAMPLES))
+    matrix[:, 100] += 1e-3 * points[:, 1]
+    matrix[:, 700] += 0.1 * _POPCOUNT[_SBOX[points[:, 0] ^ KEY[0]]]
+    if noise is not None:
+        matrix = noise.apply_matrix(matrix, 1e-9, 0.0)
+    return TraceSet.from_matrix(matrix, plaintexts, 1e-9)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--traces", type=int, default=50000)
+    parser.add_argument("--chunk", type=int, default=2048)
+    parser.add_argument("--budget-mb", type=float, default=256.0)
+    args = parser.parse_args()
+
+    full_matrix_mb = 2 * args.traces * SAMPLES * 8 / (1024 * 1024)
+    chunk_mb = args.chunk * SAMPLES * 8 / (1024 * 1024)
+    baseline_mb = _peak_rss_mb()
+
+    selection = AesSboxSelection(byte_index=0, bit_index=3)
+    campaign = AttackCampaign(KEY)
+    campaign.add_design("synthetic", trace_source=_synthetic_source)
+    campaign.add_selection(selection)
+    campaign.add_attack("cpa", model="hw")
+    campaign.add_assessment("tvla")
+    campaign.add_assessment("tvla-specific", selection=selection)
+    campaign.add_assessment("snr", selection=selection, classes="hw")
+
+    start = time.perf_counter()
+    result = campaign.run(args.traces, seed=7, streaming=True,
+                          chunk_size=args.chunk, compute_disclosure=False)
+    elapsed = time.perf_counter() - start
+    peak_mb = _peak_rss_mb()
+
+    cpa_row = result.rows[0]
+    tvla_row = result.assessment_row("synthetic", assessment="tvla")
+    lines = [
+        f"streaming assessment RSS ({args.traces} traces x {SAMPLES} samples, "
+        f"chunk={args.chunk})",
+        f"  two full passes would materialize : {full_matrix_mb:8.1f} MiB",
+        f"  one chunk                         : {chunk_mb:8.1f} MiB",
+        f"  baseline RSS (imports)            : {baseline_mb:8.1f} MiB",
+        f"  peak RSS after campaign           : {peak_mb:8.1f} MiB "
+        f"(budget {args.budget_mb:.0f} MiB)",
+        f"  wall clock                        : {elapsed:8.1f} s "
+        f"({args.traces * 2 / elapsed / 1e3:.1f} ktraces/s incl. generation)",
+        f"  CPA best guess {cpa_row.best_guess:#04x} "
+        f"(true {KEY[0]:#04x}, rank {cpa_row.rank_of_correct}); "
+        f"TVLA max |t| = {tvla_row.peak:.1f}",
+    ]
+    report = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "streaming_rss.txt").write_text(report + "\n")
+    print(report)
+
+    assert peak_mb < args.budget_mb, (
+        f"peak RSS {peak_mb:.1f} MiB exceeds the {args.budget_mb:.0f} MiB "
+        "budget — the streaming pipeline materialized more than one chunk"
+    )
+    assert cpa_row.rank_of_correct == 1, "streaming CPA failed to rank the key first"
+    assert tvla_row.flagged, "streaming TVLA failed to flag the planted leak"
+    print(f"\nPASS: peak RSS {peak_mb:.1f} MiB < {args.budget_mb:.0f} MiB "
+          f"budget (full matrices would need {full_matrix_mb:.0f} MiB)")
+
+
+if __name__ == "__main__":
+    main()

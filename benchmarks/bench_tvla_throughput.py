@@ -1,0 +1,122 @@
+"""Throughput benchmark of the streaming TVLA t-test engine.
+
+Measures, on a synthetic fixed-vs-random acquisition:
+
+* **in-memory pass** — the whole ``(n_traces, n_samples)`` matrix folded
+  into the Welch t-test accumulators in one update;
+* **chunked pass** — the same matrix consumed as ``chunk_size`` blocks
+  (the bounded-memory streaming path of `repro.assess`); the benchmark
+  asserts the chunked pass stays within **1.5×** of the in-memory wall
+  clock — the price of bounded memory must be a small constant factor;
+* **sharded merge** — the matrix split over N simulated shards whose
+  accumulators merge; the merged t-statistic must match the one-pass result
+  (atol 1e-9), and the merge itself must be negligible next to a pass.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_tvla_throughput.py
+           [--traces 20000] [--samples 512] [--chunk 2048]
+
+The report lands in ``benchmarks/results/tvla_throughput.txt``.
+"""
+
+import argparse
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.assess import StreamingTTest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The wall-clock bound: chunked streaming within this factor of in-memory.
+CHUNKED_SLOWDOWN_BOUND = 1.5
+
+
+def _acquisition(traces: int, samples: int, seed: int = 0):
+    """A synthetic interleaved fixed-vs-random acquisition with one leak."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(0.0, 1.0, (traces, samples))
+    labels = np.arange(traces, dtype=np.int64) % 2
+    matrix[labels == 0, samples // 2] += 0.05  # the planted fixed-class bias
+    return matrix, labels
+
+
+def _best_of(repeats, run):
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        times.append(time.perf_counter() - start)
+    return min(times), result
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--traces", type=int, default=20000)
+    parser.add_argument("--samples", type=int, default=512)
+    parser.add_argument("--chunk", type=int, default=2048)
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    matrix, labels = _acquisition(args.traces, args.samples)
+
+    def in_memory():
+        return StreamingTTest().update(matrix, labels).t_statistic()
+
+    def chunked():
+        ttest = StreamingTTest()
+        for start in range(0, args.traces, args.chunk):
+            ttest.update(matrix[start:start + args.chunk],
+                         labels[start:start + args.chunk])
+        return ttest.t_statistic()
+
+    memory_s, reference = _best_of(args.repeats, in_memory)
+    chunked_s, streamed = _best_of(args.repeats, chunked)
+
+    assert np.allclose(streamed, reference, atol=1e-9), \
+        "chunked t-statistic diverged from the in-memory pass"
+
+    # Sharded merge: accumulate per shard, then reduce.
+    bounds = np.linspace(0, args.traces, args.shards + 1, dtype=int)
+    shard_states = []
+    shard_s = time.perf_counter()
+    for lo, hi in zip(bounds, bounds[1:]):
+        shard_states.append(StreamingTTest().update(matrix[lo:hi],
+                                                    labels[lo:hi]))
+    shard_s = time.perf_counter() - shard_s
+    merge_s = time.perf_counter()
+    merged = shard_states[0]
+    for shard in shard_states[1:]:
+        merged.merge(shard)
+    merge_s = time.perf_counter() - merge_s
+    assert np.allclose(merged.t_statistic(), reference, atol=1e-9), \
+        "merged shard t-statistic diverged from the one-pass result"
+
+    slowdown = chunked_s / memory_s
+    rate = args.traces / chunked_s
+    lines = [
+        f"TVLA t-test throughput ({args.traces} traces x {args.samples} samples)",
+        f"  in-memory pass : {memory_s * 1e3:8.2f} ms",
+        f"  chunked pass   : {chunked_s * 1e3:8.2f} ms "
+        f"(chunk={args.chunk}, {rate / 1e6:.2f} Mtraces/s)",
+        f"  slowdown       : {slowdown:8.2f}x  (bound {CHUNKED_SLOWDOWN_BOUND}x)",
+        f"  {args.shards} shards     : {shard_s * 1e3:8.2f} ms accumulate "
+        f"+ {merge_s * 1e3:.3f} ms merge (exact)",
+        f"  max |t|        : {np.max(np.abs(reference)):8.2f}",
+    ]
+    report = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "tvla_throughput.txt").write_text(report + "\n")
+    print(report)
+
+    assert slowdown <= CHUNKED_SLOWDOWN_BOUND, (
+        f"chunked t-test pass is {slowdown:.2f}x the in-memory pass "
+        f"(bound {CHUNKED_SLOWDOWN_BOUND}x)"
+    )
+    print(f"\nPASS: chunked streaming within {CHUNKED_SLOWDOWN_BOUND}x of "
+          "the in-memory pass, shard merge exact")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+"""Certification-style leakage assessment of the flat vs hierarchical AES.
+
+Before (or instead of) mounting a key-recovery attack, a real evaluator runs
+attack-independent leakage detection: the TVLA fixed-vs-random Welch t-test
+and the per-sample SNR.  This script places the AES netlist with both flows
+and drives the streaming assessment pipeline of `repro.assess` through one
+`AttackCampaign`:
+
+1. **TVLA verdict** — at the same trace budget and measurement noise, the
+   **flat** reference placement fails the non-specific fixed-vs-random
+   t-test (max |t| > 4.5: some sample distinguishes the fixed plaintext
+   population, i.e. the traces are data-dependent), while the
+   **hierarchical** secure placement stays under the threshold — the
+   routing-capacitance mismatch of equation (12) is suppressed below the
+   noise.  Notably, the CPA key-recovery attack fails on *both* designs at
+   this noise level: leakage detection sees what the attack cannot yet
+   exploit, which is exactly why evaluation labs run TVLA first.
+2. **Leak localization** — a low-noise probe of the flat design: the
+   *specific* t-test partitioned by a known-key S-box bit and the per-sample
+   SNR locate where the first-round intermediate leaks, and CPA confirms by
+   disclosing the sub-key.
+3. **Detection curve** — max |t| vs trace count on the flat design, streamed
+   chunk by chunk: the leak crosses the 4.5 threshold within a few hundred
+   traces.
+
+Everything streams in bounded memory (`streaming=True` / `trace_chunks`):
+traces are consumed as `chunk` blocks through mergeable moment accumulators,
+so the same campaign scales to millions of traces, and the rows are
+numerically identical to an in-memory run.
+
+Run with:  python examples/leakage_assessment.py [--traces 600] [--chunk 256]
+"""
+
+import argparse
+
+from repro.asyncaes import (
+    AesArchitecture,
+    AesNetlistGenerator,
+    AesPowerTraceGenerator,
+    fixed_vs_random_plaintexts,
+)
+from repro.assess import ttest_fixed_vs_random
+from repro.core import AesSboxSelection, AttackCampaign
+from repro.crypto import random_key
+from repro.electrical import GaussianNoise
+from repro.pnr import run_flat_flow, run_hierarchical_flow
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--traces", type=int, default=600,
+                        help="traces per acquisition (attack and TVLA passes)")
+    parser.add_argument("--chunk", type=int, default=256,
+                        help="streaming chunk size (bounded-memory block)")
+    parser.add_argument("--sigma", type=float, default=6e-4,
+                        help="acquisition noise std for the TVLA verdict (A)")
+    parser.add_argument("--probe-sigma", type=float, default=2e-5,
+                        help="noise std of the low-noise localization probe")
+    parser.add_argument("--seed", type=int, default=3, help="experiment seed")
+    args = parser.parse_args()
+
+    key = random_key(16, seed=args.seed)
+    architecture = AesArchitecture(word_width=8, detail=0.05)
+
+    print("placing the AES with the flat reference flow (AES_v2)...")
+    flat_netlist = AesNetlistGenerator(architecture, name="aes_v2").build()
+    run_flat_flow(flat_netlist, seed=args.seed, effort=0.3)
+
+    print("placing the AES with the hierarchical secure flow (AES_v1)...")
+    hier_netlist = AesNetlistGenerator(architecture, name="aes_v1").build()
+    run_hierarchical_flow(hier_netlist, seed=args.seed, effort=1.0)
+
+    # The 8-bit channels carry the low byte of each 32-bit column word, so
+    # byte 3 is the first-round intermediate that physically crosses them;
+    # probe the S-box output bit whose flat-placed rails mismatch the most.
+    probe = AesPowerTraceGenerator(flat_netlist, key, architecture=architecture)
+    best_bit = max(range(8), key=lambda j: probe.channel_dissymmetry(
+        "bytesub0_to_sr0", j))
+    selection = AesSboxSelection(byte_index=3, bit_index=best_bit)
+
+    # ---- 1. the TVLA verdict at acquisition noise -------------------------
+    verdict = AttackCampaign(key, architecture=architecture)
+    verdict.add_design("AES_v2 (flat P&R)", flat_netlist)
+    verdict.add_design("AES_v1 (hierarchical P&R)", hier_netlist)
+    verdict.add_selection(selection)
+    verdict.add_attack("cpa", model="hw")
+    verdict.add_assessment("tvla")
+    verdict.add_noise("acquisition", lambda: GaussianNoise(args.sigma, seed=11))
+
+    print(f"\nstreaming TVLA: {args.traces} traces per pass, "
+          f"chunks of {args.chunk} ...")
+    result = verdict.run(args.traces, seed=args.seed + 2,
+                         streaming=True, chunk_size=args.chunk,
+                         compute_disclosure=False)
+    print("\n" + result.assessment_table())
+    print("\n" + result.table())
+
+    flat_tvla = result.assessment_row("AES_v2 (flat P&R)", assessment="tvla")
+    hier_tvla = result.assessment_row("AES_v1 (hierarchical P&R)",
+                                      assessment="tvla")
+    flat_cpa = result.row("AES_v2 (flat P&R)", attack="cpa-hw")
+    print(f"\nTVLA verdict at {args.traces} traces: flat max |t| = "
+          f"{flat_tvla.peak:.1f} ({'FAILS' if flat_tvla.flagged else 'passes'}), "
+          f"hierarchical max |t| = {hier_tvla.peak:.1f} "
+          f"({'FAILS' if hier_tvla.flagged else 'passes'}) — threshold 4.5.\n"
+          f"CPA at the same noise ranks the true sub-key "
+          f"{flat_cpa.rank_of_correct}/256 on the flat design: the t-test "
+          "detects leakage no attack exploits yet.")
+
+    # ---- 2. low-noise localization of the flat leak -----------------------
+    deep_dive = AttackCampaign(key, architecture=architecture,
+                               mtd_start=100, mtd_step=100)
+    deep_dive.add_design("AES_v2 (flat P&R)", flat_netlist)
+    deep_dive.add_selection(selection)
+    deep_dive.add_attack("cpa", model="hw")
+    deep_dive.add_assessment("tvla-specific", selection=selection)
+    deep_dive.add_assessment("snr", selection=selection, classes="hw")
+    deep_dive.add_noise("em-probe",
+                        lambda: GaussianNoise(args.probe_sigma, seed=12))
+    localized = deep_dive.run(args.traces, seed=args.seed + 2,
+                              streaming=True, chunk_size=args.chunk)
+    print("\nlow-noise probe of the flat design "
+          f"(sigma = {args.probe_sigma:g} A):")
+    print(localized.assessment_table())
+    specific = localized.assessment_row(
+        "AES_v2 (flat P&R)", assessment=f"tvla-specific[{selection.name}]")
+    snr_row = localized.assessment_row(
+        "AES_v2 (flat P&R)", assessment=f"snr[{selection.name},hw]")
+    cpa_row = localized.rows[0]
+    print(f"\nthe specific t-test on SBOX(p[3] ^ k[3]) bit {best_bit} peaks at "
+          f"|t| = {specific.peak:.1f}; SNR peaks at "
+          f"{snr_row.result.max_snr:.3f} on sample "
+          f"{snr_row.result.peak_sample}; CPA confirms by ranking the true "
+          f"sub-key {cpa_row.rank_of_correct} "
+          f"(disclosure at {cpa_row.disclosure} traces).")
+
+    # ---- 3. the detection curve, streamed ---------------------------------
+    print("\nmax-|t| vs trace count (flat design, fixed-vs-random):")
+    plaintexts, labels = fixed_vs_random_plaintexts(
+        args.traces, seed=args.seed + 2 + 0x7F4A)
+    generator = AesPowerTraceGenerator(
+        flat_netlist, key, architecture=architecture,
+        noise=GaussianNoise(args.sigma, seed=11))
+    boundaries = list(range(args.chunk, args.traces + 1, args.chunk))
+    curve = ttest_fixed_vs_random(
+        generator.trace_chunks(plaintexts, args.chunk),
+        labels, curve_boundaries=boundaries).curve
+    for count, max_t in curve:
+        bar = "#" * int(min(max_t, 20) * 2)
+        marker = " <-- leaks" if max_t > 4.5 else ""
+        print(f"  {count:>6d} traces: max|t| = {max_t:6.2f} {bar}{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,7 +13,9 @@ The package is organised as:
 * :mod:`repro.pnr`        — the place-and-route substrate (flat vs hierarchical);
 * :mod:`repro.core`       — the paper's contribution: the formal power/current
   model, the DPA formalisation, the dissymmetry criterion and the secure
-  design flow.
+  design flow;
+* :mod:`repro.assess`     — streaming leakage assessment (TVLA t-tests, SNR)
+  over bounded-memory trace pipelines.
 """
 
 __version__ = "1.0.0"
@@ -26,4 +28,5 @@ __all__ = [
     "asyncaes",
     "pnr",
     "core",
+    "assess",
 ]

@@ -1,0 +1,265 @@
+"""TVLA leakage detection: Welch t-tests over streaming trace pipelines.
+
+Attack-independent leakage assessment, the certification-style counterpart of
+the key-recovery attacks of :mod:`repro.core`: instead of asking "can this
+attack find the key", the evaluator asks "do these two trace populations have
+the same mean" — and flags the device when any sample rejects that at
+``|t| > 4.5`` (the Goodwill et al. TVLA criterion; with millions of traces a
+4.5σ excursion by chance is astronomically unlikely).
+
+Two partitions are provided:
+
+* **non-specific** (fixed vs random): half the acquisitions encrypt one fixed
+  plaintext, interleaved with random ones
+  (:func:`repro.asyncaes.tracegen.fixed_vs_random_plaintexts` builds the
+  schedule); any mean difference at all is leakage;
+* **specific**: all-random acquisitions partitioned by one predicted
+  intermediate bit under the *known* key — the D functions of
+  :mod:`repro.core.selection` evaluated at the true sub-key.
+
+Everything is built on the mergeable accumulators of
+:mod:`repro.assess.accumulators`, so the same code serves one in-memory
+matrix, a bounded-memory chunk stream, and sharded campaigns whose partial
+results merge exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.selection import SelectionFunction, selection_matrix
+from .accumulators import AccumulatorError, MomentAccumulator
+
+#: The TVLA detection threshold on |t| (Goodwill et al.).
+TVLA_THRESHOLD = 4.5
+
+
+def welch_t(moments0: MomentAccumulator, moments1: MomentAccumulator) -> np.ndarray:
+    """Per-sample Welch t-statistic between two accumulated populations.
+
+    ``t[j] = (x̄0[j] − x̄1[j]) / sqrt(s0²[j]/n0 + s1²[j]/n1)``; samples where
+    the pooled standard error vanishes (both populations constant) yield 0 —
+    the "no evidence" reading.  Each population needs at least two traces.
+    """
+    if moments0.count < 2 or moments1.count < 2:
+        raise AccumulatorError(
+            f"Welch's t-test needs >= 2 traces per population, got "
+            f"{moments0.count} and {moments1.count}"
+        )
+    difference = moments0.mean - moments1.mean
+    error = np.sqrt(moments0.variance() / moments0.count
+                    + moments1.variance() / moments1.count)
+    return np.divide(difference, error,
+                     out=np.zeros_like(difference), where=error > 0)
+
+
+@dataclass
+class TTestResult:
+    """Outcome of one Welch t-test assessment."""
+
+    t: np.ndarray
+    n0: int
+    n1: int
+    threshold: float = TVLA_THRESHOLD
+    partition: str = "fixed-vs-random"
+    #: Optional ``(trace_count, max |t|)`` detection curve.
+    curve: List[Tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def trace_count(self) -> int:
+        return self.n0 + self.n1
+
+    @property
+    def max_abs_t(self) -> float:
+        return float(np.max(np.abs(self.t))) if len(self.t) else 0.0
+
+    @property
+    def leaks(self) -> bool:
+        """The TVLA verdict: any sample beyond the ``|t|`` threshold."""
+        return self.max_abs_t > self.threshold
+
+    def summary(self) -> str:
+        verdict = "LEAKS" if self.leaks else "clear"
+        return (f"[{verdict}] {self.partition}: max |t| = {self.max_abs_t:.2f} "
+                f"(threshold {self.threshold:.1f}) over {self.trace_count} "
+                f"traces ({self.n0} / {self.n1})")
+
+
+class StreamingTTest:
+    """Mergeable two-population Welch t-test fed chunk by chunk.
+
+    ``update(matrix, labels)`` routes each trace row to population 0 or 1 by
+    its label; :meth:`result` reads the statistic out at any point.  Two
+    instances fed disjoint shards :meth:`merge` into exactly the combined
+    assessment.
+    """
+
+    def __init__(self, *, threshold: float = TVLA_THRESHOLD,
+                 partition: str = "fixed-vs-random"):
+        self.threshold = threshold
+        self.partition = partition
+        self._moments = (MomentAccumulator(), MomentAccumulator())
+        self._curve: List[Tuple[int, float]] = []
+
+    @property
+    def count(self) -> int:
+        return self._moments[0].count + self._moments[1].count
+
+    @property
+    def counts(self) -> Tuple[int, int]:
+        return (self._moments[0].count, self._moments[1].count)
+
+    def update(self, matrix: np.ndarray, labels) -> "StreamingTTest":
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        labels = np.asarray(labels).reshape(-1)
+        if len(labels) != matrix.shape[0]:
+            raise AccumulatorError(
+                f"got {len(labels)} labels for {matrix.shape[0]} trace rows"
+            )
+        ones = labels == 1
+        self._moments[0].update(matrix[~ones])
+        self._moments[1].update(matrix[ones])
+        return self
+
+    def merge(self, other: "StreamingTTest") -> "StreamingTTest":
+        """Fold another shard's populations in (exact for the statistic).
+
+        Detection curves are prefix statistics of one acquisition *order*, so
+        they do not survive a shard merge — the merged instance drops both
+        curves rather than pairing shard-local trace counts with t-values
+        that belong to neither stream.
+        """
+        self._moments[0].merge(other._moments[0])
+        self._moments[1].merge(other._moments[1])
+        self._curve = []
+        return self
+
+    def t_statistic(self) -> np.ndarray:
+        return welch_t(self._moments[0], self._moments[1])
+
+    def record_curve_point(self) -> Optional[Tuple[int, float]]:
+        """Append the current ``(trace_count, max |t|)`` to the curve.
+
+        Skipped (returning ``None``) while either population still holds
+        fewer than two traces — the t-statistic is undefined there, and a
+        caller's early curve boundary must not abort the assessment.
+        """
+        if self._moments[0].count < 2 or self._moments[1].count < 2:
+            return None
+        point = (self.count, float(np.max(np.abs(self.t_statistic()))))
+        self._curve.append(point)
+        return point
+
+    def result(self) -> TTestResult:
+        return TTestResult(
+            t=self.t_statistic(),
+            n0=self._moments[0].count,
+            n1=self._moments[1].count,
+            threshold=self.threshold,
+            partition=self.partition,
+            curve=list(self._curve),
+        )
+
+
+def _chunk_stream(traces_or_chunks):
+    """Normalize a TraceSet / chunk iterable into a chunk iterator."""
+    if hasattr(traces_or_chunks, "matrix"):
+        return iter((traces_or_chunks,))
+    return iter(traces_or_chunks)
+
+
+def ttest_fixed_vs_random(traces_or_chunks, labels, *,
+                          threshold: float = TVLA_THRESHOLD,
+                          curve_boundaries: Optional[Sequence[int]] = None
+                          ) -> TTestResult:
+    """Non-specific TVLA over a trace set or a bounded-memory chunk stream.
+
+    ``labels`` holds one 0 (fixed) / 1 (random) entry per trace of the whole
+    acquisition, in order; chunks consume it positionally, so the caller can
+    stream millions of traces while this function holds only the accumulator.
+    ``curve_boundaries`` (ascending trace counts) records the max-|t| detection
+    curve as the stream crosses each boundary.
+    """
+    sweep = BoundarySweep(curve_boundaries)
+    ttest = StreamingTTest(threshold=threshold)
+    position = 0
+    for chunk in _chunk_stream(traces_or_chunks):
+        matrix = chunk.matrix()
+        chunk_labels = np.asarray(labels).reshape(-1)[
+            position:position + matrix.shape[0]]
+        if len(chunk_labels) != matrix.shape[0]:
+            raise AccumulatorError(
+                f"labels cover {position + len(chunk_labels)} traces but the "
+                f"stream reached {position + matrix.shape[0]}"
+            )
+        for start, stop in sweep.segments(position, matrix.shape[0]):
+            ttest.update(matrix[start - position:stop - position],
+                         chunk_labels[start - position:stop - position])
+            if sweep.at_boundary(stop):
+                ttest.record_curve_point()
+        position += matrix.shape[0]
+    return ttest.result()
+
+
+def specific_labels(selection: SelectionFunction,
+                    plaintexts: Sequence[Sequence[int]],
+                    key_value: int) -> np.ndarray:
+    """Partition labels of a specific t-test: the D bit under the true key."""
+    return selection_matrix(selection, [list(p) for p in plaintexts],
+                            [key_value])[0]
+
+
+def ttest_specific(traces_or_chunks, selection: SelectionFunction,
+                   key_value: int, *, threshold: float = TVLA_THRESHOLD,
+                   curve_boundaries: Optional[Sequence[int]] = None
+                   ) -> TTestResult:
+    """Specific TVLA: partition all-random traces by a known-key intermediate.
+
+    Reuses the vectorized D functions of :mod:`repro.core.selection` — the
+    labels of a chunk are one ``selection_matrix`` evaluation at the true
+    sub-key, so every selection the attacks understand doubles as a specific
+    leakage-assessment partition.
+    """
+    sweep = BoundarySweep(curve_boundaries)
+    ttest = StreamingTTest(threshold=threshold,
+                           partition=f"specific[{selection.name}]")
+    position = 0
+    for chunk in _chunk_stream(traces_or_chunks):
+        matrix = chunk.matrix()
+        labels = specific_labels(selection, chunk.plaintexts(), key_value)
+        for start, stop in sweep.segments(position, matrix.shape[0]):
+            ttest.update(matrix[start - position:stop - position],
+                         labels[start - position:stop - position])
+            if sweep.at_boundary(stop):
+                ttest.record_curve_point()
+        position += matrix.shape[0]
+    return ttest.result()
+
+
+class BoundarySweep:
+    """Split chunk row-ranges at ascending global boundaries.
+
+    ``segments(position, length)`` yields global ``(start, stop)`` ranges
+    covering ``[position, position + length)`` and cut at every registered
+    boundary, so callers can snapshot a statistic exactly at each boundary
+    crossing; :meth:`at_boundary` tells whether a stop edge is one.  Shared
+    by the curve-recording t-tests here and the streaming campaign's
+    disclosure sweeps (:meth:`repro.core.flow.AttackCampaign.run`).
+    """
+
+    def __init__(self, boundaries: Optional[Sequence[int]]):
+        self._boundaries = sorted(set(int(b) for b in boundaries)) if boundaries else []
+
+    def segments(self, position: int, length: int):
+        cuts = [b for b in self._boundaries if position < b < position + length]
+        edges = [position] + cuts + [position + length]
+        for start, stop in zip(edges, edges[1:]):
+            yield start, stop
+
+    def at_boundary(self, stop: int) -> bool:
+        return stop in self._boundaries

@@ -50,6 +50,7 @@ from .tracegen import (
     AesPowerTraceGenerator,
     TraceGenerationError,
     TraceGeneratorConfig,
+    fixed_vs_random_plaintexts,
     generate_trace_sets_for_flows,
     word_digits,
 )
@@ -88,6 +89,7 @@ __all__ = [
     "AesPowerTraceGenerator",
     "TraceGenerationError",
     "TraceGeneratorConfig",
+    "fixed_vs_random_plaintexts",
     "generate_trace_sets_for_flows",
     "word_digits",
 ]

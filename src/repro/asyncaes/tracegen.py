@@ -30,7 +30,7 @@ from ..circuits.netlist import Netlist
 from ..core.dpa import TraceSet
 from ..crypto.aes import encrypt_states_batch
 from ..crypto.keys import PlaintextGenerator
-from ..electrical.noise import NoiseModel
+from ..electrical.noise import NoiseModel, apply_noise_matrix
 from ..electrical.technology import HCMOS9_LIKE, Technology
 from ..electrical.waveform import Waveform
 from .architecture import AesArchitecture
@@ -40,6 +40,44 @@ from .keypath import ChannelTransfer, KeySchedulePath
 
 class TraceGenerationError(Exception):
     """Raised when traces cannot be generated for a netlist."""
+
+
+def fixed_vs_random_plaintexts(count: int, *, fixed: Optional[Sequence[int]] = None,
+                               block_size: int = 16,
+                               seed: Optional[int] = None,
+                               mode: str = "alternate"
+                               ) -> Tuple[List[List[int]], np.ndarray]:
+    """The interleaved plaintext schedule of a non-specific TVLA acquisition.
+
+    Returns ``(plaintexts, labels)`` where ``labels[i]`` is 0 for the fixed
+    plaintext and 1 for a fresh random one.  ``mode="alternate"`` interleaves
+    strictly (F, R, F, R, …, the classical schedule that cancels drift);
+    ``mode="shuffled"`` assigns a seeded random balanced order.  The fixed
+    block defaults to one reproducible draw from the same seed, so a whole
+    campaign is pinned by a single integer.
+    """
+    if count < 0:
+        raise TraceGenerationError(f"count must be >= 0, got {count}")
+    generator = PlaintextGenerator(block_size=block_size, seed=seed)
+    fixed_block = list(fixed) if fixed is not None else generator.next()
+    if len(fixed_block) != block_size:
+        raise TraceGenerationError(
+            f"fixed plaintext has {len(fixed_block)} bytes, expected {block_size}"
+        )
+    if mode == "alternate":
+        labels = np.arange(count, dtype=np.int64) % 2
+    elif mode == "shuffled":
+        labels = np.zeros(count, dtype=np.int64)
+        labels[count // 2:] = 1
+        rng = np.random.default_rng(seed)
+        rng.shuffle(labels)
+    else:
+        raise TraceGenerationError(
+            f"unknown schedule mode {mode!r}; expected 'alternate' or 'shuffled'"
+        )
+    plaintexts = [list(fixed_block) if label == 0 else generator.next()
+                  for label in labels]
+    return plaintexts, labels
 
 
 def word_digits(words: Sequence[int], width: int, radix: int) -> np.ndarray:
@@ -110,6 +148,7 @@ class AesPowerTraceGenerator:
         self.keypath = KeySchedulePath(self.key)
         self._rail_caps = self._collect_rail_caps()
         self._cap_matrices: Dict[str, np.ndarray] = {}
+        self._key_template_cache: Dict[tuple, np.ndarray] = {}
         # The key-path channel activity depends only on the key, so its
         # transfers are computed once and reused for every trace.
         self._key_transfers_cache: Optional[Tuple[List[List[int]], List[ChannelTransfer]]] = None
@@ -236,9 +275,15 @@ class AesPowerTraceGenerator:
         """Per-trace contribution of the key path (identical for every trace).
 
         The key-schedule channel activity depends only on the key, so its
-        scatter into the sample bins is computed once per batch and broadcast
-        over all rows of the trace matrix.
+        scatter into the sample bins is computed once per sample geometry and
+        broadcast over all rows of the trace matrix (and reused across the
+        chunks of a streaming generation).
         """
+        cache_key = (sample_count, rtz_offset,
+                     tuple(sorted(round_key_slots.items())))
+        cached = self._key_template_cache.get(cache_key)
+        if cached is not None:
+            return cached
         if self._key_transfers_cache is None:
             round_words, _ = self.keypath.run(start_slot=0)
             self._key_transfers_cache = (round_words, list(self.keypath.transfers))
@@ -259,6 +304,7 @@ class AesPowerTraceGenerator:
                 rtz_index = index + rtz_offset
                 if 0 <= rtz_index < sample_count:
                     template[rtz_index] += current
+        self._key_template_cache[cache_key] = template
         return template
 
     def _batch_transfer_words(self, run0, plaintexts: List[List[int]]
@@ -312,7 +358,8 @@ class AesPowerTraceGenerator:
             )
         return words
 
-    def trace_batch(self, plaintexts: Iterable[Sequence[int]]) -> TraceSet:
+    def trace_batch(self, plaintexts: Iterable[Sequence[int]], *,
+                    noise_start_index: int = 0) -> TraceSet:
         """Synthesize the traces of a whole batch of plaintexts at once.
 
         The generation splits into a cheap per-plaintext step — running the
@@ -323,6 +370,11 @@ class AesPowerTraceGenerator:
         per-transfer charges land in the ``(n_traces, n_samples)`` matrix
         through a single ``np.add.at`` per pulse phase.  Numerically
         equivalent to calling :meth:`trace` per plaintext (``np.allclose``).
+
+        ``noise_start_index`` pins the batch's place in the noise stream:
+        trace row ``i`` draws the noise of global index
+        ``noise_start_index + i`` (see :mod:`repro.electrical.noise`), which
+        is what makes chunked generation sample-identical to one big batch.
         """
         plaintexts = [list(p) for p in plaintexts]
         if not plaintexts:
@@ -373,8 +425,35 @@ class AesPowerTraceGenerator:
             )[None, :]
 
         if self.noise is not None:
-            matrix = self.noise.apply_matrix(matrix, cfg.sample_period_s, 0.0)
+            matrix = apply_noise_matrix(self.noise, matrix, cfg.sample_period_s,
+                                        0.0, noise_start_index)
         return TraceSet.from_matrix(matrix, plaintexts, cfg.sample_period_s, 0.0)
+
+    def trace_chunks(self, plaintexts: Iterable[Sequence[int]],
+                     chunk_size: int, *,
+                     noise_start_index: int = 0) -> Iterable[TraceSet]:
+        """Yield the batch's traces as bounded-memory :class:`TraceSet` blocks.
+
+        The streaming entry point of the generator: each block of up to
+        ``chunk_size`` plaintexts goes through the vectorized batch engine
+        independently — schedule, capacitance and key-path template caches
+        are shared across chunks — and is yielded before the next block is
+        synthesized, so a consumer that drops each chunk (an accumulator
+        pipeline) never holds more than one ``(chunk_size, n_samples)``
+        matrix.  Because the per-trace currents are row-independent and the
+        noise of trace ``i`` is a pure function of its global index, the
+        concatenation of all chunks is *sample-identical* to
+        ``trace_batch(plaintexts)`` for every chunk size.
+        """
+        if chunk_size < 1:
+            raise TraceGenerationError(
+                f"chunk size must be >= 1, got {chunk_size}")
+        plaintexts = [list(p) for p in plaintexts]
+        for start in range(0, len(plaintexts), chunk_size):
+            yield self.trace_batch(
+                plaintexts[start:start + chunk_size],
+                noise_start_index=noise_start_index + start,
+            )
 
     def trace_set(self, plaintexts: Iterable[Sequence[int]]) -> TraceSet:
         """Synthesize one trace per plaintext and bundle them for the DPA.

@@ -322,6 +322,41 @@ def as_kernel(attack) -> AttackKernel:
 
 
 # ------------------------------------------------------------------ attacks
+def result_from_statistic(statistic: np.ndarray, guess_space: Sequence[int],
+                          name: str, trace_count: int, dt: float, t0: float,
+                          *, keep_statistic: bool = False) -> DPAResult:
+    """Rank key guesses from a computed ``(n_guesses, n_columns)`` statistic.
+
+    The shared back half of every attack path: :func:`run_attack` feeds it
+    the kernel's in-memory distinguisher, and the streaming states of
+    :mod:`repro.assess.streaming` feed it their accumulated one — so both
+    produce structurally identical :class:`DPAResult` objects.
+    """
+    statistic = np.asarray(statistic, dtype=float)
+    if statistic.ndim != 2 or statistic.shape[0] != len(guess_space):
+        raise DPAError(
+            f"kernel {name!r} produced a {statistic.shape} statistic "
+            f"for {len(guess_space)} guesses"
+        )
+    absolute = np.abs(statistic)
+    peak_indices = np.argmax(absolute, axis=1)
+    peaks = absolute[np.arange(len(guess_space)), peak_indices]
+    rms = np.sqrt(np.mean(statistic ** 2, axis=1))
+
+    result = DPAResult(selection_name=name, trace_count=trace_count)
+    for index, guess in enumerate(guess_space):
+        guess_result = GuessResult(
+            guess=guess,
+            peak=float(peaks[index]),
+            peak_time=t0 + int(peak_indices[index]) * dt,
+            rms=float(rms[index]),
+        )
+        if keep_statistic:
+            guess_result.bias = Waveform(statistic[index].copy(), dt, t0)
+        result.results.append(guess_result)
+    return result
+
+
 def run_attack(traces: TraceSet, kernel: AttackKernel, *,
                guesses: Optional[Sequence[int]] = None,
                keep_statistic: bool = False) -> DPAResult:
@@ -344,28 +379,9 @@ def run_attack(traces: TraceSet, kernel: AttackKernel, *,
     statistic = np.asarray(
         kernel.statistics(matrix, traces.plaintexts(), guess_space), dtype=float
     )
-    if statistic.ndim != 2 or statistic.shape[0] != len(guess_space):
-        raise DPAError(
-            f"kernel {kernel.name!r} produced a {statistic.shape} statistic "
-            f"for {len(guess_space)} guesses"
-        )
-    absolute = np.abs(statistic)
-    peak_indices = np.argmax(absolute, axis=1)
-    peaks = absolute[np.arange(len(guess_space)), peak_indices]
-    rms = np.sqrt(np.mean(statistic ** 2, axis=1))
-
-    result = DPAResult(selection_name=kernel.name, trace_count=len(traces))
-    for index, guess in enumerate(guess_space):
-        guess_result = GuessResult(
-            guess=guess,
-            peak=float(peaks[index]),
-            peak_time=t0 + int(peak_indices[index]) * dt,
-            rms=float(rms[index]),
-        )
-        if keep_statistic:
-            guess_result.bias = Waveform(statistic[index].copy(), dt, t0)
-        result.results.append(guess_result)
-    return result
+    return result_from_statistic(statistic, guess_space, kernel.name,
+                                 len(traces), dt, t0,
+                                 keep_statistic=keep_statistic)
 
 
 def cpa_attack(traces: TraceSet, model, *,

@@ -32,7 +32,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..electrical.waveform import Waveform, stack_aligned
+from ..electrical.waveform import Waveform, _same_period, stack_aligned
 from .selection import SelectionFunction, selection_matrix
 
 
@@ -109,6 +109,64 @@ class TraceSet:
         self._traces.append(PowerTrace(waveform=waveform, plaintext=list(plaintext),
                                        metadata=dict(metadata)))
         self._invalidate()
+
+    def extend(self, other: "TraceSet") -> None:
+        """Append every trace of ``other`` (chunk-wise growth of a set).
+
+        When both sets already carry an aligned sample matrix on the same
+        time base, the matrices are stacked block-wise — no per-trace
+        re-alignment ever happens, so growing a set chunk by chunk costs one
+        ``vstack`` per chunk instead of re-aligning the whole history.  In
+        every other case the caches are invalidated and the next
+        :meth:`matrix` call re-aligns from scratch, which keeps the cache
+        correct by construction.  The appended :class:`PowerTrace` objects
+        are shared with ``other``.
+        """
+        if len(other._traces) == 0:
+            return
+        appended = list(other._traces)
+        reusable = (
+            self._matrix is not None
+            and other._matrix is not None
+            and self._matrix.shape[1] == other._matrix.shape[1]
+            and _same_period(self._dt, other._dt)
+            and self._t0 == other._t0
+        )
+        if len(self._traces) == 0:
+            self._traces = appended
+            self._matrix = other._matrix
+            self._dt = other._dt
+            self._t0 = other._t0
+            self._plaintext_matrix = None
+            return
+        if reusable:
+            self._matrix = np.vstack([self._matrix, other._matrix])
+            self._plaintext_matrix = None
+        else:
+            self._invalidate()
+        self._traces.extend(appended)
+
+    def iter_chunks(self, chunk_size: int) -> Iterable["TraceSet"]:
+        """Iterate the set as consecutive blocks of up to ``chunk_size`` traces.
+
+        When the aligned matrix is already built every block shares its rows
+        (zero-copy slices, like :meth:`subset`); otherwise each block wraps
+        its slice of the per-trace list.  This is how an in-memory set feeds
+        the streaming assessment pipelines of :mod:`repro.assess`.
+        """
+        if chunk_size < 1:
+            raise DPAError(f"chunk size must be >= 1, got {chunk_size}")
+        for start in range(0, len(self._traces), chunk_size):
+            stop = start + chunk_size
+            if self._matrix is not None:
+                yield TraceSet.from_matrix(
+                    self._matrix[start:stop],
+                    [t.plaintext for t in self._traces[start:stop]],
+                    self._dt, self._t0,
+                    metadata=[t.metadata for t in self._traces[start:stop]],
+                )
+            else:
+                yield TraceSet(self._traces[start:stop])
 
     def __len__(self) -> int:
         return len(self._traces)

@@ -25,7 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..circuits.netlist import Netlist
 from ..crypto.keys import PlaintextGenerator
-from ..electrical.noise import NoiseModel
+from ..electrical.noise import NoiseModel, apply_noise_matrix, apply_noise_trace
 from ..electrical.technology import HCMOS9_LIKE, Technology
 from ..pnr.flows import PlacedDesign, run_flat_flow, run_hierarchical_flow
 from .cpa import (
@@ -36,7 +36,7 @@ from .cpa import (
     run_attack,
 )
 from .criterion import CriterionReport, evaluate_netlist_channels
-from .dpa import DPAResult, TraceSet, messages_to_disclosure
+from .dpa import DPAError, DPAResult, TraceSet, messages_to_disclosure
 from .metrics import AreaReport, area_overhead
 from .power_model import (
     HammingDistanceModel,
@@ -294,6 +294,81 @@ class CampaignAttack:
     build: Callable[[SelectionFunction], AttackKernel]
 
 
+#: The TVLA detection threshold (|t| > 4.5, see :mod:`repro.assess.tvla`).
+_TVLA_THRESHOLD = 4.5
+
+#: Offset applied to the campaign seed to derive the independent plaintext
+#: stream of the fixed-vs-random (TVLA) acquisition.
+_TVLA_SEED_OFFSET = 0x7F4A
+
+
+@dataclass
+class CampaignAssessment:
+    """One leakage-assessment family of the grid (attack-independent).
+
+    ``kind`` is ``"tvla"`` (non-specific fixed-vs-random Welch t-test),
+    ``"tvla-specific"`` (t-test partitioned by a known-key intermediate bit)
+    or ``"snr"`` (per-sample SNR partitioned by the intermediate value);
+    the specific kinds carry the selection function naming the intermediate
+    and the true key value it is evaluated at.
+    """
+
+    label: str
+    kind: str
+    selection: Optional[SelectionFunction] = None
+    key_value: Optional[int] = None
+    threshold: float = _TVLA_THRESHOLD
+    classes: str = "value"
+    fixed_plaintext: Optional[Tuple[int, ...]] = None
+
+
+@dataclass
+class AssessmentRow:
+    """Outcome of one (design × assessment × noise) scenario."""
+
+    design: str
+    assessment: str
+    noise: str
+    trace_count: int
+    statistic: str
+    peak: float
+    threshold: Optional[float] = None
+    flagged: Optional[bool] = None
+    n0: Optional[int] = None
+    n1: Optional[int] = None
+    result: Optional[object] = None
+
+    @property
+    def leaks(self) -> Optional[bool]:
+        return self.flagged
+
+
+@dataclass
+class _OffsetNoise(NoiseModel):
+    """Shift a noise model's stream indices by a fixed offset.
+
+    Handed to custom trace sources by the chunked campaign paths so that the
+    noise of chunk row ``i`` is the global-stream draw ``offset + i`` — the
+    property that makes streaming runs sample-identical to in-memory ones.
+    """
+
+    inner: NoiseModel
+    offset: int
+
+    def __post_init__(self) -> None:
+        self._counter = 0
+
+    def apply(self, waveform) -> "object":
+        index = self.offset + self._counter
+        self._counter += 1
+        return apply_noise_trace(self.inner, waveform, index)
+
+    def apply_matrix(self, matrix, dt: float = 1.0, t0: float = 0.0,
+                     start_index: int = 0):
+        return apply_noise_matrix(self.inner, matrix, dt, t0,
+                                  self.offset + start_index)
+
+
 #: Sentinel distinguishing "option not passed" from meaningful values (e.g.
 #: ``reference=None`` selects the plaintext-byte Hamming-distance reference).
 _UNSET = object()
@@ -375,6 +450,41 @@ class CampaignResult:
     """All scenario rows of one campaign run, plus the comparison table."""
 
     rows: List[CampaignRow] = field(default_factory=list)
+    assessments: List[AssessmentRow] = field(default_factory=list)
+
+    def assessment_row(self, design: str, *,
+                       assessment: Optional[str] = None,
+                       noise: Optional[str] = None) -> AssessmentRow:
+        for row in self.assessments:
+            if row.design != design:
+                continue
+            if assessment is not None and row.assessment != assessment:
+                continue
+            if noise is not None and row.noise != noise:
+                continue
+            return row
+        raise KeyError(f"no assessment row for design={design!r}, "
+                       f"assessment={assessment!r}, noise={noise!r}")
+
+    def assessment_table(self) -> str:
+        """One leakage-assessment table over every scenario of the campaign."""
+        header = (f"{'design':<28s} {'assessment':<34s} {'noise':<12s} "
+                  f"{'traces':>7s} {'statistic':>10s} {'peak':>10s} "
+                  f"{'thresh':>7s} {'verdict':>8s}")
+        lines = [header, "-" * len(header)]
+        for row in self.assessments:
+            threshold_text = (f"{row.threshold:.2f}"
+                              if row.threshold is not None else "-")
+            if row.flagged is None:
+                verdict = "-"
+            else:
+                verdict = "LEAKS" if row.flagged else "clear"
+            lines.append(
+                f"{row.design:<28s} {row.assessment:<34s} {row.noise:<12s} "
+                f"{row.trace_count:>7d} {row.statistic:>10s} {row.peak:>10.3e} "
+                f"{threshold_text:>7s} {verdict:>8s}"
+            )
+        return "\n".join(lines)
 
     def row(self, design: str, *, selection: Optional[str] = None,
             attack: Optional[str] = None,
@@ -459,6 +569,7 @@ class AttackCampaign:
         self._designs: List[CampaignDesign] = []
         self._selections: List[CampaignSelection] = []
         self._attacks: List[CampaignAttack] = []
+        self._assessments: List[CampaignAssessment] = []
         self._noises: List[tuple] = []
 
     # ------------------------------------------------------------- scenario
@@ -503,6 +614,66 @@ class AttackCampaign:
             raise TypeError(f"cannot register {attack!r} as a campaign attack")
         return self
 
+    def add_assessment(self, kind: str = "tvla", *,
+                       label: Optional[str] = None,
+                       selection: Optional[SelectionFunction] = None,
+                       key_value: Optional[int] = None,
+                       threshold: float = _TVLA_THRESHOLD,
+                       classes: str = "value",
+                       fixed_plaintext: Optional[Sequence[int]] = None
+                       ) -> "AttackCampaign":
+        """Register a leakage-assessment family of the grid.
+
+        ``kind`` is ``"tvla"`` (non-specific fixed-vs-random t-test over its
+        own interleaved acquisition), ``"tvla-specific"`` (t-test over the
+        attack traces, partitioned by ``selection``'s D bit at the true key)
+        or ``"snr"`` (per-sample SNR partitioned by ``selection``'s
+        intermediate — raw ``classes="value"`` or Hamming-weight
+        ``classes="hw"``).  The specific kinds derive the true sub-key from
+        the campaign key via the selection's ``byte_index`` unless
+        ``key_value`` is given; ``fixed_plaintext`` pins the non-specific
+        fixed class (default: one reproducible draw from the run seed).
+        """
+        if kind == "tvla":
+            if selection is not None or key_value is not None:
+                raise ValueError(
+                    "the non-specific 'tvla' assessment takes no selection; "
+                    "use kind='tvla-specific' to partition by an intermediate"
+                )
+            self._assessments.append(CampaignAssessment(
+                label or "tvla", kind, threshold=threshold,
+                fixed_plaintext=(tuple(int(b) for b in fixed_plaintext)
+                                 if fixed_plaintext is not None else None),
+            ))
+            return self
+        if kind not in ("tvla-specific", "snr"):
+            raise ValueError(f"unknown assessment kind {kind!r}; expected "
+                             "'tvla', 'tvla-specific' or 'snr'")
+        if fixed_plaintext is not None:
+            raise ValueError(f"fixed_plaintext does not apply to {kind!r}")
+        if selection is None:
+            raise ValueError(f"assessment kind {kind!r} needs a selection "
+                             "function naming the intermediate")
+        if key_value is None and self.key is not None:
+            byte_index = getattr(selection, "byte_index", None)
+            if byte_index is not None:
+                key_value = self.key[byte_index]
+        if key_value is None:
+            raise ValueError(
+                f"assessment kind {kind!r} needs the true key value of the "
+                "intermediate (pass key_value, or give the campaign a key "
+                "and a selection exposing byte_index)"
+            )
+        if kind == "snr":
+            default = f"snr[{selection.name},{classes}]"
+        else:
+            default = f"tvla-specific[{selection.name}]"
+        self._assessments.append(CampaignAssessment(
+            label or default, kind, selection=selection, key_value=key_value,
+            threshold=threshold, classes=classes,
+        ))
+        return self
+
     def add_noise(self, label: str = "noiseless",
                   factory: Optional[Callable[[], NoiseModel]] = None
                   ) -> "AttackCampaign":
@@ -514,8 +685,11 @@ class AttackCampaign:
     # ------------------------------------------------------------------ run
     def _traces_for(self, design: CampaignDesign,
                     noise: Optional[NoiseModel],
-                    plaintexts: Sequence[Sequence[int]]) -> TraceSet:
+                    plaintexts: Sequence[Sequence[int]],
+                    noise_start: int = 0) -> TraceSet:
         if design.trace_source is not None:
+            if noise is not None and noise_start:
+                noise = _OffsetNoise(noise, noise_start)
             return design.trace_source(plaintexts, noise)
         # Imported lazily: repro.asyncaes itself builds on repro.core.
         from ..asyncaes.tracegen import AesPowerTraceGenerator
@@ -525,34 +699,266 @@ class AttackCampaign:
             architecture=self.architecture, technology=self.technology,
             noise=noise, config=self.generator_config,
         )
-        return generator.trace_batch(plaintexts)
+        return generator.trace_batch(plaintexts, noise_start_index=noise_start)
+
+    def _trace_chunks_for(self, design: CampaignDesign,
+                          noise: Optional[NoiseModel],
+                          plaintexts: Sequence[Sequence[int]],
+                          chunk_size: int, noise_start: int = 0):
+        """Bounded-memory chunk stream of one scenario's traces.
+
+        Netlist designs stream through the generator's chunked engine;
+        custom trace sources are called once per plaintext block with an
+        offset-pinned noise model, so both paths produce exactly the rows of
+        the corresponding in-memory :meth:`_traces_for` call.
+        """
+        if design.trace_source is not None:
+            for start in range(0, len(plaintexts), chunk_size):
+                block = plaintexts[start:start + chunk_size]
+                chunk_noise = (_OffsetNoise(noise, noise_start + start)
+                               if noise is not None else None)
+                yield design.trace_source(block, chunk_noise)
+            return
+        from ..asyncaes.tracegen import AesPowerTraceGenerator
+
+        generator = AesPowerTraceGenerator(
+            design.netlist, self.key,
+            architecture=self.architecture, technology=self.technology,
+            noise=noise, config=self.generator_config,
+        )
+        yield from generator.trace_chunks(plaintexts, chunk_size,
+                                          noise_start_index=noise_start)
+
+    # ------------------------------------------------- assessment machinery
+    def _value_assessment_states(self, assessments):
+        """States of the assessments that ride on the all-random attack pass."""
+        from ..assess.snr import StreamingSnr, class_count_for
+        from ..assess.tvla import StreamingTTest
+
+        states = []
+        for assessment in assessments:
+            if assessment.kind == "tvla-specific":
+                states.append((assessment, StreamingTTest(
+                    threshold=assessment.threshold,
+                    partition=f"specific[{assessment.selection.name}]",
+                )))
+            elif assessment.kind == "snr":
+                states.append((assessment, StreamingSnr(
+                    class_count_for(assessment.selection, assessment.classes),
+                    partition=assessment.label,
+                )))
+        return states
+
+    @staticmethod
+    def _update_value_assessment(assessment, state, matrix, plaintexts):
+        from ..assess.snr import intermediate_labels
+        from ..assess.tvla import specific_labels
+
+        if assessment.kind == "tvla-specific":
+            labels = specific_labels(assessment.selection, plaintexts,
+                                     assessment.key_value)
+        else:
+            labels = intermediate_labels(assessment.selection, plaintexts,
+                                         assessment.key_value,
+                                         classes=assessment.classes)
+        state.update(matrix, labels)
+
+    @staticmethod
+    def _assessment_row(design_label, noise_label, assessment, state
+                        ) -> AssessmentRow:
+        result = state.result()
+        if assessment.kind == "snr":
+            return AssessmentRow(
+                design=design_label, assessment=assessment.label,
+                noise=noise_label, trace_count=result.trace_count,
+                statistic="max SNR", peak=result.max_snr,
+                threshold=None, flagged=None, result=result,
+            )
+        return AssessmentRow(
+            design=design_label, assessment=assessment.label,
+            noise=noise_label, trace_count=result.trace_count,
+            statistic="max|t|", peak=result.max_abs_t,
+            threshold=result.threshold, flagged=result.leaks,
+            n0=result.n0, n1=result.n1, result=result,
+        )
 
     def _run_scenario(self, scenario: Tuple[str, Optional[Callable], CampaignDesign],
                       plaintexts: Sequence[Sequence[int]], *,
                       attacks: Sequence[CampaignAttack],
+                      assessments: Sequence[CampaignAssessment],
+                      tvla_schedule: Optional[tuple],
                       compute_disclosure: bool,
-                      keep_results: bool) -> List[CampaignRow]:
-        """One shard: generate a (noise × design) trace set, run every attack.
+                      keep_results: bool,
+                      streaming: bool,
+                      chunk_size: Optional[int]
+                      ) -> Tuple[List[CampaignRow], List[AssessmentRow]]:
+        """One shard: generate a (noise × design) trace set, run every attack
+        and assessment.
 
         The traces are generated once and shared by every (selection ×
-        attack) pair of the shard — the trace set caches its sample matrix,
-        so each additional attack costs one hypothesis matrix and one
-        matmul.
+        attack × assessment) entry of the shard — the trace set caches its
+        sample matrix, so each additional attack costs one hypothesis matrix
+        and one matmul.  Non-specific TVLA assessments add one further
+        fixed-vs-random acquisition per scenario (their schedule is
+        incompatible with the all-random attack traces by construction).
         """
+        if streaming:
+            return self._run_scenario_streaming(
+                scenario, plaintexts, attacks=attacks,
+                assessments=assessments, tvla_schedule=tvla_schedule,
+                compute_disclosure=compute_disclosure,
+                keep_results=keep_results, chunk_size=chunk_size,
+            )
         noise_label, noise_factory, design = scenario
         noise = noise_factory() if noise_factory is not None else None
-        traces = self._traces_for(design, noise, plaintexts)
+        value_assessments = [a for a in assessments
+                             if a.kind in ("tvla-specific", "snr")]
+        fr_assessments = [a for a in assessments if a.kind == "tvla"]
         rows: List[CampaignRow] = []
+        assessment_rows: List[AssessmentRow] = []
+
+        if self._selections or value_assessments:
+            traces = self._traces_for(design, noise, plaintexts)
+            for entry in self._selections:
+                for attack_spec in attacks:
+                    kernel = attack_spec.build(entry.selection)
+                    attack = run_attack(traces, kernel, guesses=self.guesses)
+                    row = CampaignRow(
+                        design=design.label,
+                        selection=entry.selection.name,
+                        attack=attack_spec.label,
+                        noise=noise_label,
+                        trace_count=len(traces),
+                        best_guess=attack.best_guess,
+                        best_peak=attack.best_peak,
+                        correct_guess=entry.correct_guess,
+                    )
+                    if entry.correct_guess is not None:
+                        row.rank_of_correct = attack.rank_of(entry.correct_guess)
+                        row.discrimination = attack.discrimination_ratio(
+                            entry.correct_guess)
+                        if compute_disclosure:
+                            row.disclosure = messages_to_disclosure(
+                                traces, kernel, entry.correct_guess,
+                                guesses=self.guesses,
+                                start=self.mtd_start, step=self.mtd_step,
+                                stable_runs=self.stable_runs,
+                            )
+                    if keep_results:
+                        row.result = attack
+                    rows.append(row)
+            if value_assessments:
+                matrix = traces.matrix()
+                trace_plaintexts = traces.plaintexts()
+                for assessment, state in self._value_assessment_states(
+                        value_assessments):
+                    self._update_value_assessment(assessment, state, matrix,
+                                                  trace_plaintexts)
+                    assessment_rows.append(self._assessment_row(
+                        design.label, noise_label, assessment, state))
+
+        if fr_assessments:
+            from ..assess.tvla import StreamingTTest
+
+            tvla_plaintexts, labels = tvla_schedule
+            tvla_traces = self._traces_for(design, noise, tvla_plaintexts,
+                                           noise_start=len(plaintexts))
+            matrix = tvla_traces.matrix()
+            for assessment in fr_assessments:
+                state = StreamingTTest(threshold=assessment.threshold)
+                state.update(matrix, labels)
+                assessment_rows.append(self._assessment_row(
+                    design.label, noise_label, assessment, state))
+        return rows, assessment_rows
+
+    def _run_scenario_streaming(self, scenario, plaintexts, *,
+                                attacks, assessments, tvla_schedule,
+                                compute_disclosure, keep_results, chunk_size
+                                ) -> Tuple[List[CampaignRow], List[AssessmentRow]]:
+        """The bounded-memory counterpart of :meth:`_run_scenario`.
+
+        Traces are consumed as ``chunk_size`` blocks that feed streaming
+        attack states (:mod:`repro.assess.streaming`) and assessment
+        accumulators; at no point does more than one chunk of traces exist.
+        Disclosure sweeps segment each chunk at the prefix boundaries, so the
+        rows match the in-memory run to floating-point reordering.
+        """
+        from ..assess.streaming import (
+            DisclosureTracker,
+            disclosure_boundaries,
+            streaming_state,
+        )
+        from ..assess.tvla import BoundarySweep, StreamingTTest
+        from .cpa import result_from_statistic
+
+        noise_label, noise_factory, design = scenario
+        noise = noise_factory() if noise_factory is not None else None
+        value_assessments = [a for a in assessments
+                             if a.kind in ("tvla-specific", "snr")]
+        fr_assessments = [a for a in assessments if a.kind == "tvla"]
+        rows: List[CampaignRow] = []
+        assessment_rows: List[AssessmentRow] = []
+
+        attack_states = []
         for entry in self._selections:
             for attack_spec in attacks:
                 kernel = attack_spec.build(entry.selection)
-                attack = run_attack(traces, kernel, guesses=self.guesses)
+                guess_space = (list(self.guesses) if self.guesses is not None
+                               else list(kernel.guesses()))
+                state = streaming_state(kernel, guess_space)
+                tracker = None
+                if compute_disclosure and entry.correct_guess is not None:
+                    try:
+                        correct_index = guess_space.index(entry.correct_guess)
+                    except ValueError:
+                        raise DPAError(
+                            f"guess {entry.correct_guess:#x} was not part of "
+                            "the attack") from None
+                    tracker = DisclosureTracker(correct_index,
+                                                stable_runs=self.stable_runs)
+                attack_states.append(
+                    (entry, attack_spec, kernel, guess_space, state, tracker))
+        assessment_states = self._value_assessment_states(value_assessments)
+
+        if attack_states or assessment_states:
+            boundaries = (disclosure_boundaries(len(plaintexts),
+                                                start=self.mtd_start,
+                                                step=self.mtd_step)
+                          if any(tracker is not None
+                                 for *_, tracker in attack_states) else [])
+            sweep = BoundarySweep(boundaries)
+            position = 0
+            dt = t0 = None
+            for chunk in self._trace_chunks_for(design, noise, plaintexts,
+                                                chunk_size):
+                matrix = chunk.matrix()
+                chunk_plaintexts = chunk.plaintexts()
+                if dt is None:
+                    dt, t0 = chunk._time_params()
+                for start, stop in sweep.segments(position, matrix.shape[0]):
+                    segment = slice(start - position, stop - position)
+                    for *_, state, _tracker in attack_states:
+                        state.update(matrix[segment], chunk_plaintexts[segment])
+                    if sweep.at_boundary(stop):
+                        for *_, state, tracker in attack_states:
+                            if tracker is not None:
+                                tracker.observe(stop, state.peaks())
+                for assessment, state in assessment_states:
+                    self._update_value_assessment(assessment, state, matrix,
+                                                  chunk_plaintexts)
+                position += matrix.shape[0]
+
+            for entry, attack_spec, kernel, guess_space, state, tracker \
+                    in attack_states:
+                attack = result_from_statistic(
+                    state.statistics(), guess_space, kernel.name, position,
+                    dt, t0)
                 row = CampaignRow(
                     design=design.label,
                     selection=entry.selection.name,
                     attack=attack_spec.label,
                     noise=noise_label,
-                    trace_count=len(traces),
+                    trace_count=position,
                     best_guess=attack.best_guess,
                     best_peak=attack.best_peak,
                     correct_guess=entry.correct_guess,
@@ -561,17 +967,33 @@ class AttackCampaign:
                     row.rank_of_correct = attack.rank_of(entry.correct_guess)
                     row.discrimination = attack.discrimination_ratio(
                         entry.correct_guess)
-                    if compute_disclosure:
-                        row.disclosure = messages_to_disclosure(
-                            traces, kernel, entry.correct_guess,
-                            guesses=self.guesses,
-                            start=self.mtd_start, step=self.mtd_step,
-                            stable_runs=self.stable_runs,
-                        )
+                    if tracker is not None:
+                        row.disclosure = tracker.disclosure
                 if keep_results:
                     row.result = attack
                 rows.append(row)
-        return rows
+            for assessment, state in assessment_states:
+                assessment_rows.append(self._assessment_row(
+                    design.label, noise_label, assessment, state))
+
+        if fr_assessments:
+            tvla_plaintexts, labels = tvla_schedule
+            tt_states = [(assessment,
+                          StreamingTTest(threshold=assessment.threshold))
+                         for assessment in fr_assessments]
+            position = 0
+            for chunk in self._trace_chunks_for(design, noise, tvla_plaintexts,
+                                                chunk_size,
+                                                noise_start=len(plaintexts)):
+                matrix = chunk.matrix()
+                chunk_labels = labels[position:position + matrix.shape[0]]
+                for _assessment, state in tt_states:
+                    state.update(matrix, chunk_labels)
+                position += matrix.shape[0]
+            for assessment, state in tt_states:
+                assessment_rows.append(self._assessment_row(
+                    design.label, noise_label, assessment, state))
+        return rows, assessment_rows
 
     def _run_sharded(self, scenarios: List[tuple],
                      plaintexts: Sequence[Sequence[int]],
@@ -599,25 +1021,66 @@ class AttackCampaign:
         finally:
             _SHARD_STATE = None
 
+    def _tvla_schedule_for(self, count: int, seed: int) -> Optional[tuple]:
+        """The shared fixed-vs-random acquisition of the non-specific TVLAs."""
+        fr_assessments = [a for a in self._assessments if a.kind == "tvla"]
+        if not fr_assessments:
+            return None
+        fixed_choices = {a.fixed_plaintext for a in fr_assessments
+                         if a.fixed_plaintext is not None}
+        if len(fixed_choices) > 1:
+            raise ValueError(
+                "non-specific TVLA assessments disagree on the fixed "
+                "plaintext; the campaign shares one fixed-vs-random "
+                "acquisition per scenario"
+            )
+        fixed = list(fixed_choices.pop()) if fixed_choices else None
+        # Imported lazily: repro.asyncaes itself builds on repro.core.
+        from ..asyncaes.tracegen import fixed_vs_random_plaintexts
+
+        return fixed_vs_random_plaintexts(
+            count, fixed=fixed, block_size=16,
+            seed=seed + _TVLA_SEED_OFFSET,
+        )
+
     def run(self, trace_count: Optional[int] = None, *,
             plaintexts: Optional[Sequence[Sequence[int]]] = None,
             seed: int = 0, compute_disclosure: bool = True,
-            keep_results: bool = False, workers: int = 1) -> CampaignResult:
-        """Run every (design × attack × selection × noise) scenario of the grid.
+            keep_results: bool = False, workers: int = 1,
+            streaming: bool = False,
+            chunk_size: Optional[int] = None) -> CampaignResult:
+        """Run every (design × attack × selection × noise) scenario of the
+        grid, plus every registered leakage assessment.
 
         Traces are generated once per design and noise level and shared by
-        all selection functions and attack kernels.  With ``workers > 1`` the
-        (noise × design) scenarios — the units that own a trace generation —
-        are sharded across a ``fork``-based process pool; every shard
-        generates its own traces and the merged table is *identical* to the
-        serial one (same plaintexts, same per-scenario noise streams, same
-        row order), so sharding is purely a wall-clock knob.
+        all selection functions, attack kernels and value-partitioned
+        assessments (non-specific TVLA adds one fixed-vs-random acquisition
+        per scenario).  With ``workers > 1`` the (noise × design) scenarios —
+        the units that own a trace generation — are sharded across a
+        ``fork``-based process pool; every shard generates its own traces and
+        the merged table is *identical* to the serial one (same plaintexts,
+        same per-scenario noise streams, same row order), so sharding is
+        purely a wall-clock knob.
+
+        With ``streaming=True`` each scenario consumes its traces as
+        ``chunk_size`` blocks through the accumulator pipelines of
+        :mod:`repro.assess` — never materializing more than one chunk — and
+        produces the same rows as the in-memory run (to floating-point
+        reordering, ≲ 1e-9) for every chunk size.  Streaming composes with
+        ``workers``: shards stream independently.
         """
         if not self._designs:
             raise ValueError("campaign has no designs; call add_design first")
-        if not self._selections:
+        if not self._selections and not self._assessments:
             raise ValueError("campaign has no selection functions; "
-                             "call add_selection first")
+                             "call add_selection (or add_assessment) first")
+        if streaming:
+            if chunk_size is None:
+                raise ValueError("streaming mode needs a chunk_size")
+            if chunk_size < 1:
+                raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
+        elif chunk_size is not None:
+            raise ValueError("chunk_size only applies to streaming=True runs")
         # Defaults are applied locally so run() never mutates the campaign's
         # configured grid.
         attacks = list(self._attacks) or [standard_attack("dpa")]
@@ -634,8 +1097,13 @@ class AttackCampaign:
                      for noise_label, noise_factory in noises
                      for design in self._designs]
         options = dict(attacks=attacks,
+                       assessments=list(self._assessments),
+                       tvla_schedule=self._tvla_schedule_for(len(plaintexts),
+                                                             seed),
                        compute_disclosure=compute_disclosure,
-                       keep_results=keep_results)
+                       keep_results=keep_results,
+                       streaming=streaming,
+                       chunk_size=chunk_size)
         if workers > 1 and len(scenarios) > 1:
             shard_rows = self._run_sharded(scenarios, plaintexts, workers,
                                            options)
@@ -644,8 +1112,9 @@ class AttackCampaign:
                           for scenario in scenarios]
 
         campaign = CampaignResult()
-        for rows in shard_rows:
+        for rows, assessment_rows in shard_rows:
             campaign.rows.extend(rows)
+            campaign.assessments.extend(assessment_rows)
         return campaign
 
 

@@ -31,6 +31,9 @@ from .noise import (
     GaussianNoise,
     NoNoise,
     NoiseModel,
+    apply_noise_matrix,
+    apply_noise_trace,
+    derive_rng,
 )
 from .technology import HCMOS9_LIKE, Technology, scaled_technology
 from .waveform import (
@@ -63,6 +66,9 @@ __all__ = [
     "GaussianNoise",
     "NoNoise",
     "NoiseModel",
+    "apply_noise_matrix",
+    "apply_noise_trace",
+    "derive_rng",
     "HCMOS9_LIKE",
     "Technology",
     "scaled_technology",

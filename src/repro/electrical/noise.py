@@ -5,16 +5,80 @@ The paper's block current model includes a dynamic noise term ``P_dn(t)``
 (equations (10)–(11)).  The reproduction models it as additive Gaussian noise
 plus an optional uncorrelated activity term representing other blocks of the
 chip switching concurrently.
+
+Reproducibility contract
+------------------------
+The noise of trace ``i`` is a pure function of ``(seed, i)``: every built-in
+model derives a dedicated generator per trace index through
+:func:`derive_rng` instead of consuming one shared stream.  Consequences the
+streaming/sharded pipelines rely on:
+
+* applying noise to a full ``(n, m)`` matrix equals applying it chunk by
+  chunk with the matching ``start_index`` offsets — chunk size never changes
+  the samples;
+* two scenarios (or shards) that build their models from the same seed get
+  the same noise regardless of the order in which they run;
+* the per-trace :meth:`NoiseModel.apply` keeps an internal call counter, so
+  trace-by-trace application still matches the matrix path exactly.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from .waveform import Waveform
+
+
+def derive_rng(seed: Optional[int], index: int) -> np.random.Generator:
+    """A dedicated generator for noise draw ``index`` of stream ``seed``.
+
+    The derivation goes through :class:`numpy.random.SeedSequence` with the
+    index as spawn key, so the streams of different indices are statistically
+    independent and the mapping ``(seed, index) → samples`` never depends on
+    what was drawn before.  ``seed=None`` keeps the legacy non-reproducible
+    behaviour (fresh OS entropy per draw).
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if index < 0:
+        raise ValueError(f"noise draw index must be >= 0, got {index}")
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(index,))
+    )
+
+
+def apply_noise_matrix(noise: "NoiseModel", matrix: np.ndarray, dt: float,
+                       t0: float = 0.0, start_index: int = 0) -> np.ndarray:
+    """Apply a noise model to a matrix whose first row is trace ``start_index``.
+
+    Thin dispatcher used by the chunked trace pipelines: models that take the
+    ``start_index`` keyword (all built-ins) receive it, while custom models
+    with the historical ``apply_matrix(matrix, dt, t0)`` signature keep
+    working — their noise is then chunk-local, which only costs them the
+    chunking-invariance guarantee, not correctness.
+    """
+    parameters = inspect.signature(noise.apply_matrix).parameters
+    if "start_index" in parameters:
+        return noise.apply_matrix(matrix, dt, t0, start_index=start_index)
+    return noise.apply_matrix(matrix, dt, t0)
+
+
+def apply_noise_trace(noise: "NoiseModel", waveform: Waveform,
+                      index: int) -> Waveform:
+    """Apply a noise model to the single trace of stream index ``index``.
+
+    Counterpart of :func:`apply_noise_matrix` for per-trace pipelines: models
+    taking the ``index`` keyword are pinned to their place in the stream;
+    legacy models fall back to their internal ordering.
+    """
+    parameters = inspect.signature(noise.apply).parameters
+    if "index" in parameters:
+        return noise.apply(waveform, index=index)
+    return noise.apply(waveform)
 
 
 class NoiseModel:
@@ -24,15 +88,17 @@ class NoiseModel:
         raise NotImplementedError
 
     def apply_matrix(self, matrix: np.ndarray, dt: float = 1.0,
-                     t0: float = 0.0) -> np.ndarray:
+                     t0: float = 0.0, start_index: int = 0) -> np.ndarray:
         """Apply the noise to a whole ``(n_traces, n_samples)`` matrix at once.
 
+        ``start_index`` is the stream index of the first row, so chunked
+        pipelines can hand each block its place in the global trace order.
         The base implementation falls back to the per-trace :meth:`apply` so
         any custom model keeps working with the batched trace engine —
         ``dt``/``t0`` carry the traces' real time base to models whose noise
         depends on it, and each row is copied so in-place ``apply``
         implementations cannot corrupt the caller's matrix.  The built-in
-        models override this to sample their randomness in one draw (they are
+        models override this with an index-derived draw per row (they are
         time-base independent, so they ignore ``dt``/``t0``).
         """
         rows = [self.apply(Waveform(row.copy(), dt, t0)).samples for row in matrix]
@@ -49,12 +115,45 @@ class NoNoise(NoiseModel):
         return waveform.copy()
 
     def apply_matrix(self, matrix: np.ndarray, dt: float = 1.0,
-                     t0: float = 0.0) -> np.ndarray:
+                     t0: float = 0.0, start_index: int = 0) -> np.ndarray:
         return matrix.copy()
 
 
+class _IndexedNoise(NoiseModel):
+    """Shared machinery of the built-in per-index-derived models."""
+
+    seed: Optional[int]
+
+    def _next_index(self, index: Optional[int]) -> int:
+        """Resolve a per-call index: explicit, or the internal counter."""
+        if index is not None:
+            return index
+        counter = getattr(self, "_counter", 0)
+        object.__setattr__(self, "_counter", counter + 1)
+        return counter
+
+    def _row_samples(self, rng: np.random.Generator, length: int) -> np.ndarray:
+        raise NotImplementedError  # pragma: no cover - subclass hook
+
+    def apply(self, waveform: Waveform, *, index: Optional[int] = None) -> Waveform:
+        """Noise one trace; ``index`` pins its place in the stream (defaults
+        to an internal counter, so sequential calls walk indices 0, 1, …)."""
+        noisy = waveform.copy()
+        rng = derive_rng(self.seed, self._next_index(index))
+        noisy.samples = noisy.samples + self._row_samples(rng, len(noisy.samples))
+        return noisy
+
+    def apply_matrix(self, matrix: np.ndarray, dt: float = 1.0,
+                     t0: float = 0.0, start_index: int = 0) -> np.ndarray:
+        noisy = np.array(matrix, dtype=float, copy=True)
+        for offset in range(noisy.shape[0]):
+            rng = derive_rng(self.seed, start_index + offset)
+            noisy[offset] += self._row_samples(rng, noisy.shape[1])
+        return noisy
+
+
 @dataclass
-class GaussianNoise(NoiseModel):
+class GaussianNoise(_IndexedNoise):
     """White Gaussian measurement noise of fixed standard deviation.
 
     Parameters
@@ -63,8 +162,8 @@ class GaussianNoise(NoiseModel):
         Standard deviation, in the same unit as the waveform samples
         (amperes for current traces).
     seed:
-        Seed of the dedicated random generator, so experiments stay
-        reproducible.
+        Seed of the per-trace derived generators (see :func:`derive_rng`),
+        so experiments stay reproducible under any chunking or shard order.
     """
 
     sigma: float
@@ -73,25 +172,19 @@ class GaussianNoise(NoiseModel):
     def __post_init__(self) -> None:
         if self.sigma < 0:
             raise ValueError(f"noise sigma must be >= 0, got {self.sigma}")
-        self._rng = np.random.default_rng(self.seed)
 
-    def apply(self, waveform: Waveform) -> Waveform:
-        noisy = waveform.copy()
-        if self.sigma > 0:
-            noisy.samples = noisy.samples + self._rng.normal(
-                0.0, self.sigma, size=len(noisy.samples)
-            )
-        return noisy
+    def _row_samples(self, rng: np.random.Generator, length: int) -> np.ndarray:
+        return rng.normal(0.0, self.sigma, size=length)
 
     def apply_matrix(self, matrix: np.ndarray, dt: float = 1.0,
-                     t0: float = 0.0) -> np.ndarray:
+                     t0: float = 0.0, start_index: int = 0) -> np.ndarray:
         if self.sigma == 0:
             return matrix.copy()
-        return matrix + self._rng.normal(0.0, self.sigma, size=matrix.shape)
+        return super().apply_matrix(matrix, dt, t0, start_index)
 
 
 @dataclass
-class BackgroundActivityNoise(NoiseModel):
+class BackgroundActivityNoise(_IndexedNoise):
     """Uncorrelated switching activity of the rest of the chip.
 
     Modelled as a train of random current pulses of random amplitude; the
@@ -108,35 +201,24 @@ class BackgroundActivityNoise(NoiseModel):
             raise ValueError("pulse rate must be >= 0")
         if self.amplitude < 0:
             raise ValueError("amplitude must be >= 0")
-        self._rng = np.random.default_rng(self.seed)
 
-    def apply(self, waveform: Waveform) -> Waveform:
-        noisy = waveform.copy()
+    def _row_samples(self, rng: np.random.Generator, length: int) -> np.ndarray:
+        samples = np.zeros(length)
         if self.pulse_rate_per_sample == 0 or self.amplitude == 0:
-            return noisy
-        n = len(noisy.samples)
-        pulse_count = self._rng.poisson(self.pulse_rate_per_sample * n)
+            return samples
+        pulse_count = rng.poisson(self.pulse_rate_per_sample * length)
         if pulse_count == 0:
-            return noisy
-        positions = self._rng.integers(0, n, size=pulse_count)
-        amplitudes = self._rng.uniform(0.0, self.amplitude, size=pulse_count)
-        np.add.at(noisy.samples, positions, amplitudes)
-        return noisy
+            return samples
+        positions = rng.integers(0, length, size=pulse_count)
+        amplitudes = rng.uniform(0.0, self.amplitude, size=pulse_count)
+        np.add.at(samples, positions, amplitudes)
+        return samples
 
     def apply_matrix(self, matrix: np.ndarray, dt: float = 1.0,
-                     t0: float = 0.0) -> np.ndarray:
-        noisy = matrix.copy()
+                     t0: float = 0.0, start_index: int = 0) -> np.ndarray:
         if self.pulse_rate_per_sample == 0 or self.amplitude == 0:
-            return noisy
-        total = noisy.size
-        pulse_count = self._rng.poisson(self.pulse_rate_per_sample * total)
-        if pulse_count == 0:
-            return noisy
-        positions = self._rng.integers(0, total, size=pulse_count)
-        amplitudes = self._rng.uniform(0.0, self.amplitude, size=pulse_count)
-        flat = noisy.reshape(-1)
-        np.add.at(flat, positions, amplitudes)
-        return noisy
+            return matrix.copy()
+        return super().apply_matrix(matrix, dt, t0, start_index)
 
 
 @dataclass
@@ -145,15 +227,18 @@ class CompositeNoise(NoiseModel):
 
     models: tuple
 
-    def apply(self, waveform: Waveform) -> Waveform:
+    def apply(self, waveform: Waveform, *, index: Optional[int] = None) -> Waveform:
         result = waveform
         for model in self.models:
-            result = model.apply(result)
+            if index is not None and isinstance(model, _IndexedNoise):
+                result = model.apply(result, index=index)
+            else:
+                result = model.apply(result)
         return result
 
     def apply_matrix(self, matrix: np.ndarray, dt: float = 1.0,
-                     t0: float = 0.0) -> np.ndarray:
+                     t0: float = 0.0, start_index: int = 0) -> np.ndarray:
         result = matrix
         for model in self.models:
-            result = model.apply_matrix(result, dt, t0)
+            result = apply_noise_matrix(model, result, dt, t0, start_index)
         return result

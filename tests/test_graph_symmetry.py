@@ -1,0 +1,148 @@
+"""Focused tests of the formal symmetry verification (repro.graph.symmetry).
+
+Exercises the symmetry-group detection on the paper's XOR tree: cone
+extraction bounded at channel/acknowledge boundaries, per-level structural
+profiles, detection of gate-count and cell-type asymmetries, and the
+whole-block verification over a multi-bit XOR bank.
+"""
+
+import pytest
+
+from repro.circuits import Netlist, build_dual_rail_xor, build_xor_bank
+from repro.circuits.channels import ChannelSpec
+from repro.graph import (
+    build_circuit_graph,
+    compare_channel_symmetry,
+    compute_levels,
+    cone_profile,
+    rail_cone,
+    verify_block_symmetry,
+)
+
+
+@pytest.fixture
+def xor_block():
+    return build_dual_rail_xor("x")
+
+
+@pytest.fixture
+def xor_graph(xor_block):
+    return build_circuit_graph(xor_block.netlist)
+
+
+class TestConeExtraction:
+    def test_cones_cover_the_whole_tree(self, xor_block, xor_graph):
+        channel = xor_block.outputs[0]
+        for rail in channel.rails:
+            cone = rail_cone(xor_block.netlist, xor_graph, rail)
+            assert set(cone) == set(xor_block.rail_cones[rail])
+
+    def test_cone_profile_levels_match_structure(self, xor_block, xor_graph):
+        """Each XOR rail cone: one output Muller, one OR, two input Mullers."""
+        channel = xor_block.outputs[0]
+        levels = compute_levels(xor_graph)
+        for rail in channel.rails:
+            cone = rail_cone(xor_block.netlist, xor_graph, rail)
+            profile = cone_profile(xor_graph, rail, cone, levels=levels)
+            assert profile.size == 4
+            assert profile.depth == 3
+            per_level = [profile.gates_per_level[level]
+                         for level in sorted(profile.gates_per_level)]
+            assert per_level == [2, 1, 1]
+            leaf_level = min(profile.cells_per_level)
+            assert profile.cells_per_level[leaf_level]["MULLER2"] == 2
+
+    def test_stop_at_bounds_the_cone(self, xor_block, xor_graph):
+        channel = xor_block.outputs[0]
+        rail = channel.rails[0]
+        full = rail_cone(xor_block.netlist, xor_graph, rail)
+        driver = xor_block.netlist.net(rail).driver.instance
+        bounded = rail_cone(xor_block.netlist, xor_graph, rail,
+                            stop_at={driver})
+        assert bounded == [driver]
+        assert len(full) > 1
+
+    def test_undriven_rail_gives_empty_cone(self, xor_graph):
+        netlist = Netlist("floating")
+        netlist.add_net("lone_r0")
+        assert rail_cone(netlist, xor_graph, "lone_r0") == []
+
+
+class TestSymmetryDetection:
+    def test_xor_tree_is_symmetric(self, xor_block, xor_graph):
+        report = compare_channel_symmetry(xor_block.netlist, xor_graph,
+                                          xor_block.outputs[0])
+        assert report.is_symmetric
+        assert report.mismatches == []
+        sizes = {profile.size for profile in report.profiles}
+        assert sizes == {4}
+
+    def test_gate_count_asymmetry_detected(self):
+        """An extra buffer on one rail breaks the per-level gate counts."""
+        netlist = Netlist("unbal")
+        netlist.add_input("a_r0")
+        netlist.add_input("a_r1")
+        netlist.add_net("m0")
+        netlist.add_net("c_r0", channel="c", rail=0)
+        netlist.add_net("c_r1", channel="c", rail=1)
+        netlist.add_instance("g0a", "BUF", {"A": "a_r0", "Z": "m0"})
+        netlist.add_instance("g0b", "BUF", {"A": "m0", "Z": "c_r0"})
+        netlist.add_instance("g1", "BUF", {"A": "a_r1", "Z": "c_r1"})
+        graph = build_circuit_graph(netlist)
+        channel = ChannelSpec("c").declare(netlist)
+        report = compare_channel_symmetry(netlist, graph, channel)
+        assert not report.is_symmetric
+        assert any("level" in message for message in report.mismatches)
+
+    def test_cell_type_asymmetry_detected_only_when_required(self):
+        """Same gate counts, different cell types: flagged by the strict
+        check, tolerated by the relaxed one."""
+        netlist = Netlist("celltypes")
+        netlist.add_input("a_r0")
+        netlist.add_input("a_r1")
+        netlist.add_net("c_r0", channel="c", rail=0)
+        netlist.add_net("c_r1", channel="c", rail=1)
+        netlist.add_instance("g0", "BUF", {"A": "a_r0", "Z": "c_r0"})
+        netlist.add_instance("g1", "INV", {"A": "a_r1", "Z": "c_r1"})
+        graph = build_circuit_graph(netlist)
+        channel = ChannelSpec("c").declare(netlist)
+        strict = compare_channel_symmetry(netlist, graph, channel)
+        assert not strict.is_symmetric
+        assert any("cell types differ" in message
+                   for message in strict.mismatches)
+        relaxed = compare_channel_symmetry(netlist, graph, channel,
+                                           require_same_cells=False)
+        assert relaxed.is_symmetric
+
+    def test_acknowledge_nets_excluded_from_cones(self, xor_block, xor_graph):
+        """The backward ack edges must not leak into the data cones."""
+        channel = xor_block.outputs[0]
+        for rail in channel.rails:
+            cone = rail_cone(xor_block.netlist, xor_graph, rail)
+            for instance in cone:
+                assert "ack" not in instance.lower()
+
+
+class TestBlockVerification:
+    def test_xor_bank_fully_symmetric(self):
+        bank = build_xor_bank(4, "w")
+        graph = build_circuit_graph(bank.netlist)
+        reports = verify_block_symmetry(bank.netlist, graph,
+                                        bank.output_channels())
+        assert len(reports) == 4
+        assert all(report.is_symmetric for report in reports)
+        # Symmetry groups: every bit's rail cones share one structural class.
+        signatures = {
+            tuple(sorted((level, count)
+                         for level, count in profile.gates_per_level.items()))
+            for report in reports for profile in report.profiles
+        }
+        assert len(signatures) == 1
+
+    def test_reports_carry_channel_names(self):
+        bank = build_xor_bank(2, "w")
+        graph = build_circuit_graph(bank.netlist)
+        reports = verify_block_symmetry(bank.netlist, graph,
+                                        bank.output_channels())
+        names = {report.channel for report in reports}
+        assert len(names) == 2

@@ -1,0 +1,176 @@
+"""Focused tests of the routing estimator (repro.pnr.routing).
+
+The dissymmetry criterion stands on per-net routed lengths, so the estimator
+gets its own invariants: exact HPWL geometry on hand-placed pins, Steiner
+fanout compensation, extraction consistency (capacitance strictly monotone in
+routed length), and the routed-capacitance symmetry statement on a small
+fenced floorplan — the hierarchical fences must not worsen the rail balance
+the flat reference achieves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_xor_bank
+from repro.circuits.netlist import Netlist
+from repro.core import evaluate_netlist_channels
+from repro.electrical import HCMOS9_LIKE
+from repro.pnr import (
+    FlatPlacer,
+    channel_rail_caps,
+    estimate_routing,
+    extract_capacitances,
+    fanout_factor,
+    run_flat_flow,
+    run_hierarchical_flow,
+)
+from repro.pnr.routing import RoutingError, estimate_net, net_pin_positions
+
+
+def _two_pin_netlist(positions):
+    """One shared net: driven by ``g0``, read by every other buffer."""
+    netlist = Netlist("routed")
+    netlist.add_net("n")
+    for index in range(len(positions)):
+        netlist.add_net(f"stub{index}")
+        if index == 0:
+            pins = {"A": "stub0", "Z": "n"}
+        else:
+            pins = {"A": "n", "Z": f"stub{index}"}
+        netlist.add_instance(f"g{index}", "BUF", pins)
+    return netlist
+
+
+class _FakePlacement:
+    """Minimal placement stub: a name → (x, y) map."""
+
+    def __init__(self, cells):
+        self.cells = cells
+
+    def position_of(self, name):
+        return self.cells[name]
+
+
+class TestEstimatorGeometry:
+    def test_hpwl_of_hand_placed_pins(self):
+        netlist = _two_pin_netlist([(0.0, 0.0), (3.0, 4.0)])
+        placement = _FakePlacement({"g0": (0.0, 0.0), "g1": (3.0, 4.0)})
+        net = netlist.net("n")
+        routed = estimate_net(netlist, placement, net)
+        assert routed.pin_count == 2
+        assert routed.is_point_to_point
+        assert routed.hpwl_um == pytest.approx(7.0)
+        # Two-pin nets take no Steiner compensation.
+        assert routed.length_um == pytest.approx(7.0)
+
+    def test_fanout_compensation_applied(self):
+        positions = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)]
+        netlist = _two_pin_netlist(positions)
+        placement = _FakePlacement(
+            {f"g{i}": p for i, p in enumerate(positions)})
+        routed = estimate_net(netlist, placement, netlist.net("n"))
+        assert routed.hpwl_um == pytest.approx(20.0)
+        assert routed.length_um == pytest.approx(20.0 * fanout_factor(4))
+        assert not routed.is_point_to_point
+
+    def test_unplaced_pins_are_skipped(self):
+        netlist = _two_pin_netlist([(0.0, 0.0), (1.0, 1.0)])
+        placement = _FakePlacement({"g0": (0.0, 0.0)})  # g1 unplaced
+        assert net_pin_positions(netlist, placement, netlist.net("n")) == [(0.0, 0.0)]
+        assert estimate_net(netlist, placement, netlist.net("n")) is None
+
+    def test_fanout_factor_monotone_and_bounded(self):
+        factors = [fanout_factor(k) for k in range(1, 40)]
+        assert all(b >= a for a, b in zip(factors, factors[1:]))
+        assert factors[0] == 1.0
+        # The square-root regime keeps growing but stays sane.
+        assert 1.5 < fanout_factor(30) < 3.0
+
+    def test_length_of_unknown_net_raises(self):
+        netlist = build_xor_bank(2, "w").netlist
+        placement = FlatPlacer(seed=0).place(netlist)
+        estimate = estimate_routing(netlist, placement)
+        with pytest.raises(RoutingError):
+            estimate.length_of("no_such_net")
+
+    def test_longest_returns_descending(self):
+        netlist = build_xor_bank(4, "w").netlist
+        placement = FlatPlacer(seed=0).place(netlist)
+        estimate = estimate_routing(netlist, placement)
+        longest = estimate.longest(5)
+        lengths = [n.length_um for n in longest]
+        assert lengths == sorted(lengths, reverse=True)
+        assert lengths[0] == max(n.length_um for n in estimate.nets.values())
+
+
+class TestExtractionConsistency:
+    def test_capacitance_monotone_in_routed_length(self):
+        netlist = build_xor_bank(4, "w").netlist
+        placement = FlatPlacer(seed=1).place(netlist)
+        estimate = estimate_routing(netlist, placement)
+        report = extract_capacitances(netlist, placement, routing=estimate)
+        lengths, caps = [], []
+        for name, routed in estimate.nets.items():
+            lengths.append(routed.length_um)
+            caps.append(report.caps_ff[name])
+        order = np.argsort(lengths)
+        caps_sorted = np.asarray(caps)[order]
+        assert np.all(np.diff(caps_sorted) >= -1e-9)
+        # Linear model: the extracted cap is exactly the technology's
+        # per-length wire capacitance.
+        lengths_sorted = np.asarray(lengths)[order]
+        expected = [HCMOS9_LIKE.wire_cap_ff(length) for length in lengths_sorted]
+        assert np.allclose(caps_sorted, expected)
+
+    def test_total_wirelength_matches_sum(self):
+        netlist = build_xor_bank(3, "w").netlist
+        placement = FlatPlacer(seed=2).place(netlist)
+        estimate = estimate_routing(netlist, placement)
+        assert estimate.total_wirelength_um() == pytest.approx(
+            sum(n.length_um for n in estimate.nets.values()))
+
+
+class TestRoutedCapacitanceSymmetry:
+    """The paper's physical statement on a small fenced floorplan: the
+    hierarchical flow's routed rail capacitances are better balanced than the
+    flat reference's."""
+
+    @pytest.fixture(scope="class")
+    def placed_banks(self):
+        flat_bank = build_xor_bank(6, "w").netlist
+        run_flat_flow(flat_bank, seed=5, effort=0.4)
+        hier_bank = build_xor_bank(6, "w").netlist
+        run_hierarchical_flow(hier_bank, seed=5, effort=1.0)
+        return flat_bank, hier_bank
+
+    @staticmethod
+    def _dissymmetries(netlist):
+        values = []
+        for caps in channel_rail_caps(netlist).values():
+            smallest = min(caps)
+            if smallest > 0:
+                values.append((max(caps) - smallest) / smallest)
+        return np.asarray(values)
+
+    def test_all_rails_have_positive_extracted_caps(self, placed_banks):
+        for netlist in placed_banks:
+            for caps in channel_rail_caps(netlist).values():
+                assert len(caps) == 2  # dual-rail bank
+                assert all(cap > 0 for cap in caps)
+
+    def test_hierarchical_balances_rails_better(self, placed_banks):
+        flat_bank, hier_bank = placed_banks
+        flat_dissym = self._dissymmetries(flat_bank)
+        hier_dissym = self._dissymmetries(hier_bank)
+        assert hier_dissym.mean() < flat_dissym.mean()
+        # The criterion report agrees with the raw rail-cap statement.
+        flat_report = evaluate_netlist_channels(flat_bank)
+        hier_report = evaluate_netlist_channels(hier_bank)
+        assert hier_report.mean_dissymmetry < flat_report.mean_dissymmetry
+
+    def test_fenced_rail_pairs_stay_close(self, placed_banks):
+        """Inside the fences, paired rails route within a small factor of
+        each other — the geometric property the criterion quantifies."""
+        _, hier_bank = placed_banks
+        for caps in channel_rail_caps(hier_bank).values():
+            assert max(caps) <= 3.0 * min(caps)
