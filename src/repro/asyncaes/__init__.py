@@ -46,6 +46,13 @@ from .keypath import (
 )
 from .netlist_gen import AesNetlistGenerator, build_aes_netlist
 from .processor import AsyncAesProcessor, ProcessorError
+from .simtrace import (
+    AesSimulatorTraceGenerator,
+    SimTraceConfig,
+    SimulatorTraceGenerator,
+    XorBankStimulus,
+    xor_bank_trace_generator,
+)
 from .tracegen import (
     AesPowerTraceGenerator,
     TraceGenerationError,
@@ -86,6 +93,11 @@ __all__ = [
     "build_aes_netlist",
     "AsyncAesProcessor",
     "ProcessorError",
+    "AesSimulatorTraceGenerator",
+    "SimTraceConfig",
+    "SimulatorTraceGenerator",
+    "XorBankStimulus",
+    "xor_bank_trace_generator",
     "AesPowerTraceGenerator",
     "TraceGenerationError",
     "TraceGeneratorConfig",

@@ -1,0 +1,440 @@
+"""Simulator-backed power-trace generation.
+
+:class:`~repro.asyncaes.tracegen.AesPowerTraceGenerator` applies the paper's
+charge model *analytically*: it never runs the event simulator, it scatters
+``C · Vdd`` charges straight from the architecture's transfer schedule.  This
+module closes the loop by generating traces **from committed simulator
+transitions**: a netlist is driven through
+:class:`~repro.circuits.simulator.Simulator`, and every committed transition
+deposits the charge of its net's extracted capacitance into the supply
+current — the same ``(n_traces, n_samples)`` matrix contract as
+``trace_batch``, but sourced from genuinely simulated switching activity.
+
+Two device front-ends are provided:
+
+* :class:`XorBankStimulus` / :func:`xor_bank_trace_generator` — the XOR
+  reference design of Section IV, simulated gate by gate through the
+  four-phase handshake.  The traces carry the full RC timing of the placed
+  capacitances, and a DPA over them recovers the key byte end to end.
+* :class:`AesSimulatorTraceGenerator` — the structural AES netlist, driven by
+  replaying the data-path transfer schedule as rail events through the event
+  engine.  Noise-free replay traces are sample-identical to the analytic
+  generator (the cross-validation anchoring both paths), while
+  ``propagate=True`` additionally simulates the interface-gate churn the
+  idealized model abstracts away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..circuits.handshake import FourPhaseConsumer, FourPhaseProducer, ResetPulse
+from ..circuits.library import XorBank
+from ..circuits.netlist import Netlist
+from ..circuits.signals import Logic
+from ..circuits.simulator import DelayModel, Simulator
+from ..core.dpa import TraceSet
+from ..electrical.noise import NoiseModel, apply_noise_matrix
+from ..electrical.technology import HCMOS9_LIKE, Technology
+from .architecture import AesArchitecture
+from .datapath import CipherDataPath
+from .keypath import KeySchedulePath
+from .tracegen import TraceGenerationError, TraceGeneratorConfig, word_digits
+
+
+class SimulationStimulus(Protocol):
+    """Per-plaintext stimulus protocol of :class:`SimulatorTraceGenerator`.
+
+    ``apply`` receives a fresh simulator and schedules whatever drives and
+    environment processes realise one acquisition of the plaintext; the
+    generator then settles the simulation and converts the committed
+    transitions into a supply-current trace.
+    """
+
+    def apply(self, sim: Simulator, plaintext: Sequence[int]) -> None:
+        ...
+
+
+@dataclass
+class SimTraceConfig:
+    """Sampling parameters of simulator-backed traces.
+
+    ``duration_s`` fixes the trace length; when omitted, the first trace the
+    generator ever simulates sizes it (its end time plus ``margin_fraction``
+    headroom) and the geometry is pinned for the generator's lifetime, so
+    consecutive batches and chunk streams stay concatenable.  QDI blocks
+    have data-independent transition counts, so later end times stay within
+    that envelope.
+    """
+
+    sample_period_s: float = 25e-12
+    duration_s: Optional[float] = None
+    margin_fraction: float = 0.5
+
+
+class SimulatorTraceGenerator:
+    """Generates supply-current traces by event-simulating a netlist.
+
+    Parameters
+    ----------
+    netlist:
+        The device under attack, with extracted per-net capacitances.
+    stimulus:
+        Maps each plaintext to simulator drives/processes
+        (:class:`SimulationStimulus`).
+    include_nets:
+        Restrict the current synthesis to these nets (default: every net
+        driven by a gate — environment stimuli draw no supply current).
+    use_load_cap:
+        Deposit the load capacitance ``Cl`` per transition instead of the
+        full node capacitance ``C = Cl + Cpar + Csc``.
+    technology, noise, config, delay_model:
+        Electrical parameters, optional additive noise, sampling parameters
+        and the RC delay model of the underlying simulations.
+
+    Every committed transition of an included net deposits its charge
+    ``C · Vdd`` into the sample bin of its commit time, so the trace carries
+    both leakage mechanisms of the paper: the per-rail charge difference of
+    equation (12) *and* the capacitance-dependent time shifts of Fig. 7 —
+    the second is exactly what the analytic generator idealizes away.
+    """
+
+    def __init__(self, netlist: Netlist, stimulus: SimulationStimulus, *,
+                 include_nets: Optional[Iterable[str]] = None,
+                 use_load_cap: bool = False,
+                 technology: Technology = HCMOS9_LIKE,
+                 noise: Optional[NoiseModel] = None,
+                 config: Optional[SimTraceConfig] = None,
+                 delay_model: Optional[DelayModel] = None):
+        self.netlist = netlist
+        self.stimulus = stimulus
+        self.technology = technology
+        self.noise = noise
+        self.config = config if config is not None else SimTraceConfig()
+        self.delay_model = delay_model
+        if include_nets is not None:
+            self._allowed: Set[str] = set(include_nets)
+        else:
+            self._allowed = {net.name for net in netlist.nets()
+                             if net.driver is not None}
+        cap_of = netlist.load_cap_ff if use_load_cap else netlist.total_cap_ff
+        self._cap_ff: Dict[str, float] = {name: cap_of(name)
+                                          for name in self._allowed}
+        # Sample count pinned by the first generated batch so every later
+        # batch and chunk of this generator shares one rectangular geometry.
+        self._pinned_samples: Optional[int] = None
+
+    # ------------------------------------------------------------ one trace
+    def _simulate(self, plaintext: Sequence[int]):
+        sim = Simulator(self.netlist, delay_model=self.delay_model)
+        self.stimulus.apply(sim, plaintext)
+        return sim.settle()
+
+    def _sample_count(self, first_end_time: float) -> int:
+        if self._pinned_samples is not None:
+            return self._pinned_samples
+        cfg = self.config
+        if cfg.duration_s is not None:
+            duration = cfg.duration_s
+        else:
+            duration = (first_end_time * (1.0 + cfg.margin_fraction)
+                        + 4 * cfg.sample_period_s)
+        return max(1, int(np.ceil(duration / cfg.sample_period_s)))
+
+    def _deposit(self, trace, row: np.ndarray) -> None:
+        dt = self.config.sample_period_s
+        scale = 1e-15 * self.technology.vdd / dt
+        sample_count = row.shape[0]
+        for transition in trace.transitions:
+            cap = self._cap_ff.get(transition.net)
+            if cap is None:
+                continue
+            index = int(round(transition.time / dt))
+            if index >= sample_count or index < 0:
+                raise TraceGenerationError(
+                    f"transition on {transition.net!r} at "
+                    f"t={transition.time:.3e}s falls outside the "
+                    f"{sample_count}-sample trace; pass SimTraceConfig"
+                    "(duration_s=...) sized for the slowest computation"
+                )
+            row[index] += cap * scale
+
+    # ------------------------------------------------------------ trace sets
+    def trace_batch(self, plaintexts: Iterable[Sequence[int]], *,
+                    noise_start_index: int = 0) -> TraceSet:
+        """Simulate every plaintext and bundle the traces as one matrix.
+
+        Same contract as the analytic generator's ``trace_batch``: an
+        ``(n_traces, n_samples)``-backed :class:`TraceSet`, with
+        ``noise_start_index`` pinning the batch's place in the noise stream
+        so chunked generation is sample-identical to one big batch.
+        """
+        plaintexts = [list(p) for p in plaintexts]
+        if not plaintexts:
+            return TraceSet()
+        traces = [self._simulate(plaintext) for plaintext in plaintexts]
+        sample_count = self._sample_count(traces[0].end_time)
+        if self.config.duration_s is None:
+            # Pin the geometry so every later batch/chunk of this generator
+            # shares one sample count (batches must stay concatenable).
+            self._pinned_samples = sample_count
+        matrix = np.zeros((len(plaintexts), sample_count))
+        for row, trace in enumerate(traces):
+            self._deposit(trace, matrix[row])
+        dt = self.config.sample_period_s
+        if self.noise is not None:
+            matrix = apply_noise_matrix(self.noise, matrix, dt, 0.0,
+                                        noise_start_index)
+        return TraceSet.from_matrix(matrix, plaintexts, dt, 0.0)
+
+    def trace_chunks(self, plaintexts: Iterable[Sequence[int]],
+                     chunk_size: int, *,
+                     noise_start_index: int = 0) -> Iterable[TraceSet]:
+        """Yield the batch as bounded-memory blocks (streaming contract)."""
+        if chunk_size < 1:
+            raise TraceGenerationError(
+                f"chunk size must be >= 1, got {chunk_size}")
+        plaintexts = [list(p) for p in plaintexts]
+        # The first chunk's trace_batch pins the sample geometry, so every
+        # later chunk shares one rectangular sample count.
+        for start in range(0, len(plaintexts), chunk_size):
+            yield self.trace_batch(
+                plaintexts[start:start + chunk_size],
+                noise_start_index=noise_start_index + start,
+            )
+
+    def trace_set(self, plaintexts: Iterable[Sequence[int]]) -> TraceSet:
+        return self.trace_batch(plaintexts)
+
+
+# ------------------------------------------------------- XOR reference design
+@dataclass
+class XorBankStimulus:
+    """Four-phase testbench computing ``plaintext byte ⊕ key`` on a XOR bank.
+
+    Each bit of the bank gets its own producers (operand ``a`` carries the
+    plaintext bit, operand ``b`` the key bit) and an output consumer, plus
+    one reset pulse per bit block — the AddRoundKey acquisition of
+    Section IV, simulated at the gate level.
+    """
+
+    bank: XorBank
+    key_byte: int
+    byte_index: int = 0
+    start_time: float = 200e-12
+    env_delay: float = 20e-12
+    reset_duration: float = 100e-12
+
+    def apply(self, sim: Simulator, plaintext: Sequence[int]) -> None:
+        word = int(plaintext[self.byte_index])
+        key = int(self.key_byte)
+        for bit, block in enumerate(self.bank.bits):
+            a_bit = (word >> bit) & 1
+            b_bit = (key >> bit) & 1
+            sim.add_process(FourPhaseProducer(
+                block.inputs[0], block.ack_out, [a_bit],
+                start_time=self.start_time, env_delay=self.env_delay,
+                name=f"producer[a{bit}]",
+            ))
+            sim.add_process(FourPhaseProducer(
+                block.inputs[1], block.ack_out, [b_bit],
+                start_time=self.start_time, env_delay=self.env_delay,
+                name=f"producer[b{bit}]",
+            ))
+            sim.add_process(FourPhaseConsumer(
+                block.outputs[0], ack_net=block.ack_in, ack_active_high=False,
+                env_delay=self.env_delay, name=f"consumer[c{bit}]",
+            ))
+            if block.reset is not None:
+                sim.add_process(ResetPulse(block.reset,
+                                           duration=self.reset_duration,
+                                           name=f"reset[{bit}]"))
+
+
+def xor_bank_trace_generator(bank: XorBank, key_byte: int, *,
+                             byte_index: int = 0,
+                             technology: Technology = HCMOS9_LIKE,
+                             noise: Optional[NoiseModel] = None,
+                             config: Optional[SimTraceConfig] = None,
+                             delay_model: Optional[DelayModel] = None
+                             ) -> SimulatorTraceGenerator:
+    """Simulator-backed trace generator for the XOR reference design.
+
+    The returned generator's trace sets flow straight into
+    :func:`repro.core.dpa.dpa_attack`: with unbalanced output-rail
+    capacitances, a Hamming-weight AddRoundKey selection recovers
+    ``key_byte`` from the simulated traces end to end.
+    """
+    stimulus = XorBankStimulus(bank, key_byte, byte_index=byte_index)
+    return SimulatorTraceGenerator(
+        bank.netlist, stimulus, technology=technology, noise=noise,
+        config=config, delay_model=delay_model,
+    )
+
+
+# ------------------------------------------------------------- AES datapath
+class AesSimulatorTraceGenerator:
+    """Simulator-backed traces of the asynchronous AES netlist.
+
+    The structural AES netlist's internals are placement filler, not the
+    functional datapath, so the device is driven the way the real chip's
+    channels are: each data-path (and key-path) transfer of the architecture
+    model becomes a pair of rail events — evaluation rise and return-to-zero
+    fall — replayed through the event simulator, and the committed rail
+    transitions deposit their extracted capacitance charges.
+
+    With ``propagate=False`` (the default) the timeline is a pure replay and
+    the noise-free traces are **sample-identical** to
+    :meth:`AesPowerTraceGenerator.trace_batch` — the cross-validation that
+    anchors the analytic charge model to simulated activity.  With
+    ``propagate=True`` the interface gates of the netlist react to the rail
+    events too, adding the capture/completion churn the idealized model
+    leaves out (the synthesis can then also be widened beyond the rails with
+    ``include_internal=True``).
+    """
+
+    def __init__(self, netlist: Netlist, key: Sequence[int], *,
+                 architecture: Optional[AesArchitecture] = None,
+                 technology: Technology = HCMOS9_LIKE,
+                 noise: Optional[NoiseModel] = None,
+                 config: Optional[TraceGeneratorConfig] = None,
+                 propagate: bool = False,
+                 include_internal: bool = False):
+        self.netlist = netlist
+        self.key = list(key)
+        self.architecture = (architecture if architecture is not None
+                             else AesArchitecture())
+        self.technology = technology
+        self.noise = noise
+        self.config = config if config is not None else TraceGeneratorConfig()
+        self.propagate = propagate
+        self.include_internal = include_internal
+        if include_internal and not propagate:
+            raise TraceGenerationError(
+                "include_internal=True needs propagate=True: without gate "
+                "propagation no internal net ever switches"
+            )
+        self.datapath = CipherDataPath(self.key)
+        self.keypath = KeySchedulePath(self.key)
+        self._bus_by_name = {bus.name: bus for bus in self.architecture.channels}
+        self._rail_caps: Dict[str, float] = {}
+        for bus in self.architecture.channels:
+            for bit in range(bus.width):
+                for rail in range(bus.radix):
+                    net_name = bus.rail_net(bit, rail)
+                    if not self.netlist.has_net(net_name):
+                        raise TraceGenerationError(
+                            f"netlist has no net {net_name!r}; was it "
+                            "generated with the same architecture?"
+                        )
+                    self._rail_caps[net_name] = self.netlist.load_cap_ff(net_name)
+        self._internal_caps: Dict[str, float] = {}
+        if include_internal:
+            for net in self.netlist.nets():
+                if net.driver is not None and net.name not in self._rail_caps:
+                    self._internal_caps[net.name] = self.netlist.total_cap_ff(net.name)
+        self._key_transfers_cache = None
+
+    # -------------------------------------------------------------- schedule
+    def _transfers_for(self, run) -> List:
+        transfers = list(run.transfers)
+        if self.config.include_key_path:
+            if self._key_transfers_cache is None:
+                round_words, _ = self.keypath.run(start_slot=0)
+                self._key_transfers_cache = (round_words,
+                                             list(self.keypath.transfers))
+            round_words, key_transfers = self._key_transfers_cache
+            transfers.extend(key_transfers)
+            transfers.extend(self.keypath.subkey_transfers(
+                round_words, run.round_key_slots))
+        return transfers
+
+    def _sample_geometry(self, total_slots: int) -> Tuple[int, float, int]:
+        cfg = self.config
+        duration = (total_slots + 4) * cfg.slot_period_s
+        sample_count = max(1, int(np.ceil(duration / cfg.sample_period_s)))
+        samples_per_slot = cfg.slot_period_s / cfg.sample_period_s
+        rtz_offset = int(round(cfg.rtz_fraction * cfg.slot_period_s
+                               / cfg.sample_period_s))
+        return sample_count, samples_per_slot, rtz_offset
+
+    def _replay(self, plaintext: Sequence[int],
+                samples_per_slot: float, rtz_offset: int, run=None):
+        """One simulation: schedule the rail events of every transfer."""
+        cfg = self.config
+        dt = cfg.sample_period_s
+        if run is None:
+            run = self.datapath.encrypt(plaintext)
+        sim = Simulator(self.netlist)
+        sim.propagate_gates = self.propagate
+        for transfer in self._transfers_for(run):
+            bus = self._bus_by_name.get(transfer.bus)
+            if bus is None:
+                continue
+            width = min(transfer.width, bus.width)
+            digits = word_digits(np.array([transfer.word], dtype=np.int64),
+                                 width, bus.radix)[0]
+            # Event times are bin-aligned so the commit bins match the
+            # analytic generator's slot indices exactly.
+            eval_index = int(round(transfer.slot * samples_per_slot))
+            eval_time = eval_index * dt
+            rtz_time = (eval_index + rtz_offset) * dt
+            for bit in range(width):
+                net = bus.rail_net(bit, int(digits[bit]))
+                sim.schedule_drive(net, Logic.HIGH, eval_time)
+                if cfg.include_return_to_zero:
+                    sim.schedule_drive(net, Logic.LOW, rtz_time)
+        sim.settle()
+        return run, sim.trace
+
+    # ------------------------------------------------------------ trace sets
+    def trace_batch(self, plaintexts: Iterable[Sequence[int]], *,
+                    noise_start_index: int = 0) -> TraceSet:
+        """Simulate every plaintext's transfer replay into one trace matrix."""
+        plaintexts = [list(p) for p in plaintexts]
+        if not plaintexts:
+            return TraceSet()
+        cfg = self.config
+        dt = cfg.sample_period_s
+        scale = 1e-15 * self.technology.vdd / dt
+        run0 = self.datapath.encrypt(plaintexts[0])
+        sample_count, samples_per_slot, rtz_offset = self._sample_geometry(
+            run0.total_slots)
+        matrix = np.zeros((len(plaintexts), sample_count))
+        for row, plaintext in enumerate(plaintexts):
+            _, trace = self._replay(plaintext, samples_per_slot, rtz_offset,
+                                    run=run0 if row == 0 else None)
+            samples = matrix[row]
+            for transition in trace.transitions:
+                cap = self._rail_caps.get(transition.net)
+                if cap is None:
+                    cap = self._internal_caps.get(transition.net)
+                    if cap is None:
+                        continue
+                index = int(round(transition.time / dt))
+                if 0 <= index < sample_count:
+                    samples[index] += cap * scale
+        if self.noise is not None:
+            matrix = apply_noise_matrix(self.noise, matrix, dt, 0.0,
+                                        noise_start_index)
+        return TraceSet.from_matrix(matrix, plaintexts, dt, 0.0)
+
+    def trace_chunks(self, plaintexts: Iterable[Sequence[int]],
+                     chunk_size: int, *,
+                     noise_start_index: int = 0) -> Iterable[TraceSet]:
+        """Yield the batch as bounded-memory blocks (streaming contract)."""
+        if chunk_size < 1:
+            raise TraceGenerationError(
+                f"chunk size must be >= 1, got {chunk_size}")
+        plaintexts = [list(p) for p in plaintexts]
+        for start in range(0, len(plaintexts), chunk_size):
+            yield self.trace_batch(
+                plaintexts[start:start + chunk_size],
+                noise_start_index=noise_start_index + start,
+            )
+
+    def trace_set(self, plaintexts: Iterable[Sequence[int]]) -> TraceSet:
+        return self.trace_batch(plaintexts)

@@ -9,6 +9,13 @@ environment processes and the builders for the paper's dual-rail cells.
 """
 
 from .builder import BlockBuilder, QDIBlock
+from .engine import (
+    BatchSimulationResult,
+    CompiledNetlist,
+    EngineError,
+    compile_netlist,
+    simulate_batch,
+)
 from .channels import (
     BusSpec,
     ChannelNets,
@@ -40,7 +47,14 @@ from .library import (
 )
 from .netlist import Instance, Net, Netlist, NetlistError, Pin, Port, PortDirection
 from .signals import Logic, TraceRecord, Transition, TransitionKind
-from .simulator import DelayModel, Process, SimulationError, Simulator, settle_combinational
+from .simulator import (
+    DelayModel,
+    Process,
+    ReferenceSimulator,
+    SimulationError,
+    Simulator,
+    settle_combinational,
+)
 from .validate import (
     BalanceError,
     ComputationResult,
@@ -55,6 +69,11 @@ from .validate import (
 __all__ = [
     "BlockBuilder",
     "QDIBlock",
+    "BatchSimulationResult",
+    "CompiledNetlist",
+    "EngineError",
+    "compile_netlist",
+    "simulate_batch",
     "BusSpec",
     "ChannelNets",
     "ChannelSpec",
@@ -94,6 +113,7 @@ __all__ = [
     "TransitionKind",
     "DelayModel",
     "Process",
+    "ReferenceSimulator",
     "SimulationError",
     "Simulator",
     "settle_combinational",

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .signals import Logic
 
 #: Behavioural function: (input values by pin, previous output) -> new output.
@@ -79,6 +81,30 @@ class GateType:
     def compute(self, values: Mapping[str, Logic], previous: Logic) -> Logic:
         """Evaluate the cell for the given input values."""
         return self.evaluate(values, previous)
+
+    def truth_table(self) -> np.ndarray:
+        """Int-coded behavioural table of the cell.
+
+        Entry ``(packed << 1) | previous`` holds the output value for the
+        input combination where bit ``i`` of ``packed`` is the value of input
+        pin ``i`` (in :attr:`inputs` order) and ``previous`` is the current
+        output.  State-holding cells (Muller gates) are fully captured because
+        the previous output is part of the index; combinational cells simply
+        repeat each entry for both ``previous`` values.
+
+        The compiled simulation engine (:mod:`repro.circuits.engine`) replaces
+        every per-event :meth:`compute` call — a dict build plus a Python
+        closure — with one lookup into this table.
+        """
+        n_inputs = len(self.inputs)
+        table = np.zeros(1 << (n_inputs + 1), dtype=np.uint8)
+        for packed in range(1 << n_inputs):
+            values = {pin: Logic((packed >> index) & 1)
+                      for index, pin in enumerate(self.inputs)}
+            for previous in (Logic.LOW, Logic.HIGH):
+                result = self.evaluate(values, previous)
+                table[(packed << 1) | int(previous)] = int(result)
+        return table
 
 
 def _all_high(values: Mapping[str, Logic], pins: Sequence[str]) -> bool:

@@ -134,6 +134,18 @@ class Netlist:
         self._nets: Dict[str, Net] = {}
         self._instances: Dict[str, Instance] = {}
         self._ports: Dict[str, Port] = {}
+        self._topology_version = 0
+
+    @property
+    def topology_version(self) -> int:
+        """Monotonic counter bumped on every structural change.
+
+        Structural means nets or instances added — electrical annotations
+        (routing capacitances) do not count.  The compiled simulation engine
+        (:mod:`repro.circuits.engine`) keys its per-netlist evaluation tables
+        on this counter, so structural edits transparently invalidate them.
+        """
+        return self._topology_version
 
     # ------------------------------------------------------------------ nets
     def add_net(self, name: str, *, block: str = "", channel: Optional[str] = None,
@@ -149,6 +161,7 @@ class Netlist:
             return net
         net = Net(name=name, block=block, channel=channel, rail=rail)
         self._nets[name] = net
+        self._topology_version += 1
         return net
 
     def net(self, name: str) -> Net:
@@ -194,6 +207,7 @@ class Netlist:
             )
         inst = Instance(name=name, cell=cell, connections=dict(connections), block=block)
         self._instances[name] = inst
+        self._topology_version += 1
         for pin, net_name in connections.items():
             net = self.add_net(net_name, block=block)
             pin_ref = Pin(instance=name, pin=pin)

@@ -11,14 +11,30 @@ effect equation (12) of the paper formalises and Fig. 7 illustrates.
 Environment behaviour (four-phase producers and consumers, reset generators)
 is modelled with :class:`Process` objects that react to net changes and
 schedule new stimuli.
+
+Engine
+------
+:class:`Simulator` runs on the compiled view of the netlist
+(:mod:`repro.circuits.engine`): net values live in one array indexed by dense
+net ids, every gate evaluates through an int-coded truth table, per-gate
+delays are resolved once at construction, and all events sharing a timestamp
+are committed as a batch whose merged fan-out is swept once — deduplicated,
+and vectorized over the affected gates when the batch is wide (the word-wide
+rail flips of a QDI handshake).  :class:`ReferenceSimulator` preserves the
+original per-event scalar loop (dict-backed state, behavioural closures) as
+the oracle the compiled engine is validated against, mirroring how
+``dpa_attack_reference`` anchors the batched attack engine.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
+from .engine import compile_netlist
 from .gates import GateType
 from .netlist import Netlist
 from .signals import Event, Logic, TraceRecord, Transition, TransitionKind
@@ -75,13 +91,26 @@ class Process:
         """Called after a sensitive net committed a new value."""
 
 
+#: Batch width above which the fan-out sweep switches from the scalar
+#: table-lookup loop to one vectorized numpy evaluation of all affected gates.
+_VECTOR_SWEEP_THRESHOLD = 8
+
+
 class Simulator:
-    """Discrete-event simulator over a gate-level netlist."""
+    """Discrete-event simulator over a gate-level netlist.
+
+    Per-gate delays are resolved once at construction from the current net
+    capacitances (they are static during a run); rebuild the simulator — or
+    call :meth:`refresh_delays` — after changing routing capacitances.
+    """
 
     def __init__(self, netlist: Netlist, delay_model: Optional[DelayModel] = None):
         self.netlist = netlist
         self.delay_model = delay_model if delay_model is not None else DelayModel()
-        self._values: Dict[str, Logic] = {}
+        self._compiled = compile_netlist(netlist)
+        self._net_index = self._compiled.net_index
+        # Array-backed net state: one 0/1 cell per dense net id.
+        self._state = np.zeros(self._compiled.net_count, dtype=np.uint8)
         self._events: List[Event] = []
         self._sequence = 0
         self._time = 0.0
@@ -90,30 +119,32 @@ class Simulator:
         self._watchers: Dict[str, List[Process]] = {}
         self._levels: Dict[str, int] = {}
         self.record_trace = True
+        #: When false, committed events do not propagate into gate fan-out
+        #: (and gates are not start-up evaluated): the simulator becomes a
+        #: pure stimulus-replay timeline.  Used by the simulator-backed trace
+        #: generators to replay channel schedules on structural netlists.
+        self.propagate_gates = True
         self._started = False
-        # Static per-instance evaluation info, resolved once: the cell, the
-        # (input pin, input net) pairs and the output net.  The hot loops
-        # (_commit / _evaluate_fanout) would otherwise chase the
-        # instance → cell → pin → net indirection on every event.
-        self._inst_info: Dict[str, Tuple[GateType, List[Tuple[str, str]], str]] = {}
-        for inst in netlist.instances():
-            cell = netlist.library.get(inst.cell)
-            input_nets = [(pin, inst.net_of(pin)) for pin in cell.inputs]
-            self._inst_info[inst.name] = (cell, input_nets, inst.net_of(cell.output))
-        self._net_sinks: Dict[str, List[str]] = {
-            net.name: [sink.instance for sink in net.sinks] for net in netlist.nets()
-        }
+        self.refresh_delays()
         self.reset_all_low()
 
     # --------------------------------------------------------------- set-up
+    def refresh_delays(self) -> None:
+        """Re-resolve every gate's delay from the current net capacitances."""
+        compiled = self._compiled
+        self._delays = [
+            self.delay_model.gate_delay(self.netlist, compiled.inst_cells[index],
+                                        compiled.out_names[index])
+            for index in range(compiled.instance_count)
+        ]
+
     def reset_all_low(self) -> None:
         """Force every net to the all-low (NULL) state without recording it.
 
         QDI circuits are reset to the invalid state before any computation
         (four-phase protocol, phase 3/4); this models the power-on reset.
         """
-        for net in self.netlist.nets():
-            self._values[net.name] = Logic.LOW
+        self._state[:] = 0
 
     def set_levels(self, levels: Mapping[str, int]) -> None:
         """Attach logical-level annotations (instance name → level).
@@ -136,7 +167,7 @@ class Simulator:
 
     def value(self, net: str) -> Logic:
         try:
-            return self._values[net]
+            return Logic(int(self._state[self._net_index[net]]))
         except KeyError:
             raise SimulationError(f"net {net!r} does not exist") from None
 
@@ -150,7 +181,7 @@ class Simulator:
     def schedule_drive(self, net: str, value: Logic, time: Optional[float] = None,
                        cause: Optional[str] = None) -> None:
         """Schedule a net to take ``value`` at ``time`` (default: now)."""
-        if net not in self._values:
+        if net not in self._net_index:
             raise SimulationError(f"cannot drive unknown net {net!r}")
         when = self._time if time is None else time
         if when < self._time:
@@ -165,8 +196,20 @@ class Simulator:
         self.schedule_drive(net, value, time, cause=None)
 
     # ---------------------------------------------------------------- engine
-    def _commit(self, event: Event) -> bool:
-        """Apply an event; return True when the net actually changed.
+    def _eval_instance(self, index: int) -> int:
+        """Table evaluation of one gate against the current net state."""
+        compiled = self._compiled
+        state = self._state
+        packed = 0
+        for net_id, weight in compiled.scalar_pins[index]:
+            if state[net_id]:
+                packed += weight
+        return int(compiled.table[compiled.table_offset[index] + (packed << 1)
+                                  + state[compiled.out_ids[index]]])
+
+    def _commit(self, event: Event) -> Optional[int]:
+        """Apply an event; return the committed value, or ``None`` when the
+        net did not change.
 
         Events caused by a gate are re-evaluated against the gate's *current*
         inputs before being applied (inertial-delay behaviour): if the inputs
@@ -174,18 +217,16 @@ class Simulator:
         discarded and the fan-out evaluation triggered by the newer input
         change produces the correct output instead.
         """
-        value = event.value
+        net_id = self._net_index[event.net]
+        value = int(event.value)
         if event.cause is not None:
-            info = self._inst_info.get(event.cause)
-            if info is not None:
-                cell, input_nets, _ = info
-                inputs = {pin: self._values[net] for pin, net in input_nets}
-                value = cell.compute(inputs, self._values[event.net])
-        old = self._values[event.net]
-        if old is value:
-            return False
-        self._values[event.net] = value
-        event = Event(event.time, event.sequence, event.net, value, event.cause)
+            cause_index = self._compiled.inst_index.get(event.cause)
+            if cause_index is not None:
+                value = self._eval_instance(cause_index)
+        old = int(self._state[net_id])
+        if old == value:
+            return None
+        self._state[net_id] = value
         if self.record_trace:
             level = 0
             if event.cause is not None:
@@ -194,24 +235,60 @@ class Simulator:
                 Transition(
                     net=event.net,
                     time=event.time,
-                    value=event.value,
-                    kind=TransitionKind.from_values(old, event.value),
+                    value=Logic(value),
+                    kind=TransitionKind.from_values(Logic(old), Logic(value)),
                     cause=event.cause,
                     level=level,
                 )
             )
-        return True
+        return value
 
-    def _evaluate_fanout(self, net: str, time: float) -> None:
-        """Re-evaluate every gate whose inputs include ``net``."""
-        for sink_name in self._net_sinks.get(net, ()):
-            cell, input_nets, out_net = self._inst_info[sink_name]
-            input_values = {pin: self._values[in_net] for pin, in_net in input_nets}
-            previous = self._values[out_net]
-            new_value = cell.compute(input_values, previous)
-            if new_value is not previous:
-                delay = self.delay_model.gate_delay(self.netlist, cell, out_net)
-                self.schedule_drive(out_net, new_value, time + delay, cause=sink_name)
+    def _schedule_gate_output(self, index: int, value: int, time: float) -> None:
+        compiled = self._compiled
+        heapq.heappush(self._events, Event(
+            time + self._delays[index], self._sequence,
+            compiled.out_names[index], Logic(value), compiled.inst_names[index],
+        ))
+        self._sequence += 1
+
+    def _sweep_fanout(self, changed_net_ids: List[int], time: float) -> None:
+        """Evaluate the merged fan-out of a same-timestamp commit batch.
+
+        Every affected gate is evaluated exactly once against the fully
+        committed batch state — the scalar loop's per-event evaluations of a
+        shared sink collapse into one, which both removes redundant work and
+        keeps zero-width same-instant input glitches from spawning phantom
+        output events.  Gate order preserves the scalar loop's discovery
+        order (commit order, then sink order), so schedules stay
+        deterministic.
+        """
+        compiled = self._compiled
+        affected: List[int] = []
+        seen = set()
+        for net_id in changed_net_ids:
+            for inst_id in compiled.net_sinks[net_id]:
+                if inst_id not in seen:
+                    seen.add(inst_id)
+                    affected.append(inst_id)
+        if not affected:
+            return
+        if len(affected) < _VECTOR_SWEEP_THRESHOLD:
+            state = self._state
+            for index in affected:
+                previous = int(state[compiled.out_ids[index]])
+                new_value = self._eval_instance(index)
+                if new_value != previous:
+                    self._schedule_gate_output(index, new_value, time)
+            return
+        ids = np.asarray(affected, dtype=np.int64)
+        packed = (self._state[compiled.input_matrix[ids]]
+                  * compiled.weight_matrix[ids]).sum(axis=1)
+        previous = self._state[compiled.out_ids[ids]]
+        new_values = compiled.table[compiled.table_offset[ids] + (packed << 1)
+                                    + previous]
+        for position in np.nonzero(new_values != previous)[0]:
+            self._schedule_gate_output(affected[position],
+                                       int(new_values[position]), time)
 
     def _notify(self, net: str, value: Logic, time: float) -> None:
         for process in self._watchers.get(net, ()):  # processes see committed values
@@ -225,40 +302,59 @@ class Simulator:
         however, must produce their true output at start-up.  This pass makes
         the simulator equally usable for ordinary combinational netlists.
         """
-        for inst_name, (cell, input_nets, out_net) in self._inst_info.items():
-            input_values = {pin: self._values[in_net] for pin, in_net in input_nets}
-            previous = self._values[out_net]
-            new_value = cell.compute(input_values, previous)
-            if new_value is not previous:
-                delay = self.delay_model.gate_delay(self.netlist, cell, out_net)
-                self.schedule_drive(out_net, new_value, time + delay, cause=inst_name)
+        compiled = self._compiled
+        if not compiled.instance_count:
+            return
+        packed = (self._state[compiled.input_matrix]
+                  * compiled.weight_matrix).sum(axis=1)
+        previous = self._state[compiled.out_ids]
+        new_values = compiled.table[compiled.table_offset + (packed << 1) + previous]
+        for index in np.nonzero(new_values != previous)[0]:
+            self._schedule_gate_output(int(index), int(new_values[index]), time)
 
     def run(self, until: Optional[float] = None, max_events: int = 2_000_000) -> TraceRecord:
         """Run until the event queue drains, ``until`` is reached, or the
         event budget is exhausted (which raises, as it indicates a livelock).
+
+        The clock always ends at ``until`` when one is given — including when
+        the queue drains early — so back-to-back :meth:`run_for` calls on a
+        quiescent circuit keep real-time pacing instead of compressing the
+        timeline.  At most ``max_events`` events are committed; the event
+        that would exceed the budget raises *before* being applied.
         """
         if not self._started:
-            self._evaluate_all_gates(self._time)
+            if self.propagate_gates:
+                self._evaluate_all_gates(self._time)
             for process in self._processes:
                 process.start(self)
             self._started = True
         processed = 0
-        while self._events:
-            if until is not None and self._events[0].time > until:
+        events = self._events
+        while events:
+            batch_time = events[0].time
+            if until is not None and batch_time > until:
                 self._time = until
                 break
-            event = heapq.heappop(self._events)
-            self._time = max(self._time, event.time)
-            changed = self._commit(event)
-            if changed:
-                self._evaluate_fanout(event.net, event.time)
-                self._notify(event.net, event.value, event.time)
-            processed += 1
-            if processed > max_events:
-                raise SimulationError(
-                    f"event budget of {max_events} exceeded at t={self._time:.3e}s; "
-                    "the circuit is probably oscillating"
-                )
+            self._time = max(self._time, batch_time)
+            changed_net_ids: List[int] = []
+            while events and events[0].time == batch_time:
+                event = heapq.heappop(events)
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"event budget of {max_events} exceeded at "
+                        f"t={self._time:.3e}s; the circuit is probably oscillating"
+                    )
+                value = self._commit(event)
+                if value is not None:
+                    changed_net_ids.append(self._net_index[event.net])
+                    self._notify(event.net, Logic(value), batch_time)
+            if changed_net_ids and self.propagate_gates:
+                self._sweep_fanout(changed_net_ids, batch_time)
+        if not events and until is not None and until > self._time:
+            # Queue drained before the horizon: advance the clock to it so
+            # durations compose (the run_for timebase fix).
+            self._time = until
         self.trace.end_time = max(self.trace.end_time, self._time)
         return self.trace
 
@@ -274,12 +370,127 @@ class Simulator:
         return not self._events
 
 
+class ReferenceSimulator(Simulator):
+    """The original scalar event loop, kept as the equivalence oracle.
+
+    State lives in a plain ``net name → Logic`` dict, gates evaluate through
+    their behavioural closures (:meth:`GateType.compute`) and every event's
+    fan-out is walked sink by sink — the literal textbook loop the compiled
+    engine replaces.  Tests assert the compiled :class:`Simulator` is value-
+    and time-identical to this loop across the QDI block library.
+    """
+
+    def __init__(self, netlist: Netlist, delay_model: Optional[DelayModel] = None):
+        self._dict_values: Dict[str, Logic] = {}
+        super().__init__(netlist, delay_model)
+        self._inst_info: Dict[str, Tuple[GateType, List[Tuple[str, str]], str]] = {}
+        for inst in netlist.instances():
+            cell = netlist.library.get(inst.cell)
+            input_nets = [(pin, inst.net_of(pin)) for pin in cell.inputs]
+            self._inst_info[inst.name] = (cell, input_nets, inst.net_of(cell.output))
+        self._name_sinks: Dict[str, List[str]] = {
+            net.name: [sink.instance for sink in net.sinks] for net in netlist.nets()
+        }
+
+    def reset_all_low(self) -> None:
+        super().reset_all_low()
+        for net in self.netlist.nets():
+            self._dict_values[net.name] = Logic.LOW
+
+    def value(self, net: str) -> Logic:
+        try:
+            return self._dict_values[net]
+        except KeyError:
+            raise SimulationError(f"net {net!r} does not exist") from None
+
+    def _commit_scalar(self, event: Event) -> Optional[Logic]:
+        value = event.value
+        if event.cause is not None:
+            info = self._inst_info.get(event.cause)
+            if info is not None:
+                cell, input_nets, _ = info
+                inputs = {pin: self._dict_values[net] for pin, net in input_nets}
+                value = cell.compute(inputs, self._dict_values[event.net])
+        old = self._dict_values[event.net]
+        if old is value:
+            return None
+        self._dict_values[event.net] = value
+        if self.record_trace:
+            level = 0
+            if event.cause is not None:
+                level = self._levels.get(event.cause, 0)
+            self.trace.add(
+                Transition(
+                    net=event.net,
+                    time=event.time,
+                    value=value,
+                    kind=TransitionKind.from_values(old, value),
+                    cause=event.cause,
+                    level=level,
+                )
+            )
+        return value
+
+    def _evaluate_fanout(self, net: str, time: float) -> None:
+        """Re-evaluate every gate whose inputs include ``net``."""
+        for sink_name in self._name_sinks.get(net, ()):
+            cell, input_nets, out_net = self._inst_info[sink_name]
+            input_values = {pin: self._dict_values[in_net] for pin, in_net in input_nets}
+            previous = self._dict_values[out_net]
+            new_value = cell.compute(input_values, previous)
+            if new_value is not previous:
+                delay = self.delay_model.gate_delay(self.netlist, cell, out_net)
+                self.schedule_drive(out_net, new_value, time + delay, cause=sink_name)
+
+    def _evaluate_all_gates(self, time: float) -> None:
+        for inst_name, (cell, input_nets, out_net) in self._inst_info.items():
+            input_values = {pin: self._dict_values[in_net] for pin, in_net in input_nets}
+            previous = self._dict_values[out_net]
+            new_value = cell.compute(input_values, previous)
+            if new_value is not previous:
+                delay = self.delay_model.gate_delay(self.netlist, cell, out_net)
+                self.schedule_drive(out_net, new_value, time + delay, cause=inst_name)
+
+    def run(self, until: Optional[float] = None, max_events: int = 2_000_000) -> TraceRecord:
+        """The per-event scalar loop (same contract as :meth:`Simulator.run`)."""
+        if not self._started:
+            if self.propagate_gates:
+                self._evaluate_all_gates(self._time)
+            for process in self._processes:
+                process.start(self)
+            self._started = True
+        processed = 0
+        while self._events:
+            if until is not None and self._events[0].time > until:
+                self._time = until
+                break
+            event = heapq.heappop(self._events)
+            self._time = max(self._time, event.time)
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"event budget of {max_events} exceeded at "
+                    f"t={self._time:.3e}s; the circuit is probably oscillating"
+                )
+            value = self._commit_scalar(event)
+            if value is not None:
+                if self.propagate_gates:
+                    self._evaluate_fanout(event.net, event.time)
+                self._notify(event.net, value, event.time)
+        if not self._events and until is not None and until > self._time:
+            self._time = until
+        self.trace.end_time = max(self.trace.end_time, self._time)
+        return self.trace
+
+
 def settle_combinational(netlist: Netlist, inputs: Mapping[str, Logic],
                          delay_model: Optional[DelayModel] = None) -> Dict[str, Logic]:
     """Convenience helper: apply ``inputs``, settle, and return all net values.
 
     Useful for functionally checking small QDI blocks without setting up
-    handshake processes.
+    handshake processes.  For whole stimulus batches,
+    :func:`repro.circuits.engine.simulate_batch` computes the same settled
+    values vectorized.
     """
     sim = Simulator(netlist, delay_model=delay_model)
     for net, value in inputs.items():

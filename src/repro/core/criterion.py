@@ -122,6 +122,15 @@ class CriterionReport:
 
 
 def _rail_capacitance(netlist: Netlist, net: Net, use_load_cap: bool) -> float:
+    """Capacitance of one rail, read from the annotated netlist.
+
+    All criterion evaluations go through the netlist (never through a raw
+    extraction-report lookup): ``load_cap_ff`` raises ``NetlistError`` on an
+    unknown net, matching the strict
+    :meth:`repro.pnr.extraction.ExtractionReport.cap_of` contract — a
+    routing/annotation name mismatch fails loudly instead of reporting a
+    phantom ``0.0`` capacitance that would understate the dissymmetry.
+    """
     if use_load_cap:
         return netlist.load_cap_ff(net.name)
     return net.routing_cap_ff

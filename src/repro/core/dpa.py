@@ -386,9 +386,35 @@ class DPAResult:
         return correct / best_wrong
 
 
+def _polarized_bias(bias: np.ndarray, polarity: str) -> np.ndarray:
+    """Apply the expected bias polarity before peak extraction.
+
+    ``"abs"`` is the classic two-sided peak.  ``"negative"`` /
+    ``"positive"`` implement the single-sided variant: when the attacker
+    knows which partition consumes more charge (under the paper's model the
+    ``D = 1`` traces of the correct guess draw *more* current, so
+    ``T = A0 − A1`` peaks negative), only peaks of that sign count — which
+    resolves the complement ambiguity of Hamming-weight selections against
+    linear leakage.  Wrong-side excursions are clipped to zero, so
+    :attr:`GuessResult.peak` stays non-negative under every polarity (a
+    guess with no peak of the expected sign carries no evidence, exactly
+    like a guess with a single-sided partition) and the ranking /
+    discrimination-ratio semantics are unchanged.
+    """
+    if polarity == "abs":
+        return np.abs(bias)
+    if polarity == "negative":
+        return np.maximum(-bias, 0.0)
+    if polarity == "positive":
+        return np.maximum(bias, 0.0)
+    raise DPAError(f"unknown polarity {polarity!r}; "
+                   "expected 'abs', 'positive' or 'negative'")
+
+
 def dpa_attack(traces: TraceSet, selection: SelectionFunction, *,
                guesses: Optional[Sequence[int]] = None,
-               keep_bias: bool = False) -> DPAResult:
+               keep_bias: bool = False,
+               polarity: str = "abs") -> DPAResult:
     """Run the DPA attack of Section IV over a set of key guesses.
 
     All guesses are evaluated at once: the selection-bit matrix ``B`` of the
@@ -408,6 +434,10 @@ def dpa_attack(traces: TraceSet, selection: SelectionFunction, *,
     keep_bias:
         Store the full bias waveform of every guess (memory-heavier; useful
         for plotting or for inspecting secondary peaks).
+    polarity:
+        Peak statistic: ``"abs"`` (default, two-sided) or the single-sided
+        ``"negative"`` / ``"positive"`` when the expected sign of
+        ``T = A0 − A1`` at the leak is known (see :func:`_polarized_bias`).
     """
     if len(traces) == 0:
         raise DPAError("cannot attack an empty trace set")
@@ -417,7 +447,7 @@ def dpa_attack(traces: TraceSet, selection: SelectionFunction, *,
 
     bit_matrix = selection_matrix(selection, traces.plaintexts(), guess_space)
     bias, valid = _bias_matrix(matrix, bit_matrix)
-    abs_bias = np.abs(bias)
+    abs_bias = _polarized_bias(bias, polarity)
     peak_indices = np.argmax(abs_bias, axis=1)
     peaks = abs_bias[np.arange(len(guess_space)), peak_indices]
     rms = np.sqrt(np.mean(bias ** 2, axis=1))
@@ -442,7 +472,8 @@ def dpa_attack(traces: TraceSet, selection: SelectionFunction, *,
 
 def dpa_attack_reference(traces: TraceSet, selection: SelectionFunction, *,
                          guesses: Optional[Sequence[int]] = None,
-                         keep_bias: bool = False) -> DPAResult:
+                         keep_bias: bool = False,
+                         polarity: str = "abs") -> DPAResult:
     """The literal per-guess formulation of the attack (reference path).
 
     Splits and averages the trace set one key guess at a time, exactly as the
@@ -463,7 +494,7 @@ def dpa_attack_reference(traces: TraceSet, selection: SelectionFunction, *,
             result.results.append(GuessResult(guess=guess, peak=0.0,
                                               peak_time=t0, rms=0.0, bias=None))
             continue
-        abs_bias = np.abs(bias)
+        abs_bias = _polarized_bias(bias, polarity)
         peak_index = int(np.argmax(abs_bias))
         guess_result = GuessResult(
             guess=guess,

@@ -229,11 +229,19 @@ TraceSource = Callable[[Sequence[Sequence[int]], Optional[NoiseModel]], TraceSet
 
 @dataclass
 class CampaignDesign:
-    """One device under attack: a placed netlist or a custom trace source."""
+    """One device under attack: a placed netlist or a custom trace source.
+
+    ``source`` selects how a netlist design is traced — ``"analytic"`` for
+    the charge-model :class:`AesPowerTraceGenerator`, ``"simulator"`` for the
+    event-engine :class:`~repro.asyncaes.simtrace.AesSimulatorTraceGenerator`
+    (transfer-schedule replay through committed simulator transitions).
+    Custom ``trace_source`` designs ignore it.
+    """
 
     label: str
     netlist: Optional[Netlist] = None
     trace_source: Optional[TraceSource] = None
+    source: str = "analytic"
 
 
 @dataclass
@@ -537,6 +545,13 @@ class AttackCampaign:
     and emits one comparison table — the Table-2-style flat-vs-hierarchical
     statement, extended to arbitrary scenario grids.
 
+    The **trace source** is a grid dimension of its own: every netlist design
+    registers with ``add_design(..., source="analytic")`` (the charge-model
+    scatter) or ``source="simulator"`` (transfer-schedule replay through the
+    event engine, traces synthesized from committed transitions — see
+    :mod:`repro.asyncaes.simtrace`), so the same placed netlist can be
+    evaluated under both generation models side by side in one table.
+
     Parameters
     ----------
     key:
@@ -574,12 +589,32 @@ class AttackCampaign:
 
     # ------------------------------------------------------------- scenario
     def add_design(self, label: str, netlist: Optional[Netlist] = None, *,
-                   trace_source: Optional[TraceSource] = None) -> "AttackCampaign":
+                   trace_source: Optional[TraceSource] = None,
+                   source: str = "analytic") -> "AttackCampaign":
+        """Register one device under attack.
+
+        ``source`` is the trace-source dimension of the grid for netlist
+        designs: ``"analytic"`` (default) scatters the charge model straight
+        from the transfer schedule; ``"simulator"`` replays the schedule as
+        rail events through the event simulator and synthesizes the trace
+        from committed transitions, so the same netlist can be attacked under
+        both generation models in one campaign (add it twice with different
+        labels and sources).  Custom ``trace_source`` callables bypass the
+        dimension entirely.
+        """
         if (netlist is None) == (trace_source is None):
             raise ValueError("a design needs exactly one of netlist / trace_source")
         if netlist is not None and self.key is None:
             raise ValueError("netlist designs need the campaign key to trace")
-        self._designs.append(CampaignDesign(label, netlist, trace_source))
+        if source not in ("analytic", "simulator"):
+            raise ValueError(f"unknown trace source {source!r}; "
+                             "expected 'analytic' or 'simulator'")
+        if trace_source is not None and source != "analytic":
+            raise ValueError("source only applies to netlist designs; "
+                             "custom trace_source callables are already "
+                             "their own source")
+        self._designs.append(CampaignDesign(label, netlist, trace_source,
+                                            source))
         return self
 
     def add_selection(self, selection: SelectionFunction, *,
@@ -691,15 +726,28 @@ class AttackCampaign:
             if noise is not None and noise_start:
                 noise = _OffsetNoise(noise, noise_start)
             return design.trace_source(plaintexts, noise)
+        generator = self._generator_for(design, noise)
+        return generator.trace_batch(plaintexts, noise_start_index=noise_start)
+
+    def _generator_for(self, design: CampaignDesign,
+                       noise: Optional[NoiseModel]):
+        """Build the trace generator a netlist design's ``source`` selects."""
         # Imported lazily: repro.asyncaes itself builds on repro.core.
+        if design.source == "simulator":
+            from ..asyncaes.simtrace import AesSimulatorTraceGenerator
+
+            return AesSimulatorTraceGenerator(
+                design.netlist, self.key,
+                architecture=self.architecture, technology=self.technology,
+                noise=noise, config=self.generator_config,
+            )
         from ..asyncaes.tracegen import AesPowerTraceGenerator
 
-        generator = AesPowerTraceGenerator(
+        return AesPowerTraceGenerator(
             design.netlist, self.key,
             architecture=self.architecture, technology=self.technology,
             noise=noise, config=self.generator_config,
         )
-        return generator.trace_batch(plaintexts, noise_start_index=noise_start)
 
     def _trace_chunks_for(self, design: CampaignDesign,
                           noise: Optional[NoiseModel],
@@ -719,13 +767,7 @@ class AttackCampaign:
                                if noise is not None else None)
                 yield design.trace_source(block, chunk_noise)
             return
-        from ..asyncaes.tracegen import AesPowerTraceGenerator
-
-        generator = AesPowerTraceGenerator(
-            design.netlist, self.key,
-            architecture=self.architecture, technology=self.technology,
-            noise=noise, config=self.generator_config,
-        )
+        generator = self._generator_for(design, noise)
         yield from generator.trace_chunks(plaintexts, chunk_size,
                                           noise_start_index=noise_start)
 

@@ -14,7 +14,12 @@ from .cells import (
     die_side_for_area,
     total_cell_area_um2,
 )
-from .extraction import ExtractionReport, channel_rail_caps, extract_capacitances
+from .extraction import (
+    ExtractionLookupError,
+    ExtractionReport,
+    channel_rail_caps,
+    extract_capacitances,
+)
 from .floorplan import (
     Floorplan,
     FloorplanError,
@@ -48,6 +53,7 @@ __all__ = [
     "cells_from_netlist",
     "die_side_for_area",
     "total_cell_area_um2",
+    "ExtractionLookupError",
     "ExtractionReport",
     "channel_rail_caps",
     "extract_capacitances",

@@ -18,6 +18,20 @@ from .placement import Placement
 from .routing import RoutingEstimate, estimate_routing
 
 
+class ExtractionLookupError(KeyError):
+    """A net was looked up that the extraction never annotated.
+
+    A silent ``0.0`` here is dangerous: a net-name mismatch between routing
+    and annotation would understate a channel's dissymmetry and could
+    green-light a leaky design, so unknown nets raise unless the caller
+    explicitly opts into a default.
+    """
+
+
+#: Sentinel distinguishing "no default passed" from ``default=None``/``0.0``.
+_MISSING = object()
+
+
 @dataclass
 class ExtractionReport:
     """Extracted routing capacitance of every net (femtofarads)."""
@@ -25,8 +39,27 @@ class ExtractionReport:
     caps_ff: Dict[str, float] = field(default_factory=dict)
     total_wirelength_um: float = 0.0
 
-    def cap_of(self, net_name: str) -> float:
-        return self.caps_ff.get(net_name, 0.0)
+    def cap_of(self, net_name: str, default: float = _MISSING) -> float:
+        """Extracted routing capacitance of one net.
+
+        Unknown nets raise :class:`ExtractionLookupError` — the strict
+        behaviour that catches net-name mismatches between the routing and
+        annotation steps before they reach the dissymmetry criterion (the
+        rail-capacitance consumers in :mod:`repro.core.criterion` read the
+        annotated netlist, which is equally strict about unknown nets).
+        Pass ``default=`` to opt back into a fallback value.
+        """
+        try:
+            return self.caps_ff[net_name]
+        except KeyError:
+            if default is not _MISSING:
+                return default
+            raise ExtractionLookupError(
+                f"net {net_name!r} was never extracted (known nets: "
+                f"{len(self.caps_ff)}); a routing/annotation name mismatch "
+                "here would silently understate channel dissymmetry — pass "
+                "default= to opt into a fallback"
+            ) from None
 
     def __len__(self) -> int:
         return len(self.caps_ff)

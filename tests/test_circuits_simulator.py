@@ -6,6 +6,8 @@ from repro.circuits import (
     DelayModel,
     Logic,
     Netlist,
+    Process,
+    ReferenceSimulator,
     SimulationError,
     Simulator,
     settle_combinational,
@@ -86,6 +88,87 @@ class TestSimulatorBasics:
         levels = {t.net: t.level for t in trace if t.cause is not None and t.time > 1e-9}
         assert levels["n1"] == 1
         assert levels["y"] == 2
+
+
+@pytest.fixture(params=[Simulator, ReferenceSimulator],
+                ids=["compiled", "reference"])
+def sim_class(request):
+    return request.param
+
+
+class TestRunForTimebase:
+    """Regressions for the queue-drain timebase bug: ``run(until=...)`` must
+    advance the clock to ``until`` even when no future event exists."""
+
+    def test_back_to_back_run_for_on_quiescent_circuit(self, sim_class):
+        sim = sim_class(_chain_netlist())
+        sim.settle()  # consume the start-up events; circuit is quiescent
+        start = sim.time
+        sim.run_for(1e-9)
+        assert sim.time == pytest.approx(start + 1e-9)
+        sim.run_for(1e-9)
+        # Pre-fix, time stayed at the last event and the timeline compressed.
+        assert sim.time == pytest.approx(start + 2e-9)
+
+    def test_drive_relative_to_time_after_idle_period(self, sim_class):
+        """An environment scheduling relative to ``sim.time`` after an idle
+        ``run_for`` must fire at the absolute time, not early."""
+        sim = sim_class(_chain_netlist())
+        sim.settle()
+        start = sim.time
+        sim.run_for(10e-9)
+        sim.drive_input("a", Logic.HIGH, time=sim.time + 1e-9)
+        trace = sim.settle()
+        rises = [t for t in trace.transitions_for("a") if t.value is Logic.HIGH]
+        assert rises[0].time == pytest.approx(start + 11e-9)
+
+    def test_run_until_with_pending_event_unchanged(self, sim_class):
+        sim = sim_class(_chain_netlist())
+        sim.drive_input("a", Logic.HIGH, time=10e-9)
+        sim.run(until=1e-9)
+        assert sim.time == pytest.approx(1e-9)
+        assert sim.pending_events() == 1
+
+    def test_trace_end_time_covers_idle_run(self, sim_class):
+        sim = sim_class(_chain_netlist())
+        sim.settle()
+        start = sim.time
+        sim.run_for(5e-9)
+        assert sim.trace.end_time == pytest.approx(start + 5e-9)
+
+
+class TestEventBudgetBoundary:
+    """Regressions for the budget off-by-one: at most ``max_events`` events
+    may be committed, and the error names the honoured budget."""
+
+    def test_exact_budget_succeeds(self, sim_class):
+        # Driving the settled chain commits exactly 3 events (a, n1, y).
+        sim = sim_class(_chain_netlist())
+        sim.settle()
+        sim.drive_input("a", Logic.HIGH)
+        sim.run(max_events=3)
+        assert sim.is_quiescent()
+        assert sim.value("y") is Logic.HIGH
+
+    def test_budget_exhaustion_raises_before_commit(self, sim_class):
+        sim = sim_class(_chain_netlist())
+        sim.settle()
+        committed_before = len(sim.trace)
+        sim.drive_input("a", Logic.HIGH)
+        with pytest.raises(SimulationError, match="budget of 2"):
+            sim.run(max_events=2)
+        # Pre-fix the third event was committed before the raise.
+        assert len(sim.trace) - committed_before == 2
+
+    def test_oscillation_commits_at_most_budget(self, sim_class):
+        netlist = Netlist("ring")
+        netlist.add_instance("i1", "INV", {"A": "b", "Z": "a"})
+        netlist.add_instance("i2", "BUF", {"A": "a", "Z": "b"})
+        sim = sim_class(netlist)
+        sim.schedule_drive("a", Logic.HIGH)
+        with pytest.raises(SimulationError, match="budget of 50"):
+            sim.run(max_events=50)
+        assert len(sim.trace) <= 50
 
 
 class TestDelayModel:

@@ -7,6 +7,7 @@ from repro.circuits import build_xor_bank
 from repro.core import evaluate_netlist_channels
 from repro.electrical import HCMOS9_LIKE
 from repro.pnr import (
+    ExtractionLookupError,
     FlatPlacer,
     Floorplan,
     FloorplanError,
@@ -150,6 +151,27 @@ class TestRoutingAndExtraction:
             report.caps_ff[some_net]
         )
         assert report.max_cap_ff >= HCMOS9_LIKE.via_cap_ff
+
+    def test_cap_of_unknown_net_raises(self):
+        """Regression: a routing/annotation net-name mismatch must fail loudly
+        instead of reporting a phantom 0.0 fF capacitance (which would
+        understate channel dissymmetry and green-light a leaky design)."""
+        netlist = build_xor_bank(2, "x").netlist
+        placement = FlatPlacer(seed=3, effort=0.3).place(netlist)
+        report = extract_capacitances(netlist, placement)
+        with pytest.raises(ExtractionLookupError):
+            report.cap_of("no_such_net")
+        with pytest.raises(KeyError):  # subclass contract for generic callers
+            report.cap_of("no_such_net")
+
+    def test_cap_of_default_escape_hatch(self):
+        netlist = build_xor_bank(2, "x").netlist
+        placement = FlatPlacer(seed=3, effort=0.3).place(netlist)
+        report = extract_capacitances(netlist, placement)
+        assert report.cap_of("no_such_net", default=0.0) == 0.0
+        assert report.cap_of("no_such_net", default=3.5) == 3.5
+        some_net = next(iter(report.caps_ff))
+        assert report.cap_of(some_net, default=99.0) == report.caps_ff[some_net]
 
     def test_channel_rail_caps_grouping(self):
         netlist = build_xor_bank(2, "x").netlist
