@@ -120,12 +120,28 @@ class SimulatorTraceGenerator:
         else:
             self._allowed = {net.name for net in netlist.nets()
                              if net.driver is not None}
-        cap_of = netlist.load_cap_ff if use_load_cap else netlist.total_cap_ff
-        self._cap_ff: Dict[str, float] = {name: cap_of(name)
-                                          for name in self._allowed}
+        self._use_load_cap = use_load_cap
+        self._refresh_caps()
         # Sample count pinned by the first generated batch so every later
         # batch and chunk of this generator shares one rectangular geometry.
         self._pinned_samples: Optional[int] = None
+
+    def _refresh_caps(self) -> None:
+        """(Re)collect per-net capacitances, keyed on the netlist version.
+
+        A hardening mutation (dummy load, routing-cap rewrite) bumps the
+        netlist's cap version; the next trace generation re-reads the caps
+        instead of depositing charges of the pre-countermeasure design.
+        """
+        cap_of = (self.netlist.load_cap_ff if self._use_load_cap
+                  else self.netlist.total_cap_ff)
+        self._cap_ff: Dict[str, float] = {name: cap_of(name)
+                                          for name in self._allowed}
+        self._cap_state = self.netlist.state_version
+
+    def _ensure_caps_current(self) -> None:
+        if self._cap_state != self.netlist.state_version:
+            self._refresh_caps()
 
     # ------------------------------------------------------------ one trace
     def _simulate(self, plaintext: Sequence[int]):
@@ -172,6 +188,7 @@ class SimulatorTraceGenerator:
         ``noise_start_index`` pinning the batch's place in the noise stream
         so chunked generation is sample-identical to one big batch.
         """
+        self._ensure_caps_current()
         plaintexts = [list(p) for p in plaintexts]
         if not plaintexts:
             return TraceSet()
@@ -320,6 +337,16 @@ class AesSimulatorTraceGenerator:
         self.datapath = CipherDataPath(self.key)
         self.keypath = KeySchedulePath(self.key)
         self._bus_by_name = {bus.name: bus for bus in self.architecture.channels}
+        self._key_transfers_cache = None
+        self._refresh_caps()
+
+    def _refresh_caps(self) -> None:
+        """(Re)collect rail/internal caps, keyed on the netlist version.
+
+        Mirrors :meth:`AesPowerTraceGenerator._refresh_caps`: a hardening
+        mutation bumps the netlist's cap (or topology) version, and the next
+        batch deposits the post-countermeasure charges.
+        """
         self._rail_caps: Dict[str, float] = {}
         for bus in self.architecture.channels:
             for bit in range(bus.width):
@@ -332,11 +359,15 @@ class AesSimulatorTraceGenerator:
                         )
                     self._rail_caps[net_name] = self.netlist.load_cap_ff(net_name)
         self._internal_caps: Dict[str, float] = {}
-        if include_internal:
+        if self.include_internal:
             for net in self.netlist.nets():
                 if net.driver is not None and net.name not in self._rail_caps:
                     self._internal_caps[net.name] = self.netlist.total_cap_ff(net.name)
-        self._key_transfers_cache = None
+        self._cap_state = self.netlist.state_version
+
+    def _ensure_caps_current(self) -> None:
+        if self._cap_state != self.netlist.state_version:
+            self._refresh_caps()
 
     # -------------------------------------------------------------- schedule
     def _transfers_for(self, run) -> List:
@@ -394,6 +425,7 @@ class AesSimulatorTraceGenerator:
     def trace_batch(self, plaintexts: Iterable[Sequence[int]], *,
                     noise_start_index: int = 0) -> TraceSet:
         """Simulate every plaintext's transfer replay into one trace matrix."""
+        self._ensure_caps_current()
         plaintexts = [list(p) for p in plaintexts]
         if not plaintexts:
             return TraceSet()

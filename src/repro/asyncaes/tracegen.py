@@ -146,14 +146,31 @@ class AesPowerTraceGenerator:
         self.config = config if config is not None else TraceGeneratorConfig()
         self.datapath = CipherDataPath(self.key)
         self.keypath = KeySchedulePath(self.key)
-        self._rail_caps = self._collect_rail_caps()
-        self._cap_matrices: Dict[str, np.ndarray] = {}
-        self._key_template_cache: Dict[tuple, np.ndarray] = {}
         # The key-path channel activity depends only on the key, so its
         # transfers are computed once and reused for every trace.
         self._key_transfers_cache: Optional[Tuple[List[List[int]], List[ChannelTransfer]]] = None
+        self._refresh_caps()
 
     # -------------------------------------------------------------- set-up
+    def _refresh_caps(self) -> None:
+        """(Re)build every capacitance-derived cache from the netlist.
+
+        Keyed on :attr:`~repro.circuits.netlist.Netlist.state_version`: a
+        hardening pass that inserts dummy loads, rewrites routing caps or
+        adds structure bumps the netlist's cap/topology version, and the next
+        trace generation transparently re-collects the rail capacitances
+        (and drops the cap matrices and key-path templates derived from
+        them) instead of synthesizing traces of the pre-countermeasure
+        design.
+        """
+        self._rail_caps = self._collect_rail_caps()
+        self._cap_matrices: Dict[str, np.ndarray] = {}
+        self._key_template_cache: Dict[tuple, np.ndarray] = {}
+        self._cap_state = self.netlist.state_version
+
+    def _ensure_caps_current(self) -> None:
+        if self._cap_state != self.netlist.state_version:
+            self._refresh_caps()
     def _collect_rail_caps(self) -> Dict[Tuple[str, int, int], float]:
         """Load capacitance (fF) of every channel rail, keyed by (bus, bit, rail)."""
         caps: Dict[Tuple[str, int, int], float] = {}
@@ -170,6 +187,7 @@ class AesPowerTraceGenerator:
         return caps
 
     def rail_cap_ff(self, bus: str, bit: int, rail: int) -> float:
+        self._ensure_caps_current()
         return self._rail_caps[(bus, bit, rail)]
 
     # ------------------------------------------------------------ one trace
@@ -245,6 +263,7 @@ class AesPowerTraceGenerator:
         This is the per-trace reference path; :meth:`trace_batch` produces
         the same samples for a whole batch of plaintexts at once.
         """
+        self._ensure_caps_current()
         run, transfers = self._transfers_for(plaintext)
         cfg = self.config
         sample_count, samples_per_slot, rtz_offset = self._sample_geometry(run.total_slots)
@@ -376,6 +395,7 @@ class AesPowerTraceGenerator:
         ``noise_start_index + i`` (see :mod:`repro.electrical.noise`), which
         is what makes chunked generation sample-identical to one big batch.
         """
+        self._ensure_caps_current()
         plaintexts = [list(p) for p in plaintexts]
         if not plaintexts:
             return TraceSet()
@@ -479,6 +499,7 @@ class AesPowerTraceGenerator:
 
     def channel_dissymmetry(self, bus: str, bit: int) -> float:
         """Dissymmetry criterion of one channel bit, from the collected caps."""
+        self._ensure_caps_current()
         cap0 = self._rail_caps[(bus, bit, 0)]
         cap1 = self._rail_caps[(bus, bit, 1)]
         smallest = min(cap0, cap1)

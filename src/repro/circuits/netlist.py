@@ -19,6 +19,7 @@ capacitance.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -64,6 +65,12 @@ class Net:
         Interconnect (routing) capacitance in femtofarads.  This is the value
         the place-and-route substrate controls and the value the paper's
         dissymmetry criterion compares between the two rails of a channel.
+    dummy_cap_ff:
+        Extra trimming capacitance deliberately attached to the net by a
+        hardening pass (dummy gate loads / metal fill used to equalize the
+        rails of a channel).  Counted into the load capacitance ``Cl`` but
+        kept separate from ``routing_cap_ff`` so a re-extraction of the
+        routing never erases an applied countermeasure.
     driver:
         The pin that drives the net (``None`` for primary inputs).
     sinks:
@@ -79,6 +86,7 @@ class Net:
 
     name: str
     routing_cap_ff: float = 0.0
+    dummy_cap_ff: float = 0.0
     driver: Optional[Pin] = None
     sinks: List[Pin] = field(default_factory=list)
     block: str = ""
@@ -135,6 +143,7 @@ class Netlist:
         self._instances: Dict[str, Instance] = {}
         self._ports: Dict[str, Port] = {}
         self._topology_version = 0
+        self._cap_version = 0
 
     @property
     def topology_version(self) -> int:
@@ -146,6 +155,34 @@ class Netlist:
         on this counter, so structural edits transparently invalidate them.
         """
         return self._topology_version
+
+    @property
+    def cap_version(self) -> int:
+        """Monotonic counter bumped on every capacitance change.
+
+        Electrical annotations (routing capacitances written back by the
+        extraction step, dummy loads inserted by a hardening pass) bump this
+        counter without touching :attr:`topology_version`.  Consumers that
+        cache capacitance-derived state — the trace generators of
+        :mod:`repro.asyncaes` cache per-rail load-capacitance matrices —
+        key their caches on :attr:`state_version` so a hardening mutation
+        transparently invalidates them.
+        """
+        return self._cap_version
+
+    @property
+    def state_version(self) -> Tuple[int, int]:
+        """``(topology_version, cap_version)`` — the full cache key."""
+        return (self._topology_version, self._cap_version)
+
+    def touch_caps(self) -> None:
+        """Record a capacitance change made directly on :class:`Net` objects.
+
+        The extraction back-annotation writes ``routing_cap_ff`` on many nets
+        and then calls this once; passes that go through
+        :meth:`set_routing_cap` / :meth:`add_dummy_load` never need it.
+        """
+        self._cap_version += 1
 
     # ------------------------------------------------------------------ nets
     def add_net(self, name: str, *, block: str = "", channel: Optional[str] = None,
@@ -301,25 +338,58 @@ class Netlist:
         driven by primary inputs only contribute their load part.
         """
         net = self.net(net_name)
-        load = net.routing_cap_ff + self.pin_cap_ff(net_name)
+        load = net.routing_cap_ff + net.dummy_cap_ff + self.pin_cap_ff(net_name)
         driver = self.driver_cell(net_name)
         if driver is None:
             return load
         return load + driver.parasitic_cap_ff + driver.short_circuit_cap_ff
 
     def load_cap_ff(self, net_name: str) -> float:
-        """Load capacitance ``Cl`` (routing + fanout pins) of a net."""
+        """Load capacitance ``Cl`` (routing + dummy loads + fanout pins)."""
         net = self.net(net_name)
-        return net.routing_cap_ff + self.pin_cap_ff(net_name)
+        return net.routing_cap_ff + net.dummy_cap_ff + self.pin_cap_ff(net_name)
 
     def set_routing_cap(self, net_name: str, cap_ff: float) -> None:
         if cap_ff < 0:
             raise ValueError(f"routing capacitance must be >= 0, got {cap_ff}")
         self.net(net_name).routing_cap_ff = cap_ff
+        self._cap_version += 1
 
     def set_routing_caps(self, caps: Mapping[str, float]) -> None:
         for name, value in caps.items():
             self.set_routing_cap(name, value)
+
+    def add_dummy_load(self, net_name: str, cap_ff: float) -> float:
+        """Attach ``cap_ff`` of dummy load to a net; returns the new total.
+
+        This is the mutation entry of the dummy-load hardening pass: the extra
+        capacitance models unswitched gate inputs / metal fill hung on the
+        lighter rail of a channel to equalize it against the heavier one.  The
+        addition is cumulative, survives routing re-extraction (which only
+        rewrites ``routing_cap_ff``) and bumps :attr:`cap_version` so every
+        capacitance-derived cache invalidates.
+        """
+        if cap_ff < 0:
+            raise ValueError(f"dummy load must be >= 0, got {cap_ff}")
+        net = self.net(net_name)
+        net.dummy_cap_ff += cap_ff
+        self._cap_version += 1
+        return net.dummy_cap_ff
+
+    def clear_dummy_loads(self) -> int:
+        """Remove every dummy load; returns how many nets were trimmed."""
+        cleared = 0
+        for net in self._nets.values():
+            if net.dummy_cap_ff:
+                net.dummy_cap_ff = 0.0
+                cleared += 1
+        if cleared:
+            self._cap_version += 1
+        return cleared
+
+    def dummy_load_total_ff(self) -> float:
+        """Total dummy-load capacitance inserted by hardening passes."""
+        return sum(net.dummy_cap_ff for net in self._nets.values())
 
     def total_area_um2(self) -> float:
         """Sum of the areas of all instantiated cells."""
@@ -377,6 +447,37 @@ class Netlist:
                     problems.append(f"output port {port.name!r} is undriven")
         return problems
 
+    def content_digest(self) -> str:
+        """SHA-256 over the full structural *and* electrical state.
+
+        Two netlists with the same instances, connectivity, channel
+        annotations, routing capacitances and dummy loads produce the same
+        digest regardless of insertion order.  The hardening test-suite uses
+        it to prove that a repair pipeline run on an already-balanced design
+        is a strict no-op.
+        """
+        digest = hashlib.sha256()
+        for name in sorted(self._nets):
+            net = self._nets[name]
+            driver = (f"{net.driver.instance}.{net.driver.pin}"
+                      if net.driver is not None else "")
+            sinks = ",".join(sorted(f"{p.instance}.{p.pin}" for p in net.sinks))
+            digest.update(
+                f"net|{name}|{net.routing_cap_ff!r}|{net.dummy_cap_ff!r}|"
+                f"{driver}|{sinks}|{net.block}|{net.channel}|{net.rail}\n"
+                .encode())
+        for name in sorted(self._instances):
+            inst = self._instances[name]
+            pins = ",".join(f"{pin}={net}" for pin, net
+                            in sorted(inst.connections.items()))
+            digest.update(
+                f"inst|{name}|{inst.cell}|{pins}|{inst.block}\n".encode())
+        for name in sorted(self._ports):
+            port = self._ports[name]
+            digest.update(
+                f"port|{name}|{port.direction.value}|{port.net}\n".encode())
+        return digest.hexdigest()
+
     def merge(self, other: "Netlist", prefix: str = "") -> None:
         """Copy the contents of ``other`` into this netlist.
 
@@ -392,6 +493,7 @@ class Netlist:
                                channel=(rename(net.channel) if net.channel else None),
                                rail=net.rail)
             new.routing_cap_ff = net.routing_cap_ff
+            new.dummy_cap_ff = net.dummy_cap_ff
         for inst in other.instances():
             self.add_instance(
                 rename(inst.name), inst.cell,

@@ -12,13 +12,22 @@ critical channels (highest criterion) of the AES core for the flat and the
 hierarchical place-and-route flows.
 
 This module evaluates the criterion over a netlist whose nets carry channel
-annotations and produces Table-2 style reports.
+annotations and produces Table-2 style reports.  Evaluation is vectorized:
+every report carries a dense ``(channels, max rails)`` capacitance matrix
+(NaN-padded for narrower channels) and all aggregates — the dissymmetry
+vector, max/mean, bound checks, worst-channel ranking — are O(channels)
+numpy expressions over it.  The scalar :func:`channel_dissymmetry` stays the
+definitional oracle; the vectorized path is exactly equivalent (same float64
+operations, bit-identical results), which the test-suite asserts across the
+QDI block library.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..circuits.netlist import Net, Netlist
 
@@ -28,12 +37,13 @@ class CriterionError(Exception):
 
 
 def channel_dissymmetry(rail_caps_ff: Sequence[float]) -> float:
-    """The dissymmetry criterion for one channel.
+    """The dissymmetry criterion for one channel (the scalar oracle).
 
     For a dual-rail channel this is exactly the paper's
     ``|Cl0 − Cl1| / min(Cl0, Cl1)``; for wider 1-of-N channels the spread
     between the extreme rails is used, which reduces to the same expression
-    when N = 2.
+    when N = 2.  A zero-capacitance rail opposite a loaded one yields
+    ``inf`` — maximally leaky, never to be averaged away.
     """
     caps = [float(c) for c in rail_caps_ff]
     if len(caps) < 2:
@@ -45,6 +55,46 @@ def channel_dissymmetry(rail_caps_ff: Sequence[float]) -> float:
     if smallest == 0.0:
         return float("inf") if largest > 0.0 else 0.0
     return (largest - smallest) / smallest
+
+
+def dissymmetry_vector(cap_matrix: np.ndarray) -> np.ndarray:
+    """Vectorized criterion over a dense ``(channels, max rails)`` matrix.
+
+    Rows are channels; entries beyond a channel's rail count are NaN.  The
+    result is float64 and **bit-identical** to calling the scalar
+    :func:`channel_dissymmetry` row by row: the per-row reduction uses the
+    same ``(max − min) / min`` float64 operations, with the same
+    zero-capacitance conventions (``0/0 → 0``, ``x/0 → inf``).
+    """
+    matrix = np.asarray(cap_matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] < 2:
+        raise CriterionError(
+            f"capacitance matrix must be (channels, >=2 rails), "
+            f"got shape {matrix.shape}")
+    valid = ~np.isnan(matrix)
+    if (valid.sum(axis=1) < 2).any():
+        raise CriterionError("a channel needs at least two rails")
+    if (matrix[valid] < 0).any():
+        raise CriterionError("negative capacitance in the matrix")
+    smallest = np.nanmin(matrix, axis=1)
+    largest = np.nanmax(matrix, axis=1)
+    out = np.zeros(matrix.shape[0])
+    zero = smallest == 0.0
+    np.divide(largest - smallest, smallest, out=out, where=~zero)
+    out[zero & (largest > 0.0)] = np.inf
+    out[zero & (largest == 0.0)] = 0.0
+    return out
+
+
+def pack_cap_matrix(rail_caps: Sequence[Sequence[float]]) -> np.ndarray:
+    """NaN-pad a ragged list of per-channel rail capacitances into a matrix."""
+    if not rail_caps:
+        return np.empty((0, 2))
+    width = max(2, max(len(caps) for caps in rail_caps))
+    matrix = np.full((len(rail_caps), width), np.nan)
+    for row, caps in enumerate(rail_caps):
+        matrix[row, :len(caps)] = caps
+    return matrix
 
 
 @dataclass(frozen=True)
@@ -71,33 +121,111 @@ class ChannelCriterion:
                 f"caps(fF)=[{caps}] dA={self.dissymmetry:.3f}")
 
 
+def _infer_bit(channel_name: str) -> Optional[int]:
+    """Bit index of a ``<bus>_b<bit>`` channel name, or ``None``."""
+    if "_b" in channel_name:
+        suffix = channel_name.rsplit("_b", 1)[-1]
+        if suffix.isdigit():
+            return int(suffix)
+    return None
+
+
 @dataclass
 class CriterionReport:
-    """Criterion evaluation of every channel of a design."""
+    """Criterion evaluation of every channel of a design.
+
+    Aggregates (max/mean dissymmetry, bound checks, worst ranking) are
+    computed from a cached dense capacitance matrix and dissymmetry vector,
+    rebuilt lazily whenever the channel list grows — per-query cost is one
+    O(channels) numpy reduction instead of a Python loop.
+    """
 
     design: str
     channels: List[ChannelCriterion] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._cache_len = -1
+        self._cap_matrix: Optional[np.ndarray] = None
+        self._dissymmetries: Optional[np.ndarray] = None
+
     def __len__(self) -> int:
         return len(self.channels)
 
+    # ------------------------------------------------------------ dense view
+    def _refresh_cache(self) -> None:
+        if self._cache_len == len(self.channels):
+            return
+        self._cap_matrix = pack_cap_matrix(
+            [c.rail_caps_ff for c in self.channels])
+        self._dissymmetries = np.array(
+            [c.dissymmetry for c in self.channels], dtype=np.float64)
+        self._cache_len = len(self.channels)
+
+    def cap_matrix(self) -> np.ndarray:
+        """Dense ``(channels, max rails)`` rail-capacitance matrix (NaN pad)."""
+        self._refresh_cache()
+        return self._cap_matrix
+
+    def dissymmetries(self) -> np.ndarray:
+        """The per-channel criterion values as one float64 vector."""
+        self._refresh_cache()
+        return self._dissymmetries
+
+    # ------------------------------------------------------------ aggregates
     def worst(self, count: int = 5) -> List[ChannelCriterion]:
-        """The ``count`` channels with the highest criterion (Table 2 rows)."""
-        return sorted(self.channels, key=lambda c: c.dissymmetry, reverse=True)[:count]
+        """The ``count`` channels with the highest criterion (Table 2 rows).
+
+        Ties are broken by channel name (ascending), so the ranking is stable
+        across runs, seeds and dict insertion orders.
+        """
+        order = self._ranked_indices()
+        return [self.channels[i] for i in order[:count]]
+
+    def _ranked_indices(self) -> List[int]:
+        """Channel indices sorted by (dissymmetry desc, channel name asc)."""
+        self._refresh_cache()
+        values = self._dissymmetries
+        names = [c.channel for c in self.channels]
+        # np.lexsort sorts ascending by the last key first; negate the
+        # criterion for the descending primary order.  ``-inf`` from negating
+        # infinite dissymmetries sorts first, as required.
+        return list(np.lexsort((names, -values)))
 
     @property
     def max_dissymmetry(self) -> float:
-        return max((c.dissymmetry for c in self.channels), default=0.0)
+        self._refresh_cache()
+        if self._dissymmetries.size == 0:
+            return 0.0
+        return float(self._dissymmetries.max())
 
     @property
     def mean_dissymmetry(self) -> float:
-        if not self.channels:
+        """Arithmetic mean of the criterion (``inf`` if any channel is).
+
+        An infinite dissymmetry (a zero-capacitance rail opposite a loaded
+        one) propagates: a report containing such a channel never averages
+        it away into a finite, reassuring mean.
+        """
+        self._refresh_cache()
+        if self._dissymmetries.size == 0:
             return 0.0
-        return sum(c.dissymmetry for c in self.channels) / len(self.channels)
+        return float(self._dissymmetries.mean())
 
     def channels_above(self, threshold: float) -> List[ChannelCriterion]:
-        """Channels whose criterion exceeds a bound (the leaky ones)."""
-        return [c for c in self.channels if c.dissymmetry > threshold]
+        """Channels whose criterion exceeds a bound (the leaky ones).
+
+        Ordered worst-first with the same deterministic name tie-breaking as
+        :meth:`worst`, so repair passes and reports walk violations in a
+        reproducible order.
+        """
+        self._refresh_cache()
+        return [self.channels[i] for i in self._ranked_indices()
+                if self._dissymmetries[i] > threshold]
+
+    def violation_count(self, threshold: float) -> int:
+        """How many channels exceed the bound (one vector comparison)."""
+        self._refresh_cache()
+        return int((self._dissymmetries > threshold).sum())
 
     def meets_bound(self, threshold: float) -> bool:
         """True when every channel satisfies ``d_A <= threshold``."""
@@ -136,21 +264,47 @@ def _rail_capacitance(netlist: Netlist, net: Net, use_load_cap: bool) -> float:
     return net.routing_cap_ff
 
 
+def _report_from_entries(design_name: str,
+                         entries: List[Tuple[str, str, Tuple[float, ...]]]
+                         ) -> CriterionReport:
+    """Build a report from ``(channel, block, caps)`` rows in one shot.
+
+    The dissymmetries of every channel are computed by one vectorized
+    :func:`dissymmetry_vector` call over the packed capacitance matrix; the
+    scalar definition stays available as the per-channel oracle.
+    """
+    report = CriterionReport(design=design_name)
+    if not entries:
+        return report
+    values = dissymmetry_vector(pack_cap_matrix([caps for _, _, caps
+                                                 in entries]))
+    for (channel_name, block, caps), value in zip(entries, values):
+        report.channels.append(ChannelCriterion(
+            channel=channel_name,
+            block=block,
+            bit=_infer_bit(channel_name),
+            rail_caps_ff=caps,
+            dissymmetry=float(value),
+        ))
+    return report
+
+
+def _channel_caps_and_block(netlist: Netlist, rails: Sequence[Net],
+                            use_load_cap: bool) -> Tuple[Tuple[float, ...], str]:
+    """Rail capacitances and owning block of one channel's nets."""
+    caps = tuple(_rail_capacitance(netlist, net, use_load_cap) for net in rails)
+    blocks = {net.block for net in rails if net.block}
+    return caps, (next(iter(blocks)) if blocks else "")
+
+
 def evaluate_channel(netlist: Netlist, channel_name: str, rails: Sequence[Net], *,
                      use_load_cap: bool = True) -> ChannelCriterion:
     """Evaluate the criterion of one channel given its rail nets."""
-    caps = tuple(_rail_capacitance(netlist, net, use_load_cap) for net in rails)
-    blocks = {net.block for net in rails if net.block}
-    bit: Optional[int] = None
-    # Channels generated by the bus helpers are named ``<bus>_b<bit>``.
-    if "_b" in channel_name:
-        suffix = channel_name.rsplit("_b", 1)[-1]
-        if suffix.isdigit():
-            bit = int(suffix)
+    caps, block = _channel_caps_and_block(netlist, rails, use_load_cap)
     return ChannelCriterion(
         channel=channel_name,
-        block=next(iter(blocks)) if blocks else "",
-        bit=bit,
+        block=block,
+        bit=_infer_bit(channel_name),
         rail_caps_ff=caps,
         dissymmetry=channel_dissymmetry(caps),
     )
@@ -164,14 +318,13 @@ def evaluate_netlist_channels(netlist: Netlist, *, use_load_cap: bool = True,
     annotations; nets without channel annotation are ignored (control and
     acknowledge wires are not data channels).
     """
-    report = CriterionReport(design=design_name or netlist.name)
+    entries: List[Tuple[str, str, Tuple[float, ...]]] = []
     for channel_name, rails in sorted(netlist.channels().items()):
         if len(rails) < 2:
             continue
-        report.channels.append(
-            evaluate_channel(netlist, channel_name, rails, use_load_cap=use_load_cap)
-        )
-    return report
+        caps, block = _channel_caps_and_block(netlist, rails, use_load_cap)
+        entries.append((channel_name, block, caps))
+    return _report_from_entries(design_name or netlist.name, entries)
 
 
 def evaluate_capacitance_map(rail_caps: Mapping[str, Sequence[float]], *,
@@ -181,22 +334,14 @@ def evaluate_capacitance_map(rail_caps: Mapping[str, Sequence[float]], *,
     Useful when capacitances come from an external extraction (or from the
     block-level AES model) rather than from a gate-level netlist.
     """
-    report = CriterionReport(design=design_name)
+    entries: List[Tuple[str, str, Tuple[float, ...]]] = []
     for channel_name in sorted(rail_caps):
         caps = tuple(float(c) for c in rail_caps[channel_name])
         if len(caps) < 2:
             continue
-        bit: Optional[int] = None
-        if "_b" in channel_name:
-            suffix = channel_name.rsplit("_b", 1)[-1]
-            if suffix.isdigit():
-                bit = int(suffix)
         block = channel_name.split("/", 1)[0] if "/" in channel_name else ""
-        report.channels.append(ChannelCriterion(
-            channel=channel_name, block=block, bit=bit, rail_caps_ff=caps,
-            dissymmetry=channel_dissymmetry(caps),
-        ))
-    return report
+        entries.append((channel_name, block, caps))
+    return _report_from_entries(design_name, entries)
 
 
 def compare_reports(reference: CriterionReport, improved: CriterionReport,

@@ -552,6 +552,12 @@ class AttackCampaign:
     :mod:`repro.asyncaes.simtrace`), so the same placed netlist can be
     evaluated under both generation models side by side in one table.
 
+    The **countermeasure layer** is a dimension too:
+    :meth:`add_hardening` runs the criterion-driven repair pipeline of
+    :mod:`repro.harden` on a netlist and registers the hardened design, so
+    the campaign table directly shows what the paper's measure→improve loop
+    buys — flat vs hierarchical vs hardened MTD/TVLA rows in one grid.
+
     Parameters
     ----------
     key:
@@ -586,6 +592,7 @@ class AttackCampaign:
         self._attacks: List[CampaignAttack] = []
         self._assessments: List[CampaignAssessment] = []
         self._noises: List[tuple] = []
+        self._hardenings: Dict[str, object] = {}
 
     # ------------------------------------------------------------- scenario
     def add_design(self, label: str, netlist: Optional[Netlist] = None, *,
@@ -616,6 +623,69 @@ class AttackCampaign:
         self._designs.append(CampaignDesign(label, netlist, trace_source,
                                             source))
         return self
+
+    def add_hardening(self, label: str, netlist: Netlist, *,
+                      base: str = "hierarchical", bound: float = 0.15,
+                      seed: int = 0, pipeline=None,
+                      source="analytic",
+                      **pipeline_options) -> "AttackCampaign":
+        """Run the hardening pass pipeline on a netlist and register the
+        hardened design as a grid entry — the countermeasure dimension.
+
+        The pipeline (default: the ``base`` flow of
+        :func:`repro.harden.pipeline.hardening_pipeline` followed by the
+        fence-resize → reposition → dummy-load repair loop, ``bound`` as the
+        ``repair-until`` criterion) runs immediately and **in place**: the
+        registered design *is* the hardened netlist, traced by the same
+        engines as any other design, so one campaign table shows flat vs
+        hierarchical vs hardened side by side across attacks, noise levels,
+        assessments and trace sources.
+
+        ``source`` is either one trace source (``"analytic"`` /
+        ``"simulator"``) or a sequence of them — with several, each source
+        becomes its own design row labelled ``label[source]``.  The
+        :class:`~repro.harden.pipeline.HardeningResult` provenance is kept
+        and returned by :meth:`hardening_result`; extra keyword options are
+        forwarded to :func:`~repro.harden.pipeline.hardening_pipeline`.
+        """
+        # Imported lazily: repro.harden builds on repro.core.criterion.
+        from ..harden.pipeline import hardening_pipeline
+
+        if self.key is None:
+            raise ValueError("hardened designs need the campaign key to trace")
+        if label in self._hardenings:
+            raise ValueError(f"duplicate hardening label {label!r}")
+        # Validate the whole source list before the (expensive, in-place)
+        # pipeline runs, so a typo cannot leave the campaign half-registered
+        # with an already-mutated netlist.
+        sources = [source] if isinstance(source, str) else list(source)
+        if not sources:
+            raise ValueError("need at least one trace source")
+        for entry in sources:
+            if entry not in ("analytic", "simulator"):
+                raise ValueError(f"unknown trace source {entry!r}; "
+                                 "expected 'analytic' or 'simulator'")
+        if pipeline is None:
+            pipeline = hardening_pipeline(base, bound=bound,
+                                          **pipeline_options)
+        elif pipeline_options:
+            raise ValueError("pass pipeline options either as an explicit "
+                             "pipeline or as keyword options, not both")
+        result = pipeline.run(netlist, seed=seed, technology=self.technology,
+                              design_name=label)
+        self._hardenings[label] = result
+        for entry in sources:
+            design_label = label if len(sources) == 1 else f"{label}[{entry}]"
+            self.add_design(design_label, netlist, source=entry)
+        return self
+
+    def hardening_result(self, label: str):
+        """The :class:`~repro.harden.pipeline.HardeningResult` of a design."""
+        try:
+            return self._hardenings[label]
+        except KeyError:
+            raise KeyError(f"no hardening registered under {label!r}; "
+                           f"known: {sorted(self._hardenings)}") from None
 
     def add_selection(self, selection: SelectionFunction, *,
                       correct_guess: Optional[int] = None) -> "AttackCampaign":

@@ -102,6 +102,7 @@ def apply_default_routing_caps(netlist: Netlist,
         if only_driven and net.driver is None:
             continue
         net.routing_cap_ff = technology.default_net_cap_ff
+    netlist.touch_caps()
 
 
 def apply_process_variation(netlist: Netlist, *, sigma_ff: float = 0.1,
@@ -125,3 +126,4 @@ def apply_process_variation(netlist: Netlist, *, sigma_ff: float = 0.1,
             continue
         perturbed = net.routing_cap_ff + float(rng.normal(0.0, sigma_ff))
         net.routing_cap_ff = max(0.0, perturbed)
+    netlist.touch_caps()

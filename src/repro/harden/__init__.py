@@ -1,0 +1,66 @@
+"""Criterion-driven hardening: composable place-and-route pass pipelines.
+
+The paper's headline result is the *improvement* loop: measure the channel
+dissymmetry criterion ``d_A = |Cl0 − Cl1| / min(Cl0, Cl1)`` after place and
+route, then constrain the physical design until every channel satisfies a
+bound.  This package turns that loop into a pass-manager architecture:
+
+* :mod:`repro.harden.passes` — the pass protocol (:class:`HardeningPass`),
+  the shared :class:`PassContext`, the base flow passes (flat / hierarchical
+  placement, extraction) and the three *repair* passes of the countermeasure
+  layer: dummy-load insertion (:class:`DummyLoadPass`), criterion-guided cell
+  re-placement (:class:`RepositionPass`) and fence resizing
+  (:class:`FenceResizePass`);
+* :mod:`repro.harden.pipeline` — :class:`PassPipeline` (base passes plus a
+  closed ``repair-until(d_A ≤ bound)`` loop), the :class:`HardeningResult`
+  provenance record, and the pipeline factories the classic
+  :mod:`repro.pnr.flows` entry points are now configurations of.
+
+Repair iterations stay fast across layers: nets touched by a pass are
+re-measured through :class:`repro.pnr.extraction.IncrementalExtractor`
+(incremental re-extraction keyed on the netlist topology version) and the
+criterion is re-evaluated as one vectorized pass over the dense capacitance
+matrix of :mod:`repro.core.criterion`.
+"""
+
+from .passes import (
+    DummyLoadPass,
+    ExtractionPass,
+    FenceResizePass,
+    FlatPlacementPass,
+    HardeningError,
+    HardeningPass,
+    HierarchicalPlacementPass,
+    PassContext,
+    PassOutcome,
+    RepositionPass,
+)
+from .pipeline import (
+    HardeningResult,
+    PassPipeline,
+    PipelineRecord,
+    flat_pipeline,
+    harden_design,
+    hardening_pipeline,
+    hierarchical_pipeline,
+)
+
+__all__ = [
+    "DummyLoadPass",
+    "ExtractionPass",
+    "FenceResizePass",
+    "FlatPlacementPass",
+    "HardeningError",
+    "HardeningPass",
+    "HierarchicalPlacementPass",
+    "PassContext",
+    "PassOutcome",
+    "RepositionPass",
+    "HardeningResult",
+    "PassPipeline",
+    "PipelineRecord",
+    "flat_pipeline",
+    "harden_design",
+    "hardening_pipeline",
+    "hierarchical_pipeline",
+]

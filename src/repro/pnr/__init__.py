@@ -17,6 +17,7 @@ from .cells import (
 from .extraction import (
     ExtractionLookupError,
     ExtractionReport,
+    IncrementalExtractor,
     channel_rail_caps,
     extract_capacitances,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "total_cell_area_um2",
     "ExtractionLookupError",
     "ExtractionReport",
+    "IncrementalExtractor",
     "channel_rail_caps",
     "extract_capacitances",
     "Floorplan",

@@ -6,6 +6,14 @@ reproduces the proposed AES_v1 methodology (per-block fences, structured
 placement).  Both return a :class:`PlacedDesign` whose netlist carries the
 extracted routing capacitances, ready for the dissymmetry-criterion
 evaluation and for power-trace generation.
+
+Both flows are thin configurations of the hardening pass manager
+(:mod:`repro.harden`): a placement pass followed by an extraction pass.
+The pass pipelines additionally accept *repair* passes (dummy-load
+insertion, criterion-guided re-placement, fence resizing) run in a closed
+``repair-until(d_A ≤ bound)`` loop — see
+:func:`repro.harden.pipeline.hardening_pipeline` for the countermeasure
+layer on top of these base flows.
 """
 
 from __future__ import annotations
@@ -15,15 +23,10 @@ from typing import Dict, List, Optional, Sequence
 
 from ..circuits.netlist import Netlist
 from ..electrical.technology import HCMOS9_LIKE, Technology
-from .extraction import ExtractionReport, extract_capacitances
+from .extraction import ExtractionReport
 from .floorplan import Floorplan
-from .placement import (
-    AnnealingSchedule,
-    FlatPlacer,
-    HierarchicalPlacer,
-    Placement,
-)
-from .routing import RoutingEstimate, estimate_routing
+from .placement import AnnealingSchedule, Placement
+from .routing import RoutingEstimate
 
 
 @dataclass
@@ -74,23 +77,18 @@ def run_flat_flow(netlist: Netlist, *, seed: int = 0,
                   effort: float = 1.0,
                   schedule: Optional[AnnealingSchedule] = None,
                   design_name: Optional[str] = None) -> PlacedDesign:
-    """Place, route-estimate and extract the design with the flat flow."""
-    placer = FlatPlacer(seed=seed, utilization=utilization, effort=effort)
-    if schedule is not None:
-        placer.schedule = schedule
-    placement = placer.place(netlist, technology)
-    routing = estimate_routing(netlist, placement)
-    extraction = extract_capacitances(netlist, placement, technology=technology,
-                                      routing=routing)
-    return PlacedDesign(
-        name=design_name or f"{netlist.name}_flat",
-        flow="flat",
-        seed=seed,
-        netlist=netlist,
-        placement=placement,
-        routing=routing,
-        extraction=extraction,
-    )
+    """Place, route-estimate and extract the design with the flat flow.
+
+    Thin wrapper over :func:`repro.harden.pipeline.flat_pipeline` (imported
+    lazily — the pass manager builds on this module's :class:`PlacedDesign`).
+    """
+    from ..harden.pipeline import flat_pipeline
+
+    pipeline = flat_pipeline(utilization=utilization, effort=effort,
+                             schedule=schedule)
+    result = pipeline.run(netlist, seed=seed, technology=technology,
+                          design_name=design_name)
+    return result.design
 
 
 def run_hierarchical_flow(netlist: Netlist, *, seed: int = 0,
@@ -102,27 +100,19 @@ def run_hierarchical_flow(netlist: Netlist, *, seed: int = 0,
                           block_order: Optional[Sequence[str]] = None,
                           floorplan: Optional[Floorplan] = None,
                           design_name: Optional[str] = None) -> PlacedDesign:
-    """Place, route-estimate and extract the design with the hierarchical flow."""
-    placer = HierarchicalPlacer(
-        seed=seed, block_utilization=block_utilization,
+    """Place, route-estimate and extract with the hierarchical flow.
+
+    Thin wrapper over :func:`repro.harden.pipeline.hierarchical_pipeline`.
+    """
+    from ..harden.pipeline import hierarchical_pipeline
+
+    pipeline = hierarchical_pipeline(
+        block_utilization=block_utilization,
         channel_margin_um=channel_margin_um, effort=effort,
-        block_order=block_order,
-    )
-    if schedule is not None:
-        placer.schedule = schedule
-    placement = placer.place(netlist, technology, floorplan=floorplan)
-    routing = estimate_routing(netlist, placement)
-    extraction = extract_capacitances(netlist, placement, technology=technology,
-                                      routing=routing)
-    return PlacedDesign(
-        name=design_name or f"{netlist.name}_hier",
-        flow="hierarchical",
-        seed=seed,
-        netlist=netlist,
-        placement=placement,
-        routing=routing,
-        extraction=extraction,
-    )
+        schedule=schedule, block_order=block_order, floorplan=floorplan)
+    result = pipeline.run(netlist, seed=seed, technology=technology,
+                          design_name=design_name)
+    return result.design
 
 
 def compare_flows(flat: PlacedDesign, hierarchical: PlacedDesign) -> Dict[str, float]:

@@ -136,3 +136,101 @@ class TestBlocksAndChannels:
         assert base.instance("u0/g1").cell == "AND2"
         assert base.has_net("u0/n1")
         assert base.instance_count == 2
+
+
+class TestMutationApi:
+    """The hardening mutation layer: cap versions, dummy loads, digests."""
+
+    def test_structural_edits_bump_topology_not_caps(self):
+        netlist = Netlist("v")
+        before = netlist.cap_version
+        netlist.add_net("a")
+        netlist.add_instance("g", "INV", {"A": "a", "Z": "y"})
+        assert netlist.topology_version > 0
+        assert netlist.cap_version == before
+
+    def test_set_routing_cap_bumps_cap_version_only(self):
+        netlist = _small_netlist()
+        topology = netlist.topology_version
+        caps = netlist.cap_version
+        netlist.set_routing_cap("n1", 3.0)
+        assert netlist.cap_version == caps + 1
+        assert netlist.topology_version == topology
+        netlist.set_routing_caps({"n1": 4.0, "y": 1.0})
+        assert netlist.cap_version == caps + 3
+
+    def test_dummy_load_accumulates_and_counts_into_load_cap(self):
+        netlist = _small_netlist()
+        base_load = netlist.load_cap_ff("n1")
+        base_total = netlist.total_cap_ff("n1")
+        caps = netlist.cap_version
+        assert netlist.add_dummy_load("n1", 2.5) == 2.5
+        assert netlist.add_dummy_load("n1", 1.5) == 4.0
+        assert netlist.cap_version == caps + 2
+        assert netlist.load_cap_ff("n1") == pytest.approx(base_load + 4.0)
+        assert netlist.total_cap_ff("n1") == pytest.approx(base_total + 4.0)
+        assert netlist.dummy_load_total_ff() == pytest.approx(4.0)
+
+    def test_dummy_load_survives_routing_rewrite(self):
+        netlist = _small_netlist()
+        netlist.add_dummy_load("n1", 2.0)
+        netlist.set_routing_cap("n1", 7.0)
+        assert netlist.net("n1").dummy_cap_ff == pytest.approx(2.0)
+        assert netlist.load_cap_ff("n1") >= 9.0
+
+    def test_negative_dummy_load_rejected(self):
+        netlist = _small_netlist()
+        with pytest.raises(ValueError):
+            netlist.add_dummy_load("n1", -1.0)
+
+    def test_clear_dummy_loads(self):
+        netlist = _small_netlist()
+        netlist.add_dummy_load("n1", 2.0)
+        caps = netlist.cap_version
+        assert netlist.clear_dummy_loads() == 1
+        assert netlist.cap_version == caps + 1
+        assert netlist.dummy_load_total_ff() == 0.0
+        # A second clear is a no-op and does not bump the version.
+        assert netlist.clear_dummy_loads() == 0
+        assert netlist.cap_version == caps + 1
+
+    def test_touch_caps_bumps_version(self):
+        netlist = _small_netlist()
+        caps = netlist.cap_version
+        netlist.touch_caps()
+        assert netlist.cap_version == caps + 1
+        assert netlist.state_version == (netlist.topology_version, caps + 1)
+
+    def test_merge_copies_dummy_loads(self):
+        other = _small_netlist()
+        other.add_dummy_load("n1", 3.0)
+        base = Netlist("base")
+        base.merge(other, prefix="u0/")
+        assert base.net("u0/n1").dummy_cap_ff == pytest.approx(3.0)
+
+
+class TestContentDigest:
+    def test_digest_is_deterministic_across_insertion_order(self):
+        first = Netlist("d")
+        first.add_net("a")
+        first.add_net("b")
+        second = Netlist("d")
+        second.add_net("b")
+        second.add_net("a")
+        assert first.content_digest() == second.content_digest()
+
+    def test_digest_changes_on_cap_and_structure_edits(self):
+        netlist = _small_netlist()
+        base = netlist.content_digest()
+        netlist.set_routing_cap("n1", 1.0)
+        after_cap = netlist.content_digest()
+        assert after_cap != base
+        netlist.add_dummy_load("n1", 0.5)
+        after_dummy = netlist.content_digest()
+        assert after_dummy != after_cap
+        netlist.add_instance("g3", "INV", {"A": "y", "Z": "z"})
+        assert netlist.content_digest() != after_dummy
+
+    def test_identical_builds_share_the_digest(self):
+        assert (_small_netlist().content_digest()
+                == _small_netlist().content_digest())

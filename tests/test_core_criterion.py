@@ -104,3 +104,113 @@ class TestReports:
         hier = evaluate_capacitance_map({"c_b0": [10.0, 11.0]}, design_name="hier")
         text = compare_reports(flat, hier)
         assert "flat" in text and "hier" in text
+
+
+class TestVectorizedEquivalence:
+    """The dense-matrix path must match the scalar oracle *exactly*."""
+
+    def test_vector_matches_oracle_on_random_maps(self):
+        import numpy as np
+
+        from repro.core import dissymmetry_vector, pack_cap_matrix
+
+        rng = __import__("random").Random(7)
+        rows = [[rng.uniform(0.0, 100.0) for _ in range(rng.randint(2, 6))]
+                for _ in range(200)]
+        rows.append([0.0, 5.0])     # -> inf
+        rows.append([0.0, 0.0])     # -> 0
+        vector = dissymmetry_vector(pack_cap_matrix(rows))
+        for caps, value in zip(rows, vector):
+            assert value == channel_dissymmetry(caps)  # bit-identical
+        assert np.isinf(vector[-2]) and vector[-1] == 0.0
+
+    def test_netlist_report_matches_oracle_across_block_library(self):
+        """Exact equivalence over the QDI block library's channel netlists."""
+        from repro.circuits import build_dual_rail_xor, build_half_buffer
+
+        designs = [build_xor_bank(4, "veq").netlist,
+                   build_dual_rail_xor("veqx").netlist,
+                   build_half_buffer("veqh").netlist]
+        rng = __import__("random").Random(3)
+        for netlist in designs:
+            for net in netlist.nets():
+                if net.channel is not None:
+                    netlist.set_routing_cap(net.name, rng.uniform(0.0, 50.0))
+            report = evaluate_netlist_channels(netlist)
+            assert len(report) > 0
+            for entry in report.channels:
+                assert entry.dissymmetry == channel_dissymmetry(
+                    entry.rail_caps_ff)
+        # And the aggregates equal the scalar reductions.
+            values = [channel_dissymmetry(c.rail_caps_ff)
+                      for c in report.channels]
+            assert report.max_dissymmetry == max(values)
+            assert report.mean_dissymmetry == pytest.approx(
+                sum(values) / len(values))
+
+    def test_capacitance_map_matches_oracle(self):
+        report = evaluate_capacitance_map({
+            "a_b0": [10.0, 30.0, 15.0],
+            "b_b1": [1e-12, 3e-12],
+            "c_b2": [0.0, 4.0],
+        })
+        for entry in report.channels:
+            assert entry.dissymmetry == channel_dissymmetry(entry.rail_caps_ff)
+
+    def test_dense_views_expose_matrix_and_vector(self):
+        import numpy as np
+
+        report = evaluate_capacitance_map({
+            "a_b0": [10.0, 30.0],
+            "b_b1": [5.0, 5.0, 5.0],
+        })
+        matrix = report.cap_matrix()
+        assert matrix.shape == (2, 3)
+        assert np.isnan(matrix[0, 2])  # narrow channel is NaN-padded
+        vector = report.dissymmetries()
+        assert vector.shape == (2,)
+        assert report.violation_count(1.0) == 1
+
+
+class TestDeterministicTieBreaking:
+    """Equal criteria must rank by channel name, whatever the dict order."""
+
+    CAPS = {
+        "z_late": [10.0, 20.0],     # dA = 1.0
+        "a_early": [30.0, 60.0],    # dA = 1.0 (tie)
+        "m_mid": [10.0, 15.0],      # dA = 0.5
+        "k_clean": [10.0, 10.0],    # dA = 0.0
+    }
+
+    def test_worst_breaks_ties_by_name(self):
+        report = evaluate_capacitance_map(self.CAPS)
+        assert [c.channel for c in report.worst(3)] == [
+            "a_early", "z_late", "m_mid"]
+
+    def test_order_is_independent_of_insertion_order(self):
+        forward = evaluate_capacitance_map(dict(self.CAPS))
+        reversed_map = dict(reversed(list(self.CAPS.items())))
+        backward = evaluate_capacitance_map(reversed_map)
+        assert ([c.channel for c in forward.worst(10)]
+                == [c.channel for c in backward.worst(10)])
+        assert ([c.channel for c in forward.channels_above(0.1)]
+                == [c.channel for c in backward.channels_above(0.1)])
+
+    def test_channels_above_is_worst_first_with_name_ties(self):
+        report = evaluate_capacitance_map(self.CAPS)
+        assert [c.channel for c in report.channels_above(0.0)] == [
+            "a_early", "z_late", "m_mid"]
+
+    def test_infinite_dissymmetry_ranks_first_and_is_never_averaged_away(self):
+        import math
+
+        report = evaluate_capacitance_map({
+            "b_zero": [0.0, 5.0],
+            "a_zero": [0.0, 7.0],
+            "c_big": [1.0, 1000.0],
+        })
+        assert [c.channel for c in report.worst(2)] == ["a_zero", "b_zero"]
+        assert math.isinf(report.max_dissymmetry)
+        assert math.isinf(report.mean_dissymmetry)
+        assert not report.meets_bound(1e12)
+        assert len(report.channels_above(1e12)) == 2

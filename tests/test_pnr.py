@@ -200,3 +200,108 @@ class TestFlows:
         flat_report = evaluate_netlist_channels(flat_netlist)
         hier_report = evaluate_netlist_channels(hier_netlist)
         assert len(flat_report) == len(hier_report) > 0
+
+
+class TestIncrementalExtractor:
+    """Incremental re-extraction must be exactly a full re-extraction."""
+
+    def _placed_bank(self, seed=3):
+        from repro.circuits import build_xor_bank
+
+        netlist = build_xor_bank(6, "inc").netlist
+        placement = FlatPlacer(seed=seed, effort=0.3).place(netlist)
+        return netlist, placement
+
+    def test_initial_state_matches_full_extraction(self):
+        from repro.pnr import IncrementalExtractor
+
+        netlist, placement = self._placed_bank()
+        extractor = IncrementalExtractor(netlist, placement)
+        reference = extract_capacitances(netlist, placement)
+        assert extractor.extraction.caps_ff == reference.caps_ff
+        assert extractor.full_extractions == 1
+
+    def test_update_after_moves_equals_full_reextraction(self):
+        import random
+
+        from repro.pnr import IncrementalExtractor
+
+        netlist, placement = self._placed_bank()
+        extractor = IncrementalExtractor(netlist, placement)
+        rng = random.Random(11)
+        moved = rng.sample(sorted(placement.cells), 5)
+        for name in moved:
+            cell = placement.cells[name]
+            cell.x_um += rng.uniform(-4.0, 4.0)
+            cell.y_um += rng.uniform(-4.0, 4.0)
+        touched = extractor.update_cells(moved)
+        assert touched  # the moved cells pin some nets
+        reference = extract_capacitances(netlist, placement)
+        # Exact per-net equality, not approx: untouched nets were never
+        # recomputed, touched nets went through the same estimator.
+        assert extractor.extraction.caps_ff == reference.caps_ff
+        assert extractor.extraction.total_wirelength_um == pytest.approx(
+            reference.total_wirelength_um)
+        assert extractor.full_extractions == 1
+        assert extractor.incremental_updates == 1
+        assert extractor.nets_reextracted == len(touched)
+        assert extractor.nets_reextracted < len(reference)
+
+    def test_update_nets_names_exactly(self):
+        from repro.pnr import IncrementalExtractor
+
+        netlist, placement = self._placed_bank()
+        extractor = IncrementalExtractor(netlist, placement)
+        net = next(iter(extractor.extraction.caps_ff))
+        assert extractor.update_nets([net]) == {net}
+        assert extractor.update_nets([]) == set()
+
+    def test_topology_change_forces_full_reextraction(self):
+        from repro.pnr import IncrementalExtractor
+        from repro.pnr.cells import cell_from_instance
+
+        netlist, placement = self._placed_bank()
+        extractor = IncrementalExtractor(netlist, placement)
+        assert not extractor.stale
+        netlist.add_instance("late_buf", "INV",
+                             {"A": netlist.net_names()[0], "Z": "late_out"})
+        assert extractor.stale
+        placement.cells["late_buf"] = cell_from_instance(netlist, "late_buf")
+        touched = extractor.update_cells(["late_buf"])
+        assert extractor.full_extractions == 2
+        assert "late_out" not in touched or touched  # full refresh covers all
+        reference = extract_capacitances(netlist, placement)
+        assert extractor.extraction.caps_ff == reference.caps_ff
+
+    def test_incremental_is_faster_than_full(self):
+        """Loose smoke bound here; the >=10x gate lives in
+        benchmarks/bench_hardening.py on the reference AES design."""
+        import time
+
+        from repro.pnr import IncrementalExtractor
+
+        netlist, placement = self._placed_bank()
+        extractor = IncrementalExtractor(netlist, placement)
+        cell = sorted(placement.cells)[0]
+        rounds = 30
+        start = time.perf_counter()
+        for _ in range(rounds):
+            extractor.update_cells([cell])
+        incremental = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(rounds):
+            estimate_routing(netlist, placement)
+            extract_capacitances(netlist, placement)
+        full = time.perf_counter() - start
+        assert incremental < full
+
+    def test_annotation_bumps_cap_version(self):
+        from repro.pnr import IncrementalExtractor
+
+        netlist, placement = self._placed_bank()
+        extractor = IncrementalExtractor(netlist, placement)
+        version = netlist.cap_version
+        cell = sorted(placement.cells)[0]
+        placement.cells[cell].x_um += 1.0
+        extractor.update_cells([cell])
+        assert netlist.cap_version > version
