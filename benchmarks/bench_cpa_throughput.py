@@ -27,14 +27,12 @@ import os
 import time
 from pathlib import Path
 
-import numpy as np
 
 from repro.asyncaes import AesArchitecture, AesNetlistGenerator, AesPowerTraceGenerator
 from repro.core import (
     AesSboxSelection,
     AttackCampaign,
     HammingWeightModel,
-    SelectionBitModel,
     cpa_attack,
     leakage_matrix,
     pearson_statistics,

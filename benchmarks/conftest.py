@@ -8,7 +8,6 @@ against the paper (see EXPERIMENTS.md).  Run with ``pytest benchmarks/
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest

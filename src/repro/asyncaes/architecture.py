@@ -18,7 +18,7 @@ are.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 
 @dataclass(frozen=True)

@@ -19,8 +19,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..crypto.aes import AES, RoundTrace, state_to_bytes
-from .controller import ControlToken, RoundController, RoundStep
-from .keypath import ChannelTransfer, KeySchedulePath, bytes_to_word, word_to_bytes
+from .controller import RoundController, RoundStep
+from .keypath import ChannelTransfer, bytes_to_word, word_to_bytes
 
 
 class DatapathError(Exception):

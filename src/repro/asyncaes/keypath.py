@@ -11,7 +11,7 @@ generator needs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..crypto.aes_tables import RCON, SBOX
 

@@ -23,10 +23,10 @@ The functional behaviour of the processor is modelled separately
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
-from ..circuits.netlist import Netlist, PortDirection
-from .architecture import AesArchitecture, BlockSpec, ChannelBusSpec
+from ..circuits.netlist import Netlist
+from .architecture import AesArchitecture, BlockSpec
 
 
 @dataclass

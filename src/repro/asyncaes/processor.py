@@ -9,7 +9,7 @@ view), the controller, the ciphering data path and the sub-key data path
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..circuits.netlist import Netlist
 from ..core.dpa import TraceSet

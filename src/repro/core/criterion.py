@@ -25,7 +25,7 @@ QDI block library.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -57,7 +57,8 @@ def channel_dissymmetry(rail_caps_ff: Sequence[float]) -> float:
     return (largest - smallest) / smallest
 
 
-def dissymmetry_vector(cap_matrix: np.ndarray) -> np.ndarray:
+def dissymmetry_vector(cap_matrix: np.ndarray, *,
+                       validate: bool = True) -> np.ndarray:
     """Vectorized criterion over a dense ``(channels, max rails)`` matrix.
 
     Rows are channels; entries beyond a channel's rail count are NaN.  The
@@ -65,17 +66,23 @@ def dissymmetry_vector(cap_matrix: np.ndarray) -> np.ndarray:
     :func:`channel_dissymmetry` row by row: the per-row reduction uses the
     same ``(max − min) / min`` float64 operations, with the same
     zero-capacitance conventions (``0/0 → 0``, ``x/0 → inf``).
+
+    ``validate=False`` skips the shape/NaN/negativity checks — the fast path
+    for hot callers (the vectorized placer re-evaluates candidate channel
+    rows thousands of times per temperature step against matrices it packed
+    itself).
     """
     matrix = np.asarray(cap_matrix, dtype=np.float64)
-    if matrix.ndim != 2 or matrix.shape[1] < 2:
-        raise CriterionError(
-            f"capacitance matrix must be (channels, >=2 rails), "
-            f"got shape {matrix.shape}")
-    valid = ~np.isnan(matrix)
-    if (valid.sum(axis=1) < 2).any():
-        raise CriterionError("a channel needs at least two rails")
-    if (matrix[valid] < 0).any():
-        raise CriterionError("negative capacitance in the matrix")
+    if validate:
+        if matrix.ndim != 2 or matrix.shape[1] < 2:
+            raise CriterionError(
+                f"capacitance matrix must be (channels, >=2 rails), "
+                f"got shape {matrix.shape}")
+        valid = ~np.isnan(matrix)
+        if (valid.sum(axis=1) < 2).any():
+            raise CriterionError("a channel needs at least two rails")
+        if (matrix[valid] < 0).any():
+            raise CriterionError("negative capacitance in the matrix")
     smallest = np.nanmin(matrix, axis=1)
     largest = np.nanmax(matrix, axis=1)
     out = np.zeros(matrix.shape[0])

@@ -12,7 +12,7 @@ Gathers the quantities used throughout the evaluation:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -18,7 +18,7 @@ order of FIPS-197 (``state[r + 4*c]`` is row ``r`` of column ``c``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -19,7 +19,7 @@ bit of the 64-bit block.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 # --------------------------------------------------------------- DES tables
 IP = [

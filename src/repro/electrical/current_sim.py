@@ -16,13 +16,12 @@ used by the formal signature analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-import numpy as np
 
 from ..circuits.builder import QDIBlock
 from ..circuits.netlist import Netlist
-from ..circuits.signals import TraceRecord, Transition
+from ..circuits.signals import TraceRecord
 from ..circuits.simulator import DelayModel
 from ..circuits.validate import ComputationResult, simulate_two_operand_block
 from .capacitance import node_capacitance, transition_time_s

@@ -19,7 +19,6 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
 import networkx as nx
 
-from ..circuits.netlist import Netlist
 from ..circuits.signals import TraceRecord, TransitionKind
 from .build import NODE_KIND, gate_nodes
 

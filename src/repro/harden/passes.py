@@ -146,6 +146,7 @@ class FlatPlacementPass(HardeningPass):
     utilization: float = 0.85
     effort: float = 1.0
     schedule: Optional[AnnealingSchedule] = None
+    security_weight: Optional[float] = None
 
     name = "place-flat"
     flow = "flat"
@@ -153,7 +154,8 @@ class FlatPlacementPass(HardeningPass):
 
     def run(self, context: PassContext) -> PassOutcome:
         placer = FlatPlacer(seed=context.seed, utilization=self.utilization,
-                            effort=self.effort)
+                            effort=self.effort,
+                            security_weight=self.security_weight)
         if self.schedule is not None:
             placer.schedule = self.schedule
         context.placement = placer.place(context.netlist, context.technology)
@@ -174,6 +176,7 @@ class HierarchicalPlacementPass(HardeningPass):
     schedule: Optional[AnnealingSchedule] = None
     block_order: Optional[Sequence[str]] = None
     floorplan: Optional[Floorplan] = None
+    security_weight: Optional[float] = None
 
     name = "place-hierarchical"
     flow = "hierarchical"
@@ -184,6 +187,7 @@ class HierarchicalPlacementPass(HardeningPass):
             seed=context.seed, block_utilization=self.block_utilization,
             channel_margin_um=self.channel_margin_um, effort=self.effort,
             block_order=self.block_order,
+            security_weight=self.security_weight,
         )
         if self.schedule is not None:
             placer.schedule = self.schedule
@@ -296,11 +300,20 @@ class RepositionPass(HardeningPass):
     channel's dissymmetry actually improves — measured through an
     incremental re-extraction of exactly the nets the moved cell pins — and
     reverted (with a second incremental update) otherwise.
+
+    With ``security_weight > 0`` the pass additionally runs a *targeted
+    anneal*: the rail pin cells of every violating channel are re-optimized
+    by the vectorized annealing engine under the multi-objective
+    HPWL + dissymmetry cost while every other cell is pinned in place.  The
+    annealed positions are kept only when the worst targeted channel
+    improves, so the pass stays monotone like the centroid moves.
     """
 
     bound: float = 0.15
     max_channels: int = 16
     min_improvement: float = 1e-9
+    security_weight: float = 0.0
+    anneal_moves_per_cell: float = 40.0
 
     name = "repair-reposition"
 
@@ -353,12 +366,95 @@ class RepositionPass(HardeningPass):
                     extractor.update_cells([cell_name])
             if improved_channel:
                 repaired += 1
+        annealed = 0
+        if self.security_weight > 0:
+            annealed_cells, annealed_nets = self._targeted_anneal(context)
+            moved_cells.update(annealed_cells)
+            touched_nets.update(annealed_nets)
+            annealed = len(annealed_cells)
         return PassOutcome(
             self.name, changed=bool(moved_cells),
             touched_nets=len(touched_nets), touched_cells=len(moved_cells),
             channels_repaired=repaired,
             details=(f"moved {len(moved_cells)} cell(s) across "
-                     f"{repaired} channel(s)"))
+                     f"{repaired} channel(s)"
+                     + (f", {annealed} by targeted anneal"
+                        if self.security_weight > 0 else "")))
+
+    def _targeted_anneal(self, context: PassContext) -> Tuple[Set[str], Set[str]]:
+        """Security-weighted anneal of the violating channels' pin cells.
+
+        Every cell outside the target set is temporarily marked fixed, so
+        the vectorized engine only perturbs the cells whose positions set
+        the leaky rails' capacitances.  Kept only if the worst targeted
+        channel strictly improves.
+        """
+        import numpy as np
+
+        from ..pnr.anneal import VectorPlacementEngine
+
+        placement = context.require_placement()
+        extractor = context.require_extractor()
+        report = context.criterion if context.criterion is not None \
+            else context.evaluate()
+        channels = context.channels()
+        targets: List[Sequence[Net]] = []
+        target_cells: Set[str] = set()
+        for entry in report.channels_above(self.bound)[:self.max_channels]:
+            rails = channels.get(entry.channel)
+            if not rails or len(rails) < 2:
+                continue
+            if context.channel_dissymmetry(rails) <= self.bound:
+                continue
+            targets.append(rails)
+            for net in rails:
+                for pin in net.connections():
+                    if pin.instance in placement.cells:
+                        target_cells.add(pin.instance)
+        movable = [name for name in sorted(target_cells)
+                   if not placement.cells[name].fixed]
+        if not targets or not movable:
+            return set(), set()
+
+        before = max(context.channel_dissymmetry(rails) for rails in targets)
+        snapshot = {name: (placement.cells[name].x_um,
+                           placement.cells[name].y_um) for name in movable}
+        pinned = [cell for name, cell in placement.cells.items()
+                  if name not in target_cells and not cell.fixed]
+        for cell in pinned:
+            cell.fixed = True
+        try:
+            schedule = AnnealingSchedule(
+                moves_per_cell=self.anneal_moves_per_cell,
+                temperature_steps=10,
+                security_weight=self.security_weight,
+            )
+            # Refinement only: legalization would reflow *pinned* rows, so
+            # the targeted anneal perturbs just the selected pin cells.
+            engine = VectorPlacementEngine(
+                context.netlist, placement.cells, placement.floorplan,
+                schedule=schedule, technology=context.technology,
+                rng=np.random.default_rng(context.rng.getrandbits(64)))
+            if engine.conn.n_nets and engine.movable_ids.size:
+                engine.refine()
+                engine.writeback()
+        finally:
+            for cell in pinned:
+                cell.fixed = False
+        moved = {name for name, (x, y) in snapshot.items()
+                 if (placement.cells[name].x_um,
+                     placement.cells[name].y_um) != (x, y)}
+        if not moved:
+            return set(), set()
+        touched = set(extractor.update_cells(sorted(moved)))
+        after = max(context.channel_dissymmetry(rails) for rails in targets)
+        if after < before - self.min_improvement:
+            return moved, touched
+        for name in moved:
+            placement.cells[name].x_um, placement.cells[name].y_um = \
+                snapshot[name]
+        extractor.update_cells(sorted(moved))
+        return set(), set()
 
 
 @dataclass

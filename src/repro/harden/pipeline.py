@@ -281,11 +281,13 @@ class PassPipeline:
 
 # -------------------------------------------------------------------- factories
 def flat_pipeline(*, utilization: float = 0.85, effort: float = 1.0,
-                  schedule: Optional[AnnealingSchedule] = None) -> PassPipeline:
+                  schedule: Optional[AnnealingSchedule] = None,
+                  security_weight: Optional[float] = None) -> PassPipeline:
     """The classic flat (reference) flow as a pass configuration."""
     return PassPipeline(
         [FlatPlacementPass(utilization=utilization, effort=effort,
-                           schedule=schedule),
+                           schedule=schedule,
+                           security_weight=security_weight),
          ExtractionPass()],
         name="flat",
     )
@@ -296,13 +298,15 @@ def hierarchical_pipeline(*, block_utilization: float = 0.78,
                           effort: float = 1.0,
                           schedule: Optional[AnnealingSchedule] = None,
                           block_order: Optional[Sequence[str]] = None,
-                          floorplan: Optional[Floorplan] = None) -> PassPipeline:
+                          floorplan: Optional[Floorplan] = None,
+                          security_weight: Optional[float] = None) -> PassPipeline:
     """The classic hierarchical (constrained) flow as a pass configuration."""
     return PassPipeline(
         [HierarchicalPlacementPass(
             block_utilization=block_utilization,
             channel_margin_um=channel_margin_um, effort=effort,
-            schedule=schedule, block_order=block_order, floorplan=floorplan),
+            schedule=schedule, block_order=block_order, floorplan=floorplan,
+            security_weight=security_weight),
          ExtractionPass()],
         name="hierarchical",
     )
@@ -314,18 +318,20 @@ def hierarchical_pipeline(*, block_utilization: float = 0.78,
 _DEFAULT_REPAIR = ("fence-resize", "reposition", "dummy-load")
 
 _REPAIR_FACTORIES = {
-    "fence-resize": lambda bound: FenceResizePass(bound=bound),
-    "reposition": lambda bound: RepositionPass(bound=bound),
-    "dummy-load": lambda bound: DummyLoadPass(bound=bound),
+    "fence-resize": lambda bound, security_weight: FenceResizePass(bound=bound),
+    "reposition": lambda bound, security_weight: RepositionPass(
+        bound=bound, security_weight=security_weight or 0.0),
+    "dummy-load": lambda bound, security_weight: DummyLoadPass(bound=bound),
 }
 
 
-def _repair_passes(repair, bound: float) -> List[HardeningPass]:
+def _repair_passes(repair, bound: float,
+                   security_weight: Optional[float] = None) -> List[HardeningPass]:
     passes: List[HardeningPass] = []
     for entry in repair:
         if isinstance(entry, str):
             try:
-                passes.append(_REPAIR_FACTORIES[entry](bound))
+                passes.append(_REPAIR_FACTORIES[entry](bound, security_weight))
             except KeyError:
                 raise HardeningError(
                     f"unknown repair pass {entry!r}; expected one of "
@@ -340,6 +346,7 @@ def hardening_pipeline(base: Union[str, PassPipeline] = "hierarchical", *,
                        repair: Sequence[Union[str, HardeningPass]] = _DEFAULT_REPAIR,
                        max_repair_iterations: int = 5,
                        effort: float = 1.0,
+                       security_weight: Optional[float] = None,
                        **base_options) -> PassPipeline:
     """A full hardening pipeline: base flow plus the repair-until loop.
 
@@ -347,16 +354,22 @@ def hardening_pipeline(base: Union[str, PassPipeline] = "hierarchical", *,
     :class:`PassPipeline` whose passes are reused; ``repair`` mixes the
     standard pass names (``"fence-resize"``, ``"reposition"``,
     ``"dummy-load"``) with ready-made pass instances.  ``base_options`` are
-    forwarded to the base pipeline factory.
+    forwarded to the base pipeline factory.  ``security_weight`` makes the
+    base placement multi-objective (HPWL + rail dissymmetry) and arms the
+    reposition pass's targeted anneal.
     """
     if isinstance(base, PassPipeline):
         base_passes = list(base.base)
         base_name = base.name
     elif base == "flat":
-        base_passes = flat_pipeline(effort=effort, **base_options).base
+        base_passes = flat_pipeline(effort=effort,
+                                    security_weight=security_weight,
+                                    **base_options).base
         base_name = "flat"
     elif base == "hierarchical":
-        base_passes = hierarchical_pipeline(effort=effort, **base_options).base
+        base_passes = hierarchical_pipeline(effort=effort,
+                                            security_weight=security_weight,
+                                            **base_options).base
         base_name = "hierarchical"
     else:
         raise HardeningError(
@@ -364,7 +377,7 @@ def hardening_pipeline(base: Union[str, PassPipeline] = "hierarchical", *,
             "or a PassPipeline")
     return PassPipeline(
         base_passes,
-        repair=_repair_passes(repair, bound),
+        repair=_repair_passes(repair, bound, security_weight),
         bound=bound,
         max_repair_iterations=max_repair_iterations,
         name=f"harden-{base_name}",
@@ -378,11 +391,13 @@ def harden_design(netlist: Netlist, *, base: Union[str, PassPipeline] = "hierarc
                   repair: Sequence[Union[str, HardeningPass]] = _DEFAULT_REPAIR,
                   max_repair_iterations: int = 5,
                   effort: float = 1.0,
+                  security_weight: Optional[float] = None,
                   **base_options) -> HardeningResult:
     """One-call hardening: place, extract and repair until ``d_A ≤ bound``."""
     pipeline = hardening_pipeline(
         base, bound=bound, repair=repair,
         max_repair_iterations=max_repair_iterations, effort=effort,
+        security_weight=security_weight,
         **base_options)
     return pipeline.run(netlist, seed=seed, technology=technology,
                         design_name=design_name)

@@ -29,6 +29,7 @@ from .floorplan import (
     flat_floorplan,
     hierarchical_floorplan,
 )
+from .anneal import PlacerConnectivity, VectorPlacementEngine, compile_connectivity
 from .flows import PlacedDesign, compare_flows, run_flat_flow, run_hierarchical_flow
 from .placement import (
     AnnealingSchedule,
@@ -46,6 +47,7 @@ from .routing import (
     estimate_routing,
     fanout_factor,
 )
+from .sweep import PlacementSweep, SweepPoint, SweepResult, SweepRow
 
 __all__ = [
     "PlacedCell",
@@ -75,6 +77,13 @@ __all__ = [
     "Placement",
     "PlacementError",
     "initial_placement",
+    "PlacerConnectivity",
+    "VectorPlacementEngine",
+    "compile_connectivity",
+    "PlacementSweep",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRow",
     "RoutedNet",
     "RoutingEstimate",
     "RoutingError",

@@ -9,8 +9,8 @@ parasitic extractor then work from the resulting positions.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from ..circuits.netlist import Netlist
 from ..electrical.technology import HCMOS9_LIKE, Technology

@@ -18,8 +18,8 @@ layer on top of these base flows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 from ..circuits.netlist import Netlist
 from ..electrical.technology import HCMOS9_LIKE, Technology
@@ -76,16 +76,20 @@ def run_flat_flow(netlist: Netlist, *, seed: int = 0,
                   utilization: float = 0.85,
                   effort: float = 1.0,
                   schedule: Optional[AnnealingSchedule] = None,
+                  security_weight: Optional[float] = None,
                   design_name: Optional[str] = None) -> PlacedDesign:
     """Place, route-estimate and extract the design with the flat flow.
 
     Thin wrapper over :func:`repro.harden.pipeline.flat_pipeline` (imported
     lazily — the pass manager builds on this module's :class:`PlacedDesign`).
+    ``security_weight`` blends the rail-dissymmetry criterion into the
+    placement cost (see :class:`repro.pnr.placement.AnnealingSchedule`).
     """
     from ..harden.pipeline import flat_pipeline
 
     pipeline = flat_pipeline(utilization=utilization, effort=effort,
-                             schedule=schedule)
+                             schedule=schedule,
+                             security_weight=security_weight)
     result = pipeline.run(netlist, seed=seed, technology=technology,
                           design_name=design_name)
     return result.design
@@ -97,6 +101,7 @@ def run_hierarchical_flow(netlist: Netlist, *, seed: int = 0,
                           channel_margin_um: float = 3.0,
                           effort: float = 1.0,
                           schedule: Optional[AnnealingSchedule] = None,
+                          security_weight: Optional[float] = None,
                           block_order: Optional[Sequence[str]] = None,
                           floorplan: Optional[Floorplan] = None,
                           design_name: Optional[str] = None) -> PlacedDesign:
@@ -109,7 +114,8 @@ def run_hierarchical_flow(netlist: Netlist, *, seed: int = 0,
     pipeline = hierarchical_pipeline(
         block_utilization=block_utilization,
         channel_margin_um=channel_margin_um, effort=effort,
-        schedule=schedule, block_order=block_order, floorplan=floorplan)
+        schedule=schedule, block_order=block_order, floorplan=floorplan,
+        security_weight=security_weight)
     result = pipeline.run(netlist, seed=seed, technology=technology,
                           design_name=design_name)
     return result.design

@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from ..circuits.netlist import Netlist
 from ..electrical.technology import HCMOS9_LIKE, Technology
@@ -60,9 +62,12 @@ class Placement:
         for cell in self.cells.values():
             rect = self.floorplan.placement_rect(cell.block)
             if not rect.contains(cell.x_um, cell.y_um, tolerance=tolerance):
+                fence = cell.block if cell.block else "die"
                 problems.append(
                     f"cell {cell.name!r} at ({cell.x_um:.1f}, {cell.y_um:.1f}) "
-                    f"is outside its region"
+                    f"is outside its {fence!r} fence "
+                    f"[{rect.x_um:.1f}, {rect.y_um:.1f}] x "
+                    f"[{rect.x_max:.1f}, {rect.y_max:.1f}]"
                 )
         return problems
 
@@ -256,37 +261,70 @@ def _legalize(cells: Dict[str, PlacedCell], floorplan: Floorplan) -> None:
 # -------------------------------------------------------------------- anneal
 @dataclass
 class AnnealingSchedule:
-    """Placement effort knobs (analytic sweeps plus annealing refinement)."""
+    """Placement effort knobs (analytic sweeps plus annealing refinement).
+
+    ``security_weight`` blends the rail-capacitance dissymmetry criterion
+    into the annealing cost (0 = pure HPWL); ``reference=True`` selects the
+    scalar per-move oracle loop instead of the vectorized batched engine
+    (the oracle ignores ``security_weight``, ``batch_moves`` and
+    ``swap_fraction``-vectorization details and exists for equivalence
+    testing and benchmarking).
+    """
 
     cog_sweeps: int = 6
     legalize_rounds: int = 2
-    moves_per_cell: int = 15
+    moves_per_cell: float = 15.0
     initial_acceptance: float = 0.3
     cooling: float = 0.75
     temperature_steps: int = 20
+    security_weight: float = 0.0
+    batch_moves: int = 2048
+    swap_fraction: float = 0.3
+    initial_temperature: Optional[float] = None
+    reference: bool = False
 
     def scaled(self, effort: float) -> "AnnealingSchedule":
-        """Scale the optimisation effort by a factor (>= 0)."""
-        return AnnealingSchedule(
+        """Scale the optimisation effort by a factor (>= 0).
+
+        The total annealing move budget scales *linearly* with ``effort``:
+        ``moves_per_cell`` stays fractional and :meth:`move_budget` shrinks
+        the number of temperature steps rather than flooring each step's
+        move count at one (which used to make low-effort runs spend far
+        more moves than requested).
+        """
+        return replace(
+            self,
             cog_sweeps=max(1, int(round(self.cog_sweeps * effort))),
-            legalize_rounds=self.legalize_rounds,
-            moves_per_cell=max(0, int(self.moves_per_cell * effort)),
-            initial_acceptance=self.initial_acceptance,
-            cooling=self.cooling,
-            temperature_steps=self.temperature_steps,
+            moves_per_cell=max(0.0, self.moves_per_cell * effort),
         )
 
+    def move_budget(self, movable_count: int) -> List[int]:
+        """Per-temperature-step move counts for ``movable_count`` cells.
 
-def _refine_with_annealing(model: _WirelengthModel, cells: Dict[str, PlacedCell],
-                           floorplan: Floorplan, rng: random.Random,
-                           schedule: AnnealingSchedule) -> None:
-    """Low-temperature annealing refinement of an already-legal placement."""
+        The budget sums to ``round(moves_per_cell * movable_count)`` exactly
+        — linear in both knobs — distributed as evenly as possible over at
+        most ``temperature_steps`` steps (fewer steps when the budget is
+        smaller than the step count, instead of padding steps to one move).
+        """
+        total = int(round(self.moves_per_cell * max(0, movable_count)))
+        if total <= 0:
+            return []
+        steps = max(1, min(self.temperature_steps, total))
+        base, extra = divmod(total, steps)
+        return [base + (1 if index < extra else 0) for index in range(steps)]
+
+
+def _refine_with_annealing_reference(model: _WirelengthModel,
+                                     cells: Dict[str, PlacedCell],
+                                     floorplan: Floorplan, rng: random.Random,
+                                     schedule: AnnealingSchedule) -> None:
+    """Scalar per-move annealing loop — the oracle for the vectorized engine."""
     movable = [name for name, cell in cells.items() if not cell.fixed]
-    if not movable or not model.net_pins or schedule.moves_per_cell == 0:
+    budget = schedule.move_budget(len(movable))
+    if not movable or not model.net_pins or not budget:
         return
 
-    total_moves = schedule.moves_per_cell * len(movable)
-    moves_per_step = max(1, total_moves // schedule.temperature_steps)
+    total_moves = sum(budget)
 
     # Calibrate the starting temperature from the cost spread of small moves.
     probe_deltas: List[float] = []
@@ -306,9 +344,10 @@ def _refine_with_annealing(model: _WirelengthModel, cells: Dict[str, PlacedCell]
         1e-9, -math.log(max(schedule.initial_acceptance, 1e-6))
     )
 
-    for step in range(schedule.temperature_steps):
-        fraction = 1.0 - step / max(schedule.temperature_steps - 1, 1)
-        for _ in range(moves_per_step):
+    steps = len(budget)
+    for step, step_moves in enumerate(budget):
+        fraction = 1.0 - step / max(steps - 1, 1)
+        for _ in range(step_moves):
             name = rng.choice(movable)
             cell = cells[name]
             rect = floorplan.placement_rect(cell.block)
@@ -343,14 +382,10 @@ def _refine_with_annealing(model: _WirelengthModel, cells: Dict[str, PlacedCell]
         temperature *= schedule.cooling
 
 
-def _optimize(netlist: Netlist, cells: Dict[str, PlacedCell], floorplan: Floorplan,
-              rng: random.Random, schedule: AnnealingSchedule) -> float:
-    """Run the full placement optimisation pipeline in place.
-
-    The pipeline alternates centre-of-gravity sweeps with row legalisation
-    (the analytic phase), applies a low-temperature annealing refinement, and
-    legalises once more.  Returns the final total wirelength.
-    """
+def _optimize_reference(netlist: Netlist, cells: Dict[str, PlacedCell],
+                        floorplan: Floorplan, rng: random.Random,
+                        schedule: AnnealingSchedule) -> float:
+    """The scalar (pre-vectorization) optimisation pipeline — the oracle."""
     model = _WirelengthModel(netlist, cells)
     if not model.net_pins:
         _legalize(cells, floorplan)
@@ -363,11 +398,63 @@ def _optimize(netlist: Netlist, cells: Dict[str, PlacedCell], floorplan: Floorpl
         _legalize(cells, floorplan)
         model.lengths = {net: model._hpwl(pins) for net, pins in model.net_pins.items()}
 
-    _refine_with_annealing(model, cells, floorplan, rng, schedule)
+    _refine_with_annealing_reference(model, cells, floorplan, rng, schedule)
 
     _legalize(cells, floorplan)
     model.lengths = {net: model._hpwl(pins) for net, pins in model.net_pins.items()}
     return model.total()
+
+
+def _optimize_vectorized(netlist: Netlist, cells: Dict[str, PlacedCell],
+                         floorplan: Floorplan, rng: random.Random,
+                         schedule: AnnealingSchedule,
+                         technology: Technology) -> float:
+    """The numpy-backed optimisation pipeline (see :mod:`repro.pnr.anneal`)."""
+    from .anneal import VectorPlacementEngine
+
+    np_rng = np.random.default_rng(rng.getrandbits(64))
+    engine = VectorPlacementEngine(netlist, cells, floorplan,
+                                   schedule=schedule, technology=technology,
+                                   rng=np_rng)
+    if engine.conn.n_nets == 0:
+        _legalize(cells, floorplan)
+        return 0.0
+
+    rounds = max(1, schedule.legalize_rounds)
+    sweeps_per_round = max(1, schedule.cog_sweeps // rounds)
+    for _ in range(rounds):
+        # Jacobi sweeps converge slower than the scalar Gauss-Seidel pass
+        # but cost ~10x less; run three iterations per requested sweep.
+        engine.cog_sweeps(sweeps_per_round * 3)
+        engine.legalize()
+
+    engine.refine()
+    engine.legalize()
+    engine.writeback()
+    return engine.wirelength()
+
+
+def _optimize(netlist: Netlist, cells: Dict[str, PlacedCell], floorplan: Floorplan,
+              rng: random.Random, schedule: AnnealingSchedule,
+              technology: Technology = HCMOS9_LIKE) -> float:
+    """Run the full placement optimisation pipeline in place.
+
+    The pipeline alternates centre-of-gravity sweeps with row legalisation
+    (the analytic phase), applies a low-temperature annealing refinement, and
+    legalises once more.  Returns the final total wirelength.
+
+    ``schedule.reference`` selects the scalar per-move loop; the default is
+    the vectorized batched engine of :mod:`repro.pnr.anneal`, which also
+    honours ``schedule.security_weight``.
+    """
+    if schedule.reference:
+        if schedule.security_weight > 0:
+            raise PlacementError(
+                "security_weight requires the vectorized engine "
+                "(reference=True supports HPWL cost only)")
+        return _optimize_reference(netlist, cells, floorplan, rng, schedule)
+    return _optimize_vectorized(netlist, cells, floorplan, rng, schedule,
+                                technology)
 
 
 # ------------------------------------------------------------------- placers
@@ -384,6 +471,7 @@ class FlatPlacer:
     utilization: float = 0.85
     schedule: AnnealingSchedule = field(default_factory=AnnealingSchedule)
     effort: float = 1.0
+    security_weight: Optional[float] = None
 
     def place(self, netlist: Netlist,
               technology: Technology = HCMOS9_LIKE,
@@ -398,7 +486,10 @@ class FlatPlacer:
         # The flat flow ignores block fences entirely.
         plan = Floorplan(die=plan.die, regions={})
         initial_placement(cells, plan, rng=rng, ordered=False)
-        _optimize(netlist, cells, plan, rng, self.schedule.scaled(self.effort))
+        schedule = self.schedule.scaled(self.effort)
+        if self.security_weight is not None:
+            schedule = replace(schedule, security_weight=self.security_weight)
+        _optimize(netlist, cells, plan, rng, schedule, technology)
         return Placement(cells=cells, floorplan=plan)
 
 
@@ -412,6 +503,7 @@ class HierarchicalPlacer:
     schedule: AnnealingSchedule = field(default_factory=AnnealingSchedule)
     effort: float = 1.0
     block_order: Optional[Sequence[str]] = None
+    security_weight: Optional[float] = None
 
     def place(self, netlist: Netlist,
               technology: Technology = HCMOS9_LIKE,
@@ -426,7 +518,10 @@ class HierarchicalPlacer:
             block_order=self.block_order,
         )
         initial_placement(cells, plan, rng=rng, ordered=True)
-        _optimize(netlist, cells, plan, rng, self.schedule.scaled(self.effort))
+        schedule = self.schedule.scaled(self.effort)
+        if self.security_weight is not None:
+            schedule = replace(schedule, security_weight=self.security_weight)
+        _optimize(netlist, cells, plan, rng, schedule, technology)
         legality = Placement(cells=cells, floorplan=plan).check_legality()
         if legality:
             raise PlacementError("; ".join(legality[:5]))

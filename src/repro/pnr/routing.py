@@ -11,7 +11,7 @@ placement tools use internally.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..circuits.netlist import Net, Netlist
 from .placement import Placement

@@ -1,0 +1,180 @@
+"""Knob grid-search harness for the annealing placer.
+
+Placement quality/speed folklore ("cool at 0.75", "15 moves per cell") becomes
+a measured grid: a :class:`PlacementSweep` runs one full place → extract →
+criterion evaluation per point of the knob product
+
+``initial_acceptance (T₀ calibration) × cooling α × moves/cell ×
+security_weight``
+
+and merges the per-point results into a deterministic table.  Points are
+independent, so the sweep shards over forked workers exactly like
+:class:`repro.core.flow.AttackCampaign`: nothing but the point index crosses
+the process boundary on the way in (each worker regenerates its shard's
+netlist from the factory), and the merged table is byte-identical to a
+serial run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..circuits.netlist import Netlist
+from ..electrical.technology import HCMOS9_LIKE, Technology
+from .placement import AnnealingSchedule, PlacementError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One knob combination of the placer grid."""
+
+    initial_acceptance: float
+    cooling: float
+    moves_per_cell: float
+    security_weight: float
+
+    def schedule(self, base: AnnealingSchedule) -> AnnealingSchedule:
+        return replace(
+            base,
+            initial_acceptance=self.initial_acceptance,
+            cooling=self.cooling,
+            moves_per_cell=self.moves_per_cell,
+            security_weight=self.security_weight,
+        )
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """The measured outcome of one sweep point."""
+
+    point: SweepPoint
+    wirelength_um: float
+    max_dissymmetry: float
+    mean_dissymmetry: float
+
+
+@dataclass
+class SweepResult:
+    """All rows of a finished sweep, in grid order."""
+
+    flow: str
+    design: str
+    rows: List[SweepRow]
+
+    def best(self, key: Optional[Callable[[SweepRow], float]] = None) -> SweepRow:
+        """The best row (lowest ``key``; default: total wirelength)."""
+        if not self.rows:
+            raise PlacementError("empty sweep: no rows to rank")
+        if key is None:
+            key = lambda row: row.wirelength_um  # noqa: E731
+        return min(self.rows, key=key)
+
+    def as_table(self) -> str:
+        """Fixed-width table of the grid, deterministic byte-for-byte."""
+        header = (f"{'acc':>6s} {'cool':>6s} {'mv/cell':>8s} {'sec_w':>6s} "
+                  f"{'WL um':>12s} {'max dA':>10s} {'mean dA':>10s}")
+        lines = [f"placer sweep: {self.design} [{self.flow}], "
+                 f"{len(self.rows)} points", header, "-" * len(header)]
+        for row in self.rows:
+            p = row.point
+            lines.append(
+                f"{p.initial_acceptance:>6.2f} {p.cooling:>6.2f} "
+                f"{p.moves_per_cell:>8.1f} {p.security_weight:>6.2f} "
+                f"{row.wirelength_um:>12.2f} {row.max_dissymmetry:>10.6f} "
+                f"{row.mean_dissymmetry:>10.6f}")
+        return "\n".join(lines)
+
+
+@dataclass
+class PlacementSweep:
+    """Grid search over the annealing placer knobs.
+
+    ``netlist_factory`` must build a *fresh* netlist per call (placement
+    annotates nets in place, so points must not share one netlist — and the
+    factory, not a netlist, is what lets forked workers regenerate their
+    shard locally).
+    """
+
+    netlist_factory: Callable[[], Netlist]
+    flow: str = "flat"
+    seed: int = 0
+    effort: float = 1.0
+    technology: Technology = field(default_factory=lambda: HCMOS9_LIKE)
+    base_schedule: AnnealingSchedule = field(default_factory=AnnealingSchedule)
+    initial_acceptance: Sequence[float] = (0.3,)
+    cooling: Sequence[float] = (0.75,)
+    moves_per_cell: Sequence[float] = (15.0,)
+    security_weight: Sequence[float] = (0.0,)
+
+    def points(self) -> List[SweepPoint]:
+        """The grid in deterministic (row-major product) order."""
+        return [SweepPoint(*knobs) for knobs in itertools.product(
+            self.initial_acceptance, self.cooling,
+            self.moves_per_cell, self.security_weight)]
+
+    # ------------------------------------------------------------- one point
+    def _run_point(self, point: SweepPoint) -> SweepRow:
+        from ..harden.pipeline import flat_pipeline, hierarchical_pipeline
+
+        netlist = self.netlist_factory()
+        schedule = point.schedule(self.base_schedule)
+        if self.flow == "flat":
+            pipeline = flat_pipeline(effort=self.effort, schedule=schedule)
+        elif self.flow == "hierarchical":
+            pipeline = hierarchical_pipeline(effort=self.effort,
+                                             schedule=schedule)
+        else:
+            raise PlacementError(
+                f"unknown sweep flow {self.flow!r}; expected 'flat' or "
+                "'hierarchical'")
+        result = pipeline.run(netlist, seed=self.seed,
+                              technology=self.technology)
+        return SweepRow(
+            point=point,
+            wirelength_um=result.design.routing.total_wirelength_um(),
+            max_dissymmetry=result.criterion.max_dissymmetry,
+            mean_dissymmetry=result.criterion.mean_dissymmetry,
+        )
+
+    # ------------------------------------------------------------------ run
+    def run(self, *, workers: int = 1) -> SweepResult:
+        """Run every grid point; ``workers > 1`` shards over forked workers.
+
+        The merged result is in grid order regardless of worker count, and
+        byte-identical to the serial run (each point is deterministic and
+        fully independent).  Falls back to the serial path when ``fork`` is
+        unavailable.
+        """
+        points = self.points()
+        design = self.netlist_factory().name
+        if (workers <= 1 or len(points) <= 1
+                or "fork" not in multiprocessing.get_all_start_methods()):
+            rows = [self._run_point(point) for point in points]
+        else:
+            rows = self._run_sharded(points, workers)
+        return SweepResult(flow=self.flow, design=design, rows=rows)
+
+    def _run_sharded(self, points: List[SweepPoint],
+                     workers: int) -> List[SweepRow]:
+        global _SWEEP_STATE
+        context = multiprocessing.get_context("fork")
+        _SWEEP_STATE = (self, points)
+        try:
+            with context.Pool(processes=min(workers, len(points))) as pool:
+                return pool.map(_sweep_shard_worker, range(len(points)),
+                                chunksize=1)
+        finally:
+            _SWEEP_STATE = None
+
+
+#: Sweep state inherited by forked shard workers (set around the pool's
+#: lifetime only); the inbound task payload is just the point index.
+_SWEEP_STATE: Optional[Tuple[PlacementSweep, List[SweepPoint]]] = None
+
+
+def _sweep_shard_worker(index: int) -> SweepRow:
+    sweep, points = _SWEEP_STATE
+    return sweep._run_point(points[index])

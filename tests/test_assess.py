@@ -25,7 +25,6 @@ from repro.assess import (
     streaming_state,
     ttest_fixed_vs_random,
     ttest_specific,
-    welch_t,
 )
 from repro.asyncaes import fixed_vs_random_plaintexts
 from repro.core import (

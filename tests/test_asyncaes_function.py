@@ -20,7 +20,7 @@ from repro.asyncaes import (
     word_to_bytes,
     words_to_block,
 )
-from repro.crypto import AES, key_expansion, random_key
+from repro.crypto import AES, key_expansion
 
 KEY = [0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6,
        0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C]

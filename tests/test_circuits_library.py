@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.circuits import (
-    BalanceError,
     build_completion_tree,
     build_dual_rail_and2,
     build_dual_rail_or2,

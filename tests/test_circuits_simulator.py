@@ -6,7 +6,6 @@ from repro.circuits import (
     DelayModel,
     Logic,
     Netlist,
-    Process,
     ReferenceSimulator,
     SimulationError,
     Simulator,

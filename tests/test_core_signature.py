@@ -13,7 +13,7 @@ from repro.core import (
     signature_peak_count,
     signature_terms,
 )
-from repro.electrical import Waveform, difference_waveform, per_computation_currents
+from repro.electrical import Waveform, per_computation_currents
 
 PAIRS_C0 = [(0, 0), (1, 1)]  # computations producing c = 0
 PAIRS_C1 = [(0, 1), (1, 0)]  # computations producing c = 1

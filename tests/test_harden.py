@@ -12,7 +12,6 @@ defeats the attacks the flat design falls to).
 """
 
 import math
-import random
 
 import numpy as np
 import pytest
@@ -37,10 +36,8 @@ from repro.harden import (
     FenceResizePass,
     FlatPlacementPass,
     HardeningError,
-    HierarchicalPlacementPass,
     PassContext,
     PassPipeline,
-    RepositionPass,
     flat_pipeline,
     harden_design,
     hardening_pipeline,

@@ -2,7 +2,6 @@
 generate power traces, and verify that the flat design leaks more than the
 hierarchically placed one (the paper's overall conclusion)."""
 
-import numpy as np
 import pytest
 
 from repro.asyncaes import AesArchitecture, AesNetlistGenerator, AesPowerTraceGenerator

@@ -5,13 +5,11 @@ DPA set averaging -> electrical signature, with and without capacitance
 imbalance (the Section III-V story of the paper end to end).
 """
 
-import numpy as np
 import pytest
 
 from repro.circuits import build_dual_rail_xor, simulate_two_operand_block
 from repro.core import (
     FormalCurrentModel,
-    PowerTrace,
     TraceSet,
     dpa_bias,
     formal_signature,

@@ -9,7 +9,6 @@ from repro.electrical import HCMOS9_LIKE
 from repro.pnr import (
     ExtractionLookupError,
     FlatPlacer,
-    Floorplan,
     FloorplanError,
     HierarchicalPlacer,
     Rect,

@@ -1,0 +1,103 @@
+"""Tests of the placer knob-sweep harness (repro.pnr.sweep)."""
+
+import pytest
+
+from repro.circuits import build_xor_bank
+from repro.pnr import AnnealingSchedule, PlacementSweep, SweepPoint
+from repro.pnr.placement import PlacementError
+
+
+def _factory():
+    return build_xor_bank(4, "w").netlist
+
+
+def _small_sweep(**kwargs):
+    options = dict(
+        netlist_factory=_factory,
+        flow="flat",
+        seed=3,
+        effort=0.3,
+        cooling=(0.7, 0.8),
+        moves_per_cell=(5.0,),
+        security_weight=(0.0, 0.5),
+    )
+    options.update(kwargs)
+    return PlacementSweep(**options)
+
+
+class TestGrid:
+    def test_points_in_row_major_product_order(self):
+        sweep = _small_sweep()
+        points = sweep.points()
+        assert len(points) == 4
+        assert points[0] == SweepPoint(0.3, 0.7, 5.0, 0.0)
+        assert points[1] == SweepPoint(0.3, 0.7, 5.0, 0.5)
+        assert points[2] == SweepPoint(0.3, 0.8, 5.0, 0.0)
+        assert points[3] == SweepPoint(0.3, 0.8, 5.0, 0.5)
+
+    def test_point_schedule_applies_knobs(self):
+        base = AnnealingSchedule()
+        point = SweepPoint(0.25, 0.9, 3.0, 1.5)
+        schedule = point.schedule(base)
+        assert schedule.initial_acceptance == 0.25
+        assert schedule.cooling == 0.9
+        assert schedule.moves_per_cell == 3.0
+        assert schedule.security_weight == 1.5
+        # Untouched knobs keep their base values.
+        assert schedule.batch_moves == base.batch_moves
+
+    def test_unknown_flow_raises(self):
+        sweep = _small_sweep(flow="diagonal")
+        with pytest.raises(PlacementError):
+            sweep.run()
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def serial_result(self):
+        return _small_sweep().run(workers=1)
+
+    def test_rows_in_grid_order(self, serial_result):
+        assert [row.point for row in serial_result.rows] == \
+            _small_sweep().points()
+
+    def test_serial_rerun_is_identical(self, serial_result):
+        again = _small_sweep().run(workers=1)
+        assert again.as_table() == serial_result.as_table()
+        assert again.rows == serial_result.rows
+
+    def test_sharded_is_byte_identical_to_serial(self, serial_result):
+        sharded = _small_sweep().run(workers=3)
+        assert sharded.as_table() == serial_result.as_table()
+        assert sharded.rows == serial_result.rows
+
+    def test_table_mentions_design_and_flow(self, serial_result):
+        table = serial_result.as_table()
+        assert "w [flat]" in table
+        assert "max dA" in table
+
+    def test_best_defaults_to_wirelength(self, serial_result):
+        best = serial_result.best()
+        assert best.wirelength_um == min(
+            row.wirelength_um for row in serial_result.rows)
+
+    def test_best_with_custom_key(self, serial_result):
+        best = serial_result.best(key=lambda row: row.max_dissymmetry)
+        assert best.max_dissymmetry == min(
+            row.max_dissymmetry for row in serial_result.rows)
+
+    def test_empty_sweep_best_raises(self):
+        from repro.pnr import SweepResult
+
+        with pytest.raises(PlacementError):
+            SweepResult(flow="flat", design="w", rows=[]).best()
+
+
+class TestHierarchicalSweep:
+    def test_hierarchical_flow_points_run(self):
+        sweep = _small_sweep(flow="hierarchical", cooling=(0.75,),
+                             security_weight=(0.0,))
+        result = sweep.run()
+        assert len(result.rows) == 1
+        assert result.flow == "hierarchical"
+        assert result.rows[0].wirelength_um > 0

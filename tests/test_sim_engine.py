@@ -22,7 +22,6 @@ from repro.circuits import (
     Logic,
     Netlist,
     ReferenceSimulator,
-    SimulationError,
     Simulator,
     build_dual_rail_and2,
     build_dual_rail_or2,
