@@ -1,0 +1,225 @@
+"""Benchmark of the columnar campaign store (repro.store).
+
+Three gates, on a synthetic leaky-source campaign grid:
+
+* **spill overhead** — running a >= 64-scenario campaign with ``store=``
+  must cost <= ``--max-overhead`` x the in-memory run (the store adds one
+  npz write + one manifest rewrite per scenario, nothing per trace);
+* **resume identity** — a second run over the same store must skip every
+  scenario (zero trace generations) and still return the byte-identical
+  table; a run resumed after a simulated crash at the grid midpoint must
+  match the uninterrupted run byte for byte as well;
+* **query latency** — on a >= 10k-row frame, a filter + group-by MTD
+  percentile pass and a verdict pivot must each finish within
+  ``--max-query-ms``.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_campaign_store.py
+           [--designs 16] [--noises 4] [--traces 200] [--query-rows 10000]
+           [--max-overhead 1.5] [--max-query-ms 500]
+
+Writes its report to ``benchmarks/results/campaign_store.txt``.
+"""
+
+import argparse
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import AesSboxSelection, AttackCampaign, TraceSet
+from repro.core.flow import CampaignRow
+from repro.crypto.aes_tables import SBOX
+from repro.electrical import GaussianNoise
+from repro.store import (
+    CampaignFrame,
+    load_campaign_result,
+    mtd_percentiles,
+    open_store,
+    verdict_pivot,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+KEY = list(range(16))
+_SBOX = np.asarray(SBOX, dtype=np.int64)
+_POP = np.asarray([bin(v).count("1") for v in range(256)], dtype=np.int64)
+
+
+def _leaky_source(plaintexts, noise):
+    plaintexts = [list(p) for p in plaintexts]
+    points = np.asarray(plaintexts, dtype=np.int64)
+    matrix = np.zeros((len(plaintexts), 24))
+    matrix[:, 7] += 0.3 * _POP[_SBOX[points[:, 0] ^ KEY[0]]]
+    if noise is not None:
+        matrix = noise.apply_matrix(matrix, 1e-9, 0.0)
+    return TraceSet.from_matrix(matrix, plaintexts, 1e-9)
+
+
+def _grid(designs, noises):
+    campaign = AttackCampaign(KEY, mtd_start=40, mtd_step=40)
+    for index in range(designs):
+        campaign.add_design(f"design-{index:02d}",
+                            trace_source=_leaky_source)
+    campaign.add_selection(AesSboxSelection(byte_index=0, bit_index=3))
+    campaign.add_attack("dpa")
+    for index in range(noises):
+        campaign.add_noise(f"noise-{index}",
+                           (lambda i=index: GaussianNoise(0.05 + 0.1 * i,
+                                                          seed=i)))
+    return campaign
+
+
+def _timed(run):
+    start = time.perf_counter()
+    result = run()
+    return time.perf_counter() - start, result
+
+
+def _synthetic_frame(rows):
+    rng = np.random.default_rng(7)
+    disclosure = rng.integers(40, 4000, size=rows)
+    undisclosed = rng.random(rows) < 0.25
+    return CampaignFrame.from_rows([
+        CampaignRow(
+            design=f"design-{index % 40:02d}",
+            selection="sbox[0]:3",
+            attack=("dpa", "cpa-hw")[index % 2],
+            noise=f"noise-{index % 5}",
+            trace_count=4000,
+            best_guess=int(index % 256),
+            best_peak=float(rng.random()),
+            correct_guess=43,
+            rank_of_correct=int(1 + (index % 7)),
+            discrimination=float(1.0 + rng.random()),
+            disclosure=None if undisclosed[index] else int(disclosure[index]),
+        )
+        for index in range(rows)
+    ])
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--designs", type=int, default=16)
+    parser.add_argument("--noises", type=int, default=4)
+    parser.add_argument("--traces", type=int, default=200)
+    parser.add_argument("--query-rows", type=int, default=10000)
+    parser.add_argument("--max-overhead", type=float, default=1.5,
+                        help="max store-run / in-memory-run wall ratio")
+    parser.add_argument("--max-query-ms", type=float, default=500.0)
+    args = parser.parse_args()
+
+    scenarios = args.designs * args.noises
+    lines = [f"Campaign store: {args.designs} designs x {args.noises} "
+             f"noises = {scenarios} scenarios, {args.traces} traces each",
+             ""]
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_store_"))
+    try:
+        # --------------------------------------------- spill overhead gate
+        mem_time, in_memory = _timed(
+            lambda: _grid(args.designs, args.noises).run(args.traces, seed=3))
+        store_time, stored = _timed(
+            lambda: _grid(args.designs, args.noises).run(
+                args.traces, seed=3, store=workdir / "fresh"))
+        overhead = store_time / mem_time
+        assert stored.table() == in_memory.table(), \
+            "store run diverged from the in-memory run"
+        lines += [
+            f"spill ({scenarios} scenario shards + manifest updates):",
+            f"  in-memory run: {mem_time:8.3f} s",
+            f"  store run:     {store_time:8.3f} s",
+            f"  overhead: {overhead:.2f}x "
+            f"(required <= {args.max_overhead:.2f}x)",
+            "",
+        ]
+
+        # --------------------------------------------- resume identity gate
+        resume_time, resumed = _timed(
+            lambda: _grid(args.designs, args.noises).run(
+                args.traces, seed=3, store=workdir / "fresh"))
+        assert resumed.table() == in_memory.table(), \
+            "resumed run diverged from the in-memory run"
+
+        # Simulated crash at the grid midpoint: seed a second store with
+        # the first half of the fresh store's shards, then resume.
+        fresh = open_store(workdir / "fresh")
+        half = fresh.manifest.scenario_keys[:scenarios // 2]
+        (workdir / "crashed").mkdir()
+        crashed_manifest = type(fresh.manifest)(
+            kind=fresh.manifest.kind, fingerprint=fresh.manifest.fingerprint,
+            scenario_keys=list(fresh.manifest.scenario_keys))
+        for key in half:
+            record = fresh.manifest.shards[key]
+            for filename in record.tables.values():
+                shutil.copy(workdir / "fresh" / filename,
+                            workdir / "crashed" / filename)
+            crashed_manifest.record_shard(record)
+        crashed_manifest.save(workdir / "crashed")
+        partial = load_campaign_result(workdir / "crashed")
+        crash_resume_time, crash_resumed = _timed(
+            lambda: _grid(args.designs, args.noises).run(
+                args.traces, seed=3, store=workdir / "crashed"))
+        assert crash_resumed.table() == in_memory.table(), \
+            "crash-resumed run diverged from the uninterrupted run"
+        merged_identical = (
+            (workdir / "fresh" / "frame.npz").read_bytes()
+            == (workdir / "crashed" / "frame.npz").read_bytes())
+        assert merged_identical, "crash-resumed merged npz differs"
+        lines += [
+            "resume:",
+            f"  full resume (0 of {scenarios} re-run): "
+            f"{resume_time:8.3f} s",
+            f"  crash resume ({scenarios - len(half)} of {scenarios} "
+            f"re-run, partial view held {len(partial.rows)} rows): "
+            f"{crash_resume_time:8.3f} s",
+            "  merged frame.npz byte-identical to the uninterrupted run",
+            "",
+        ]
+
+        # ------------------------------------------------ query latency gate
+        frame = _synthetic_frame(args.query_rows)
+        percentile_ms, percentiles = _timed(
+            lambda: mtd_percentiles(
+                frame.lazy().filter(attack="dpa").collect(),
+                by=("design",), q=(50, 90, 99)))
+        percentile_ms *= 1e3
+        pivot_ms, pivot = _timed(lambda: verdict_pivot(frame))
+        pivot_ms *= 1e3
+        lines += [
+            f"query ({len(frame)} rows):",
+            f"  filter + group-by MTD percentiles "
+            f"({len(percentiles)} groups): {percentile_ms:8.1f} ms",
+            f"  verdict pivot ({len(pivot.row_labels)} x "
+            f"{len(pivot.col_labels)}): {pivot_ms:8.1f} ms",
+            f"  (each required <= {args.max_query_ms:.0f} ms)",
+            "",
+        ]
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    report = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "campaign_store.txt").write_text(report + "\n")
+    print(report)
+
+    assert overhead <= args.max_overhead, (
+        f"store spill overhead {overhead:.2f}x above the "
+        f"{args.max_overhead:.2f}x gate")
+    assert resume_time < mem_time, (
+        f"full resume ({resume_time:.3f} s) should be cheaper than "
+        f"re-running the campaign ({mem_time:.3f} s)")
+    assert percentile_ms <= args.max_query_ms, (
+        f"MTD percentile query took {percentile_ms:.1f} ms, above the "
+        f"{args.max_query_ms:.0f} ms gate")
+    assert pivot_ms <= args.max_query_ms, (
+        f"verdict pivot took {pivot_ms:.1f} ms, above the "
+        f"{args.max_query_ms:.0f} ms gate")
+    print(f"OK: {overhead:.2f}x spill overhead over {scenarios} scenarios, "
+          f"byte-identical crash resume, {percentile_ms:.0f} ms percentile "
+          f"query / {pivot_ms:.0f} ms pivot on {len(frame)} rows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""A resumable, queryable campaign: the columnar store end to end.
+
+Campaign grids multiply fast — this script runs a (designs x noise x
+attacks) grid with ``store=``, so every completed (noise x design)
+scenario is spilled to a columnar shard the moment it finishes:
+
+1. **Spill + resume** — the first `run(..., store=dir)` writes one npz
+   frame per scenario behind a crash-safe JSON manifest; the second
+   invocation resumes from the manifest (nothing re-runs) and returns the
+   byte-identical table.  Kill the script mid-run and restart it to see a
+   genuine partial resume.
+2. **Offline loading** — `load_campaign_result(dir)` rebuilds the result
+   from disk alone (works for crashed, partial stores too), so analysis
+   needs no re-measurement.
+3. **Query layer** — MTD percentiles per design (conditional on
+   disclosure, undisclosed counted separately), the disclosed-rate pivot
+   design x attack, and a protection-vs-cost pareto front over the rows.
+
+Run with:  python examples/campaign_store.py [--traces 400]
+           [--store-dir runs/store-demo]
+"""
+
+import argparse
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import AesSboxSelection, AttackCampaign, TraceSet
+from repro.crypto.aes_tables import SBOX
+from repro.electrical import GaussianNoise
+from repro.store import (
+    load_campaign_result,
+    mtd_percentiles,
+    pareto_front,
+    verdict_pivot,
+)
+
+KEY = list(range(16))
+_SBOX = np.asarray(SBOX, dtype=np.int64)
+_POP = np.asarray([bin(v).count("1") for v in range(256)], dtype=np.int64)
+
+
+def leaky_source(scale):
+    """A synthetic leaky design: sample 7 leaks ``scale * HW(SBOX(p0^k0))``."""
+    def source(plaintexts, noise):
+        plaintexts = [list(p) for p in plaintexts]
+        points = np.asarray(plaintexts, dtype=np.int64)
+        matrix = np.zeros((len(plaintexts), 24))
+        matrix[:, 7] += scale * _POP[_SBOX[points[:, 0] ^ KEY[0]]]
+        if noise is not None:
+            matrix = noise.apply_matrix(matrix, 1e-9, 0.0)
+        return TraceSet.from_matrix(matrix, plaintexts, 1e-9)
+    return source
+
+
+def build_campaign():
+    campaign = AttackCampaign(KEY, mtd_start=50, mtd_step=50)
+    # Decreasing leak scale stands in for increasingly hardened designs.
+    for label, scale in [("leaky", 0.30), ("damped", 0.10),
+                         ("hardened", 0.02)]:
+        campaign.add_design(label, trace_source=leaky_source(scale))
+    campaign.add_selection(AesSboxSelection(byte_index=0, bit_index=3))
+    campaign.add_attack("dpa")
+    campaign.add_attack("cpa", model="hw")
+    for index in range(3):
+        campaign.add_noise(f"noise-{index}",
+                           (lambda i=index: GaussianNoise(0.1 + 0.2 * i,
+                                                          seed=i)))
+    return campaign
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--traces", type=int, default=400)
+    parser.add_argument("--store-dir", default="runs/store-demo")
+    args = parser.parse_args()
+    store = Path(args.store_dir)
+
+    print(f"== run 1: spilling per-scenario shards to {store} ==")
+    first = build_campaign().run(args.traces, seed=3, store=store)
+    print(first.table())
+
+    print("\n== run 2: same grid, same store -> resumed from the manifest ==")
+    second = build_campaign().run(args.traces, seed=3, store=store)
+    print("byte-identical table:", second.table() == first.table())
+
+    print("\n== offline: load from disk, no campaign object needed ==")
+    loaded = load_campaign_result(store)
+    frame = loaded.frame()
+    print(f"{len(frame)} rows, columns {frame.column_names()}")
+
+    print("\n== MTD percentiles per design (conditional on disclosure) ==")
+    stats = mtd_percentiles(frame, by=("design",), q=(50, 90))
+    for index in range(len(stats)):
+        print(f"  {stats.column('design')[index]:<10s} "
+              f"p50={stats.column('p50')[index]:7.1f} "
+              f"p90={stats.column('p90')[index]:7.1f} "
+              f"undisclosed={stats.column('undisclosed')[index]}/"
+              f"{stats.column('rows')[index]}")
+
+    print("\n== disclosed-rate pivot ==")
+    print(verdict_pivot(frame).as_table())
+
+    print("\n== pareto front: disclosure resistance vs best-peak cost ==")
+    resistant = frame.filter(disclosure=None)
+    print(f"  {len(resistant)} rows never disclosed within "
+          f"{args.traces} traces")
+    front = pareto_front(frame, maximize=("disclosure",),
+                         minimize=("best_peak",))
+    for row in front.to_rows():
+        print(f"  {row.design:<10s} {row.attack:<8s} {row.noise:<9s} "
+              f"MTD={row.disclosure} peak={row.best_peak:.3e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -119,8 +119,17 @@ class TraceSet:
         ``vstack`` per chunk instead of re-aligning the whole history.  In
         every other case the caches are invalidated and the next
         :meth:`matrix` call re-aligns from scratch, which keeps the cache
-        correct by construction.  The appended :class:`PowerTrace` objects
-        are shared with ``other``.
+        correct by construction.
+
+        Sharing contract: the appended :class:`PowerTrace` objects are
+        shared with ``other`` (they are immutable records), but the
+        destination always **owns** its cached sample matrix — the
+        empty-destination fast path copies ``other``'s matrix, exactly as
+        the ``vstack`` of the non-empty path allocates fresh rows.  Mutating
+        ``self.matrix()``'s return therefore never corrupts ``other`` (nor a
+        parent set that ``other`` was zero-copy :meth:`subset` from), and
+        ``other.add(...)`` after an extend invalidates only ``other``'s
+        cache, never the destination's.
         """
         if len(other._traces) == 0:
             return
@@ -134,7 +143,8 @@ class TraceSet:
         )
         if len(self._traces) == 0:
             self._traces = appended
-            self._matrix = other._matrix
+            matrix = other._matrix
+            self._matrix = None if matrix is None else matrix.copy()
             self._dt = other._dt
             self._t0 = other._t0
             self._plaintext_matrix = None

@@ -19,9 +19,10 @@ for the Table-2 style comparison.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..circuits.netlist import Netlist
 from ..crypto.keys import PlaintextGenerator
@@ -453,26 +454,85 @@ class CampaignRow:
         return self.rank_of_correct == 1
 
 
+def _format_metric(value: Optional[float], spec: str = ".2f") -> str:
+    """One table cell for a possibly-absent metric.
+
+    The scenario grid produces every degenerate float the attacks can:
+    ``None`` (metric does not apply), ``inf`` (runner-up peak exactly zero),
+    ``-inf`` (inverted discrimination) and ``NaN`` (0/0 peaks).  All of them
+    must render as a short token rather than slip through a numeric format —
+    a NaN passing a ``not in (None, inf)`` identity guard is how the old
+    formatter printed garbage columns.
+    """
+    if value is None:
+        return "-"
+    value = float(value)
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return format(value, spec)
+
+
 @dataclass
 class CampaignResult:
-    """All scenario rows of one campaign run, plus the comparison table."""
+    """All scenario rows of one campaign run, plus the comparison table.
+
+    Row lookup goes through the columnar query layer of :mod:`repro.store`:
+    :meth:`row`/:meth:`assessment_row` accept a partial key but insist it be
+    *unique* — several matches raise
+    :class:`~repro.store.query.AmbiguousQueryError` naming the candidates
+    (the old first-match behaviour silently picked whichever scenario ran
+    first).  :meth:`frame`/:meth:`assessment_frame` expose the full frames
+    for filtering, aggregation and persistence.
+    """
 
     rows: List[CampaignRow] = field(default_factory=list)
     assessments: List[AssessmentRow] = field(default_factory=list)
 
+    def frame(self):
+        """The rows as a columnar :class:`~repro.store.frame.CampaignFrame`
+        (rebuilt when the row list grows; ``result`` payloads not included)."""
+        from ..store import CampaignFrame
+
+        cached = getattr(self, "_frame_cache", None)
+        if cached is None or cached[0] != len(self.rows):
+            cached = (len(self.rows),
+                      CampaignFrame.from_rows(self.rows, kind="campaign"))
+            self._frame_cache = cached
+        return cached[1]
+
+    def assessment_frame(self):
+        """The assessment rows as a columnar frame (see :meth:`frame`)."""
+        from ..store import CampaignFrame
+
+        cached = getattr(self, "_assessment_frame_cache", None)
+        if cached is None or cached[0] != len(self.assessments):
+            cached = (len(self.assessments),
+                      CampaignFrame.from_rows(self.assessments,
+                                              kind="assessment"))
+            self._assessment_frame_cache = cached
+        return cached[1]
+
     def assessment_row(self, design: str, *,
                        assessment: Optional[str] = None,
                        noise: Optional[str] = None) -> AssessmentRow:
-        for row in self.assessments:
-            if row.design != design:
-                continue
-            if assessment is not None and row.assessment != assessment:
-                continue
-            if noise is not None and row.noise != noise:
-                continue
-            return row
-        raise KeyError(f"no assessment row for design={design!r}, "
-                       f"assessment={assessment!r}, noise={noise!r}")
+        """The unique assessment row matching the (partial) key.
+
+        Raises ``KeyError`` when nothing matches and
+        :class:`~repro.store.query.AmbiguousQueryError` when the key matches
+        several rows (the message lists them).
+        """
+        from ..store import single_row
+
+        criteria = {"design": design}
+        if assessment is not None:
+            criteria["assessment"] = assessment
+        if noise is not None:
+            criteria["noise"] = noise
+        index = single_row(self.assessment_frame(),
+                           ("design", "assessment", "noise"), **criteria)
+        return self.assessments[index]
 
     def assessment_table(self) -> str:
         """One leakage-assessment table over every scenario of the campaign."""
@@ -481,35 +541,43 @@ class CampaignResult:
                   f"{'thresh':>7s} {'verdict':>8s}")
         lines = [header, "-" * len(header)]
         for row in self.assessments:
-            threshold_text = (f"{row.threshold:.2f}"
-                              if row.threshold is not None else "-")
+            peak_text = _format_metric(row.peak, ".3e")
+            threshold_text = _format_metric(row.threshold)
             if row.flagged is None:
                 verdict = "-"
             else:
                 verdict = "LEAKS" if row.flagged else "clear"
             lines.append(
                 f"{row.design:<28s} {row.assessment:<34s} {row.noise:<12s} "
-                f"{row.trace_count:>7d} {row.statistic:>10s} {row.peak:>10.3e} "
-                f"{threshold_text:>7s} {verdict:>8s}"
+                f"{row.trace_count:>7d} {row.statistic:>10s} "
+                f"{peak_text:>10s} {threshold_text:>7s} {verdict:>8s}"
             )
         return "\n".join(lines)
 
     def row(self, design: str, *, selection: Optional[str] = None,
             attack: Optional[str] = None,
             noise: Optional[str] = None) -> CampaignRow:
-        for row in self.rows:
-            if row.design != design:
-                continue
-            if selection is not None and row.selection != selection:
-                continue
-            if attack is not None and row.attack != attack:
-                continue
-            if noise is not None and row.noise != noise:
-                continue
-            return row
-        raise KeyError(f"no campaign row for design={design!r}, "
-                       f"selection={selection!r}, attack={attack!r}, "
-                       f"noise={noise!r}")
+        """The unique campaign row matching the (partial) key.
+
+        Raises ``KeyError`` when nothing matches and
+        :class:`~repro.store.query.AmbiguousQueryError` when the key matches
+        several rows — e.g. ``row("aes", noise="none")`` on a grid with two
+        attacks; the old behaviour returned whichever ran first, which made
+        partial-key analyses silently wrong.
+        """
+        from ..store import single_row
+
+        criteria = {"design": design}
+        if selection is not None:
+            criteria["selection"] = selection
+        if attack is not None:
+            criteria["attack"] = attack
+        if noise is not None:
+            criteria["noise"] = noise
+        index = single_row(self.frame(),
+                           ("design", "selection", "attack", "noise"),
+                           **criteria)
+        return self.rows[index]
 
     def table(self) -> str:
         """One comparison table over every scenario of the campaign."""
@@ -521,14 +589,13 @@ class CampaignResult:
         for row in self.rows:
             true_text = f"{row.correct_guess:#04x}" if row.correct_guess is not None else "-"
             rank_text = str(row.rank_of_correct) if row.rank_of_correct is not None else "-"
-            discr_text = (f"{row.discrimination:.2f}"
-                          if row.discrimination not in (None, float("inf"))
-                          else ("inf" if row.discrimination is not None else "-"))
+            peak_text = _format_metric(row.best_peak, ".3e")
+            discr_text = _format_metric(row.discrimination)
             mtd_text = str(row.disclosure) if row.disclosure is not None else "-"
             lines.append(
                 f"{row.design:<28s} {row.selection:<30s} {row.attack:<10s} "
                 f"{row.noise:<12s} "
-                f"{row.trace_count:>7d} {row.best_peak:>10.3e} {row.best_guess:>#6x} "
+                f"{row.trace_count:>7d} {peak_text:>10s} {row.best_guess:>#6x} "
                 f"{true_text:>6s} {rank_text:>5s} {discr_text:>7s} {mtd_text:>6s}"
             )
         return "\n".join(lines)
@@ -1120,16 +1187,32 @@ class AttackCampaign:
         back to the serial path when ``fork`` is unavailable — the results
         are identical either way, only the wall-clock changes.
         """
+        return list(self._run_sharded_iter(scenarios, plaintexts, workers,
+                                           options))
+
+    def _run_sharded_iter(self, scenarios: List[tuple],
+                          plaintexts: Sequence[Sequence[int]],
+                          workers: int, options: Dict[str, bool]
+                          ) -> Iterator[Tuple[List[CampaignRow],
+                                              List[AssessmentRow]]]:
+        """Scenario results in scenario order, yielded as they complete.
+
+        The lazy (``imap``) form of :meth:`_run_sharded`: the store spill
+        path consumes it so every finished scenario is persisted as soon as
+        its result (and those of the scenarios before it) arrive, instead
+        of only after the whole pool drains.
+        """
         if "fork" not in multiprocessing.get_all_start_methods():
-            return [self._run_scenario(scenario, plaintexts, **options)
-                    for scenario in scenarios]
+            for scenario in scenarios:
+                yield self._run_scenario(scenario, plaintexts, **options)
+            return
         global _SHARD_STATE
         context = multiprocessing.get_context("fork")
         _SHARD_STATE = (self, scenarios, plaintexts, options)
         try:
             with context.Pool(processes=min(workers, len(scenarios))) as pool:
-                return pool.map(_scenario_shard_worker, range(len(scenarios)),
-                                chunksize=1)
+                yield from pool.imap(_scenario_shard_worker,
+                                     range(len(scenarios)), chunksize=1)
         finally:
             _SHARD_STATE = None
 
@@ -1160,7 +1243,8 @@ class AttackCampaign:
             seed: int = 0, compute_disclosure: bool = True,
             keep_results: bool = False, workers: int = 1,
             streaming: bool = False,
-            chunk_size: Optional[int] = None) -> CampaignResult:
+            chunk_size: Optional[int] = None,
+            store: Optional[object] = None) -> CampaignResult:
         """Run every (design × attack × selection × noise) scenario of the
         grid, plus every registered leakage assessment.
 
@@ -1180,6 +1264,19 @@ class AttackCampaign:
         produces the same rows as the in-memory run (to floating-point
         reordering, ≲ 1e-9) for every chunk size.  Streaming composes with
         ``workers``: shards stream independently.
+
+        With ``store=path`` every completed (noise × design) scenario is
+        spilled to a columnar shard under ``path`` (npz frames behind a JSON
+        manifest — see :mod:`repro.store`) the moment it finishes, and a
+        re-invocation with the same ``store`` **resumes from the manifest**:
+        completed scenarios are skipped, only the missing ones re-run, and
+        the merged table is byte-identical to an uninterrupted serial run
+        (scenarios own their noise streams, so completion order cannot leak
+        into the rows).  The finished store carries the merged ``frame.npz``
+        / ``assessments.npz`` for :func:`repro.store.load_campaign_result`
+        and the query layer.  ``store`` composes with ``workers`` and
+        ``streaming``; it rejects ``keep_results=True`` (attack result
+        objects are not columnar).
         """
         if not self._designs:
             raise ValueError("campaign has no designs; call add_design first")
@@ -1216,6 +1313,9 @@ class AttackCampaign:
                        keep_results=keep_results,
                        streaming=streaming,
                        chunk_size=chunk_size)
+        if store is not None:
+            return self._run_with_store(store, scenarios, plaintexts, seed,
+                                        workers, options)
         if workers > 1 and len(scenarios) > 1:
             shard_rows = self._run_sharded(scenarios, plaintexts, workers,
                                            options)
@@ -1228,6 +1328,104 @@ class AttackCampaign:
             campaign.rows.extend(rows)
             campaign.assessments.extend(assessment_rows)
         return campaign
+
+    # ---------------------------------------------------------------- store
+    @staticmethod
+    def _scenario_keys(scenarios: List[tuple]) -> List[str]:
+        """One stable manifest key per (noise × design) scenario."""
+        keys = [f"{noise_label}/{design.label}"
+                for noise_label, _factory, design in scenarios]
+        duplicates = sorted({key for key in keys if keys.count(key) > 1})
+        if duplicates:
+            raise ValueError(
+                f"duplicate scenario keys {duplicates}: every "
+                "(noise, design) pair must be unique to spill to a store")
+        return keys
+
+    def _grid_fingerprint(self, keys: List[str],
+                          plaintexts: Sequence[Sequence[int]], seed: int,
+                          options: Dict[str, object]) -> str:
+        """Digest of everything that shapes the result table.
+
+        Callables (noise factories, custom trace sources) cannot be hashed;
+        their labels stand in for them, which is as much as equality can
+        promise without executing them.
+        """
+        from ..store import grid_fingerprint
+
+        payload = {
+            "scenario_keys": list(keys),
+            "plaintexts": [[int(byte) for byte in block]
+                           for block in plaintexts],
+            "seed": seed,
+            "selections": [[entry.selection.name, entry.correct_guess]
+                           for entry in self._selections],
+            "attacks": [spec.label for spec in options["attacks"]],
+            "assessments": [[spec.label, spec.kind, spec.threshold,
+                             spec.classes, spec.key_value,
+                             list(spec.fixed_plaintext)
+                             if spec.fixed_plaintext is not None else None]
+                            for spec in options["assessments"]],
+            "designs": [[design.label, design.source,
+                         design.trace_source is not None]
+                        for design in self._designs],
+            "compute_disclosure": options["compute_disclosure"],
+            "streaming": options["streaming"],
+            "chunk_size": options["chunk_size"],
+            "guesses": self.guesses,
+            "mtd": [self.mtd_start, self.mtd_step, self.stable_runs],
+        }
+        return grid_fingerprint(payload)
+
+    def _run_with_store(self, store, scenarios: List[tuple],
+                        plaintexts: Sequence[Sequence[int]], seed: int,
+                        workers: int,
+                        options: Dict[str, object]) -> CampaignResult:
+        """The spill-and-resume form of :meth:`run`.
+
+        Completed scenarios are read back from their shards instead of
+        re-running; missing ones run (sharded or serial) and are persisted
+        in scenario order the moment they — and their predecessors — finish.
+        The merged result always round-trips through the columnar frames,
+        so a resumed run and a fresh run produce byte-identical tables.
+        """
+        from ..store import CampaignFrame, CampaignStore
+
+        if options["keep_results"]:
+            raise ValueError(
+                "keep_results does not compose with store=: attack result "
+                "objects are not columnar — re-run the scenario of interest "
+                "in memory to inspect full DPAResult objects")
+        keys = self._scenario_keys(scenarios)
+        fingerprint = self._grid_fingerprint(keys, plaintexts, seed, options)
+        campaign_store = CampaignStore.open(
+            store, kind="campaign", scenario_keys=keys,
+            fingerprint=fingerprint)
+        done = set(campaign_store.completed_keys())
+        pending_keys = [key for key in keys if key not in done]
+        pending_scenarios = [scenario for key, scenario
+                             in zip(keys, scenarios) if key not in done]
+        if workers > 1 and len(pending_scenarios) > 1:
+            results = self._run_sharded_iter(pending_scenarios, plaintexts,
+                                             workers, options)
+        else:
+            results = (self._run_scenario(scenario, plaintexts, **options)
+                       for scenario in pending_scenarios)
+        written = {}
+        for key, (rows, assessment_rows) in zip(pending_keys, results):
+            tables = {
+                "rows": CampaignFrame.from_rows(rows, kind="campaign"),
+                "assessments": CampaignFrame.from_rows(assessment_rows,
+                                                       kind="assessment"),
+            }
+            campaign_store.write_shard(key, tables)
+            written[key] = tables
+        merged = campaign_store.merge_tables(
+            {"rows": "campaign", "assessments": "assessment"}, keys=keys,
+            cache=written)
+        campaign_store.finalize(merged)
+        return CampaignResult(rows=merged["rows"].to_rows(),
+                              assessments=merged["assessments"].to_rows())
 
 
 #: Campaign state inherited by forked shard workers (set around the pool's

@@ -140,34 +140,99 @@ class PlacementSweep:
         )
 
     # ------------------------------------------------------------------ run
-    def run(self, *, workers: int = 1) -> SweepResult:
+    def run(self, *, workers: int = 1, store=None) -> SweepResult:
         """Run every grid point; ``workers > 1`` shards over forked workers.
 
         The merged result is in grid order regardless of worker count, and
         byte-identical to the serial run (each point is deterministic and
         fully independent).  Falls back to the serial path when ``fork`` is
         unavailable.
+
+        With ``store=path`` every finished point is spilled to a columnar
+        shard under ``path`` (the same npz + manifest format as
+        :meth:`repro.core.flow.AttackCampaign.run` — see
+        :mod:`repro.store`), and re-invoking with the same ``store`` resumes
+        from the manifest: completed points are loaded back instead of
+        re-placed, and the merged table is byte-identical to an
+        uninterrupted serial run.
         """
         points = self.points()
         design = self.netlist_factory().name
+        if store is not None:
+            return self._run_with_store(store, points, design, workers)
         if (workers <= 1 or len(points) <= 1
                 or "fork" not in multiprocessing.get_all_start_methods()):
             rows = [self._run_point(point) for point in points]
         else:
-            rows = self._run_sharded(points, workers)
+            rows = list(self._run_sharded_iter(points, workers))
         return SweepResult(flow=self.flow, design=design, rows=rows)
 
-    def _run_sharded(self, points: List[SweepPoint],
-                     workers: int) -> List[SweepRow]:
+    def _run_sharded_iter(self, points: List[SweepPoint], workers: int):
+        """Sweep rows in grid order, yielded as they complete (fork pool)."""
         global _SWEEP_STATE
         context = multiprocessing.get_context("fork")
         _SWEEP_STATE = (self, points)
         try:
             with context.Pool(processes=min(workers, len(points))) as pool:
-                return pool.map(_sweep_shard_worker, range(len(points)),
-                                chunksize=1)
+                yield from pool.imap(_sweep_shard_worker, range(len(points)),
+                                     chunksize=1)
         finally:
             _SWEEP_STATE = None
+
+    # ---------------------------------------------------------------- store
+    def _grid_fingerprint(self, points: List[SweepPoint],
+                          design: str) -> str:
+        """Digest of every knob that shapes the sweep table.
+
+        The netlist factory itself cannot be hashed; the design name it
+        produces stands in for it.
+        """
+        from ..store import grid_fingerprint
+        from dataclasses import asdict
+
+        payload = {
+            "design": design,
+            "flow": self.flow,
+            "seed": self.seed,
+            "effort": self.effort,
+            "base_schedule": {key: value for key, value
+                              in sorted(asdict(self.base_schedule).items())},
+            "points": [[point.initial_acceptance, point.cooling,
+                        point.moves_per_cell, point.security_weight]
+                       for point in points],
+        }
+        return grid_fingerprint(payload)
+
+    def _run_with_store(self, store, points: List[SweepPoint], design: str,
+                        workers: int) -> SweepResult:
+        """The spill-and-resume form of :meth:`run` (one shard per point)."""
+        from ..store import CampaignFrame, CampaignStore
+
+        keys = [f"point-{index:04d}" for index in range(len(points))]
+        sweep_store = CampaignStore.open(
+            store, kind="sweep", scenario_keys=keys,
+            fingerprint=self._grid_fingerprint(points, design),
+            metadata={"flow": self.flow, "design": design})
+        done = set(sweep_store.completed_keys())
+        pending = [(key, point) for key, point in zip(keys, points)
+                   if key not in done]
+        pending_keys = [key for key, _point in pending]
+        pending_points = [point for _key, point in pending]
+        if (workers > 1 and len(pending_points) > 1
+                and "fork" in multiprocessing.get_all_start_methods()):
+            results = self._run_sharded_iter(pending_points, workers)
+        else:
+            results = (self._run_point(point) for point in pending_points)
+        written = {}
+        for key, row in zip(pending_keys, results):
+            tables = {"rows": CampaignFrame.from_rows([row], kind="sweep")}
+            sweep_store.write_shard(key, tables)
+            written[key] = tables
+        merged = sweep_store.merge_tables({"rows": "sweep"}, keys=keys,
+                                          cache=written)
+        sweep_store.finalize(merged)
+        return SweepResult(flow=self.flow, design=design,
+                           rows=merged["rows"].to_rows())
 
 
 #: Sweep state inherited by forked shard workers (set around the pool's

@@ -1,0 +1,293 @@
+"""The columnar campaign table: one numpy array per column, masks for null.
+
+:class:`CampaignFrame` is the in-memory half of the campaign store — a
+dependency-free structure-of-arrays frame (the environment has numpy only;
+the layout is deliberately Arrow-shaped — dense value buffer + validity
+bitmap per column — so a later Polars/Arrow backend is a column-by-column
+conversion, not a redesign).  It round-trips the repo's result-row
+dataclasses exactly:
+
+>>> frame = CampaignFrame.from_rows(result.rows)
+>>> frame.to_rows() == result.rows
+True
+
+and is what the npz disk format of :mod:`repro.store.disk` serializes.
+Filtering/projection return new frames over copied column slices; the lazy
+``filter``/``select``/``group_by`` pipeline lives in :mod:`repro.store.query`
+(reachable via :meth:`CampaignFrame.lazy`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .schema import (
+    DTYPES,
+    NULL_PLACEHOLDERS,
+    PYTHON_CASTS,
+    FrameSchema,
+    StoreError,
+    kind_of_row,
+    schema_for,
+)
+
+
+class CampaignFrame:
+    """A columnar table of one row kind (see :mod:`repro.store.schema`).
+
+    ``columns`` maps every schema column name to a 1-D numpy array;
+    ``null_masks`` maps each *nullable* column to a boolean array that is
+    ``True`` where the row holds no value (the dense array then holds a
+    placeholder: NaN / 0 / ``False`` / ``""``).
+    """
+
+    def __init__(self, schema: FrameSchema,
+                 columns: Dict[str, np.ndarray],
+                 null_masks: Optional[Dict[str, np.ndarray]] = None):
+        null_masks = dict(null_masks) if null_masks else {}
+        if set(columns) != set(schema.names()):
+            raise StoreError(
+                f"column set {sorted(columns)} does not match schema "
+                f"{schema.kind!r} columns {sorted(schema.names())}")
+        nullable = {spec.name for spec in schema.columns if spec.nullable}
+        if set(null_masks) != nullable:
+            raise StoreError(
+                f"null-mask set {sorted(null_masks)} does not match the "
+                f"nullable columns {sorted(nullable)} of schema "
+                f"{schema.kind!r}")
+        lengths = {name: len(array) for name, array in columns.items()}
+        lengths.update({f"null:{name}": len(mask)
+                        for name, mask in null_masks.items()})
+        if len(set(lengths.values())) > 1:
+            raise StoreError(f"ragged columns: {lengths}")
+        self.schema = schema
+        self._columns = {name: np.asarray(array)
+                         for name, array in columns.items()}
+        self._null = {name: np.asarray(mask, dtype=bool)
+                      for name, mask in null_masks.items()}
+
+    # ------------------------------------------------------------ building
+    @classmethod
+    def from_rows(cls, rows: Iterable[object],
+                  kind: Optional[str] = None) -> "CampaignFrame":
+        """Columnarize result-row dataclasses (kind auto-detected).
+
+        An empty ``rows`` needs an explicit ``kind``.  Any non-columnar
+        ``result`` payload a row carries (``keep_results=True`` campaigns)
+        is dropped — the frame stores the scalar outcome columns only.
+        """
+        rows = list(rows)
+        if kind is None:
+            if not rows:
+                raise StoreError("cannot infer the frame kind of an empty "
+                                 "row list; pass kind=...")
+            kind = kind_of_row(rows[0])
+        schema = schema_for(kind)
+        for row in rows:
+            if kind_of_row(row) != kind:
+                raise StoreError(
+                    f"mixed row kinds: expected {kind!r} rows, got "
+                    f"{type(row).__name__}")
+        flat = [schema.flatten(row) for row in rows]
+        columns: Dict[str, np.ndarray] = {}
+        null_masks: Dict[str, np.ndarray] = {}
+        for spec in schema.columns:
+            raw = [values[spec.name] for values in flat]
+            if spec.nullable:
+                mask = np.fromiter((value is None for value in raw),
+                                   dtype=bool, count=len(raw))
+                placeholder = NULL_PLACEHOLDERS[spec.kind]
+                raw = [placeholder if value is None else value
+                       for value in raw]
+                null_masks[spec.name] = mask
+            else:
+                for index, value in enumerate(raw):
+                    if value is None:
+                        raise StoreError(
+                            f"row {index}: column {spec.name!r} of schema "
+                            f"{kind!r} is not nullable but holds None")
+            if not raw:
+                array = np.empty(0, dtype=DTYPES[spec.kind])
+            elif spec.kind == "str":
+                # np.str_ widens to the longest value of the column.
+                array = np.asarray(raw, dtype=np.str_)
+            else:
+                array = np.asarray(raw, dtype=DTYPES[spec.kind])
+            columns[spec.name] = array
+        return cls(schema, columns, null_masks)
+
+    @classmethod
+    def concat(cls, frames: Sequence["CampaignFrame"],
+               kind: Optional[str] = None) -> "CampaignFrame":
+        """Stack frames of one kind (shard merge); order is preserved."""
+        frames = list(frames)
+        if not frames:
+            if kind is None:
+                raise StoreError("cannot concat zero frames without kind=...")
+            return cls.from_rows([], kind=kind)
+        kinds = {frame.schema.kind for frame in frames}
+        if kind is not None:
+            kinds.add(kind)
+        if len(kinds) != 1:
+            raise StoreError(f"cannot concat mixed frame kinds {sorted(kinds)}")
+        schema = frames[0].schema
+        columns = {name: np.concatenate([f._columns[name] for f in frames])
+                   for name in schema.names()}
+        null_masks = {name: np.concatenate([f._null[name] for f in frames])
+                      for name in frames[0]._null}
+        return cls(schema, columns, null_masks)
+
+    # ------------------------------------------------------------- reading
+    def __len__(self) -> int:
+        first = next(iter(self._columns.values()), None)
+        return 0 if first is None else len(first)
+
+    @property
+    def kind(self) -> str:
+        return self.schema.kind
+
+    def column_names(self) -> List[str]:
+        return list(self.schema.names())
+
+    def column(self, name: str) -> np.ndarray:
+        """The dense value array of one column (nulls hold placeholders)."""
+        self.schema.column(name)
+        return self._columns[name]
+
+    def null_mask(self, name: str) -> np.ndarray:
+        """Boolean array, ``True`` where the row holds no value."""
+        spec = self.schema.column(name)
+        if not spec.nullable:
+            return np.zeros(len(self), dtype=bool)
+        return self._null[name]
+
+    def null_count(self, name: str) -> int:
+        return int(self.null_mask(name).sum())
+
+    def to_rows(self) -> List[object]:
+        """Rebuild the result-row dataclasses, ``None`` restored from masks."""
+        if self.schema.unflatten is None:
+            raise StoreError(
+                f"frame of derived schema {self.schema.kind!r} (projection "
+                "or aggregate) cannot be converted back to result rows")
+        casts = {spec.name: PYTHON_CASTS[spec.kind]
+                 for spec in self.schema.columns}
+        rows = []
+        for index in range(len(self)):
+            values: Dict[str, object] = {}
+            for spec in self.schema.columns:
+                if spec.nullable and self._null[spec.name][index]:
+                    values[spec.name] = None
+                else:
+                    values[spec.name] = casts[spec.name](
+                        self._columns[spec.name][index])
+            rows.append(self.schema.unflatten(values))
+        return rows
+
+    # ----------------------------------------------------------- filtering
+    def _equality_mask(self, name: str, value) -> np.ndarray:
+        spec = self.schema.column(name)
+        null = self.null_mask(name)
+        if value is None:
+            if not spec.nullable:
+                raise StoreError(f"column {name!r} is not nullable; "
+                                 "filtering on None matches nothing")
+            return null.copy()
+        if isinstance(value, (list, tuple, set, frozenset)):
+            mask = np.isin(self._columns[name], list(value))
+        else:
+            mask = self._columns[name] == value
+        return mask & ~null
+
+    def mask_where(self, predicate=None, **equals) -> np.ndarray:
+        """The boolean row mask of a filter.
+
+        ``equals`` are per-column conditions: a scalar matches equal values,
+        a list/tuple/set matches membership, ``None`` matches null rows.
+        ``predicate`` (optional) is called with this frame and must return a
+        boolean row mask; it is ANDed with the equality conditions.
+        """
+        mask = np.ones(len(self), dtype=bool)
+        for name, value in equals.items():
+            mask &= self._equality_mask(name, value)
+        if predicate is not None:
+            extra = np.asarray(predicate(self), dtype=bool)
+            if extra.shape != mask.shape:
+                raise StoreError(
+                    f"filter predicate returned shape {extra.shape}; "
+                    f"expected ({len(self)},)")
+            mask &= extra
+        return mask
+
+    def indices_where(self, predicate=None, **equals) -> np.ndarray:
+        """Row indices matching a filter (see :meth:`mask_where`)."""
+        return np.flatnonzero(self.mask_where(predicate, **equals))
+
+    def take(self, selector) -> "CampaignFrame":
+        """A new frame of the selected rows (boolean mask or index array)."""
+        selector = np.asarray(selector)
+        columns = {name: array[selector]
+                   for name, array in self._columns.items()}
+        null_masks = {name: mask[selector]
+                      for name, mask in self._null.items()}
+        return CampaignFrame(self.schema, columns, null_masks)
+
+    def filter(self, predicate=None, **equals) -> "CampaignFrame":
+        """The sub-frame of rows matching a filter (see :meth:`mask_where`)."""
+        return self.take(self.mask_where(predicate, **equals))
+
+    def select(self, *names: str) -> "CampaignFrame":
+        """A projection onto the named columns (derived schema)."""
+        schema = self.schema.project(names)
+        columns = {name: self._columns[name] for name in names}
+        null_masks = {name: self._null[name]
+                      for name in names if name in self._null}
+        return CampaignFrame(schema, columns, null_masks)
+
+    def lazy(self):
+        """A lazy query over this frame (see :mod:`repro.store.query`)."""
+        from .query import LazyFrame
+
+        return LazyFrame(self)
+
+    def group_by(self, *keys: str):
+        """Group rows by key columns; terminal ``agg`` builds the result."""
+        from .query import GroupedFrame
+
+        return GroupedFrame(self, keys)
+
+    # ---------------------------------------------------------- comparison
+    def equals(self, other: "CampaignFrame") -> bool:
+        """Exact equality: same kind, columns, masks and values.
+
+        Float columns compare NaN-equal; null slots compare equal through
+        their masks (their placeholder values are normalized on build).
+        """
+        if not isinstance(other, CampaignFrame):
+            return False
+        if self.schema.kind != other.schema.kind:
+            return False
+        if self.schema.names() != other.schema.names():
+            return False
+        if len(self) != len(other):
+            return False
+        for spec in self.schema.columns:
+            mine, theirs = self._columns[spec.name], other._columns[spec.name]
+            if spec.nullable:
+                if not np.array_equal(self._null[spec.name],
+                                      other._null[spec.name]):
+                    return False
+                valid = ~self._null[spec.name]
+                mine, theirs = mine[valid], theirs[valid]
+            if spec.kind == "float":
+                if not np.array_equal(mine, theirs, equal_nan=True):
+                    return False
+            elif not np.array_equal(mine, theirs):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (f"CampaignFrame(kind={self.schema.kind!r}, rows={len(self)}, "
+                f"columns={list(self.schema.names())})")

@@ -1,0 +1,175 @@
+"""The JSON manifest of a campaign-store directory.
+
+The manifest is the store's source of truth for resume: it pins the store
+*kind* (campaign or sweep), the grid *fingerprint* (a digest of everything
+that shapes the result — scenario keys, trace budget, seeds, attack and
+assessment labels — computed by the producers), the ordered *scenario keys*,
+and one :class:`ShardRecord` per **completed** scenario.  A scenario's shard
+files are written first and the manifest updated after, atomically
+(tmp + :func:`os.replace`), so every key listed under ``shards`` is backed
+by fully written npz data no matter where a crash landed.
+
+A resumed run re-opens the manifest, verifies kind/fingerprint/keys (a
+mismatch raises :class:`~repro.store.schema.StoreError` instead of silently
+mixing grids) and re-runs only the scenarios without a shard record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .schema import SCHEMA_VERSION, StoreError
+
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass
+class ShardRecord:
+    """One completed scenario: its table files and their row counts."""
+
+    key: str
+    index: int
+    tables: Dict[str, str]
+    rows: Dict[str, int]
+
+    def to_json(self) -> Dict[str, object]:
+        return {"key": self.key, "index": self.index,
+                "tables": dict(self.tables), "rows": dict(self.rows)}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ShardRecord":
+        return cls(key=str(data["key"]), index=int(data["index"]),
+                   tables={str(k): str(v)
+                           for k, v in dict(data["tables"]).items()},
+                   rows={str(k): int(v)
+                         for k, v in dict(data["rows"]).items()})
+
+
+@dataclass
+class StoreManifest:
+    """Schema version, grid identity and per-shard completion records."""
+
+    kind: str
+    fingerprint: str
+    scenario_keys: List[str]
+    version: int = SCHEMA_VERSION
+    metadata: Dict[str, str] = field(default_factory=dict)
+    shards: Dict[str, ShardRecord] = field(default_factory=dict)
+    merged: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(set(self.scenario_keys)) != len(self.scenario_keys):
+            raise StoreError("scenario keys are not unique; every scenario "
+                             "needs a distinct (noise/design or point) label")
+
+    # ---------------------------------------------------------- completion
+    def completed_keys(self) -> List[str]:
+        """The scenario keys with a shard record, in scenario order."""
+        return [key for key in self.scenario_keys if key in self.shards]
+
+    def pending_keys(self) -> List[str]:
+        return [key for key in self.scenario_keys if key not in self.shards]
+
+    def record_shard(self, record: ShardRecord) -> None:
+        if record.key not in self.scenario_keys:
+            raise StoreError(f"shard key {record.key!r} is not a scenario "
+                             "of this store")
+        self.shards[record.key] = record
+
+    def check_compatible(self, *, kind: str, fingerprint: str,
+                         scenario_keys: List[str]) -> None:
+        """Refuse to resume a store produced by a different grid."""
+        if self.kind != kind:
+            raise StoreError(f"store holds {self.kind!r} results; this run "
+                             f"produces {kind!r} — use a fresh directory")
+        if self.scenario_keys != list(scenario_keys):
+            raise StoreError(
+                "store scenario keys do not match this run's grid "
+                f"(stored {len(self.scenario_keys)} keys, run has "
+                f"{len(scenario_keys)}; first difference: "
+                f"{_first_difference(self.scenario_keys, scenario_keys)}) "
+                "— use a fresh directory or the original grid")
+        if self.fingerprint != fingerprint:
+            raise StoreError(
+                "store fingerprint does not match this run's grid "
+                f"(stored {self.fingerprint}, run {fingerprint}): some "
+                "knob beyond the scenario keys changed (trace budget, "
+                "seed, attacks, assessments, streaming...) — use a fresh "
+                "directory or the original configuration")
+
+    # -------------------------------------------------------------- disk
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "scenario_keys": list(self.scenario_keys),
+            "metadata": dict(self.metadata),
+            "shards": [self.shards[key].to_json()
+                       for key in self.completed_keys()],
+            "merged": dict(self.merged),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "StoreManifest":
+        version = int(data.get("version", -1))
+        if version != SCHEMA_VERSION:
+            raise StoreError(f"manifest schema version {version} is not "
+                             f"the supported {SCHEMA_VERSION}")
+        manifest = cls(
+            kind=str(data["kind"]),
+            fingerprint=str(data["fingerprint"]),
+            scenario_keys=[str(key) for key in data["scenario_keys"]],
+            version=version,
+            metadata={str(k): str(v)
+                      for k, v in dict(data.get("metadata", {})).items()},
+            merged={str(k): str(v)
+                    for k, v in dict(data.get("merged", {})).items()},
+        )
+        for entry in data.get("shards", []):
+            manifest.record_shard(ShardRecord.from_json(entry))
+        return manifest
+
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Write the manifest atomically into ``directory``.
+
+        Compact encoding: the manifest is rewritten after *every* completed
+        shard, so fine-grained grids pay this serialization per scenario
+        (pipe through ``json.tool`` to inspect one by eye).
+        """
+        directory = Path(directory)
+        path = directory / MANIFEST_NAME
+        tmp = directory / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(self.to_json(), sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "StoreManifest":
+        path = Path(directory) / MANIFEST_NAME
+        if not path.exists():
+            raise StoreError(f"no manifest at {path}")
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise StoreError(f"corrupt manifest at {path}: {error}") from None
+        return cls.from_json(data)
+
+    @classmethod
+    def load_if_present(cls, directory: Union[str, Path]
+                        ) -> Optional["StoreManifest"]:
+        if (Path(directory) / MANIFEST_NAME).exists():
+            return cls.load(directory)
+        return None
+
+
+def _first_difference(left: List[str], right: List[str]) -> str:
+    for index, (a, b) in enumerate(zip(left, right)):
+        if a != b:
+            return f"index {index}: {a!r} != {b!r}"
+    return f"length {len(left)} vs {len(right)}"

@@ -1,0 +1,380 @@
+"""The query layer over :class:`~repro.store.frame.CampaignFrame`.
+
+Three levels, smallest first:
+
+* :class:`LazyFrame` — a deferred ``filter``/``select`` pipeline
+  (:meth:`CampaignFrame.lazy`): operations accumulate and run in one pass on
+  :meth:`~LazyFrame.collect`, so composing a query never materializes
+  intermediate frames;
+* :class:`GroupedFrame` — ``group_by(...).agg(...)`` aggregations over key
+  columns (deterministic sorted-group order, nulls dropped per column);
+* campaign-specific reports — :func:`mtd_percentiles` (messages-to-disclosure
+  quantiles per group, undisclosed rows counted separately),
+  :func:`verdict_pivot` (disclosed/flagged fraction matrix over two label
+  axes) and :func:`pareto_front` (non-dominated rows over minimize/maximize
+  objective columns — e.g. protection vs area, dissymmetry vs wirelength).
+
+Aggregate and pivot results are *derived* frames/tables: they no longer map
+to a result dataclass and are meant for analysis, not persistence.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .frame import CampaignFrame
+from .schema import ColumnSpec, FrameSchema, StoreError
+
+
+class AmbiguousQueryError(LookupError):
+    """A query expected one row but matched several (the matches are named
+    in the message); tighten the key instead of trusting the first hit."""
+
+
+# ------------------------------------------------------------- lazy queries
+class LazyFrame:
+    """A deferred query plan over one frame.
+
+    ``filter``/``select`` calls stack up without touching the data;
+    :meth:`collect` executes the plan front to back.  The plan objects are
+    immutable — every call returns a new :class:`LazyFrame` — so partial
+    plans can be shared and extended independently.
+    """
+
+    def __init__(self, frame: CampaignFrame,
+                 plan: Tuple[Tuple[str, object], ...] = ()):
+        self._frame = frame
+        self._plan = plan
+
+    def filter(self, predicate=None, **equals) -> "LazyFrame":
+        return LazyFrame(self._frame,
+                         self._plan + (("filter", (predicate, equals)),))
+
+    def select(self, *names: str) -> "LazyFrame":
+        return LazyFrame(self._frame, self._plan + (("select", names),))
+
+    def collect(self) -> CampaignFrame:
+        frame = self._frame
+        for op, payload in self._plan:
+            if op == "filter":
+                predicate, equals = payload
+                frame = frame.filter(predicate, **equals)
+            else:
+                frame = frame.select(*payload)
+        return frame
+
+    def group_by(self, *keys: str) -> "GroupedFrame":
+        """Execute the plan and group the result (terminal)."""
+        return GroupedFrame(self.collect(), keys)
+
+    def __len__(self) -> int:
+        return len(self.collect())
+
+
+# ------------------------------------------------------------- aggregation
+_PERCENTILE_NAME = re.compile(r"^p(\d{1,2}(?:\.\d+)?)$")
+
+
+def _aggregate(values: np.ndarray, how) -> float:
+    """One aggregate over the valid (non-null) values of a group."""
+    if callable(how):
+        return float(how(values))
+    if values.size == 0:
+        return float("nan")
+    if how == "min":
+        return float(values.min())
+    if how == "max":
+        return float(values.max())
+    if how == "mean":
+        return float(values.mean())
+    if how == "median":
+        return float(np.median(values))
+    if how == "sum":
+        return float(values.sum())
+    if how == "std":
+        return float(values.std())
+    match = _PERCENTILE_NAME.match(how) if isinstance(how, str) else None
+    if match:
+        return float(np.percentile(values, float(match.group(1))))
+    raise StoreError(
+        f"unknown aggregate {how!r}; expected min/max/mean/median/sum/std, "
+        "a percentile like 'p90', or a callable")
+
+
+class GroupedFrame:
+    """Rows grouped by key columns, awaiting a terminal ``agg``."""
+
+    def __init__(self, frame: CampaignFrame, keys: Sequence[str]):
+        if not keys:
+            raise StoreError("group_by needs at least one key column")
+        for key in keys:
+            frame.schema.column(key)
+        self._frame = frame
+        self._keys = tuple(keys)
+
+    def groups(self) -> List[Tuple[Tuple, np.ndarray]]:
+        """(key tuple, row indices) per group, in sorted key order."""
+        frame = self._frame
+        key_columns = [frame.column(key) for key in self._keys]
+        by_key: Dict[Tuple, List[int]] = {}
+        for index in range(len(frame)):
+            key = tuple(column[index].item() for column in key_columns)
+            by_key.setdefault(key, []).append(index)
+        return [(key, np.asarray(by_key[key], dtype=np.intp))
+                for key in sorted(by_key)]
+
+    def agg(self, **aggregates: Tuple[str, object]) -> CampaignFrame:
+        """One row per group: key columns plus ``name=(column, how)`` stats.
+
+        ``how`` is ``min``/``max``/``mean``/``median``/``sum``/``std``, a
+        percentile name like ``"p90"``, or a callable over the group's valid
+        values; ``name="count"`` shorthand ``name=(column, "count")`` counts
+        valid values, and every result frame carries a ``rows`` column with
+        the group size.  Nulls are dropped per column before aggregating
+        (an all-null group aggregates to NaN).
+        """
+        if not aggregates:
+            raise StoreError("agg needs at least one name=(column, how)")
+        frame = self._frame
+        for name, (column, _how) in aggregates.items():
+            frame.schema.column(column)
+            if name in self._keys or name == "rows":
+                raise StoreError(f"aggregate name {name!r} collides with a "
+                                 "key/rows column")
+        groups = self.groups()
+        key_specs = tuple(ColumnSpec(frame.schema.column(key).name,
+                                     frame.schema.column(key).kind)
+                          for key in self._keys)
+        out_columns: Dict[str, List] = {key: [] for key in self._keys}
+        out_columns["rows"] = []
+        for name in aggregates:
+            out_columns[name] = []
+        for key, indices in groups:
+            for key_name, key_value in zip(self._keys, key):
+                out_columns[key_name].append(key_value)
+            out_columns["rows"].append(len(indices))
+            for name, (column, how) in aggregates.items():
+                values = frame.column(column)[indices]
+                valid = ~frame.null_mask(column)[indices]
+                values = values[valid]
+                if how == "count":
+                    out_columns[name].append(float(values.size))
+                else:
+                    out_columns[name].append(
+                        _aggregate(np.asarray(values, dtype=float), how))
+        specs = key_specs + (ColumnSpec("rows", "int"),) + tuple(
+            ColumnSpec(name, "float") for name in aggregates)
+        schema = FrameSchema(kind=f"{frame.schema.kind}:agg", columns=specs)
+        arrays = {}
+        for spec in specs:
+            if spec.kind == "str":
+                dtype = np.str_ if out_columns[spec.name] else "U1"
+            else:
+                dtype = {"int": np.int64, "float": np.float64,
+                         "bool": np.bool_}[spec.kind]
+            arrays[spec.name] = np.asarray(out_columns[spec.name],
+                                           dtype=dtype)
+        return CampaignFrame(schema, arrays)
+
+
+# ----------------------------------------------------- campaign-level views
+def mtd_percentiles(frame: CampaignFrame, *,
+                    by: Sequence[str] = ("design",),
+                    q: Sequence[float] = (50, 90, 99),
+                    column: str = "disclosure") -> CampaignFrame:
+    """Messages-to-disclosure quantiles per group of a campaign frame.
+
+    Rows whose ``column`` is null never disclosed within the trace budget;
+    they are excluded from the percentiles and reported in the
+    ``undisclosed`` column instead (the percentiles are therefore
+    *conditional on disclosure* — read them next to the count).
+    """
+    aggregates = {f"p{value:g}": (column, f"p{value:g}") for value in q}
+    aggregates["disclosed"] = (column, "count")
+    result = frame.group_by(*by).agg(**aggregates)
+    disclosed = result.column("disclosed").astype(np.int64)
+    undisclosed = result.column("rows") - disclosed
+    specs = result.schema.columns + (ColumnSpec("undisclosed", "int"),)
+    columns = {spec.name: result.column(spec.name)
+               for spec in result.schema.columns}
+    columns["undisclosed"] = undisclosed.astype(np.int64)
+    return CampaignFrame(FrameSchema(kind=result.schema.kind, columns=specs),
+                         columns)
+
+
+@dataclass
+class PivotTable:
+    """A two-axis fraction matrix (e.g. disclosed rate design × attack)."""
+
+    row_axis: str
+    col_axis: str
+    value: str
+    row_labels: List[str]
+    col_labels: List[str]
+    fractions: np.ndarray
+    counts: np.ndarray
+
+    def fraction(self, row: str, col: str) -> float:
+        return float(self.fractions[self.row_labels.index(row),
+                                    self.col_labels.index(col)])
+
+    def as_table(self) -> str:
+        width = max([10] + [len(label) + 2 for label in self.col_labels])
+        left = max([len(self.row_axis)]
+                   + [len(label) for label in self.row_labels]) + 2
+        header = f"{self.row_axis:<{left}s}" + "".join(
+            f"{label:>{width}s}" for label in self.col_labels)
+        lines = [f"{self.value} rate by {self.row_axis} x {self.col_axis}",
+                 header, "-" * len(header)]
+        for row_index, label in enumerate(self.row_labels):
+            cells = []
+            for col_index in range(len(self.col_labels)):
+                if self.counts[row_index, col_index] == 0:
+                    cells.append(f"{'-':>{width}s}")
+                else:
+                    cells.append(
+                        f"{self.fractions[row_index, col_index]:>{width}.2f}")
+            lines.append(f"{label:<{left}s}" + "".join(cells))
+        return "\n".join(lines)
+
+
+def verdict_pivot(frame: CampaignFrame, *, rows: str = "design",
+                  cols: str = "attack",
+                  value: Optional[str] = None) -> PivotTable:
+    """The verdict-fraction matrix of a campaign or assessment frame.
+
+    ``value`` defaults per kind: campaign frames pivot the *disclosed*
+    verdict (``rank_of_correct == 1``; rows without a known key count as
+    not disclosed), assessment frames the TVLA ``flagged`` verdict (rows
+    without a verdict are excluded from their cell's denominator).
+    """
+    if value is None:
+        if frame.kind == "campaign":
+            value = "disclosed"
+        elif frame.kind == "assessment":
+            value = "flagged"
+        else:
+            raise StoreError(f"no default pivot value for frame kind "
+                             f"{frame.kind!r}; pass value=...")
+    if value == "disclosed" and "disclosed" not in frame.schema.names():
+        rank = frame.column("rank_of_correct")
+        verdict = (rank == 1) & ~frame.null_mask("rank_of_correct")
+        counted = np.ones(len(frame), dtype=bool)
+    else:
+        verdict = frame.column(value).astype(bool)
+        counted = ~frame.null_mask(value)
+    row_values = frame.column(rows)
+    col_values = frame.column(cols)
+    row_labels = sorted({str(label) for label in row_values})
+    col_labels = sorted({str(label) for label in col_values})
+    fractions = np.full((len(row_labels), len(col_labels)), np.nan)
+    counts = np.zeros((len(row_labels), len(col_labels)), dtype=np.int64)
+    for row_index, row_label in enumerate(row_labels):
+        row_mask = (row_values == row_label) & counted
+        for col_index, col_label in enumerate(col_labels):
+            cell = row_mask & (col_values == col_label)
+            count = int(cell.sum())
+            counts[row_index, col_index] = count
+            if count:
+                fractions[row_index, col_index] = \
+                    float(verdict[cell].mean())
+    return PivotTable(row_axis=rows, col_axis=cols, value=value,
+                      row_labels=row_labels, col_labels=col_labels,
+                      fractions=fractions, counts=counts)
+
+
+def pareto_front(frame: CampaignFrame, *,
+                 minimize: Sequence[str] = (),
+                 maximize: Sequence[str] = ()) -> CampaignFrame:
+    """The non-dominated rows over the named objective columns.
+
+    A row is kept when no other row is at least as good in every objective
+    and strictly better in one (ties keep both).  Rows with a null in any
+    objective are excluded.  The classic use is the protection-vs-cost
+    trade-off: ``pareto_front(sweep, minimize=("max_dissymmetry",
+    "wirelength_um"))`` or disclosure-resistance vs area.  Row order of the
+    input is preserved.
+    """
+    names = tuple(minimize) + tuple(maximize)
+    if len(names) < 2:
+        raise StoreError("pareto_front needs at least two objective columns")
+    valid = np.ones(len(frame), dtype=bool)
+    for name in names:
+        valid &= ~frame.null_mask(name)
+    indices = np.flatnonzero(valid)
+    objectives = np.column_stack(
+        [np.asarray(frame.column(name)[indices], dtype=float)
+         for name in minimize]
+        + [-np.asarray(frame.column(name)[indices], dtype=float)
+           for name in maximize])
+    keep = _non_dominated(objectives)
+    return frame.take(np.sort(indices[keep]))
+
+
+def _non_dominated(points: np.ndarray) -> np.ndarray:
+    """Indices of the minimization-pareto-optimal rows of ``points``."""
+    count, dims = points.shape
+    if count == 0:
+        return np.empty(0, dtype=np.intp)
+    if dims == 2:
+        # Sorted sweep: within one f0 value only the f1 minima survive, and
+        # only when strictly below every f1 seen at smaller f0.
+        order = np.lexsort((points[:, 1], points[:, 0]))
+        kept: List[int] = []
+        best = np.inf
+        cursor = 0
+        while cursor < count:
+            f0 = points[order[cursor], 0]
+            stop = cursor
+            while stop < count and points[order[stop], 0] == f0:
+                stop += 1
+            group = order[cursor:stop]
+            group_min = points[group, 1].min()
+            if group_min < best:
+                kept.extend(int(i) for i in group
+                            if points[i, 1] == group_min)
+                best = group_min
+            cursor = stop
+        return np.asarray(sorted(kept), dtype=np.intp)
+    keep = np.ones(count, dtype=bool)
+    for index in range(count):
+        if not keep[index]:
+            continue
+        others = points[keep]
+        dominated = (np.all(others <= points[index], axis=1)
+                     & np.any(others < points[index], axis=1))
+        if dominated.any():
+            keep[index] = False
+    return np.flatnonzero(keep)
+
+
+def single_row(frame: CampaignFrame, label_columns: Sequence[str],
+               **equals) -> int:
+    """The index of the unique row matching ``equals`` — the strict lookup
+    behind :meth:`repro.core.flow.CampaignResult.row`.
+
+    Raises :class:`KeyError` when nothing matches and
+    :class:`AmbiguousQueryError` (listing the matching label tuples) when
+    the key is partial enough to match several rows.
+    """
+    matches = frame.indices_where(**equals)
+    if len(matches) == 0:
+        criteria = ", ".join(f"{k}={v!r}" for k, v in equals.items())
+        raise KeyError(f"no {frame.kind} row matches {criteria}")
+    if len(matches) > 1:
+        labels = [tuple(str(frame.column(name)[index])
+                        for name in label_columns)
+                  for index in matches]
+        criteria = ", ".join(f"{k}={v!r}" for k, v in equals.items())
+        shown = ", ".join(repr(label) for label in labels[:8])
+        if len(labels) > 8:
+            shown += f", ... ({len(labels) - 8} more)"
+        raise AmbiguousQueryError(
+            f"{len(matches)} {frame.kind} rows match {criteria}: {shown}; "
+            f"narrow the query with "
+            f"{'/'.join(label_columns)} to a unique row")
+    return int(matches[0])

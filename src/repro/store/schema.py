@@ -1,0 +1,258 @@
+"""Column schemas of the campaign store.
+
+A :class:`FrameSchema` fixes, per *row kind*, the columns of the columnar
+:class:`~repro.store.frame.CampaignFrame` together with the two conversions
+that make the store lossless: ``flatten`` turns one result dataclass into a
+plain ``{column: value}`` dict, ``unflatten`` rebuilds the dataclass from it.
+Three kinds are registered — one per result-row dataclass of the repo:
+
+========== ============================================== =================
+kind       dataclass                                      produced by
+========== ============================================== =================
+campaign   :class:`repro.core.flow.CampaignRow`           ``AttackCampaign``
+assessment :class:`repro.core.flow.AssessmentRow`         ``AttackCampaign``
+sweep      :class:`repro.pnr.sweep.SweepRow`              ``PlacementSweep``
+========== ============================================== =================
+
+Columns are typed (``str`` / ``int`` / ``float`` / ``bool``) and optionally
+*nullable*: a nullable column is stored as a dense value array plus a boolean
+null-mask column, so ``None`` survives the round trip even for floats whose
+value space already contains NaN/±inf.  The dataclass ``result`` payloads
+(attack/assessment result objects) are deliberately **not** part of any
+schema — they are in-memory analysis handles, not columnar data, and are
+dropped by ``flatten`` (the store entry points refuse ``keep_results`` runs
+outright, see :meth:`repro.core.flow.AttackCampaign.run`).
+
+The row dataclasses are imported lazily inside the conversion callables, so
+:mod:`repro.store` stays a leaf package importable from anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+#: Bumped whenever the on-disk layout (schemas, npz naming, manifest fields)
+#: changes incompatibly; stored in every manifest and npz file.
+SCHEMA_VERSION = 1
+
+
+class StoreError(Exception):
+    """Raised on malformed frames, schema mismatches or store corruption."""
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One typed column: ``kind`` is ``str``/``int``/``float``/``bool``."""
+
+    name: str
+    kind: str
+    nullable: bool = False
+
+
+@dataclass(frozen=True)
+class FrameSchema:
+    """The column layout of one row kind plus its dataclass conversions.
+
+    ``unflatten`` is ``None`` for derived schemas (projections, aggregates)
+    that no longer correspond to a dataclass — their frames cannot go back
+    through :meth:`~repro.store.frame.CampaignFrame.to_rows`.
+    """
+
+    kind: str
+    columns: Tuple[ColumnSpec, ...]
+    flatten: Optional[Callable[[object], Dict[str, object]]] = None
+    unflatten: Optional[Callable[[Dict[str, object]], object]] = None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(spec.name for spec in self.columns)
+
+    def column(self, name: str) -> ColumnSpec:
+        for spec in self.columns:
+            if spec.name == name:
+                return spec
+        raise StoreError(f"schema {self.kind!r} has no column {name!r}; "
+                         f"columns: {list(self.names())}")
+
+    def project(self, names) -> "FrameSchema":
+        """A derived schema over a subset of columns (loses ``unflatten``)."""
+        specs = tuple(self.column(name) for name in names)
+        return FrameSchema(kind=self.kind, columns=specs)
+
+
+#: numpy dtype per column kind (strings widen to the longest value).
+DTYPES = {"str": np.dtype("U1"), "int": np.dtype(np.int64),
+          "float": np.dtype(np.float64), "bool": np.dtype(np.bool_)}
+
+#: The value stored in the dense array where the null mask is set.
+NULL_PLACEHOLDERS = {"str": "", "int": 0, "float": float("nan"),
+                     "bool": False}
+
+#: Python-side casts applied by ``to_rows`` so rebuilt dataclasses hold
+#: plain Python scalars (exact for int64/float64/bool/str round trips).
+PYTHON_CASTS = {"str": str, "int": int, "float": float, "bool": bool}
+
+
+# ------------------------------------------------------------ campaign rows
+def _flatten_campaign(row) -> Dict[str, object]:
+    return {
+        "design": row.design,
+        "selection": row.selection,
+        "attack": row.attack,
+        "noise": row.noise,
+        "trace_count": row.trace_count,
+        "best_guess": row.best_guess,
+        "best_peak": row.best_peak,
+        "correct_guess": row.correct_guess,
+        "rank_of_correct": row.rank_of_correct,
+        "discrimination": row.discrimination,
+        "disclosure": row.disclosure,
+    }
+
+
+def _unflatten_campaign(values: Dict[str, object]):
+    from ..core.flow import CampaignRow
+
+    return CampaignRow(**values)
+
+
+_CAMPAIGN_SCHEMA = FrameSchema(
+    kind="campaign",
+    columns=(
+        ColumnSpec("design", "str"),
+        ColumnSpec("selection", "str"),
+        ColumnSpec("attack", "str"),
+        ColumnSpec("noise", "str"),
+        ColumnSpec("trace_count", "int"),
+        ColumnSpec("best_guess", "int"),
+        ColumnSpec("best_peak", "float"),
+        ColumnSpec("correct_guess", "int", nullable=True),
+        ColumnSpec("rank_of_correct", "int", nullable=True),
+        ColumnSpec("discrimination", "float", nullable=True),
+        ColumnSpec("disclosure", "int", nullable=True),
+    ),
+    flatten=_flatten_campaign,
+    unflatten=_unflatten_campaign,
+)
+
+
+# ---------------------------------------------------------- assessment rows
+def _flatten_assessment(row) -> Dict[str, object]:
+    return {
+        "design": row.design,
+        "assessment": row.assessment,
+        "noise": row.noise,
+        "trace_count": row.trace_count,
+        "statistic": row.statistic,
+        "peak": row.peak,
+        "threshold": row.threshold,
+        "flagged": row.flagged,
+        "n0": row.n0,
+        "n1": row.n1,
+    }
+
+
+def _unflatten_assessment(values: Dict[str, object]):
+    from ..core.flow import AssessmentRow
+
+    return AssessmentRow(**values)
+
+
+_ASSESSMENT_SCHEMA = FrameSchema(
+    kind="assessment",
+    columns=(
+        ColumnSpec("design", "str"),
+        ColumnSpec("assessment", "str"),
+        ColumnSpec("noise", "str"),
+        ColumnSpec("trace_count", "int"),
+        ColumnSpec("statistic", "str"),
+        ColumnSpec("peak", "float"),
+        ColumnSpec("threshold", "float", nullable=True),
+        ColumnSpec("flagged", "bool", nullable=True),
+        ColumnSpec("n0", "int", nullable=True),
+        ColumnSpec("n1", "int", nullable=True),
+    ),
+    flatten=_flatten_assessment,
+    unflatten=_unflatten_assessment,
+)
+
+
+# --------------------------------------------------------------- sweep rows
+def _flatten_sweep(row) -> Dict[str, object]:
+    point = row.point
+    return {
+        "initial_acceptance": point.initial_acceptance,
+        "cooling": point.cooling,
+        "moves_per_cell": point.moves_per_cell,
+        "security_weight": point.security_weight,
+        "wirelength_um": row.wirelength_um,
+        "max_dissymmetry": row.max_dissymmetry,
+        "mean_dissymmetry": row.mean_dissymmetry,
+    }
+
+
+def _unflatten_sweep(values: Dict[str, object]):
+    from ..pnr.sweep import SweepPoint, SweepRow
+
+    return SweepRow(
+        point=SweepPoint(
+            initial_acceptance=values["initial_acceptance"],
+            cooling=values["cooling"],
+            moves_per_cell=values["moves_per_cell"],
+            security_weight=values["security_weight"],
+        ),
+        wirelength_um=values["wirelength_um"],
+        max_dissymmetry=values["max_dissymmetry"],
+        mean_dissymmetry=values["mean_dissymmetry"],
+    )
+
+
+_SWEEP_SCHEMA = FrameSchema(
+    kind="sweep",
+    columns=(
+        ColumnSpec("initial_acceptance", "float"),
+        ColumnSpec("cooling", "float"),
+        ColumnSpec("moves_per_cell", "float"),
+        ColumnSpec("security_weight", "float"),
+        ColumnSpec("wirelength_um", "float"),
+        ColumnSpec("max_dissymmetry", "float"),
+        ColumnSpec("mean_dissymmetry", "float"),
+    ),
+    flatten=_flatten_sweep,
+    unflatten=_unflatten_sweep,
+)
+
+
+_SCHEMAS: Dict[str, FrameSchema] = {
+    schema.kind: schema
+    for schema in (_CAMPAIGN_SCHEMA, _ASSESSMENT_SCHEMA, _SWEEP_SCHEMA)
+}
+
+#: Row dataclass name → schema kind (detection without importing the types).
+_ROW_TYPE_KINDS = {
+    "CampaignRow": "campaign",
+    "AssessmentRow": "assessment",
+    "SweepRow": "sweep",
+}
+
+
+def schema_for(kind: str) -> FrameSchema:
+    """The registered schema of one row kind."""
+    try:
+        return _SCHEMAS[kind]
+    except KeyError:
+        raise StoreError(f"unknown frame kind {kind!r}; "
+                         f"known: {sorted(_SCHEMAS)}") from None
+
+
+def kind_of_row(row) -> str:
+    """The schema kind a result-row dataclass instance belongs to."""
+    name = type(row).__name__
+    try:
+        return _ROW_TYPE_KINDS[name]
+    except KeyError:
+        raise StoreError(
+            f"no frame schema stores {name} rows; storable kinds: "
+            f"{sorted(_ROW_TYPE_KINDS.values())}") from None

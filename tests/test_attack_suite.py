@@ -244,8 +244,9 @@ class TestNoiseEquivalence:
 
     def test_composite_gaussians_match(self):
         matrix = self._matrix()
-        make = lambda: CompositeNoise((GaussianNoise(1e-3, seed=5),
-                                       GaussianNoise(2e-3, seed=6)))
+        def make():
+            return CompositeNoise((GaussianNoise(1e-3, seed=5),
+                                   GaussianNoise(2e-3, seed=6)))
         by_matrix = make().apply_matrix(matrix, 1e-9)
         per_trace = make()
         by_rows = np.vstack([

@@ -1,0 +1,569 @@
+"""Tests of the columnar campaign store (:mod:`repro.store`).
+
+* :class:`CampaignFrame` round-trips the three result-row kinds exactly
+  (None-heavy rows, NaN/±inf floats, empty frames);
+* the npz disk format is bit-exact and crash-safe behind the JSON manifest;
+* the query layer: filter/select/lazy, group-by aggregation, MTD
+  percentiles, verdict pivots, pareto fronts, strict single-row lookup;
+* ``AttackCampaign.run(store=)`` / ``PlacementSweep.run(store=)``: spilled
+  runs match in-memory runs byte for byte, crashed runs resume from the
+  manifest without re-running completed scenarios, grid mismatches refuse
+  to resume;
+* the campaign-result bugfix sweep: ambiguous partial keys raise instead of
+  returning the first match, and table formatters survive NaN/±inf/None.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import AttackCampaign, AesSboxSelection, TraceSet
+from repro.core.flow import (
+    AssessmentRow,
+    CampaignResult,
+    CampaignRow,
+    _format_metric,
+)
+from repro.crypto.aes_tables import SBOX
+from repro.electrical import GaussianNoise
+from repro.pnr.sweep import PlacementSweep, SweepPoint, SweepRow
+from repro.store import (
+    AmbiguousQueryError,
+    CampaignFrame,
+    CampaignStore,
+    StoreError,
+    StoreManifest,
+    grid_fingerprint,
+    load_campaign_result,
+    load_sweep_rows,
+    mtd_percentiles,
+    open_store,
+    pareto_front,
+    read_frame,
+    single_row,
+    verdict_pivot,
+    write_frame,
+)
+
+KEY = list(range(16))
+_SBOX = np.asarray(SBOX, dtype=np.int64)
+_POP = np.asarray([bin(v).count("1") for v in range(256)], dtype=np.int64)
+
+
+def _campaign_rows():
+    return [
+        CampaignRow(design="flat", selection="sbox", attack="dpa",
+                    noise="quiet", trace_count=400, best_guess=0x2B,
+                    best_peak=1.5e-3, correct_guess=0x2B, rank_of_correct=1,
+                    discrimination=3.2, disclosure=150),
+        CampaignRow(design="hier", selection="sbox", attack="dpa",
+                    noise="quiet", trace_count=400, best_guess=0x7F,
+                    best_peak=2.0e-4, correct_guess=0x2B, rank_of_correct=41,
+                    discrimination=1.01, disclosure=None),
+        # None-heavy: no known key at all.
+        CampaignRow(design="blind", selection="sbox", attack="cpa-hw",
+                    noise="loud", trace_count=100, best_guess=3,
+                    best_peak=0.5),
+        # Degenerate floats the attacks can genuinely produce.
+        CampaignRow(design="degen", selection="sbox", attack="dpa",
+                    noise="quiet", trace_count=10, best_guess=0,
+                    best_peak=float("nan"), correct_guess=0,
+                    rank_of_correct=1, discrimination=float("inf"),
+                    disclosure=10),
+        CampaignRow(design="degen2", selection="sbox", attack="dpa",
+                    noise="quiet", trace_count=10, best_guess=0,
+                    best_peak=-1.0, correct_guess=0, rank_of_correct=2,
+                    discrimination=float("-inf"), disclosure=None),
+    ]
+
+
+def _assessment_rows():
+    return [
+        AssessmentRow(design="flat", assessment="tvla", noise="quiet",
+                      trace_count=400, statistic="max|t|", peak=9.7,
+                      threshold=4.5, flagged=True, n0=200, n1=200),
+        AssessmentRow(design="hier", assessment="tvla", noise="quiet",
+                      trace_count=400, statistic="max|t|", peak=1.2,
+                      threshold=4.5, flagged=False, n0=200, n1=200),
+        # SNR rows carry no verdict at all.
+        AssessmentRow(design="flat", assessment="snr[sbox,hw]",
+                      noise="quiet", trace_count=400, statistic="max SNR",
+                      peak=float("nan")),
+    ]
+
+
+def _sweep_rows():
+    return [
+        SweepRow(point=SweepPoint(0.3, 0.75, 15.0, 0.0),
+                 wirelength_um=120.5, max_dissymmetry=0.4,
+                 mean_dissymmetry=0.1),
+        SweepRow(point=SweepPoint(0.3, 0.85, 15.0, 0.5),
+                 wirelength_um=131.25, max_dissymmetry=0.2,
+                 mean_dissymmetry=0.05),
+    ]
+
+
+# ----------------------------------------------------------- frame round-trip
+class TestFrameRoundTrip:
+    @pytest.mark.parametrize("rows,kind", [
+        (_campaign_rows()[:3], "campaign"),
+        (_assessment_rows()[:2], "assessment"),
+        (_sweep_rows(), "sweep"),
+    ])
+    def test_rows_to_frame_to_rows_identity(self, rows, kind):
+        frame = CampaignFrame.from_rows(rows)
+        assert frame.kind == kind
+        assert len(frame) == len(rows)
+        back = frame.to_rows()
+        assert back == rows  # dataclass equality is field-exact (the
+        # NaN-carrying rows, where == cannot work, are compared below)
+
+    def test_nan_rows_round_trip_field_exact(self):
+        rows = _campaign_rows()
+        back = CampaignFrame.from_rows(rows).to_rows()
+        for row, row_back in zip(rows, back):
+            for name in ("design", "selection", "attack", "noise",
+                         "trace_count", "best_guess", "correct_guess",
+                         "rank_of_correct", "disclosure"):
+                assert getattr(row, name) == getattr(row_back, name)
+            for name in ("best_peak", "discrimination"):
+                value, value_back = getattr(row, name), getattr(row_back, name)
+                if value is None:
+                    assert value_back is None
+                elif math.isnan(value):
+                    assert math.isnan(value_back)
+                else:
+                    assert value == value_back  # bit-exact, no approx
+
+    def test_none_restored_from_masks(self):
+        frame = CampaignFrame.from_rows(_campaign_rows())
+        assert frame.null_count("disclosure") == 3
+        assert frame.null_count("discrimination") == 1
+        blind = frame.to_rows()[2]
+        assert blind.correct_guess is None
+        assert blind.rank_of_correct is None
+        assert blind.discrimination is None
+
+    def test_python_types_restored(self):
+        back = CampaignFrame.from_rows(_campaign_rows()).to_rows()[0]
+        assert type(back.trace_count) is int  # not np.int64
+        assert type(back.best_peak) is float
+        assert type(back.design) is str
+        flagged = CampaignFrame.from_rows(_assessment_rows()).to_rows()[0]
+        assert type(flagged.flagged) is bool
+
+    def test_empty_frame_needs_kind_and_round_trips(self):
+        with pytest.raises(StoreError):
+            CampaignFrame.from_rows([])
+        frame = CampaignFrame.from_rows([], kind="campaign")
+        assert len(frame) == 0
+        assert frame.to_rows() == []
+
+    def test_mixed_kinds_rejected(self):
+        with pytest.raises(StoreError, match="mixed row kinds"):
+            CampaignFrame.from_rows(_campaign_rows() + _assessment_rows())
+
+    def test_none_in_non_nullable_column_rejected(self):
+        row = CampaignRow(design=None, selection="s", attack="a", noise="n",
+                          trace_count=1, best_guess=0, best_peak=0.0)
+        with pytest.raises(StoreError, match="not nullable"):
+            CampaignFrame.from_rows([row])
+
+    def test_result_payload_dropped(self):
+        row = CampaignRow(design="d", selection="s", attack="a", noise="n",
+                          trace_count=1, best_guess=0, best_peak=0.0,
+                          result=object())
+        back = CampaignFrame.from_rows([row]).to_rows()[0]
+        assert back.result is None
+
+    def test_concat_preserves_order(self):
+        rows = _campaign_rows()
+        frame = CampaignFrame.concat([
+            CampaignFrame.from_rows(rows[:2]),
+            CampaignFrame.from_rows([], kind="campaign"),
+            CampaignFrame.from_rows(rows[2:]),
+        ])
+        assert frame.equals(CampaignFrame.from_rows(rows))
+
+
+# ------------------------------------------------------------- disk format
+class TestDiskFormat:
+    @pytest.mark.parametrize("rows", [_campaign_rows(), _assessment_rows(),
+                                      _sweep_rows()])
+    def test_npz_round_trip_identity(self, rows, tmp_path):
+        frame = CampaignFrame.from_rows(rows)
+        write_frame(frame, tmp_path / "frame.npz")
+        assert read_frame(tmp_path / "frame.npz").equals(frame)
+
+    def test_write_is_deterministic(self, tmp_path):
+        frame = CampaignFrame.from_rows(_campaign_rows())
+        write_frame(frame, tmp_path / "a.npz")
+        write_frame(frame, tmp_path / "b.npz")
+        assert (tmp_path / "a.npz").read_bytes() == \
+            (tmp_path / "b.npz").read_bytes()
+
+    def test_manifest_resume_bookkeeping(self, tmp_path):
+        manifest = StoreManifest(kind="campaign", fingerprint="abc",
+                                 scenario_keys=["s0", "s1", "s2"])
+        manifest.save(tmp_path)
+        loaded = StoreManifest.load(tmp_path)
+        assert loaded.pending_keys() == ["s0", "s1", "s2"]
+        assert loaded.completed_keys() == []
+
+    def test_manifest_rejects_grid_mismatch(self, tmp_path):
+        manifest = StoreManifest(kind="campaign", fingerprint="abc",
+                                 scenario_keys=["s0", "s1"])
+        with pytest.raises(StoreError, match="use a fresh directory"):
+            manifest.check_compatible(kind="sweep", fingerprint="abc",
+                                      scenario_keys=["s0", "s1"])
+        with pytest.raises(StoreError, match="first difference"):
+            manifest.check_compatible(kind="campaign", fingerprint="abc",
+                                      scenario_keys=["s0", "sX"])
+        with pytest.raises(StoreError, match="fingerprint"):
+            manifest.check_compatible(kind="campaign", fingerprint="zzz",
+                                      scenario_keys=["s0", "s1"])
+
+    def test_fingerprint_stable_and_order_insensitive(self):
+        a = grid_fingerprint({"seed": 3, "keys": ["a", "b"]})
+        b = grid_fingerprint({"keys": ["a", "b"], "seed": 3})
+        assert a == b
+        assert a != grid_fingerprint({"seed": 4, "keys": ["a", "b"]})
+        with pytest.raises(StoreError, match="JSON-stable"):
+            grid_fingerprint({"callable": lambda: None})
+
+    def test_store_shard_crash_safety_order(self, tmp_path):
+        """Every manifest-listed shard is backed by fully-written npz data."""
+        store = CampaignStore.open(tmp_path, kind="campaign",
+                                   scenario_keys=["s0", "s1"],
+                                   fingerprint="f")
+        store.write_shard("s0", {
+            "rows": CampaignFrame.from_rows(_campaign_rows()[:2]),
+        })
+        # A crash here leaves s1 pending; reload and check integrity.
+        reloaded = open_store(tmp_path)
+        assert reloaded.completed_keys() == ["s0"]
+        assert reloaded.pending_keys() == ["s1"]
+        assert len(reloaded.read_shard("s0")["rows"]) == 2
+        with pytest.raises(StoreError, match="no completed shard"):
+            reloaded.read_shard("s1")
+
+
+# ------------------------------------------------------------- query layer
+class TestQueryLayer:
+    def _frame(self):
+        return CampaignFrame.from_rows(_campaign_rows())
+
+    def test_filter_scalar_membership_and_null(self):
+        frame = self._frame()
+        assert len(frame.filter(design="flat")) == 1
+        assert len(frame.filter(design=["flat", "hier"])) == 2
+        undisclosed = frame.filter(disclosure=None)
+        assert set(undisclosed.column("design")) == {"hier", "blind",
+                                                     "degen2"}
+
+    def test_filter_predicate_composes(self):
+        frame = self._frame()
+        fast = frame.filter(lambda f: f.column("trace_count") >= 400,
+                            attack="dpa")
+        assert set(fast.column("design")) == {"flat", "hier"}
+
+    def test_select_projection_cannot_unflatten(self):
+        projected = self._frame().select("design", "disclosure")
+        assert projected.column_names() == ["design", "disclosure"]
+        with pytest.raises(StoreError, match="derived schema"):
+            projected.to_rows()
+
+    def test_lazy_pipeline_single_pass(self):
+        frame = self._frame()
+        lazy = frame.lazy().filter(attack="dpa").select("design", "noise")
+        collected = lazy.collect()
+        assert len(collected) == 4
+        eager = frame.filter(attack="dpa").select("design", "noise")
+        assert collected.equals(eager)
+
+    def test_group_by_aggregates(self):
+        frame = self._frame()
+        stats = frame.group_by("attack").agg(
+            peak_max=("best_peak", "max"),
+            mtd=("disclosure", "median"),
+            disclosed=("disclosure", "count"))
+        assert list(stats.column("attack")) == ["cpa-hw", "dpa"]
+        dpa = stats.filter(attack="dpa")
+        assert dpa.column("rows")[0] == 4
+        assert dpa.column("disclosed")[0] == 2.0  # nulls dropped
+        assert dpa.column("mtd")[0] == 80.0  # median of 150, 10
+
+    def test_mtd_percentiles_conditional_on_disclosure(self):
+        frame = self._frame()
+        table = mtd_percentiles(frame, by=("attack",), q=(50,))
+        dpa = table.filter(attack="dpa")
+        assert dpa.column("p50")[0] == 80.0
+        assert dpa.column("undisclosed")[0] == 2
+        cpa = table.filter(attack="cpa-hw")
+        assert math.isnan(cpa.column("p50")[0])  # nothing disclosed
+        assert cpa.column("undisclosed")[0] == 1
+
+    def test_verdict_pivot_campaign_default(self):
+        pivot = verdict_pivot(self._frame())
+        assert pivot.value == "disclosed"
+        assert pivot.fraction("flat", "dpa") == 1.0
+        assert pivot.fraction("hier", "dpa") == 0.0
+        assert "disclosed rate" in pivot.as_table()
+
+    def test_verdict_pivot_assessment_excludes_unverdicted(self):
+        pivot = verdict_pivot(CampaignFrame.from_rows(_assessment_rows()),
+                              cols="assessment")
+        assert pivot.fraction("flat", "tvla") == 1.0
+        assert pivot.fraction("hier", "tvla") == 0.0
+        # The SNR row has no verdict: its cell has an empty denominator.
+        assert math.isnan(pivot.fraction("flat", "snr[sbox,hw]"))
+
+    def test_pareto_front_drops_dominated(self):
+        rows = [
+            SweepRow(SweepPoint(0.3, 0.75, 15.0, w), wirelength_um=wl,
+                     max_dissymmetry=dis, mean_dissymmetry=dis / 2)
+            for w, wl, dis in [
+                (0.0, 100.0, 0.5),   # pareto (cheapest)
+                (0.2, 120.0, 0.3),   # pareto
+                (0.4, 125.0, 0.4),   # dominated by (120, 0.3)
+                (0.6, 150.0, 0.1),   # pareto (most protected)
+                (0.8, 150.0, 0.1),   # tie: kept too
+            ]
+        ]
+        front = pareto_front(CampaignFrame.from_rows(rows),
+                             minimize=("wirelength_um", "max_dissymmetry"))
+        assert list(front.column("wirelength_um")) == [100.0, 120.0,
+                                                       150.0, 150.0]
+
+    def test_pareto_front_maximize_and_nulls(self):
+        frame = self._frame()
+        front = pareto_front(frame, minimize=("trace_count",),
+                             maximize=("discrimination",))
+        # NaN-discrimination and null rows excluded; degen's +inf wins its
+        # trace count, blind (null discrimination) is gone.
+        assert "blind" not in set(front.column("design"))
+
+    def test_single_row_strictness(self):
+        frame = self._frame()
+        assert single_row(frame, ("design", "attack"), design="flat") == 0
+        with pytest.raises(KeyError, match="no campaign row"):
+            single_row(frame, ("design", "attack"), design="missing")
+        with pytest.raises(AmbiguousQueryError, match="narrow the query"):
+            single_row(frame, ("design", "attack"), attack="dpa")
+
+
+# -------------------------------------------- campaign-result bugfix sweep
+class TestCampaignResultQueries:
+    def _result(self):
+        return CampaignResult(rows=_campaign_rows(),
+                              assessments=_assessment_rows())
+
+    def test_row_exact_key(self):
+        result = self._result()
+        assert result.row("flat", attack="dpa").disclosure == 150
+
+    def test_row_ambiguous_partial_key_raises_with_labels(self):
+        """Regression: the old first-match lookup silently returned
+        whichever scenario ran first."""
+        result = self._result()
+        result.rows.append(CampaignRow(
+            design="flat", selection="sbox", attack="cpa-hw", noise="quiet",
+            trace_count=400, best_guess=0x2B, best_peak=0.9))
+        with pytest.raises(AmbiguousQueryError) as exc:
+            result.row("flat")
+        assert "dpa" in str(exc.value) and "cpa-hw" in str(exc.value)
+
+    def test_row_no_match_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            self._result().row("missing")
+
+    def test_assessment_row_ambiguity(self):
+        result = self._result()
+        with pytest.raises(AmbiguousQueryError, match="tvla"):
+            result.assessment_row("flat")
+        row = result.assessment_row("flat", assessment="tvla")
+        assert row.flagged is True
+
+    def test_frame_cache_invalidated_by_growth(self):
+        result = self._result()
+        first = result.frame()
+        result.rows.append(_campaign_rows()[0])
+        assert len(result.frame()) == len(first) + 1
+
+    def test_table_formats_degenerate_floats(self):
+        """Regression: NaN slipped past the ``not in (None, inf)`` guard and
+        -inf rendered through the numeric format."""
+        table = self._result().table()
+        degen = next(line for line in table.splitlines() if "degen " in line)
+        assert " nan " in degen and " inf " in degen
+        degen2 = next(line for line in table.splitlines()
+                      if "degen2" in line)
+        assert " -inf " in degen2
+
+    def test_assessment_table_formats_nan_peak(self):
+        table = self._result().assessment_table()
+        snr_line = next(line for line in table.splitlines() if "snr[" in line)
+        assert " nan " in snr_line  # peak
+        assert snr_line.rstrip().endswith("-")  # no verdict
+
+    @pytest.mark.parametrize("value,expected", [
+        (None, "-"), (float("nan"), "nan"), (float("inf"), "inf"),
+        (float("-inf"), "-inf"), (1.5, "1.50"),
+    ])
+    def test_format_metric(self, value, expected):
+        assert _format_metric(value) == expected
+
+
+# ----------------------------------------------------- campaign store e2e
+def _leaky_source(plaintexts, noise):
+    plaintexts = [list(p) for p in plaintexts]
+    points = np.asarray(plaintexts, dtype=np.int64)
+    matrix = np.zeros((len(plaintexts), 24))
+    matrix[:, 3] += 2e-3 * points[:, 1]
+    matrix[:, 7] += 0.3 * _POP[_SBOX[points[:, 0] ^ KEY[0]]]
+    if noise is not None:
+        matrix = noise.apply_matrix(matrix, 1e-9, 0.0)
+    return TraceSet.from_matrix(matrix, plaintexts, 1e-9)
+
+
+class _CountingSource:
+    """A leaky source that counts its invocations (resume-skip evidence)."""
+
+    def __init__(self, fail_after=None):
+        self.calls = 0
+        self.fail_after = fail_after
+
+    def __call__(self, plaintexts, noise):
+        self.calls += 1
+        if self.fail_after is not None and self.calls > self.fail_after:
+            raise RuntimeError("simulated mid-campaign crash")
+        return _leaky_source(plaintexts, noise)
+
+
+def _store_campaign(source_a=_leaky_source, source_b=_leaky_source):
+    selection = AesSboxSelection(byte_index=0, bit_index=3)
+    campaign = AttackCampaign(KEY, mtd_start=50, mtd_step=50)
+    campaign.add_design("alpha", trace_source=source_a)
+    campaign.add_design("beta", trace_source=source_b)
+    campaign.add_selection(selection)
+    campaign.add_attack("dpa")
+    campaign.add_assessment("tvla")
+    campaign.add_noise("quiet", lambda: GaussianNoise(0.1, seed=5))
+    return campaign
+
+
+class TestCampaignStoreEndToEnd:
+    @pytest.fixture(scope="class")
+    def in_memory(self):
+        return _store_campaign().run(120, seed=3)
+
+    def test_store_run_matches_in_memory(self, in_memory, tmp_path):
+        stored = _store_campaign().run(120, seed=3, store=tmp_path / "s")
+        assert stored.table() == in_memory.table()
+        assert stored.assessment_table() == in_memory.assessment_table()
+
+    def test_resume_skips_completed_scenarios(self, in_memory, tmp_path):
+        first = _CountingSource()
+        _store_campaign(source_a=first).run(120, seed=3,
+                                            store=tmp_path / "s")
+        calls_after_full_run = first.calls
+        assert calls_after_full_run > 0
+        resumed = _store_campaign(source_a=first).run(120, seed=3,
+                                                      store=tmp_path / "s")
+        assert first.calls == calls_after_full_run  # nothing re-ran
+        assert resumed.table() == in_memory.table()
+
+    def test_crash_resume_byte_identical(self, in_memory, tmp_path):
+        """A run crashing mid-grid leaves resumable shards; the resumed
+        table is byte-identical to an uninterrupted run."""
+        crashing = _CountingSource(fail_after=1)
+        with pytest.raises(RuntimeError, match="simulated"):
+            _store_campaign(source_b=crashing).run(120, seed=3,
+                                                   store=tmp_path / "s")
+        partial = load_campaign_result(tmp_path / "s")
+        assert {row.design for row in partial.rows} == {"alpha"}
+        resumed = _store_campaign().run(120, seed=3, store=tmp_path / "s")
+        assert resumed.table() == in_memory.table()
+        assert resumed.assessment_table() == in_memory.assessment_table()
+
+    def test_sharded_resume_byte_identical_to_serial(self, tmp_path):
+        serial = _store_campaign().run(120, seed=3,
+                                       store=tmp_path / "serial")
+        sharded = _store_campaign().run(120, seed=3,
+                                        store=tmp_path / "sharded",
+                                        workers=2)
+        assert sharded.table() == serial.table()
+        assert (tmp_path / "serial" / "frame.npz").read_bytes() == \
+            (tmp_path / "sharded" / "frame.npz").read_bytes()
+        assert (tmp_path / "serial" / "assessments.npz").read_bytes() == \
+            (tmp_path / "sharded" / "assessments.npz").read_bytes()
+
+    def test_grid_change_refuses_resume(self, tmp_path):
+        _store_campaign().run(120, seed=3, store=tmp_path / "s")
+        with pytest.raises(StoreError, match="fingerprint"):
+            _store_campaign().run(120, seed=4, store=tmp_path / "s")
+
+    def test_keep_results_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="keep_results"):
+            _store_campaign().run(120, seed=3, store=tmp_path / "s",
+                                  keep_results=True)
+
+    def test_loaded_frames_feed_query_layer(self, in_memory, tmp_path):
+        _store_campaign().run(120, seed=3, store=tmp_path / "s")
+        loaded = load_campaign_result(tmp_path / "s")
+        assert loaded.table() == in_memory.table()
+        pivot = verdict_pivot(loaded.frame())
+        assert pivot.fraction("alpha", "dpa") == \
+            float(in_memory.row("alpha").disclosed)
+
+
+# -------------------------------------------------------- sweep store e2e
+class _CountingFactory:
+    def __init__(self, builder):
+        self.builder = builder
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        return self.builder()
+
+
+class TestSweepStoreEndToEnd:
+    def _sweep(self, factory=None):
+        from repro.circuits import build_xor_bank
+
+        factory = factory or (lambda: build_xor_bank(4, "w").netlist)
+        return PlacementSweep(netlist_factory=factory, seed=1, effort=0.3,
+                              cooling=(0.7, 0.8))
+
+    def test_store_run_resumes_without_replacement(self, tmp_path):
+        from repro.circuits import build_xor_bank
+
+        plain = self._sweep().run()
+        counting = _CountingFactory(lambda: build_xor_bank(4, "w").netlist)
+        stored = self._sweep(counting).run(store=tmp_path / "sw")
+        assert stored.as_table() == plain.as_table()
+        calls_after_run = counting.calls
+        resumed = self._sweep(counting).run(store=tmp_path / "sw")
+        # Resume re-builds one netlist for the design name, nothing per point.
+        assert counting.calls == calls_after_run + 1
+        assert resumed.as_table() == plain.as_table()
+        loaded = load_sweep_rows(tmp_path / "sw")
+        assert loaded.design == "w" and loaded.flow == "flat"
+        assert loaded.as_table() == plain.as_table()
+
+    def test_knob_change_refuses_resume(self, tmp_path):
+        self._sweep().run(store=tmp_path / "sw")
+        changed = self._sweep()
+        changed.seed = 2
+        with pytest.raises(StoreError, match="fingerprint"):
+            changed.run(store=tmp_path / "sw")
+
+    def test_sweep_frame_pareto(self, tmp_path):
+        self._sweep().run(store=tmp_path / "sw")
+        store = open_store(tmp_path / "sw")
+        frame = store.read_merged("rows")
+        front = pareto_front(frame, minimize=("wirelength_um",
+                                              "max_dissymmetry"))
+        assert 1 <= len(front) <= len(frame)

@@ -122,6 +122,40 @@ class TestTraceSetChunkOps:
         empty.extend(other)
         assert np.array_equal(empty.matrix(), matrix)
 
+    def test_extend_into_empty_owns_its_matrix(self):
+        """Regression: the empty-destination fast path must copy, not alias.
+
+        Before the fix it assigned ``other._matrix`` directly, so mutating
+        the destination's cached matrix silently corrupted the source set.
+        """
+        other, matrix = self._set(seed=7)
+        other.matrix()
+        grown = TraceSet()
+        grown.extend(other)
+        grown.matrix()[0, 0] = 1e9
+        assert np.array_equal(other.matrix(), matrix)  # source untouched
+
+    def test_extend_from_subset_view_isolates_parent(self):
+        """Extend-from-subset must not alias the parent's matrix rows."""
+        parent, matrix = self._set(seed=8)
+        parent.matrix()
+        view = parent.subset(4)  # zero-copy rows of the parent
+        grown = TraceSet()
+        grown.extend(view)
+        grown.matrix()[:] = -1.0
+        assert np.array_equal(parent.matrix(), matrix)
+
+    def test_add_to_source_after_extend_keeps_destination_cache(self):
+        """``other.add`` after extend invalidates only ``other``'s cache."""
+        other, matrix = self._set(seed=9)
+        other.matrix()
+        grown = TraceSet()
+        grown.extend(other)
+        other.add(Waveform(np.ones(6), 1e-9), [42] * 4)
+        assert np.array_equal(grown.matrix(), matrix)
+        assert other.matrix().shape == (13, 6)
+        assert grown.matrix().shape == (12, 6)
+
     def test_extend_after_matrix_keeps_cache_correct(self):
         """Chunk-wise growth: matrix() stays right after every extend."""
         chunks = [self._set(seed=s) for s in (4, 5, 6)]
