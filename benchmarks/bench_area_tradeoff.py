@@ -7,8 +7,11 @@ looser fences cost area.  In every configuration the hierarchical flow must
 keep the criterion well below the flat reference.
 """
 
+import time
+
 import pytest
 
+from conftest import record_benchmark
 from repro.asyncaes import AesArchitecture, AesNetlistGenerator
 from repro.core import evaluate_netlist_channels
 from repro.pnr import run_flat_flow, run_hierarchical_flow
@@ -24,6 +27,7 @@ def _fresh_netlist(tag):
 
 @pytest.fixture(scope="module")
 def sweep_results():
+    t0 = time.perf_counter()
     flat_netlist = _fresh_netlist("flat")
     flat_design = run_flat_flow(flat_netlist, seed=2, effort=EFFORT)
     flat_report = evaluate_netlist_channels(flat_netlist, design_name="flat")
@@ -43,11 +47,11 @@ def sweep_results():
             "max_dA": report.max_dissymmetry,
             "mean_dA": report.mean_dissymmetry,
         })
-    return flat_report, flat_area, points
+    return flat_report, flat_area, points, time.perf_counter() - t0
 
 
 def test_area_tradeoff(sweep_results, write_report):
-    flat_report, flat_area, points = sweep_results
+    flat_report, flat_area, points, elapsed = sweep_results
 
     # Tighter fences (higher utilization) shrink the die.
     areas = [p["area_um2"] for p in points]
@@ -73,6 +77,15 @@ def test_area_tradeoff(sweep_results, write_report):
     rows.append("")
     rows.append("Paper: the constrained floorplan costs about 20 % of core area.")
     write_report("area_tradeoff", "\n".join(rows))
+    record_benchmark(
+        "area_tradeoff", wall_time_s=elapsed,
+        assertions={
+            "tighter_fences_shrink_die": areas[0] > areas[-1],
+            "hier_beats_flat_criterion": all(
+                p["max_dA"] < flat_report.max_dissymmetry for p in points),
+        },
+        metrics={"flat_die_area_um2": flat_area,
+                 "overheads": [p["overhead"] for p in points]})
 
 
 def test_area_tradeoff_benchmark(benchmark):

@@ -28,6 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
+from conftest import record_benchmark
 from repro.core import AesSboxSelection, AttackCampaign, TraceSet
 from repro.core.flow import CampaignRow
 from repro.crypto.aes_tables import SBOX
@@ -204,6 +205,19 @@ def main() -> None:
     (RESULTS_DIR / "campaign_store.txt").write_text(report + "\n")
     print(report)
 
+    record_benchmark(
+        "campaign_store", wall_time_s=store_time,
+        speedup=mem_time / resume_time,
+        assertions={
+            "store_matches_in_memory": True,
+            "crash_resume_byte_identical": merged_identical,
+            "spill_overhead_gate": overhead <= args.max_overhead,
+            "resume_cheaper_than_rerun": resume_time < mem_time,
+            "query_latency_gate": (percentile_ms <= args.max_query_ms
+                                   and pivot_ms <= args.max_query_ms),
+        },
+        metrics={"spill_overhead": overhead, "resume_s": resume_time,
+                 "percentile_ms": percentile_ms, "pivot_ms": pivot_ms})
     assert overhead <= args.max_overhead, (
         f"store spill overhead {overhead:.2f}x above the "
         f"{args.max_overhead:.2f}x gate")

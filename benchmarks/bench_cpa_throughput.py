@@ -27,7 +27,7 @@ import os
 import time
 from pathlib import Path
 
-
+from conftest import record_benchmark
 from repro.asyncaes import AesArchitecture, AesNetlistGenerator, AesPowerTraceGenerator
 from repro.core import (
     AesSboxSelection,
@@ -166,6 +166,17 @@ def main() -> None:
     print(report)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "cpa_throughput.txt").write_text(report + "\n")
+    record_benchmark(
+        "cpa_throughput", wall_time_s=serial_s + sharded_s, speedup=speedup,
+        assertions={
+            "tables_identical": True,
+            "cpa_halves_dpa_budget": (2 * cpa_mtd <= dpa_mtd
+                                      if full_workload else None),
+            "sharded_speedup_2x": (speedup >= 2.0
+                                   if args.assert_speedup else None),
+        },
+        metrics={"serial_s": serial_s, "sharded_s": sharded_s,
+                 "dpa_mtd": dpa_mtd, "cpa_mtd": cpa_mtd})
 
 
 if __name__ == "__main__":

@@ -10,8 +10,11 @@ resists at the same trace budget — the end-to-end form of the paper's
 conclusion.
 """
 
+import time
+
 import pytest
 
+from conftest import record_benchmark
 from repro.asyncaes import AesArchitecture, AesNetlistGenerator, AesPowerTraceGenerator
 from repro.core import (
     AesSboxSelection,
@@ -53,6 +56,7 @@ def _recovery_curve(netlist, plaintexts, label):
 
 @pytest.fixture(scope="module")
 def recovery_curves():
+    t0 = time.perf_counter()
     plaintexts = PlaintextGenerator(seed=11).batch(max(TRACE_COUNTS))
     flat_netlist = AesNetlistGenerator(ARCHITECTURE, name="aes_flat_e6").build()
     run_flat_flow(flat_netlist, seed=3, effort=0.8)
@@ -78,6 +82,7 @@ def recovery_curves():
         "flat": _recovery_curve(flat_netlist, plaintexts, "AES_v2_flat"),
         "hierarchical": _recovery_curve(hier_netlist, plaintexts, "AES_v1_hier"),
         "campaign": campaign_result,
+        "elapsed": time.perf_counter() - t0,
     }
 
 
@@ -126,6 +131,17 @@ def test_key_recovery_flat_vs_hierarchical(recovery_curves, write_report):
         "at the same trace budget (the paper's conclusion, evaluated end to end).",
     ]
     write_report("dpa_key_recovery", "\n".join(rows))
+    record_benchmark(
+        "dpa_key_recovery", wall_time_s=recovery_curves["elapsed"],
+        assertions={
+            "flat_discloses": flat.final_rank() == 1,
+            "hier_resists": hier_mtd is None or hier_mtd >= flat_mtd,
+            "cpa_not_worse_than_dpa":
+                flat_cpa.disclosure <= flat_dpa.disclosure,
+        },
+        metrics={"flat_mtd": flat_mtd, "hier_mtd": hier_mtd,
+                 "flat_cpa_disclosure": flat_cpa.disclosure,
+                 "flat_dpa_disclosure": flat_dpa.disclosure})
 
 
 def test_key_recovery_attack_benchmark(recovery_curves, benchmark):

@@ -26,6 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
+from conftest import record_benchmark
 from repro.asyncaes import AesArchitecture, AesNetlistGenerator, AesPowerTraceGenerator
 from repro.core import (
     AesSboxSelection,
@@ -145,7 +146,15 @@ def main() -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "engine_throughput.txt").write_text(report + "\n")
 
-    if args.traces >= 1000 and args.guesses >= 256:
+    full_workload = args.traces >= 1000 and args.guesses >= 256
+    record_benchmark(
+        "engine_throughput", wall_time_s=old_total + new_total,
+        speedup=total_speedup,
+        assertions={"speedup_10x": (total_speedup >= 10.0
+                                    if full_workload else None)},
+        metrics={"generation_speedup": gen_speedup,
+                 "attack_speedup": attack_speedup})
+    if full_workload:
         assert total_speedup >= 10.0, \
             f"batched engine only x{total_speedup:.1f} faster (need >= 10x)"
         print("OK: batched engine is >= 10x faster end to end")

@@ -8,8 +8,11 @@ assessment is then run on the asynchronous AES traces for the two
 place-and-route flows.
 """
 
+import time
+
 import pytest
 
+from conftest import record_benchmark
 from repro.asyncaes import AesArchitecture, AesNetlistGenerator, AesPowerTraceGenerator
 from repro.circuits import build_dual_rail_xor
 from repro.core import (
@@ -42,6 +45,7 @@ def _xor_bias(extra_caps):
 
 @pytest.fixture(scope="module")
 def aes_bias():
+    t0 = time.perf_counter()
     architecture = AesArchitecture(word_width=32, detail=0.12)
     key = KEY
     plaintexts = PlaintextGenerator(seed=13).batch(TRACES)
@@ -55,6 +59,7 @@ def aes_bias():
             "addkey0_to_mux", 24 + j))
         selection = AesAddRoundKeySelection(byte_index=0, bit_index=best_bit)
         results[flow] = dpa_bias(traces, selection, key[0]).max_abs()
+    results["elapsed"] = time.perf_counter() - t0
     return results
 
 
@@ -95,6 +100,11 @@ def test_eq12_bias_on_aes_traces(aes_bias, write_report):
         f"ratio flat / hierarchical: {aes_bias['flat'] / max(aes_bias['hierarchical'], 1e-30):.1f}",
     ]
     write_report("eq12_dpa_bias_aes", "\n".join(rows))
+    record_benchmark(
+        "eq12_dpa_bias", wall_time_s=aes_bias["elapsed"],
+        assertions={"flat_leaks_more": aes_bias["flat"] > aes_bias["hierarchical"]},
+        metrics={"flat_bias_peak": aes_bias["flat"],
+                 "hier_bias_peak": aes_bias["hierarchical"]})
 
 
 def test_eq12_bias_benchmark(benchmark):

@@ -9,8 +9,11 @@ The formal model of Section III applied to the dual-rail XOR of Fig. 4/5:
 * the block dynamic power follows equation (3).
 """
 
+import time
+
 import pytest
 
+from conftest import record_benchmark
 from repro.circuits import build_dual_rail_xor, simulate_two_operand_block
 from repro.core import (
     FormalCurrentModel,
@@ -29,6 +32,7 @@ def xor_model():
 
 def test_eq6_graph_quantities(xor_model, write_report):
     block, model = xor_model
+    t0 = time.perf_counter()
 
     # Structural quantities from the graph (Section III).
     graph = build_circuit_graph(block.netlist)
@@ -65,6 +69,13 @@ def test_eq6_graph_quantities(xor_model, write_report):
         f"profile peak current        : {profile_waveform.max_abs() * 1e6:.1f} uA",
     ]
     write_report("eq6_current_profile", "\n".join(rows))
+    record_benchmark(
+        "eq6_current_profile", wall_time_s=time.perf_counter() - t0,
+        assertions={"nc_matches_paper": model.nc == 4,
+                    "nt_matches_paper": model.nt(0) == 4,
+                    "charge_matches_formal_model": True},
+        metrics={"dynamic_power_nw_1mhz": power * 1e9,
+                 "profile_charge_fc": profile_waveform.integral() * 1e15})
 
 
 def test_eq6_model_benchmark(benchmark, xor_model):

@@ -6,8 +6,11 @@ only small residual peaks once intra-die parasitic mismatch is accounted for,
 far below the peaks produced by a deliberate routing imbalance (Fig. 7).
 """
 
+import time
+
 import pytest
 
+from conftest import record_benchmark
 from repro.circuits import build_dual_rail_xor
 from repro.core import find_peaks, signature_from_traces
 from repro.electrical import apply_process_variation, per_computation_currents
@@ -22,6 +25,7 @@ def _signature(block):
 
 @pytest.fixture(scope="module")
 def fig6_results():
+    t0 = time.perf_counter()
     ideal = _signature(build_dual_rail_xor("xor_ideal"))
 
     residual_block = build_dual_rail_xor("xor_residual")
@@ -32,11 +36,11 @@ def fig6_results():
     unbalanced_block.set_level_cap(3, 1, 16.0)
     unbalanced = _signature(unbalanced_block)
 
-    return ideal, residual, unbalanced
+    return ideal, residual, unbalanced, time.perf_counter() - t0
 
 
 def test_fig6_residual_signature(fig6_results, write_report):
-    ideal, residual, unbalanced = fig6_results
+    ideal, residual, unbalanced, elapsed = fig6_results
 
     assert ideal.max_abs() == 0.0
     assert 0.0 < residual.max_abs() < 0.5 * unbalanced.max_abs()
@@ -55,6 +59,15 @@ def test_fig6_residual_signature(fig6_results, write_report):
         "small peaks due to internal gate capacitances (Cpar, Csc).",
     ]
     write_report("fig6_xor_signature", "\n".join(rows))
+    record_benchmark(
+        "fig6_xor_signature", wall_time_s=elapsed,
+        assertions={
+            "ideal_signature_null": ideal.max_abs() == 0.0,
+            "residual_below_unbalanced":
+                residual.max_abs() < 0.5 * unbalanced.max_abs(),
+        },
+        metrics={"residual_peak_a": residual.max_abs(),
+                 "unbalanced_peak_a": unbalanced.max_abs()})
 
 
 def test_fig6_signature_benchmark(benchmark):

@@ -15,9 +15,12 @@ unbalanced level, the earlier the signature starts), the signature energy
 formal model.
 """
 
+import time
+
 import numpy as np
 import pytest
 
+from conftest import record_benchmark
 from repro.circuits import build_dual_rail_xor
 from repro.core import FormalCurrentModel, signature_from_traces, signature_terms
 from repro.electrical import per_computation_currents
@@ -48,6 +51,7 @@ def _first_deviation(waveform):
 
 @pytest.fixture(scope="module")
 def fig7_results():
+    t0 = time.perf_counter()
     results = {}
     for label, modifications in CASES.items():
         block = _build_case(modifications)
@@ -61,10 +65,11 @@ def fig7_results():
             "energy": simulated.energy(),
             "peak": simulated.max_abs(),
         }
-    return results
+    return results, time.perf_counter() - t0
 
 
 def test_fig7_shape_claims(fig7_results, write_report):
+    fig7_results, elapsed = fig7_results
     a = fig7_results["a: Cl31=16fF"]
     b = fig7_results["b: Cl21=16fF"]
     c = fig7_results["c: Cl11=Cl12=16fF"]
@@ -104,6 +109,14 @@ def test_fig7_shape_claims(fig7_results, write_report):
         "capacitance difference.",
     ]
     write_report("fig7_capacitance_sweep", "\n".join(rows))
+    record_benchmark(
+        "fig7_capacitance_sweep", wall_time_s=elapsed,
+        assertions={
+            "earlier_imbalance_deviates_earlier":
+                c["first_dev"] < b["first_dev"] < a["first_dev"],
+            "larger_imbalance_more_energy": d["energy"] > c["energy"],
+        },
+        metrics={label: case["peak"] for label, case in fig7_results.items()})
 
 
 def test_fig7_sweep_benchmark(benchmark):

@@ -22,6 +22,7 @@ import argparse
 import time
 from pathlib import Path
 
+from conftest import record_benchmark
 from repro.asyncaes import AesArchitecture, AesNetlistGenerator
 from repro.core import evaluate_netlist_channels
 from repro.harden import harden_design
@@ -118,6 +119,16 @@ def main() -> None:
     (RESULTS_DIR / "hardening.txt").write_text(report + "\n")
     print(report)
 
+    record_benchmark(
+        "hardening", wall_time_s=harden_time, speedup=speedup,
+        assertions={
+            "incremental_speedup": speedup >= args.min_speedup,
+            "repair_loop_converged": result.passed,
+            "criterion_reduction": reduction >= args.min_reduction,
+        },
+        metrics={"criterion_reduction": reduction,
+                 "repair_iterations": result.repair_iterations,
+                 "dummy_cap_added_ff": result.dummy_cap_added_ff})
     assert speedup >= args.min_speedup, (
         f"incremental extraction speedup {speedup:.1f}x below the "
         f"{args.min_speedup:.0f}x gate")

@@ -25,6 +25,7 @@ import argparse
 import time
 from pathlib import Path
 
+from conftest import record_benchmark
 from repro.asyncaes import AesArchitecture, AesNetlistGenerator
 from repro.core import evaluate_netlist_channels
 from repro.harden.pipeline import flat_pipeline
@@ -130,6 +131,17 @@ def main() -> None:
     (RESULTS_DIR / "placer.txt").write_text(report + "\n")
     print(report)
 
+    record_benchmark(
+        "placer", wall_time_s=ref_time + vec_time, speedup=speedup,
+        assertions={
+            "speedup_gate": speedup >= args.min_speedup,
+            "quality_gate": quality <= args.max_quality_ratio,
+            "security_weight_lowers_dA":
+                sec_report.max_dissymmetry < plain_report.max_dissymmetry,
+        },
+        metrics={"quality_ratio": quality,
+                 "plain_max_dA": plain_report.max_dissymmetry,
+                 "secure_max_dA": sec_report.max_dissymmetry})
     assert speedup >= args.min_speedup, (
         f"vectorized placer speedup {speedup:.1f}x below the "
         f"{args.min_speedup:.0f}x gate")

@@ -22,6 +22,7 @@ import random
 import time
 from pathlib import Path
 
+from conftest import record_benchmark
 from repro.circuits import (
     Logic,
     ReferenceSimulator,
@@ -107,6 +108,14 @@ def main() -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "sim_engine.txt").write_text(report + "\n")
 
+    record_benchmark(
+        "sim_engine", wall_time_s=scalar_time + compiled_time + batch_time,
+        speedup=batch_speedup,
+        assertions={"values_identical": True,
+                    "speedup_10x": (batch_speedup >= 10.0
+                                    if args.stimuli >= 256 else None)},
+        metrics={"scalar_s": scalar_time, "compiled_s": compiled_time,
+                 "batch_s": batch_time, "event_speedup": event_speedup})
     if args.stimuli >= 256:
         assert batch_speedup >= 10.0, \
             f"batched engine only x{batch_speedup:.1f} faster (need >= 10x)"

@@ -24,6 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
+from conftest import record_benchmark
 from repro.core import AesSboxSelection, AttackCampaign, TraceSet
 from repro.crypto.aes_tables import SBOX
 
@@ -103,6 +104,14 @@ def main() -> None:
     (RESULTS_DIR / "streaming_rss.txt").write_text(report + "\n")
     print(report)
 
+    record_benchmark(
+        "streaming_rss", wall_time_s=elapsed,
+        assertions={"rss_under_budget": peak_mb < args.budget_mb,
+                    "cpa_ranks_key_first": cpa_row.rank_of_correct == 1,
+                    "tvla_flags_leak": tvla_row.flagged},
+        metrics={"peak_rss_mb": peak_mb, "budget_mb": args.budget_mb,
+                 "full_matrix_mb": full_matrix_mb,
+                 "ktraces_per_s": args.traces * 2 / elapsed / 1e3})
     assert peak_mb < args.budget_mb, (
         f"peak RSS {peak_mb:.1f} MiB exceeds the {args.budget_mb:.0f} MiB "
         "budget — the streaming pipeline materialized more than one chunk"

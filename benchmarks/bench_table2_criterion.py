@@ -15,8 +15,11 @@ roughly an order of magnitude between the two), the run-to-run movement of the
 flat critical channels, and the area overhead of the hierarchical flow.
 """
 
+import time
+
 import pytest
 
+from conftest import record_benchmark
 from repro.asyncaes import AesArchitecture, AesNetlistGenerator
 from repro.core import compare_reports, evaluate_netlist_channels
 from repro.pnr import compare_flows, run_flat_flow, run_hierarchical_flow
@@ -41,13 +44,15 @@ def _place_and_evaluate(flow, seed):
 
 @pytest.fixture(scope="module")
 def table2_designs():
+    t0 = time.perf_counter()
     flat_design, flat_report = _place_and_evaluate("flat", seed=1)
     hier_design, hier_report = _place_and_evaluate("hier", seed=1)
-    return flat_design, flat_report, hier_design, hier_report
+    return (flat_design, flat_report, hier_design, hier_report,
+            time.perf_counter() - t0)
 
 
 def test_table2_criterion_comparison(table2_designs, write_report):
-    flat_design, flat_report, hier_design, hier_report = table2_designs
+    flat_design, flat_report, hier_design, hier_report, elapsed = table2_designs
 
     # Table 2 headline: the hierarchical flow drastically reduces the worst
     # and the average channel dissymmetry.
@@ -72,6 +77,15 @@ def test_table2_criterion_comparison(table2_designs, write_report):
         f"hier die area  : {comparison['hier_die_area_um2']:.0f} um2",
     ]
     write_report("table2_criterion", "\n".join(rows))
+    record_benchmark(
+        "table2_criterion", wall_time_s=elapsed,
+        assertions={
+            "hier_halves_max_dA":
+                hier_report.max_dissymmetry < 0.5 * flat_report.max_dissymmetry,
+            "hier_costs_area": comparison["area_overhead"] > 0.0,
+        },
+        metrics={"criterion_improvement": improvement,
+                 "area_overhead": comparison["area_overhead"]})
 
 
 def test_table2_flat_critical_channels_move_between_runs(write_report):

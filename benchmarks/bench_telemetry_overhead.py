@@ -1,0 +1,176 @@
+"""Telemetry overhead gate — recording must stay within 5 % of disabled.
+
+Runs the same reference attack campaign (a ``flat`` and a ``hier``
+synthetic design x DPA/CPA x two noise levels, plus a TVLA assessment)
+twice: once under the default no-op collector and once recording into a
+:class:`repro.obs.Telemetry`.  Three gates:
+
+* overhead — the telemetry-enabled run costs at most ``--max-overhead``
+  (default 5 %) over the disabled run, best of ``--repeats`` per leg;
+* identity — the campaign tables of the two runs are identical, so
+  recording never perturbs results;
+* coverage — a sharded (``--workers``) store-backed run produces a span
+  tree covering the generation, attack, assessment and store phases with
+  per-shard attribution, and persists the ``telemetry`` table next to the
+  shard manifests.
+
+Writes ``benchmarks/results/telemetry_runreport.txt`` (the rendered text
+tree), ``telemetry_campaign.jsonl`` (the span event log) and the uniform
+JSON record.  Runs in CI.
+"""
+
+import argparse
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import record_benchmark
+from repro.core import AesSboxSelection, AttackCampaign, TraceSet
+from repro.crypto.aes_tables import SBOX
+from repro.electrical import GaussianNoise
+from repro.obs import RunReport, Telemetry, write_jsonl
+from repro.store import open_store
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+POPCOUNT = np.asarray([bin(value).count("1") for value in range(256)])
+SECRET = 0x3C
+
+#: Span names one reference campaign must cover (the acceptance list).
+REQUIRED_SPANS = (
+    "campaign", "campaign.scenario", "campaign.generate",
+    "campaign.attack", "campaign.assess",
+    "store.write_shard", "store.merge", "store.finalize",
+)
+
+
+def _source(scale):
+    """A row-deterministic leaky trace source (sample 7 leaks the HW of
+    the first-round S-box output); ``scale`` sets how hard it leaks."""
+
+    def source(plaintexts, noise):
+        plaintexts = [list(p) for p in plaintexts]
+        rng = np.random.default_rng(17)
+        matrix = rng.normal(0.0, 0.4, (len(plaintexts), 24))
+        values = np.asarray([SBOX[p[0] ^ SECRET] for p in plaintexts])
+        matrix[:, 7] += scale * POPCOUNT[values]
+        if noise is not None:
+            matrix = noise.apply_matrix(matrix, 1e-9, 0.0)
+        return TraceSet.from_matrix(matrix, plaintexts, 1e-9)
+
+    return source
+
+
+def _campaign():
+    campaign = AttackCampaign(mtd_start=50, mtd_step=50)
+    campaign.add_design("flat", trace_source=_source(0.30))
+    campaign.add_design("hier", trace_source=_source(0.03))
+    campaign.add_selection(AesSboxSelection(byte_index=0, bit_index=0),
+                           correct_guess=SECRET)
+    campaign.add_attack("dpa")
+    campaign.add_attack("cpa", model="hw")
+    campaign.add_noise("noiseless")
+    campaign.add_noise("gaussian", lambda: GaussianNoise(0.1, seed=13))
+    campaign.add_assessment("tvla")
+    return campaign
+
+
+def _best_of(repeats, run):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--traces", type=int, default=400)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--max-overhead", type=float, default=0.05)
+    args = parser.parse_args()
+
+    # ------------------------------------------------------ overhead gate
+    # Serial legs so the fork pool's scheduling jitter does not drown the
+    # microseconds under test.
+    disabled_s, disabled = _best_of(
+        args.repeats, lambda: _campaign().run(args.traces, seed=3))
+    enabled_s, enabled = _best_of(
+        args.repeats, lambda: _campaign().run(args.traces, seed=3,
+                                              telemetry=Telemetry()))
+    overhead = enabled_s / disabled_s - 1.0
+    identical = enabled.table() == disabled.table()
+
+    # -------------------------------------------- sharded coverage run
+    workdir = Path(tempfile.mkdtemp(prefix="bench_obs_"))
+    try:
+        telemetry = Telemetry()
+        sharded = _campaign().run(args.traces, seed=3, workers=args.workers,
+                                  telemetry=telemetry,
+                                  store=workdir / "campaign")
+        root = telemetry.snapshot()
+        missing = [name for name in REQUIRED_SPANS if not root.find(name)]
+        shards = sorted({node.attrs.get("shard")
+                         for node in root.find("campaign.scenario")})
+        stored_rows = open_store(workdir / "campaign").read_merged("telemetry")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    sharded_identical = sharded.table() == disabled.table()
+    report = RunReport(root)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "telemetry_runreport.txt").write_text(
+        report.render() + "\n")
+    write_jsonl(root, RESULTS_DIR / "telemetry_campaign.jsonl")
+
+    scenarios = len(root.find("campaign.scenario"))
+    lines = [
+        f"Telemetry overhead ({args.traces} traces, {scenarios} scenarios, "
+        f"best of {args.repeats}):",
+        f"  disabled run : {disabled_s:8.3f} s",
+        f"  recording run: {enabled_s:8.3f} s",
+        f"  overhead     : {overhead:+8.2%}  "
+        f"(bound {args.max_overhead:.0%})",
+        f"  tables identical (serial + {args.workers}-worker store run): "
+        f"{'yes' if identical and sharded_identical else 'NO'}",
+        f"  span coverage: {len(list(root.walk()))} spans, shards={shards}, "
+        f"{len(stored_rows)} telemetry rows persisted",
+    ]
+    print("\n".join(lines))
+
+    record_benchmark(
+        "telemetry_overhead", wall_time_s=enabled_s,
+        assertions={
+            "overhead_bound": overhead <= args.max_overhead,
+            "tables_identical": identical and sharded_identical,
+            "span_coverage": not missing,
+            "shard_attribution": shards == list(range(scenarios)),
+            "telemetry_table_persisted": len(stored_rows) > 0,
+        },
+        metrics={"overhead": overhead, "disabled_s": disabled_s,
+                 "enabled_s": enabled_s,
+                 "span_count": len(list(root.walk()))})
+
+    assert identical and sharded_identical, \
+        "telemetry-enabled campaign diverged from the disabled run"
+    assert not missing, f"span tree is missing {missing}"
+    # Shards are attributed by scenario index (the sharding unit), so a
+    # sharded run tags every scenario 0..N-1 regardless of pool width.
+    assert shards == list(range(scenarios)), \
+        f"expected shard attribution {list(range(scenarios))}, got {shards}"
+    assert len(stored_rows) > 0, "no telemetry rows persisted in the store"
+    assert overhead <= args.max_overhead, (
+        f"telemetry overhead {overhead:+.2%} above the "
+        f"{args.max_overhead:.0%} bound")
+    print(f"\nOK: telemetry costs {overhead:+.2%} "
+          f"(bound {args.max_overhead:.0%}), identical tables, "
+          "full span coverage with per-shard attribution.")
+
+
+if __name__ == "__main__":
+    main()

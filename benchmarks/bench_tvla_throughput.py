@@ -24,6 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
+from conftest import record_benchmark
 from repro.assess import StreamingTTest
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -110,6 +111,14 @@ def main() -> None:
     (RESULTS_DIR / "tvla_throughput.txt").write_text(report + "\n")
     print(report)
 
+    record_benchmark(
+        "tvla_throughput", wall_time_s=chunked_s,
+        speedup=memory_s / chunked_s,
+        assertions={"chunked_matches_in_memory": True,
+                    "shard_merge_exact": True,
+                    "slowdown_bound": slowdown <= CHUNKED_SLOWDOWN_BOUND},
+        metrics={"in_memory_s": memory_s, "chunked_s": chunked_s,
+                 "traces_per_s": rate})
     assert slowdown <= CHUNKED_SLOWDOWN_BOUND, (
         f"chunked t-test pass is {slowdown:.2f}x the in-memory pass "
         f"(bound {CHUNKED_SLOWDOWN_BOUND}x)"

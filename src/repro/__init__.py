@@ -15,8 +15,19 @@ The package is organised as:
   model, the DPA formalisation, the dissymmetry criterion and the secure
   design flow;
 * :mod:`repro.assess`     — streaming leakage assessment (TVLA t-tests, SNR)
-  over bounded-memory trace pipelines.
+  over bounded-memory trace pipelines;
+* :mod:`repro.harden`     — the criterion-driven hardening pass pipeline;
+* :mod:`repro.store`      — the columnar campaign store and query layer;
+* :mod:`repro.obs`        — telemetry: hierarchical spans, counters and run
+  reports.
 """
+
+import logging
+
+# Library convention: the root "repro" logger stays silent unless the
+# application installs a handler (logging.basicConfig or similar); every
+# module logs through a child of this logger.
+logging.getLogger(__name__).addHandler(logging.NullHandler())
 
 __version__ = "1.0.0"
 
@@ -29,4 +40,7 @@ __all__ = [
     "pnr",
     "core",
     "assess",
+    "harden",
+    "store",
+    "obs",
 ]

@@ -30,6 +30,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..obs.telemetry import current
 from .gates import GateType
 from .netlist import Netlist
 from .signals import Logic
@@ -316,19 +317,24 @@ def simulate_batch(netlist: Netlist,
     out_ids = compiled.out_ids
     input_matrix = compiled.input_matrix
     weight_matrix = compiled.weight_matrix
-    for sweep in range(1, max_sweeps + 1):
-        changed = False
-        for index in compiled.order:
-            packed = values[:, input_matrix[index]] @ weight_matrix[index]
-            out_id = out_ids[index]
-            previous = values[:, out_id]
-            new = table[offsets[index] + (packed << 1) + previous]
-            if not np.array_equal(new, previous):
-                values[:, out_id] = new
-                changed = True
-        if not changed:
-            return BatchSimulationResult(values, compiled.net_index,
-                                         compiled.net_names, sweeps=sweep)
+    telemetry = current()
+    with telemetry.span("sim.batch", stimuli=n_stimuli,
+                        gates=compiled.instance_count):
+        for sweep in range(1, max_sweeps + 1):
+            changed = False
+            for index in compiled.order:
+                packed = values[:, input_matrix[index]] @ weight_matrix[index]
+                out_id = out_ids[index]
+                previous = values[:, out_id]
+                new = table[offsets[index] + (packed << 1) + previous]
+                if not np.array_equal(new, previous):
+                    values[:, out_id] = new
+                    changed = True
+            if not changed:
+                telemetry.count("stimuli", n_stimuli)
+                telemetry.count("sweeps", sweep)
+                return BatchSimulationResult(values, compiled.net_index,
+                                             compiled.net_names, sweeps=sweep)
     raise EngineError(
         f"batch did not settle within {max_sweeps} sweeps; "
         "the circuit is probably oscillating"

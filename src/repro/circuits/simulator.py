@@ -34,6 +34,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.telemetry import current
 from .engine import compile_netlist
 from .gates import GateType
 from .netlist import Netlist
@@ -329,6 +330,7 @@ class Simulator:
                 process.start(self)
             self._started = True
         processed = 0
+        committed = 0
         events = self._events
         while events:
             batch_time = events[0].time
@@ -347,6 +349,7 @@ class Simulator:
                     )
                 value = self._commit(event)
                 if value is not None:
+                    committed += 1
                     changed_net_ids.append(self._net_index[event.net])
                     self._notify(event.net, Logic(value), batch_time)
             if changed_net_ids and self.propagate_gates:
@@ -355,6 +358,10 @@ class Simulator:
             # Queue drained before the horizon: advance the clock to it so
             # durations compose (the run_for timebase fix).
             self._time = until
+        if processed:
+            telemetry = current()
+            telemetry.count("sim_events", processed)
+            telemetry.count("sim_events_committed", committed)
         self.trace.end_time = max(self.trace.end_time, self._time)
         return self.trace
 

@@ -19,12 +19,14 @@ for the Table-2 style comparison.
 
 from __future__ import annotations
 
+import logging
 import math
 import multiprocessing
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..circuits.netlist import Netlist
+from ..obs.telemetry import Telemetry, current, use
 from ..crypto.keys import PlaintextGenerator
 from ..electrical.noise import NoiseModel, apply_noise_matrix, apply_noise_trace
 from ..electrical.technology import HCMOS9_LIKE, Technology
@@ -45,6 +47,8 @@ from .power_model import (
     SelectionBitModel,
 )
 from .selection import SelectionFunction
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -982,12 +986,17 @@ class AttackCampaign:
         incompatible with the all-random attack traces by construction).
         """
         if streaming:
-            return self._run_scenario_streaming(
-                scenario, plaintexts, attacks=attacks,
-                assessments=assessments, tvla_schedule=tvla_schedule,
-                compute_disclosure=compute_disclosure,
-                keep_results=keep_results, chunk_size=chunk_size,
-            )
+            telemetry = current()
+            with telemetry.span("campaign.scenario", noise=scenario[0],
+                                design=scenario[2].label, streaming=True):
+                result = self._run_scenario_streaming(
+                    scenario, plaintexts, attacks=attacks,
+                    assessments=assessments, tvla_schedule=tvla_schedule,
+                    compute_disclosure=compute_disclosure,
+                    keep_results=keep_results, chunk_size=chunk_size,
+                )
+                telemetry.record_rss()
+                return result
         noise_label, noise_factory, design = scenario
         noise = noise_factory() if noise_factory is not None else None
         value_assessments = [a for a in assessments
@@ -995,59 +1004,80 @@ class AttackCampaign:
         fr_assessments = [a for a in assessments if a.kind == "tvla"]
         rows: List[CampaignRow] = []
         assessment_rows: List[AssessmentRow] = []
+        telemetry = current()
 
-        if self._selections or value_assessments:
-            traces = self._traces_for(design, noise, plaintexts)
-            for entry in self._selections:
-                for attack_spec in attacks:
-                    kernel = attack_spec.build(entry.selection)
-                    attack = run_attack(traces, kernel, guesses=self.guesses)
-                    row = CampaignRow(
-                        design=design.label,
-                        selection=entry.selection.name,
-                        attack=attack_spec.label,
-                        noise=noise_label,
-                        trace_count=len(traces),
-                        best_guess=attack.best_guess,
-                        best_peak=attack.best_peak,
-                        correct_guess=entry.correct_guess,
-                    )
-                    if entry.correct_guess is not None:
-                        row.rank_of_correct = attack.rank_of(entry.correct_guess)
-                        row.discrimination = attack.discrimination_ratio(
-                            entry.correct_guess)
-                        if compute_disclosure:
-                            row.disclosure = messages_to_disclosure(
-                                traces, kernel, entry.correct_guess,
-                                guesses=self.guesses,
-                                start=self.mtd_start, step=self.mtd_step,
-                                stable_runs=self.stable_runs,
+        with telemetry.span("campaign.scenario", noise=noise_label,
+                            design=design.label):
+            if self._selections or value_assessments:
+                with telemetry.span("campaign.generate"):
+                    traces = self._traces_for(design, noise, plaintexts)
+                    telemetry.count("traces", len(traces))
+                for entry in self._selections:
+                    for attack_spec in attacks:
+                        with telemetry.span(
+                                "campaign.attack",
+                                selection=entry.selection.name,
+                                attack=attack_spec.label):
+                            telemetry.count("attacks")
+                            kernel = attack_spec.build(entry.selection)
+                            attack = run_attack(traces, kernel,
+                                                guesses=self.guesses)
+                            row = CampaignRow(
+                                design=design.label,
+                                selection=entry.selection.name,
+                                attack=attack_spec.label,
+                                noise=noise_label,
+                                trace_count=len(traces),
+                                best_guess=attack.best_guess,
+                                best_peak=attack.best_peak,
+                                correct_guess=entry.correct_guess,
                             )
-                    if keep_results:
-                        row.result = attack
-                    rows.append(row)
-            if value_assessments:
-                matrix = traces.matrix()
-                trace_plaintexts = traces.plaintexts()
-                for assessment, state in self._value_assessment_states(
-                        value_assessments):
-                    self._update_value_assessment(assessment, state, matrix,
-                                                  trace_plaintexts)
-                    assessment_rows.append(self._assessment_row(
-                        design.label, noise_label, assessment, state))
+                            if entry.correct_guess is not None:
+                                row.rank_of_correct = attack.rank_of(
+                                    entry.correct_guess)
+                                row.discrimination = \
+                                    attack.discrimination_ratio(
+                                        entry.correct_guess)
+                                if compute_disclosure:
+                                    row.disclosure = messages_to_disclosure(
+                                        traces, kernel, entry.correct_guess,
+                                        guesses=self.guesses,
+                                        start=self.mtd_start,
+                                        step=self.mtd_step,
+                                        stable_runs=self.stable_runs,
+                                    )
+                            if keep_results:
+                                row.result = attack
+                            rows.append(row)
+                if value_assessments:
+                    with telemetry.span("campaign.assess", kind="value",
+                                        assessments=len(value_assessments)):
+                        matrix = traces.matrix()
+                        trace_plaintexts = traces.plaintexts()
+                        for assessment, state in self._value_assessment_states(
+                                value_assessments):
+                            self._update_value_assessment(
+                                assessment, state, matrix, trace_plaintexts)
+                            assessment_rows.append(self._assessment_row(
+                                design.label, noise_label, assessment, state))
 
-        if fr_assessments:
-            from ..assess.tvla import StreamingTTest
+            if fr_assessments:
+                from ..assess.tvla import StreamingTTest
 
-            tvla_plaintexts, labels = tvla_schedule
-            tvla_traces = self._traces_for(design, noise, tvla_plaintexts,
-                                           noise_start=len(plaintexts))
-            matrix = tvla_traces.matrix()
-            for assessment in fr_assessments:
-                state = StreamingTTest(threshold=assessment.threshold)
-                state.update(matrix, labels)
-                assessment_rows.append(self._assessment_row(
-                    design.label, noise_label, assessment, state))
+                with telemetry.span("campaign.assess", kind="tvla",
+                                    assessments=len(fr_assessments)):
+                    tvla_plaintexts, labels = tvla_schedule
+                    tvla_traces = self._traces_for(
+                        design, noise, tvla_plaintexts,
+                        noise_start=len(plaintexts))
+                    telemetry.count("traces", len(tvla_traces))
+                    matrix = tvla_traces.matrix()
+                    for assessment in fr_assessments:
+                        state = StreamingTTest(threshold=assessment.threshold)
+                        state.update(matrix, labels)
+                        assessment_rows.append(self._assessment_row(
+                            design.label, noise_label, assessment, state))
+            telemetry.record_rss()
         return rows, assessment_rows
 
     def _run_scenario_streaming(self, scenario, plaintexts, *,
@@ -1077,6 +1107,7 @@ class AttackCampaign:
         fr_assessments = [a for a in assessments if a.kind == "tvla"]
         rows: List[CampaignRow] = []
         assessment_rows: List[AssessmentRow] = []
+        telemetry = current()
 
         attack_states = []
         for entry in self._selections:
@@ -1108,24 +1139,30 @@ class AttackCampaign:
             sweep = BoundarySweep(boundaries)
             position = 0
             dt = t0 = None
-            for chunk in self._trace_chunks_for(design, noise, plaintexts,
-                                                chunk_size):
-                matrix = chunk.matrix()
-                chunk_plaintexts = chunk.plaintexts()
-                if dt is None:
-                    dt, t0 = chunk._time_params()
-                for start, stop in sweep.segments(position, matrix.shape[0]):
-                    segment = slice(start - position, stop - position)
-                    for *_, state, _tracker in attack_states:
-                        state.update(matrix[segment], chunk_plaintexts[segment])
-                    if sweep.at_boundary(stop):
-                        for *_, state, tracker in attack_states:
-                            if tracker is not None:
-                                tracker.observe(stop, state.peaks())
-                for assessment, state in assessment_states:
-                    self._update_value_assessment(assessment, state, matrix,
-                                                  chunk_plaintexts)
-                position += matrix.shape[0]
+            with telemetry.span("campaign.stream", chunk_size=chunk_size):
+                for chunk in self._trace_chunks_for(design, noise, plaintexts,
+                                                    chunk_size):
+                    matrix = chunk.matrix()
+                    chunk_plaintexts = chunk.plaintexts()
+                    telemetry.count("chunks")
+                    telemetry.count("traces", matrix.shape[0])
+                    if dt is None:
+                        dt, t0 = chunk._time_params()
+                    for start, stop in sweep.segments(position,
+                                                      matrix.shape[0]):
+                        segment = slice(start - position, stop - position)
+                        for *_, state, _tracker in attack_states:
+                            state.update(matrix[segment],
+                                         chunk_plaintexts[segment])
+                        if sweep.at_boundary(stop):
+                            for *_, state, tracker in attack_states:
+                                if tracker is not None:
+                                    tracker.observe(stop, state.peaks())
+                    for assessment, state in assessment_states:
+                        self._update_value_assessment(assessment, state,
+                                                      matrix,
+                                                      chunk_plaintexts)
+                    position += matrix.shape[0]
 
             for entry, attack_spec, kernel, guess_space, state, tracker \
                     in attack_states:
@@ -1150,28 +1187,36 @@ class AttackCampaign:
                         row.disclosure = tracker.disclosure
                 if keep_results:
                     row.result = attack
+                telemetry.count("attacks")
                 rows.append(row)
-            for assessment, state in assessment_states:
-                assessment_rows.append(self._assessment_row(
-                    design.label, noise_label, assessment, state))
+            if assessment_states:
+                with telemetry.span("campaign.assess", kind="value",
+                                    assessments=len(assessment_states)):
+                    for assessment, state in assessment_states:
+                        assessment_rows.append(self._assessment_row(
+                            design.label, noise_label, assessment, state))
 
         if fr_assessments:
-            tvla_plaintexts, labels = tvla_schedule
-            tt_states = [(assessment,
-                          StreamingTTest(threshold=assessment.threshold))
-                         for assessment in fr_assessments]
-            position = 0
-            for chunk in self._trace_chunks_for(design, noise, tvla_plaintexts,
-                                                chunk_size,
-                                                noise_start=len(plaintexts)):
-                matrix = chunk.matrix()
-                chunk_labels = labels[position:position + matrix.shape[0]]
-                for _assessment, state in tt_states:
-                    state.update(matrix, chunk_labels)
-                position += matrix.shape[0]
-            for assessment, state in tt_states:
-                assessment_rows.append(self._assessment_row(
-                    design.label, noise_label, assessment, state))
+            with telemetry.span("campaign.assess", kind="tvla",
+                                assessments=len(fr_assessments)):
+                tvla_plaintexts, labels = tvla_schedule
+                tt_states = [(assessment,
+                              StreamingTTest(threshold=assessment.threshold))
+                             for assessment in fr_assessments]
+                position = 0
+                for chunk in self._trace_chunks_for(
+                        design, noise, tvla_plaintexts, chunk_size,
+                        noise_start=len(plaintexts)):
+                    matrix = chunk.matrix()
+                    chunk_labels = labels[position:position + matrix.shape[0]]
+                    telemetry.count("chunks")
+                    telemetry.count("traces", matrix.shape[0])
+                    for _assessment, state in tt_states:
+                        state.update(matrix, chunk_labels)
+                    position += matrix.shape[0]
+                for assessment, state in tt_states:
+                    assessment_rows.append(self._assessment_row(
+                        design.label, noise_label, assessment, state))
         return rows, assessment_rows
 
     def _run_sharded(self, scenarios: List[tuple],
@@ -1203,16 +1248,26 @@ class AttackCampaign:
         of only after the whole pool drains.
         """
         if "fork" not in multiprocessing.get_all_start_methods():
+            logger.info("fork unavailable on this platform; campaign runs "
+                        "%d scenario(s) serially", len(scenarios))
             for scenario in scenarios:
                 yield self._run_scenario(scenario, plaintexts, **options)
             return
+        telemetry = current()
         global _SHARD_STATE
         context = multiprocessing.get_context("fork")
         _SHARD_STATE = (self, scenarios, plaintexts, options)
         try:
             with context.Pool(processes=min(workers, len(scenarios))) as pool:
-                yield from pool.imap(_scenario_shard_worker,
-                                     range(len(scenarios)), chunksize=1)
+                for index, (rows, assessment_rows, shard_tree) in enumerate(
+                        pool.imap(_scenario_shard_worker,
+                                  range(len(scenarios)), chunksize=1)):
+                    # Adopted in scenario order (imap preserves it), so the
+                    # merged span tree is deterministic: same shape as the
+                    # serial run, with the shard index as attribution.
+                    if shard_tree is not None:
+                        telemetry.adopt(shard_tree, shard=index)
+                    yield rows, assessment_rows
         finally:
             _SHARD_STATE = None
 
@@ -1244,7 +1299,8 @@ class AttackCampaign:
             keep_results: bool = False, workers: int = 1,
             streaming: bool = False,
             chunk_size: Optional[int] = None,
-            store: Optional[object] = None) -> CampaignResult:
+            store: Optional[object] = None,
+            telemetry: Optional[object] = None) -> CampaignResult:
         """Run every (design × attack × selection × noise) scenario of the
         grid, plus every registered leakage assessment.
 
@@ -1277,6 +1333,19 @@ class AttackCampaign:
         and the query layer.  ``store`` composes with ``workers`` and
         ``streaming``; it rejects ``keep_results=True`` (attack result
         objects are not columnar).
+
+        With ``telemetry=`` a :class:`repro.obs.Telemetry` collector, the
+        run records a hierarchical span tree — one ``campaign.scenario``
+        span per (noise × design) scenario with nested generation, attack
+        and assessment phases, plus the store spill/merge spans — with
+        counters (traces, chunks, attacks) and peak-RSS gauges.  Sharded
+        workers record locally and the parent merges their trees in
+        scenario order, so serial and ``workers=N`` runs produce the same
+        tree shape (sharded spans carry a deterministic ``shard`` index)
+        and the result rows are byte-identical either way.  Render the tree
+        with :class:`repro.obs.RunReport` or export it via
+        :mod:`repro.obs`.  Telemetry defaults to the ambient collector —
+        the zero-cost no-op unless :func:`repro.obs.use` installed one.
         """
         if not self._designs:
             raise ValueError("campaign has no designs; call add_design first")
@@ -1302,6 +1371,8 @@ class AttackCampaign:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
 
+        telemetry = current() if telemetry is None else telemetry
+
         scenarios = [(noise_label, noise_factory, design)
                      for noise_label, noise_factory in noises
                      for design in self._designs]
@@ -1313,21 +1384,27 @@ class AttackCampaign:
                        keep_results=keep_results,
                        streaming=streaming,
                        chunk_size=chunk_size)
-        if store is not None:
-            return self._run_with_store(store, scenarios, plaintexts, seed,
-                                        workers, options)
-        if workers > 1 and len(scenarios) > 1:
-            shard_rows = self._run_sharded(scenarios, plaintexts, workers,
-                                           options)
-        else:
-            shard_rows = [self._run_scenario(scenario, plaintexts, **options)
-                          for scenario in scenarios]
+        with use(telemetry), telemetry.span(
+                "campaign", scenarios=len(scenarios),
+                traces=len(plaintexts), workers=workers,
+                streaming=streaming):
+            if store is not None:
+                return self._run_with_store(store, scenarios, plaintexts,
+                                            seed, workers, options)
+            if workers > 1 and len(scenarios) > 1:
+                shard_rows = self._run_sharded(scenarios, plaintexts,
+                                               workers, options)
+            else:
+                shard_rows = [self._run_scenario(scenario, plaintexts,
+                                                 **options)
+                              for scenario in scenarios]
 
-        campaign = CampaignResult()
-        for rows, assessment_rows in shard_rows:
-            campaign.rows.extend(rows)
-            campaign.assessments.extend(assessment_rows)
-        return campaign
+            campaign = CampaignResult()
+            for rows, assessment_rows in shard_rows:
+                campaign.rows.extend(rows)
+                campaign.assessments.extend(assessment_rows)
+            telemetry.record_rss()
+            return campaign
 
     # ---------------------------------------------------------------- store
     @staticmethod
@@ -1405,6 +1482,10 @@ class AttackCampaign:
         pending_keys = [key for key in keys if key not in done]
         pending_scenarios = [scenario for key, scenario
                              in zip(keys, scenarios) if key not in done]
+        if done:
+            logger.info("campaign store resume: %d/%d scenarios already "
+                        "complete, %d to run", len(done), len(keys),
+                        len(pending_keys))
         if workers > 1 and len(pending_scenarios) > 1:
             results = self._run_sharded_iter(pending_scenarios, plaintexts,
                                              workers, options)
@@ -1423,7 +1504,16 @@ class AttackCampaign:
         merged = campaign_store.merge_tables(
             {"rows": "campaign", "assessments": "assessment"}, keys=keys,
             cache=written)
-        campaign_store.finalize(merged)
+        telemetry = current()
+        telemetry.record_rss()
+        tables = dict(merged)
+        if telemetry.enabled:
+            # Persist the (still-open) run's span tree next to the shard
+            # manifest so the metrics are queryable like any campaign table.
+            from ..obs.export import telemetry_frame
+
+            tables["telemetry"] = telemetry_frame(telemetry.snapshot())
+        campaign_store.finalize(tables)
         return CampaignResult(rows=merged["rows"].to_rows(),
                               assessments=merged["assessments"].to_rows())
 
@@ -1435,6 +1525,22 @@ class AttackCampaign:
 _SHARD_STATE: Optional[tuple] = None
 
 
-def _scenario_shard_worker(index: int) -> List[CampaignRow]:
+def _scenario_shard_worker(index: int) -> tuple:
+    """Run one scenario in the forked child; returns (rows, assessments,
+    telemetry tree or None).
+
+    The child inherits the parent's ambient collector through the fork;
+    when it is enabled, the worker records into its own fresh collector and
+    ships the snapshot back for the parent to adopt — worker identity never
+    enters the tree, only the deterministic scenario index does.
+    """
     campaign, scenarios, plaintexts, options = _SHARD_STATE
-    return campaign._run_scenario(scenarios[index], plaintexts, **options)
+    if not current().enabled:
+        rows, assessment_rows = campaign._run_scenario(
+            scenarios[index], plaintexts, **options)
+        return rows, assessment_rows, None
+    local = Telemetry(name="shard")
+    with use(local):
+        rows, assessment_rows = campaign._run_scenario(
+            scenarios[index], plaintexts, **options)
+    return rows, assessment_rows, local.snapshot()

@@ -22,6 +22,7 @@ Repair passes re-measure only the nets they touch, through the pipeline's
 
 from __future__ import annotations
 
+import logging
 import math
 import random
 from dataclasses import dataclass, field
@@ -38,6 +39,9 @@ from ..pnr.placement import (
     HierarchicalPlacer,
     Placement,
 )
+
+
+logger = logging.getLogger(__name__)
 
 
 class HardeningError(Exception):
@@ -276,8 +280,14 @@ class DummyLoadPass(HardeningPass):
                 deficit = target - load
                 if deficit <= 0.0:
                     continue
-                if self.max_added_ff_per_net is not None:
-                    deficit = min(deficit, self.max_added_ff_per_net)
+                if (self.max_added_ff_per_net is not None
+                        and deficit > self.max_added_ff_per_net):
+                    logger.warning(
+                        "dummy load on %s capped at %.1f fF (%.1f fF needed "
+                        "to equalize channel %s); residual dissymmetry will "
+                        "surface as a violation", net.name,
+                        self.max_added_ff_per_net, deficit, entry.channel)
+                    deficit = self.max_added_ff_per_net
                 context.netlist.add_dummy_load(net.name, deficit)
                 touched.add(net.name)
                 added_ff += deficit

@@ -20,13 +20,13 @@ a design was driven below the bound.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
 from ..circuits.netlist import Netlist
 from ..core.criterion import CriterionReport
 from ..electrical.technology import HCMOS9_LIKE, Technology
+from ..obs.telemetry import current
 from ..pnr.flows import PlacedDesign
 from ..pnr.floorplan import Floorplan
 from ..pnr.placement import AnnealingSchedule
@@ -207,11 +207,15 @@ class PassPipeline:
         extractor = context.extractor
         nets_before = extractor.nets_reextracted if extractor else 0
         fulls_before = extractor.full_extractions if extractor else 0
-        start = time.perf_counter()
-        outcome = step.run(context)
-        if stage == "repair" and outcome.changed:
-            context.evaluate()
-        duration = time.perf_counter() - start
+        # The span is the pass's one clock: it measures its duration even
+        # under the disabled no-op telemetry, so PipelineRecord.duration_s
+        # populates identically with telemetry on or off.
+        with current().span("harden.pass", name=step.name, stage=stage,
+                            iteration=iteration) as span:
+            outcome = step.run(context)
+            if stage == "repair" and outcome.changed:
+                context.evaluate()
+        duration = span.duration_s
         extractor = context.extractor
         reextracted = ((extractor.nets_reextracted - nets_before)
                        if extractor else 0)
@@ -235,28 +239,32 @@ class PassPipeline:
             design_name=design_name or f"{netlist.name}_{suffix}",
             use_load_cap=self.use_load_cap,
         )
+        telemetry = current()
         records: List[PipelineRecord] = []
-        for step in self.base:
-            self._run_pass(context, step, "base", 0, records)
+        with telemetry.span("harden.pipeline", name=self.name,
+                            design=context.design_name):
+            for step in self.base:
+                self._run_pass(context, step, "base", 0, records)
 
-        iterations = 0
-        if self.repair and self.bound is not None:
-            if context.criterion is None:
-                context.evaluate()
-            for iteration in range(1, self.max_repair_iterations + 1):
-                if context.criterion.meets_bound(self.bound):
-                    break
-                iterations = iteration
-                any_change = False
-                for step in self.repair:
-                    outcome = self._run_pass(context, step, "repair",
-                                             iteration, records)
-                    any_change = any_change or outcome.changed
+            iterations = 0
+            if self.repair and self.bound is not None:
+                if context.criterion is None:
+                    context.evaluate()
+                for iteration in range(1, self.max_repair_iterations + 1):
                     if context.criterion.meets_bound(self.bound):
                         break
-                if not any_change:
-                    # Converged: nothing left for the passes to improve.
-                    break
+                    iterations = iteration
+                    telemetry.count("repair_iterations")
+                    any_change = False
+                    for step in self.repair:
+                        outcome = self._run_pass(context, step, "repair",
+                                                 iteration, records)
+                        any_change = any_change or outcome.changed
+                        if context.criterion.meets_bound(self.bound):
+                            break
+                    if not any_change:
+                        # Converged: nothing left for the passes to improve.
+                        break
 
         extractor = context.require_extractor()
         if context.criterion is None:

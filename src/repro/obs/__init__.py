@@ -1,0 +1,51 @@
+"""Observability: hierarchical spans, counters/gauges and run reports.
+
+The repo's dependency-free telemetry layer.  A :class:`Telemetry` collector
+records a tree of timed spans with structured attributes; counters and
+gauges attribute to the innermost open span; forked shard workers record
+locally and the parent merges their trees deterministically.  Disabled mode
+(:data:`NULL_TELEMETRY`, the ambient default) is a no-op singleton.
+
+Entry points that accept a collector: ``AttackCampaign.run(telemetry=…)``
+and ``PlacementSweep.run(telemetry=…)``.  Exporters: :class:`RunReport`
+(text tree), :func:`write_jsonl`/:func:`read_jsonl` (event log) and
+:func:`telemetry_frame` (columnar metrics via :mod:`repro.store`).
+"""
+
+from .telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Span,
+    SpanNode,
+    Telemetry,
+    TelemetryError,
+    current,
+    use,
+)
+from .report import RunReport
+from .export import (
+    TelemetryRow,
+    read_jsonl,
+    span_events,
+    telemetry_frame,
+    telemetry_rows,
+    write_jsonl,
+)
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "RunReport",
+    "Span",
+    "SpanNode",
+    "Telemetry",
+    "TelemetryError",
+    "TelemetryRow",
+    "current",
+    "read_jsonl",
+    "span_events",
+    "telemetry_frame",
+    "telemetry_rows",
+    "use",
+    "write_jsonl",
+]

@@ -1,0 +1,149 @@
+"""Telemetry exporters: JSONL event log and columnar metrics rows.
+
+Two machine-readable views of a recorded span tree:
+
+* :func:`write_jsonl` / :func:`read_jsonl` — one JSON object per span in
+  depth-first order (``depth`` rebuilds the nesting), lossless round trip
+  of names, attributes, counters and gauges;
+* :func:`telemetry_rows` / :func:`telemetry_frame` — flat
+  :class:`TelemetryRow` records (one per span, counter and gauge) that the
+  columnar :mod:`repro.store` layer persists as a ``telemetry`` frame next
+  to the shard manifests, queryable like any campaign table.
+
+:mod:`repro.store` is imported lazily so ``repro.obs`` stays a leaf.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .telemetry import SpanNode, TelemetryError
+
+
+def span_events(root: SpanNode) -> List[Dict[str, object]]:
+    """Depth-first event dicts of the tree (the JSONL line payloads)."""
+    events = []
+    for depth, node in root.walk():
+        events.append({
+            "type": "span",
+            "depth": depth,
+            "name": node.name,
+            "start_s": node.start_s,
+            "duration_s": node.duration_s,
+            "attrs": node.attrs,
+            "counters": node.counters,
+            "gauges": node.gauges,
+        })
+    return events
+
+
+def write_jsonl(root: SpanNode, path: Union[str, Path]) -> Path:
+    """Write the tree as one JSON object per line; returns the path.
+
+    Attribute values that are not JSON-serializable degrade to ``str``.
+    """
+    path = Path(path)
+    with path.open("w") as handle:
+        for event in span_events(root):
+            handle.write(json.dumps(event, sort_keys=True, default=str))
+            handle.write("\n")
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> SpanNode:
+    """Rebuild the span tree from a :func:`write_jsonl` event log."""
+    stack: List[SpanNode] = []
+    root: Optional[SpanNode] = None
+    with Path(path).open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            node = SpanNode(
+                name=event["name"],
+                attrs=dict(event.get("attrs", {})),
+                start_s=float(event.get("start_s", 0.0)),
+                duration_s=float(event.get("duration_s", 0.0)),
+                counters=dict(event.get("counters", {})),
+                gauges=dict(event.get("gauges", {})),
+            )
+            depth = int(event["depth"])
+            if depth == 0:
+                if root is not None:
+                    raise TelemetryError(
+                        f"{path}:{line_number}: second depth-0 span — a "
+                        "JSONL log holds exactly one tree")
+                root = node
+                stack = [node]
+                continue
+            if root is None or depth > len(stack):
+                raise TelemetryError(
+                    f"{path}:{line_number}: span at depth {depth} has no "
+                    "parent — event log is corrupt")
+            del stack[depth:]
+            stack[-1].children.append(node)
+            stack.append(node)
+    if root is None:
+        raise TelemetryError(f"{path}: empty telemetry event log")
+    return root
+
+
+# ----------------------------------------------------------- columnar rows
+@dataclass
+class TelemetryRow:
+    """One flat metrics record: a span, or one counter/gauge of a span.
+
+    ``path`` is the deterministic tree address — ``/``-joined span names
+    with a per-name sibling index (``run/campaign/campaign.scenario[1]``).
+    """
+
+    record_type: str          # "span" | "counter" | "gauge"
+    path: str
+    name: str
+    start_s: Optional[float] = None
+    duration_s: Optional[float] = None
+    value: Optional[float] = None
+    shard: Optional[int] = None
+    attrs: str = ""
+
+
+def telemetry_rows(root: SpanNode) -> List[TelemetryRow]:
+    """Flatten the tree into :class:`TelemetryRow` records, tree order."""
+    rows: List[TelemetryRow] = []
+
+    def visit(node: SpanNode, parent_path: str, sibling_index: int) -> None:
+        name = (node.name if sibling_index == 0
+                else f"{node.name}[{sibling_index}]")
+        path = f"{parent_path}/{name}" if parent_path else name
+        shard = node.attrs.get("shard")
+        rows.append(TelemetryRow(
+            record_type="span", path=path, name=node.name,
+            start_s=node.start_s, duration_s=node.duration_s,
+            shard=shard if isinstance(shard, int) else None,
+            attrs=json.dumps(node.attrs, sort_keys=True, default=str)
+            if node.attrs else "",
+        ))
+        for kind, metrics in (("counter", node.counters),
+                              ("gauge", node.gauges)):
+            for metric, value in metrics.items():
+                rows.append(TelemetryRow(record_type=kind, path=path,
+                                         name=metric, value=float(value)))
+        seen: Dict[str, int] = {}
+        for child in node.children:
+            index = seen.get(child.name, 0)
+            seen[child.name] = index + 1
+            visit(child, path, index)
+
+    visit(root, "", 0)
+    return rows
+
+
+def telemetry_frame(root: SpanNode):
+    """The tree as a columnar ``telemetry``-kind ``CampaignFrame``."""
+    from ..store import CampaignFrame
+
+    return CampaignFrame.from_rows(telemetry_rows(root), kind="telemetry")

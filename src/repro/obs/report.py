@@ -1,0 +1,103 @@
+"""The ``RunReport`` text tree: per-phase wall time, throughput and RSS.
+
+Renders a recorded :class:`~repro.obs.telemetry.SpanNode` tree as a
+fixed-width report::
+
+    run                                             12.431 s  rss 182.3 MiB
+    └─ campaign [scenarios=4 workers=2]             12.400 s
+       ├─ campaign.scenario [noiseless/flat]         3.100 s
+       │  ├─ campaign.generate                       1.210 s  traces=800 (661/s)
+       │  └─ campaign.attack [dpa]                   0.480 s
+       └─ ...
+
+Counters print inline; the throughput counters (traces, chunks, moves,
+events) also print a per-second rate against their span's wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .telemetry import SpanNode, Telemetry
+
+#: Counters worth a per-second rate next to the raw total.
+RATE_COUNTERS = frozenset({
+    "traces", "chunks", "moves_proposed", "moves_committed",
+    "sim_events", "stimuli", "nets_reextracted",
+})
+
+#: Attributes of one span line, rendered inside ``[...]`` after the name.
+_LABEL_WIDTH = 46
+
+
+def _attr_text(node: SpanNode) -> str:
+    if not node.attrs:
+        return ""
+    parts = []
+    for key, value in node.attrs.items():
+        if isinstance(value, float):
+            value = f"{value:g}"
+        parts.append(f"{key}={value}")
+    return " [" + " ".join(parts) + "]"
+
+
+def _metric_text(node: SpanNode) -> str:
+    parts = []
+    for name, value in node.counters.items():
+        text = f"{name}={value:g}"
+        if name in RATE_COUNTERS and node.duration_s > 0:
+            text += f" ({value / node.duration_s:,.0f}/s)"
+        parts.append(text)
+    for name, value in node.gauges.items():
+        if name == "rss_peak_kb":
+            parts.append(f"rss {value / 1024.0:.1f} MiB")
+        else:
+            parts.append(f"{name}={value:g}")
+    return ("  " + "  ".join(parts)) if parts else ""
+
+
+@dataclass
+class RunReport:
+    """A rendered view over one telemetry tree."""
+
+    root: SpanNode
+
+    @classmethod
+    def from_telemetry(cls, telemetry: Telemetry) -> "RunReport":
+        return cls(telemetry.snapshot())
+
+    def render(self, *, max_depth: Optional[int] = None) -> str:
+        """The fixed-width text tree (``max_depth`` prunes deep spans)."""
+        lines: List[str] = []
+
+        def visit(node: SpanNode, lead: str, child_lead: str,
+                  depth: int) -> None:
+            label = lead + node.name + _attr_text(node)
+            lines.append(f"{label:<{_LABEL_WIDTH}s} "
+                         f"{node.duration_s:9.3f} s{_metric_text(node)}")
+            if max_depth is not None and depth + 1 > max_depth:
+                if node.children:
+                    lines.append(f"{child_lead}… {len(node.children)} "
+                                 "nested span(s) pruned")
+                return
+            for index, child in enumerate(node.children):
+                last = index == len(node.children) - 1
+                visit(child,
+                      child_lead + ("└─ " if last else "├─ "),
+                      child_lead + ("   " if last else "│  "),
+                      depth + 1)
+
+        visit(self.root, "", "", 0)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def phase_totals(self) -> Dict[str, Tuple[int, float]]:
+        """Per span name: (occurrences, summed wall time) over the tree."""
+        totals: Dict[str, Tuple[int, float]] = {}
+        for _depth, node in self.root.walk():
+            count, elapsed = totals.get(node.name, (0, 0.0))
+            totals[node.name] = (count + 1, elapsed + node.duration_s)
+        return totals

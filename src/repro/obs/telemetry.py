@@ -1,0 +1,255 @@
+"""Hierarchical spans, counters and gauges — the telemetry core.
+
+One :class:`Telemetry` collector owns a tree of :class:`SpanNode` records.
+Instrumented code opens context-manager spans around its phases::
+
+    telemetry = Telemetry()
+    with use(telemetry):
+        with current().span("campaign.scenario", design="flat", attack="dpa"):
+            current().count("traces", 800)
+
+and every counter/gauge lands on the innermost open span.  The tree is a
+plain picklable dataclass, so a forked worker can record into a *fresh*
+collector and ship ``snapshot()`` back to the parent, which grafts it with
+:meth:`Telemetry.adopt` — serial and sharded runs then produce the same
+span-tree shape, with deterministic per-shard attribution (the shard index,
+never a pid).
+
+Disabled mode is the module default: :data:`NULL_TELEMETRY` is a no-op
+singleton whose ``count``/``gauge`` — the hot-loop entry points — do
+nothing at all.  Its ``span`` still *times* (two ``perf_counter`` calls at
+coarse phase boundaries) without recording, so callers such as the harden
+pipeline can use a span as their only clock and keep populating durations
+even when telemetry is off.
+
+Everything here is stdlib-only; the package is a dependency leaf importable
+from anywhere in the repo (including :mod:`repro.store`).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import resource
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class TelemetryError(Exception):
+    """Raised on span misuse (out-of-order close, adopting into no tree)."""
+
+
+@dataclass
+class SpanNode:
+    """One recorded span: a named, timed region with attributes and metrics.
+
+    ``start_s`` is relative to the owning collector's creation time, so
+    trees merged across processes stay comparable.  The node is a plain
+    picklable dataclass — it crosses the ``fork`` boundary as a worker's
+    return value.
+    """
+
+    name: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    start_s: float = 0.0
+    duration_s: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    children: List["SpanNode"] = field(default_factory=list)
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple[int, "SpanNode"]]:
+        """Depth-first (node, depth) traversal of the subtree."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def shape(self) -> tuple:
+        """The nested name tuple of the subtree — tree-shape equality."""
+        return (self.name, tuple(child.shape() for child in self.children))
+
+    def find(self, name: str) -> List["SpanNode"]:
+        """Every node of the subtree with the given span name, in order."""
+        return [node for _depth, node in self.walk() if node.name == name]
+
+    def total(self, counter: str) -> float:
+        """Sum of one counter over the whole subtree."""
+        return sum(node.counters.get(counter, 0)
+                   for _depth, node in self.walk())
+
+
+class Span:
+    """Context manager around one timed region.
+
+    A span *always* measures wall time — ``duration_s`` is valid after
+    ``__exit__`` even under the disabled no-op telemetry, so instrumented
+    code can use its span as its one clock.  Only recording spans (those
+    issued by a real :class:`Telemetry`) allocate a :class:`SpanNode` in
+    the collector's tree.
+    """
+
+    __slots__ = ("_telemetry", "node", "duration_s", "_t0")
+
+    def __init__(self, telemetry: Optional["Telemetry"], name: str,
+                 attrs: Dict[str, Any]):
+        self._telemetry = telemetry
+        self.node = (SpanNode(name=name, attrs=attrs)
+                     if telemetry is not None else None)
+        self.duration_s = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Span":
+        if self._telemetry is not None:
+            self._telemetry._push(self.node)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self._t0
+        if self._telemetry is not None:
+            self.node.duration_s = self.duration_s
+            self._telemetry._pop(self.node)
+        return False
+
+
+def _peak_rss_kb() -> float:
+    """Peak RSS of this process in KiB (``ru_maxrss`` is bytes on macOS)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak / 1024.0 if sys.platform == "darwin" else float(peak)
+
+
+class Telemetry:
+    """A hierarchical, fork-safe telemetry collector.
+
+    The collector keeps an explicit span stack rooted at ``self.root``;
+    ``count``/``gauge`` attribute to the innermost open span.  It is *not*
+    thread-safe (the repo parallelizes by forking, not threading): a forked
+    worker must record into its own fresh ``Telemetry`` and return
+    ``snapshot()`` for the parent to :meth:`adopt`.
+    """
+
+    enabled = True
+
+    def __init__(self, name: str = "run"):
+        self._t0 = time.perf_counter()
+        self.root = SpanNode(name=name)
+        self._stack: List[SpanNode] = [self.root]
+
+    # -------------------------------------------------------------- spans
+    def span(self, name: str, /, **attrs: Any) -> Span:
+        """A recording context-manager span nested under the current one."""
+        return Span(self, name, attrs)
+
+    def _push(self, node: SpanNode) -> None:
+        node.start_s = time.perf_counter() - self._t0
+        self._stack[-1].children.append(node)
+        self._stack.append(node)
+
+    def _pop(self, node: SpanNode) -> None:
+        if self._stack[-1] is not node:
+            raise TelemetryError(
+                f"span {node.name!r} closed while "
+                f"{self._stack[-1].name!r} is innermost — spans must nest")
+        self._stack.pop()
+
+    # ------------------------------------------------------------ metrics
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to a counter of the innermost open span."""
+        counters = self._stack[-1].counters
+        counters[name] = counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float, *, mode: str = "set") -> None:
+        """Record a gauge on the innermost open span (``mode='max'`` keeps
+        the maximum seen instead of the last value)."""
+        gauges = self._stack[-1].gauges
+        if mode == "max" and name in gauges:
+            value = max(value, gauges[name])
+        gauges[name] = value
+
+    def record_rss(self) -> None:
+        """Record this process's peak RSS (KiB) on the current span."""
+        self.gauge("rss_peak_kb", _peak_rss_kb(), mode="max")
+
+    # ------------------------------------------------------------- merging
+    def snapshot(self) -> SpanNode:
+        """The recorded tree; the root's duration is the elapsed time."""
+        self.root.duration_s = time.perf_counter() - self._t0
+        return self.root
+
+    def adopt(self, root: SpanNode, *, shard: Optional[int] = None) -> None:
+        """Graft a worker's recorded tree under the current span.
+
+        The worker's root wrapper is dropped: its children become children
+        of the parent's innermost open span, so serial and sharded runs
+        produce the same tree shape.  ``shard`` tags each adopted top-level
+        span — deterministic attribution (pass the scenario/shard *index*,
+        never a pid).  Root-level counters add into the current span;
+        root-level gauges max-merge.
+        """
+        target = self._stack[-1]
+        for child in root.children:
+            if shard is not None:
+                child.attrs.setdefault("shard", shard)
+            target.children.append(child)
+        for name, value in root.counters.items():
+            target.counters[name] = target.counters.get(name, 0) + value
+        for name, value in root.gauges.items():
+            self.gauge(name, value, mode="max")
+
+
+class NullTelemetry:
+    """The disabled no-op singleton.
+
+    ``count``/``gauge`` — the entry points that sit inside hot loops — do
+    nothing.  ``span`` returns a non-recording :class:`Span` that still
+    measures its duration (two ``perf_counter`` calls at coarse phase
+    boundaries), so timing consumers keep working with telemetry off.
+    """
+
+    enabled = False
+    __slots__ = ()
+
+    def span(self, name: str, /, **attrs: Any) -> Span:
+        return Span(None, name, attrs)
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, *, mode: str = "set") -> None:
+        pass
+
+    def record_rss(self) -> None:
+        pass
+
+    def adopt(self, root: SpanNode, *, shard: Optional[int] = None) -> None:
+        pass
+
+
+#: The process-wide disabled default; instrumented code pays one global
+#: read plus a no-op method call per metric when telemetry is off.
+NULL_TELEMETRY = NullTelemetry()
+
+_CURRENT = NULL_TELEMETRY
+
+
+def current():
+    """The ambient collector (:data:`NULL_TELEMETRY` unless :func:`use`\\ d)."""
+    return _CURRENT
+
+
+@contextmanager
+def use(telemetry):
+    """Install ``telemetry`` as the ambient collector for a ``with`` body.
+
+    Nested ``use`` blocks restore the previous collector on exit.  Forked
+    children inherit the parent's installed collector — workers check
+    ``current().enabled`` and, when set, record into their own fresh
+    :class:`Telemetry` under a nested ``use``.
+    """
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = telemetry
+    try:
+        yield telemetry
+    finally:
+        _CURRENT = previous

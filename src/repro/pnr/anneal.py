@@ -38,11 +38,17 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from ..circuits.netlist import Netlist
 from ..core.criterion import dissymmetry_vector
 from ..electrical.technology import HCMOS9_LIKE, Technology
+from ..obs.telemetry import current
+
+#: Reusable no-op context for per-step spans with telemetry disabled.
+_NO_SPAN = nullcontext()
 from .cells import PlacedCell
 from .floorplan import Floorplan
 from .routing import fanout_factor
@@ -736,23 +742,42 @@ class VectorPlacementEngine:
                 1e-9, -np.log(max(schedule.initial_acceptance, 1e-6)))
 
         steps = len(budget)
-        for step, moves in enumerate(budget):
-            fraction = 1.0 - step / max(steps - 1, 1)
-            remaining = moves
-            while remaining > 0:
-                size = min(batch, remaining)
-                remaining -= size
-                self.moves_proposed += size
-                a, ax, ay, b, bx, by = self._propose(size, fraction,
-                                                     allow_swaps=True)
-                delta, pair_move, pair_net, sec_update = \
-                    self._evaluate(a, ax, ay, b, bx, by, sec_mult)
-                accept = (delta <= 0) | (self.rng.random(size)
-                                         < np.exp(-np.maximum(delta, 0.0)
-                                                  / max(temperature, 1e-12)))
-                if pair_net.size == 0:
-                    continue
-                self.moves_committed += self._commit(
-                    a, ax, ay, b, bx, by, accept, pair_move, pair_net,
-                    sec_update)
-            temperature *= schedule.cooling
+        telemetry = current()
+        with telemetry.span("anneal.refine", steps=steps,
+                            cells=int(self.movable_ids.size)):
+            for step, moves in enumerate(budget):
+                fraction = 1.0 - step / max(steps - 1, 1)
+                # Per-temperature-step batch stats.  The step span is built
+                # only when recording — at thousands of steps per refine even
+                # a no-op timing span is measurable on the placer gate.
+                with (telemetry.span("anneal.step", step=step,
+                                     temperature=float(temperature))
+                      if telemetry.enabled else _NO_SPAN):
+                    remaining = moves
+                    while remaining > 0:
+                        size = min(batch, remaining)
+                        remaining -= size
+                        self.moves_proposed += size
+                        a, ax, ay, b, bx, by = self._propose(
+                            size, fraction, allow_swaps=True)
+                        delta, pair_move, pair_net, sec_update = \
+                            self._evaluate(a, ax, ay, b, bx, by, sec_mult)
+                        accept = (delta <= 0) | (
+                            self.rng.random(size)
+                            < np.exp(-np.maximum(delta, 0.0)
+                                     / max(temperature, 1e-12)))
+                        if telemetry.enabled:
+                            telemetry.count("moves_proposed", size)
+                            telemetry.count("moves_accepted",
+                                            int(accept.sum()))
+                        if pair_net.size == 0:
+                            continue
+                        committed = self._commit(
+                            a, ax, ay, b, bx, by, accept, pair_move,
+                            pair_net, sec_update)
+                        self.moves_committed += committed
+                        if telemetry.enabled:
+                            telemetry.count("moves_committed", committed)
+                            telemetry.count("moves_conflicted",
+                                            int(accept.sum()) - committed)
+                temperature *= schedule.cooling

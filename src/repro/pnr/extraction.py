@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Set
 
 from ..circuits.netlist import Netlist
 from ..electrical.technology import HCMOS9_LIKE, Technology
+from ..obs.telemetry import current
 from .placement import Placement
 from .routing import RoutingEstimate, estimate_net, estimate_routing
 
@@ -179,6 +180,7 @@ class IncrementalExtractor:
             self.netlist, self.placement, technology=self.technology,
             routing=self.routing, annotate=self.annotate)
         self.full_extractions += 1
+        current().count("full_extractions")
         return self.extraction
 
     def update_cells(self, cell_names: Iterable[str]) -> Set[str]:
@@ -225,6 +227,7 @@ class IncrementalExtractor:
             self.netlist.touch_caps()
         self.incremental_updates += 1
         self.nets_reextracted += len(touched)
+        current().count("nets_reextracted", len(touched))
         return touched
 
 

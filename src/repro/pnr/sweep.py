@@ -18,13 +18,17 @@ serial run.
 from __future__ import annotations
 
 import itertools
+import logging
 import multiprocessing
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..circuits.netlist import Netlist
 from ..electrical.technology import HCMOS9_LIKE, Technology
+from ..obs.telemetry import Telemetry, current, use
 from .placement import AnnealingSchedule, PlacementError
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -119,28 +123,37 @@ class PlacementSweep:
     def _run_point(self, point: SweepPoint) -> SweepRow:
         from ..harden.pipeline import flat_pipeline, hierarchical_pipeline
 
-        netlist = self.netlist_factory()
-        schedule = point.schedule(self.base_schedule)
-        if self.flow == "flat":
-            pipeline = flat_pipeline(effort=self.effort, schedule=schedule)
-        elif self.flow == "hierarchical":
-            pipeline = hierarchical_pipeline(effort=self.effort,
-                                             schedule=schedule)
-        else:
-            raise PlacementError(
-                f"unknown sweep flow {self.flow!r}; expected 'flat' or "
-                "'hierarchical'")
-        result = pipeline.run(netlist, seed=self.seed,
-                              technology=self.technology)
-        return SweepRow(
-            point=point,
-            wirelength_um=result.design.routing.total_wirelength_um(),
-            max_dissymmetry=result.criterion.max_dissymmetry,
-            mean_dissymmetry=result.criterion.mean_dissymmetry,
-        )
+        telemetry = current()
+        with telemetry.span("sweep.point",
+                            initial_acceptance=point.initial_acceptance,
+                            cooling=point.cooling,
+                            moves_per_cell=point.moves_per_cell,
+                            security_weight=point.security_weight):
+            netlist = self.netlist_factory()
+            schedule = point.schedule(self.base_schedule)
+            if self.flow == "flat":
+                pipeline = flat_pipeline(effort=self.effort,
+                                         schedule=schedule)
+            elif self.flow == "hierarchical":
+                pipeline = hierarchical_pipeline(effort=self.effort,
+                                                 schedule=schedule)
+            else:
+                raise PlacementError(
+                    f"unknown sweep flow {self.flow!r}; expected 'flat' or "
+                    "'hierarchical'")
+            result = pipeline.run(netlist, seed=self.seed,
+                                  technology=self.technology)
+            telemetry.record_rss()
+            return SweepRow(
+                point=point,
+                wirelength_um=result.design.routing.total_wirelength_um(),
+                max_dissymmetry=result.criterion.max_dissymmetry,
+                mean_dissymmetry=result.criterion.mean_dissymmetry,
+            )
 
     # ------------------------------------------------------------------ run
-    def run(self, *, workers: int = 1, store=None) -> SweepResult:
+    def run(self, *, workers: int = 1, store=None,
+            telemetry=None) -> SweepResult:
         """Run every grid point; ``workers > 1`` shards over forked workers.
 
         The merged result is in grid order regardless of worker count, and
@@ -155,27 +168,42 @@ class PlacementSweep:
         from the manifest: completed points are loaded back instead of
         re-placed, and the merged table is byte-identical to an
         uninterrupted serial run.
+
+        With ``telemetry=`` a :class:`repro.obs.Telemetry` collector, the
+        sweep records one ``sweep.point`` span per grid point (annealer
+        move counters and peak RSS nested inside); sharded workers record
+        locally and their trees merge in grid order, same shape as serial.
         """
         points = self.points()
         design = self.netlist_factory().name
-        if store is not None:
-            return self._run_with_store(store, points, design, workers)
-        if (workers <= 1 or len(points) <= 1
-                or "fork" not in multiprocessing.get_all_start_methods()):
-            rows = [self._run_point(point) for point in points]
-        else:
-            rows = list(self._run_sharded_iter(points, workers))
-        return SweepResult(flow=self.flow, design=design, rows=rows)
+        telemetry = current() if telemetry is None else telemetry
+        with use(telemetry), telemetry.span(
+                "sweep", flow=self.flow, design=design,
+                points=len(points), workers=workers):
+            if store is not None:
+                return self._run_with_store(store, points, design, workers)
+            if (workers <= 1 or len(points) <= 1
+                    or "fork" not in multiprocessing.get_all_start_methods()):
+                rows = [self._run_point(point) for point in points]
+            else:
+                rows = list(self._run_sharded_iter(points, workers))
+            telemetry.record_rss()
+            return SweepResult(flow=self.flow, design=design, rows=rows)
 
     def _run_sharded_iter(self, points: List[SweepPoint], workers: int):
         """Sweep rows in grid order, yielded as they complete (fork pool)."""
+        telemetry = current()
         global _SWEEP_STATE
         context = multiprocessing.get_context("fork")
         _SWEEP_STATE = (self, points)
         try:
             with context.Pool(processes=min(workers, len(points))) as pool:
-                yield from pool.imap(_sweep_shard_worker, range(len(points)),
-                                     chunksize=1)
+                for index, (row, shard_tree) in enumerate(
+                        pool.imap(_sweep_shard_worker, range(len(points)),
+                                  chunksize=1)):
+                    if shard_tree is not None:
+                        telemetry.adopt(shard_tree, shard=index)
+                    yield row
         finally:
             _SWEEP_STATE = None
 
@@ -214,6 +242,9 @@ class PlacementSweep:
             fingerprint=self._grid_fingerprint(points, design),
             metadata={"flow": self.flow, "design": design})
         done = set(sweep_store.completed_keys())
+        if done:
+            logger.info("sweep store resume: %d/%d points already complete",
+                        len(done), len(keys))
         pending = [(key, point) for key, point in zip(keys, points)
                    if key not in done]
         pending_keys = [key for key, _point in pending]
@@ -230,7 +261,14 @@ class PlacementSweep:
             written[key] = tables
         merged = sweep_store.merge_tables({"rows": "sweep"}, keys=keys,
                                           cache=written)
-        sweep_store.finalize(merged)
+        telemetry = current()
+        telemetry.record_rss()
+        tables = dict(merged)
+        if telemetry.enabled:
+            from ..obs.export import telemetry_frame
+
+            tables["telemetry"] = telemetry_frame(telemetry.snapshot())
+        sweep_store.finalize(tables)
         return SweepResult(flow=self.flow, design=design,
                            rows=merged["rows"].to_rows())
 
@@ -240,6 +278,17 @@ class PlacementSweep:
 _SWEEP_STATE: Optional[Tuple[PlacementSweep, List[SweepPoint]]] = None
 
 
-def _sweep_shard_worker(index: int) -> SweepRow:
+def _sweep_shard_worker(index: int) -> tuple:
+    """One grid point in the forked child: (row, telemetry tree or None).
+
+    Mirrors :func:`repro.core.flow._scenario_shard_worker`: the child
+    records into a fresh collector when the inherited ambient one is
+    enabled, and the parent adopts the snapshot in grid order.
+    """
     sweep, points = _SWEEP_STATE
-    return sweep._run_point(points[index])
+    if not current().enabled:
+        return sweep._run_point(points[index]), None
+    local = Telemetry(name="shard")
+    with use(local):
+        row = sweep._run_point(points[index])
+    return row, local.snapshot()

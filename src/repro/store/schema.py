@@ -4,7 +4,7 @@ A :class:`FrameSchema` fixes, per *row kind*, the columns of the columnar
 :class:`~repro.store.frame.CampaignFrame` together with the two conversions
 that make the store lossless: ``flatten`` turns one result dataclass into a
 plain ``{column: value}`` dict, ``unflatten`` rebuilds the dataclass from it.
-Three kinds are registered — one per result-row dataclass of the repo:
+Four kinds are registered — one per result-row dataclass of the repo:
 
 ========== ============================================== =================
 kind       dataclass                                      produced by
@@ -12,6 +12,7 @@ kind       dataclass                                      produced by
 campaign   :class:`repro.core.flow.CampaignRow`           ``AttackCampaign``
 assessment :class:`repro.core.flow.AssessmentRow`         ``AttackCampaign``
 sweep      :class:`repro.pnr.sweep.SweepRow`              ``PlacementSweep``
+telemetry  :class:`repro.obs.export.TelemetryRow`         ``Telemetry`` runs
 ========== ============================================== =================
 
 Columns are typed (``str`` / ``int`` / ``float`` / ``bool``) and optionally
@@ -225,9 +226,47 @@ _SWEEP_SCHEMA = FrameSchema(
 )
 
 
+# ----------------------------------------------------------- telemetry rows
+def _flatten_telemetry(row) -> Dict[str, object]:
+    return {
+        "record_type": row.record_type,
+        "path": row.path,
+        "name": row.name,
+        "start_s": row.start_s,
+        "duration_s": row.duration_s,
+        "value": row.value,
+        "shard": row.shard,
+        "attrs": row.attrs,
+    }
+
+
+def _unflatten_telemetry(values: Dict[str, object]):
+    from ..obs.export import TelemetryRow
+
+    return TelemetryRow(**values)
+
+
+_TELEMETRY_SCHEMA = FrameSchema(
+    kind="telemetry",
+    columns=(
+        ColumnSpec("record_type", "str"),
+        ColumnSpec("path", "str"),
+        ColumnSpec("name", "str"),
+        ColumnSpec("start_s", "float", nullable=True),
+        ColumnSpec("duration_s", "float", nullable=True),
+        ColumnSpec("value", "float", nullable=True),
+        ColumnSpec("shard", "int", nullable=True),
+        ColumnSpec("attrs", "str"),
+    ),
+    flatten=_flatten_telemetry,
+    unflatten=_unflatten_telemetry,
+)
+
+
 _SCHEMAS: Dict[str, FrameSchema] = {
     schema.kind: schema
-    for schema in (_CAMPAIGN_SCHEMA, _ASSESSMENT_SCHEMA, _SWEEP_SCHEMA)
+    for schema in (_CAMPAIGN_SCHEMA, _ASSESSMENT_SCHEMA, _SWEEP_SCHEMA,
+                   _TELEMETRY_SCHEMA)
 }
 
 #: Row dataclass name → schema kind (detection without importing the types).
@@ -235,6 +274,7 @@ _ROW_TYPE_KINDS = {
     "CampaignRow": "campaign",
     "AssessmentRow": "assessment",
     "SweepRow": "sweep",
+    "TelemetryRow": "telemetry",
 }
 
 

@@ -23,13 +23,17 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from ..obs.telemetry import current
 from .disk import read_frame, write_frame
 from .frame import CampaignFrame
 from .manifest import ShardRecord, StoreManifest
 from .schema import StoreError
+
+logger = logging.getLogger(__name__)
 
 #: Filename of each merged table (the main table keeps the historic name).
 _MERGED_NAMES = {"rows": "frame.npz"}
@@ -70,6 +74,9 @@ class CampaignStore:
         if existing is not None:
             existing.check_compatible(kind=kind, fingerprint=fingerprint,
                                       scenario_keys=list(scenario_keys))
+            logger.info("resuming %s store at %s: %d/%d shards complete",
+                        kind, path, len(existing.completed_keys()),
+                        len(existing.scenario_keys))
             return cls(path, existing)
         manifest = StoreManifest(kind=kind, fingerprint=fingerprint,
                                  scenario_keys=list(scenario_keys),
@@ -95,17 +102,21 @@ class CampaignStore:
         except ValueError:
             raise StoreError(f"shard key {key!r} is not a scenario of this "
                              "store") from None
-        filenames = {}
-        rows = {}
-        for table, frame in tables.items():
-            filename = self._shard_filename(index, table)
-            write_frame(frame, self.path / filename)
-            filenames[table] = filename
-            rows[table] = len(frame)
-        record = ShardRecord(key=key, index=index, tables=filenames,
-                             rows=rows)
-        self.manifest.record_shard(record)
-        self.manifest.save(self.path)
+        telemetry = current()
+        with telemetry.span("store.write_shard", key=key):
+            filenames = {}
+            rows = {}
+            for table, frame in tables.items():
+                filename = self._shard_filename(index, table)
+                write_frame(frame, self.path / filename)
+                filenames[table] = filename
+                rows[table] = len(frame)
+            record = ShardRecord(key=key, index=index, tables=filenames,
+                                 rows=rows)
+            self.manifest.record_shard(record)
+            self.manifest.save(self.path)
+            telemetry.count("shards_written")
+            telemetry.count("rows_spilled", sum(rows.values()))
         return record
 
     def read_shard(self, key: str) -> Dict[str, CampaignFrame]:
@@ -137,24 +148,32 @@ class CampaignStore:
         """
         keys = list(self.completed_keys() if keys is None else keys)
         cache = cache or {}
-        shards = [cache[key] if key in cache else self.read_shard(key)
-                  for key in keys]
-        merged = {}
-        for table, kind in table_kinds.items():
-            merged[table] = CampaignFrame.concat(
-                [tables[table] for tables in shards if table in tables],
-                kind=kind)
+        telemetry = current()
+        with telemetry.span("store.merge", shards=len(keys),
+                            tables=len(table_kinds)):
+            shards = [cache[key] if key in cache else self.read_shard(key)
+                      for key in keys]
+            merged = {}
+            for table, kind in table_kinds.items():
+                merged[table] = CampaignFrame.concat(
+                    [tables[table] for tables in shards if table in tables],
+                    kind=kind)
+            telemetry.count("rows_merged",
+                            sum(len(frame) for frame in merged.values()))
         return merged
 
     def finalize(self, tables: Dict[str, CampaignFrame]) -> None:
         """Write the merged tables and mark the manifest complete."""
-        merged = {}
-        for table, frame in tables.items():
-            filename = _MERGED_NAMES.get(table, f"{table}.npz")
-            write_frame(frame, self.path / filename)
-            merged[table] = filename
-        self.manifest.merged = merged
-        self.manifest.save(self.path)
+        with current().span("store.finalize", tables=len(tables)):
+            merged = {}
+            for table, frame in tables.items():
+                filename = _MERGED_NAMES.get(table, f"{table}.npz")
+                write_frame(frame, self.path / filename)
+                merged[table] = filename
+            self.manifest.merged = merged
+            self.manifest.save(self.path)
+        logger.info("finalized %s store at %s (%d merged tables)",
+                    self.manifest.kind, self.path, len(merged))
 
     def read_merged(self, table: str) -> CampaignFrame:
         filename = self.manifest.merged.get(table)

@@ -1,0 +1,275 @@
+"""Tests for the telemetry subsystem (:mod:`repro.obs`).
+
+Covers the span tree (nesting, attributes, counter math), the disabled
+no-op collector, fork-merge determinism of sharded campaigns, the JSONL
+round-trip, the columnar telemetry table and the harden pipeline's use of
+the span clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_xor_bank
+from repro.core import AesSboxSelection, AttackCampaign, TraceSet
+from repro.crypto.aes_tables import SBOX
+from repro.electrical import GaussianNoise
+from repro.harden import harden_design
+from repro.obs import (
+    NULL_TELEMETRY,
+    RunReport,
+    Telemetry,
+    TelemetryError,
+    current,
+    read_jsonl,
+    telemetry_frame,
+    telemetry_rows,
+    use,
+    write_jsonl,
+)
+from repro.store import StoreError, open_store
+
+POPCOUNT = np.asarray([bin(value).count("1") for value in range(256)])
+SECRET = 0x3C
+
+
+def _synthetic_source(plaintexts, noise):
+    plaintexts = [list(p) for p in plaintexts]
+    rng = np.random.default_rng(17)
+    matrix = rng.normal(0.0, 0.4, (len(plaintexts), 24))
+    values = np.asarray([SBOX[p[0] ^ SECRET] for p in plaintexts])
+    matrix[:, 7] += 0.3 * POPCOUNT[values]
+    if noise is not None:
+        matrix = noise.apply_matrix(matrix, 1e-9, 0.0)
+    return TraceSet.from_matrix(matrix, plaintexts, 1e-9)
+
+
+def _campaign():
+    campaign = AttackCampaign(mtd_start=50, mtd_step=50)
+    campaign.add_design("synth-a", trace_source=_synthetic_source)
+    campaign.add_design("synth-b", trace_source=_synthetic_source)
+    campaign.add_selection(AesSboxSelection(byte_index=0, bit_index=0),
+                           correct_guess=SECRET)
+    campaign.add_attack("dpa")
+    campaign.add_attack("cpa", model="hw")
+    campaign.add_noise("noiseless")
+    campaign.add_noise("gaussian", lambda: GaussianNoise(0.1, seed=13))
+    return campaign
+
+
+# ------------------------------------------------------------ span trees
+class TestSpans:
+    def test_nesting_and_attributes(self):
+        telemetry = Telemetry()
+        with telemetry.span("outer", design="flat"):
+            with telemetry.span("inner", step=1):
+                pass
+            with telemetry.span("inner", step=2):
+                pass
+        root = telemetry.snapshot()
+        assert root.shape() == (
+            "run", (("outer", (("inner", ()), ("inner", ()))),))
+        outer = root.find("outer")[0]
+        assert outer.attrs == {"design": "flat"}
+        assert [n.attrs["step"] for n in root.find("inner")] == [1, 2]
+        # A span named attribute does not collide with the span name.
+        with telemetry.span("harden.pass", name="equalize"):
+            pass
+        assert telemetry.root.find("harden.pass")[0].attrs == {
+            "name": "equalize"}
+
+    def test_spans_measure_time_and_start_offsets(self):
+        telemetry = Telemetry()
+        with telemetry.span("phase") as span:
+            pass
+        node = telemetry.root.find("phase")[0]
+        assert span.duration_s > 0
+        assert node.duration_s == span.duration_s
+        assert node.start_s >= 0
+
+    def test_out_of_order_close_raises(self):
+        telemetry = Telemetry()
+        outer = telemetry.span("outer")
+        inner = telemetry.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(TelemetryError):
+            outer.__exit__(None, None, None)
+
+    def test_counters_attribute_to_innermost_span_and_sum(self):
+        telemetry = Telemetry()
+        with telemetry.span("outer"):
+            telemetry.count("traces", 100)
+            with telemetry.span("inner"):
+                telemetry.count("traces", 50)
+                telemetry.count("traces", 25)
+        root = telemetry.snapshot()
+        assert root.find("outer")[0].counters["traces"] == 100
+        assert root.find("inner")[0].counters["traces"] == 75
+        assert root.total("traces") == 175
+
+    def test_gauges_set_and_max_modes(self):
+        telemetry = Telemetry()
+        telemetry.gauge("knob", 3.0)
+        telemetry.gauge("knob", 1.0)
+        assert telemetry.root.gauges["knob"] == 1.0
+        telemetry.gauge("peak", 3.0, mode="max")
+        telemetry.gauge("peak", 1.0, mode="max")
+        assert telemetry.root.gauges["peak"] == 3.0
+        telemetry.record_rss()
+        assert telemetry.root.gauges["rss_peak_kb"] > 0
+
+    def test_adopt_grafts_worker_tree_with_shard_attribution(self):
+        worker = Telemetry(name="shard")
+        with worker.span("campaign.scenario", design="a"):
+            worker.count("traces", 10)
+        worker.count("chunks", 2)
+        parent = Telemetry()
+        with parent.span("campaign"):
+            parent.adopt(worker.snapshot(), shard=3)
+        scenario = parent.root.find("campaign.scenario")[0]
+        assert scenario.attrs == {"design": "a", "shard": 3}
+        assert parent.root.find("campaign")[0].counters["chunks"] == 2
+        assert parent.root.total("traces") == 10
+
+
+# ------------------------------------------------------------- disabled
+class TestDisabled:
+    def test_default_collector_is_the_null_singleton(self):
+        assert current() is NULL_TELEMETRY
+        assert not current().enabled
+
+    def test_null_spans_still_measure_duration(self):
+        with NULL_TELEMETRY.span("phase", design="x") as span:
+            sum(range(1000))
+        assert span.duration_s > 0
+        assert span.node is None
+
+    def test_null_metrics_are_no_ops(self):
+        NULL_TELEMETRY.count("traces", 5)
+        NULL_TELEMETRY.gauge("knob", 1.0)
+        NULL_TELEMETRY.record_rss()
+
+    def test_use_installs_and_restores(self):
+        telemetry = Telemetry()
+        with use(telemetry):
+            assert current() is telemetry
+            with use(NULL_TELEMETRY):
+                assert current() is NULL_TELEMETRY
+            assert current() is telemetry
+        assert current() is NULL_TELEMETRY
+
+    def test_harden_records_durations_with_telemetry_disabled(self):
+        netlist = build_xor_bank(6, "obs").netlist
+        result = harden_design(netlist, base="flat", bound=0.05, seed=1,
+                               effort=0.4)
+        assert result.records
+        assert all(r.duration_s > 0 for r in result.records)
+
+
+# ------------------------------------------------- campaigns and sharding
+class TestCampaignTelemetry:
+    def test_serial_run_covers_the_campaign_phases(self):
+        telemetry = Telemetry()
+        result = _campaign().run(trace_count=150, seed=3,
+                                 telemetry=telemetry)
+        root = telemetry.snapshot()
+        assert len(root.find("campaign")) == 1
+        assert len(root.find("campaign.scenario")) == 4
+        assert len(root.find("campaign.generate")) == 4
+        assert len(root.find("campaign.attack")) == 8
+        assert root.total("traces") >= 4 * 150
+        assert root.total("attacks") == len(result.rows) == 8
+
+    def test_sharded_tree_shape_matches_serial(self):
+        serial_tm = Telemetry()
+        serial = _campaign().run(trace_count=150, seed=3,
+                                 telemetry=serial_tm)
+        sharded_tm = Telemetry()
+        sharded = _campaign().run(trace_count=150, seed=3, workers=2,
+                                  telemetry=sharded_tm)
+        assert sharded.table() == serial.table()
+        assert (sharded_tm.snapshot().shape()
+                == serial_tm.snapshot().shape())
+        shards = [node.attrs.get("shard")
+                  for node in sharded_tm.root.find("campaign.scenario")]
+        assert shards == [0, 1, 2, 3]
+        assert (sharded_tm.root.total("traces")
+                == serial_tm.root.total("traces"))
+
+    def test_telemetry_never_perturbs_rows(self):
+        plain = _campaign().run(trace_count=150, seed=3)
+        recorded = _campaign().run(trace_count=150, seed=3,
+                                   telemetry=Telemetry())
+        assert recorded.table() == plain.table()
+        for left, right in zip(plain.rows, recorded.rows):
+            assert left == right
+
+    def test_store_run_persists_the_telemetry_table(self, tmp_path):
+        telemetry = Telemetry()
+        _campaign().run(trace_count=120, seed=3, telemetry=telemetry,
+                        store=tmp_path / "campaign")
+        frame = open_store(tmp_path / "campaign").read_merged("telemetry")
+        rows = frame.to_rows()
+        assert rows
+        names = {row.name for row in rows if row.record_type == "span"}
+        assert {"campaign", "campaign.scenario",
+                "store.write_shard"} <= names
+
+    def test_disabled_store_run_has_no_telemetry_table(self, tmp_path):
+        _campaign().run(trace_count=120, seed=3,
+                        store=tmp_path / "campaign")
+        store = open_store(tmp_path / "campaign")
+        with pytest.raises(StoreError):
+            store.read_merged("telemetry")
+
+
+# ------------------------------------------------------------- exporters
+class TestExport:
+    def _tree(self):
+        telemetry = Telemetry()
+        with telemetry.span("campaign", workers=2):
+            with telemetry.span("campaign.scenario", design="flat"):
+                telemetry.count("traces", 100)
+            with telemetry.span("campaign.scenario", design="hier"):
+                telemetry.gauge("rss_peak_kb", 1024.0, mode="max")
+        return telemetry.snapshot()
+
+    def test_jsonl_round_trip(self, tmp_path):
+        root = self._tree()
+        path = tmp_path / "events.jsonl"
+        write_jsonl(root, path)
+        assert read_jsonl(path) == root
+
+    def test_jsonl_rejects_orphan_depths(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span", "depth": 2, "name": "x", '
+                        '"start_s": 0, "duration_s": 0, "attrs": {}, '
+                        '"counters": {}, "gauges": {}}\n')
+        with pytest.raises(TelemetryError):
+            read_jsonl(path)
+
+    def test_rows_disambiguate_same_name_siblings(self):
+        rows = telemetry_rows(self._tree())
+        paths = [row.path for row in rows if row.record_type == "span"]
+        assert "run/campaign/campaign.scenario" in paths
+        assert "run/campaign/campaign.scenario[1]" in paths
+        counter = [row for row in rows if row.record_type == "counter"][0]
+        assert counter.name == "traces" and counter.value == 100
+
+    def test_frame_round_trips_through_the_columnar_store(self):
+        frame = telemetry_frame(self._tree())
+        assert frame.kind == "telemetry"
+        restored = type(frame).from_rows(frame.to_rows(), kind="telemetry")
+        assert restored.equals(frame)
+        assert restored.to_rows() == frame.to_rows()
+
+    def test_run_report_renders_the_tree(self):
+        report = RunReport(self._tree())
+        text = report.render()
+        assert "campaign [workers=2]" in text
+        assert "traces=100" in text
+        assert "rss 1.0 MiB" in text
+        counts = report.phase_totals()
+        assert counts["campaign.scenario"][0] == 2
+        pruned = report.render(max_depth=1)
+        assert "pruned" in pruned
