@@ -1300,7 +1300,8 @@ class AttackCampaign:
             streaming: bool = False,
             chunk_size: Optional[int] = None,
             store: Optional[object] = None,
-            telemetry: Optional[object] = None) -> CampaignResult:
+            telemetry: Optional[object] = None,
+            drc: str = "warn") -> CampaignResult:
         """Run every (design × attack × selection × noise) scenario of the
         grid, plus every registered leakage assessment.
 
@@ -1346,7 +1347,21 @@ class AttackCampaign:
         with :class:`repro.obs.RunReport` or export it via
         :mod:`repro.obs`.  Telemetry defaults to the ambient collector —
         the zero-cost no-op unless :func:`repro.obs.use` installed one.
+
+        ``drc`` gates the run on the static campaign pre-flight of
+        :func:`repro.drc.run_campaign_preflight` — the ``CAM`` rules that
+        re-express the classic mid-run failures (mis-labelled grids,
+        unpicklable sources under sharding, second-order kernels under
+        streaming, store manifest mismatches) as diagnostics *before* any
+        trace is generated.  ``"error"`` raises
+        :class:`repro.drc.DrcError` on error-severity findings, ``"warn"``
+        (the default) logs them and proceeds — the legacy runtime error
+        still occurs where it used to — and ``"off"`` skips the
+        pre-flight entirely.
         """
+        if drc not in ("error", "warn", "off"):
+            raise ValueError(f"drc must be 'error', 'warn' or 'off', "
+                             f"got {drc!r}")
         if not self._designs:
             raise ValueError("campaign has no designs; call add_design first")
         if not self._selections and not self._assessments:
@@ -1384,6 +1399,19 @@ class AttackCampaign:
                        keep_results=keep_results,
                        streaming=streaming,
                        chunk_size=chunk_size)
+        if drc != "off":
+            # Imported lazily: repro.drc's campaign rules import flow
+            # internals, so the gate must not create an import cycle.
+            from ..drc import DrcError, run_campaign_preflight
+
+            preflight = run_campaign_preflight(
+                self, workers=workers, streaming=streaming,
+                chunk_size=chunk_size, store=store, seed=seed,
+                plaintexts=plaintexts, options=options)
+            if drc == "error" and preflight.has_errors:
+                raise DrcError(preflight, subject="campaign")
+            for diagnostic in preflight.diagnostics:
+                logger.warning("campaign DRC: %s", diagnostic.render())
         with use(telemetry), telemetry.span(
                 "campaign", scenarios=len(scenarios),
                 traces=len(plaintexts), workers=workers,

@@ -320,7 +320,7 @@ class FormalCurrentModel:
 
 
 def _position_in_grid(block: QDIBlock, instance_name: str) -> int:
-    for (level, position), name in block.gate_grid.items():
+    for (_level, position), name in block.gate_grid.items():
         if name == instance_name:
             return position
     return 0

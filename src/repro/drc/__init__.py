@@ -1,0 +1,50 @@
+"""Static security DRC: rule-based design and campaign checking.
+
+The paper's countermeasure argument is *structural* — 1-of-N rail
+discipline, symmetric logic cones, balanced rail capacitance — yet most of
+those properties were only checked dynamically (trace replay) or discovered
+deep inside a campaign run.  This package closes the gap with a static
+rule catalog over four layers:
+
+* **netlist structure** (``NET``) — floating / multiply-driven nets,
+  combinational cycles, dangling channel rails, broken truth tables;
+* **security structure** (``SEC``) — per-channel cone symmetry, rail
+  capacitance dissymmetry above a bound, misplaced dummy loads;
+* **placement** (``PLC``) — fence violations (shared with
+  :meth:`repro.pnr.placement.Placement.check_legality`), overlaps,
+  fixed-cell violations;
+* **campaign / store** (``CAM``) — grid label integrity, unpicklable
+  sources under sharding, streaming-incompatible kernels, store manifest
+  mismatches — all re-expressed as pre-flight diagnostics instead of
+  runtime errors 40 minutes into a run.
+
+Entry points: :func:`run_drc` (library), ``python -m repro.drc`` (CLI over
+the reference AES flows), :class:`DrcPass` (a
+:class:`repro.harden.PassPipeline` stage) and the
+``AttackCampaign.run(drc=...)`` pre-flight gate.
+"""
+
+from .diagnostics import (
+    Diagnostic,
+    DrcError,
+    DrcLocation,
+    DrcReport,
+    Severity,
+)
+from .registry import Rule, RuleRegistry, default_registry
+from .checker import DrcContext, DrcPass, run_campaign_preflight, run_drc
+
+__all__ = [
+    "Diagnostic",
+    "DrcContext",
+    "DrcError",
+    "DrcLocation",
+    "DrcPass",
+    "DrcReport",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "default_registry",
+    "run_campaign_preflight",
+    "run_drc",
+]

@@ -1,0 +1,132 @@
+"""``python -m repro.drc`` — run the DRC over the reference AES flows.
+
+Checks one (or all) of the reference designs — the unplaced AES netlist,
+the flat and hierarchical placed flows, the hardened flow — plus a
+reference campaign configuration, prints each report and exits nonzero
+when any error-severity diagnostic fired.  This is the CI gate: the
+reference flows must stay clean under the full rule catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .checker import run_campaign_preflight, run_drc
+from .diagnostics import DrcReport
+from .registry import default_registry
+
+#: What the CLI knows how to check, in execution order.
+TARGETS = ("netlist", "flat", "hier", "hardened", "campaign")
+
+
+def _reference_netlist(args):
+    from ..asyncaes.netlist_gen import build_aes_netlist
+
+    return build_aes_netlist(word_width=args.word_width, detail=args.detail)
+
+
+def _reference_campaign():
+    """A representative campaign grid exercising every CAM rule's subject."""
+    from ..core.flow import AttackCampaign
+    from ..core.selection import AesSboxSelection
+
+    key = list(range(16))
+    campaign = AttackCampaign(key, mtd_start=50, mtd_step=50)
+    campaign.add_design("reference", trace_source=_null_trace_source)
+    campaign.add_selection(AesSboxSelection(byte_index=0, bit_index=3))
+    campaign.add_attack("dpa")
+    return campaign
+
+
+def _null_trace_source(plaintexts, noise):  # pragma: no cover - never traced
+    raise RuntimeError("the reference DRC campaign is never executed")
+
+
+def check_target(target: str, args) -> DrcReport:
+    registry = default_registry()
+    if target == "netlist":
+        return run_drc(_reference_netlist(args), cap_bound=args.bound,
+                       subject="netlist")
+    if target == "flat":
+        from ..pnr.flows import run_flat_flow
+
+        design = run_flat_flow(_reference_netlist(args), seed=args.seed,
+                               effort=args.effort)
+        return run_drc(design.netlist, placement=design.placement,
+                       cap_bound=args.bound, subject="flat")
+    if target == "hier":
+        from ..pnr.flows import run_hierarchical_flow
+
+        design = run_hierarchical_flow(_reference_netlist(args),
+                                       seed=args.seed, effort=args.effort)
+        return run_drc(design.netlist, placement=design.placement,
+                       cap_bound=args.bound, subject="hier")
+    if target == "hardened":
+        from ..harden.pipeline import harden_design
+
+        result = harden_design(_reference_netlist(args), bound=args.bound,
+                               seed=args.seed, effort=args.effort)
+        return run_drc(result.design.netlist,
+                       placement=result.design.placement,
+                       cap_bound=args.bound, subject="hardened")
+    if target == "campaign":
+        return run_campaign_preflight(_reference_campaign(),
+                                      registry=registry)
+    raise ValueError(f"unknown target {target!r}; expected one of {TARGETS}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.drc",
+        description="Static security DRC over the reference AES flows.")
+    parser.add_argument("targets", nargs="*", choices=[*TARGETS, []],
+                        help=f"what to check: {', '.join(TARGETS)} "
+                             "(default with --all: everything)")
+    parser.add_argument("--all", action="store_true",
+                        help="check every reference target")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the merged JSONL report here")
+    parser.add_argument("--bound", type=float, default=0.15,
+                        help="SEC002 dissymmetry bound (default 0.15)")
+    parser.add_argument("--word-width", type=int, default=8,
+                        help="AES datapath width of the reference netlist")
+    parser.add_argument("--detail", type=float, default=0.3,
+                        help="netlist generator detail knob")
+    parser.add_argument("--effort", type=float, default=0.3,
+                        help="placement annealing effort")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="placement seed")
+    parser.add_argument("--rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="print summaries only, not every diagnostic")
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        print(default_registry().catalog_table())
+        return 0
+    targets: List[str] = list(args.targets)
+    if args.all:
+        targets = list(TARGETS)
+    if not targets:
+        parser.error("pick at least one target, or --all (or --rules)")
+
+    failed = False
+    merged = DrcReport(subject="+".join(targets))
+    for target in targets:
+        report = check_target(target, args)
+        merged.extend(report.diagnostics)
+        merged.rules_checked.extend(report.rules_checked)
+        print(report.summary() if args.quiet else report.render())
+        if report.has_errors:
+            failed = True
+    if args.json:
+        merged.write_jsonl(args.json)
+        print(f"wrote {args.json}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

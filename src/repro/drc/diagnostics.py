@@ -1,0 +1,243 @@
+"""Diagnostics: severities, locations, and the deterministic DRC report.
+
+A :class:`Diagnostic` names the rule that fired, its effective severity,
+the design object it points at (:class:`DrcLocation` — a net, cell,
+channel, scenario...), a human-readable message and a fix-it hint.  A
+:class:`DrcReport` collects diagnostics in a deterministic order
+(severity, rule id, location, message — never dict insertion order) and
+renders them as text or JSONL following the :mod:`repro.obs` exporter
+conventions (one JSON object per line, sorted keys, ``str`` fallback).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is; the report orders errors first."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    @classmethod
+    def parse(cls, value: Union[str, "Severity"]) -> "Severity":
+        if isinstance(value, Severity):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {value!r}; expected one of "
+                f"{[s.value for s in cls]}") from None
+
+
+_SEVERITY_RANK = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+
+
+@dataclass(frozen=True)
+class DrcLocation:
+    """What a diagnostic points at: one named object of one kind.
+
+    ``kind`` is a small vocabulary — ``"net"``, ``"cell"``, ``"channel"``,
+    ``"instance"``, ``"scenario"``, ``"design"``, ``"store"``,
+    ``"attack"``, ``"selection"`` — and ``name`` the object's name within
+    it.  ``detail`` optionally narrows further (a rail index, a pin, a
+    manifest field).
+    """
+
+    kind: str
+    name: str
+    detail: str = ""
+
+    def render(self) -> str:
+        base = f"{self.kind}:{self.name}" if self.name else self.kind
+        return f"{base}[{self.detail}]" if self.detail else base
+
+    def sort_key(self) -> tuple:
+        return (self.kind, self.name, self.detail)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One rule finding: what fired, how bad, where, and how to fix it."""
+
+    rule: str
+    severity: Severity
+    message: str
+    location: DrcLocation
+    hint: str = ""
+
+    def render(self) -> str:
+        text = (f"{self.severity.value:<7s} {self.rule} "
+                f"@ {self.location.render()}: {self.message}")
+        if self.hint:
+            text += f"  (hint: {self.hint})"
+        return text
+
+    def to_event(self) -> Dict[str, object]:
+        """The JSONL line payload (flat, sorted keys at dump time)."""
+        return {
+            "type": "diagnostic",
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "location_kind": self.location.kind,
+            "location_name": self.location.name,
+            "location_detail": self.location.detail,
+            "hint": self.hint,
+        }
+
+    def sort_key(self) -> tuple:
+        return (self.severity.rank, self.rule,
+                self.location.sort_key(), self.message)
+
+
+class DrcError(Exception):
+    """Raised when a DRC gate is configured to fail on error diagnostics.
+
+    Carries the full :class:`DrcReport`; the message lists every
+    error-severity diagnostic so the failure is actionable without
+    re-running the check.
+    """
+
+    def __init__(self, report: "DrcReport", *, subject: str = "design"):
+        self.report = report
+        errors = report.errors
+        lines = [f"DRC failed on {subject}: {len(errors)} error(s)"]
+        lines.extend(f"  {diag.render()}" for diag in errors)
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class DrcReport:
+    """Every diagnostic of one DRC run, in deterministic order.
+
+    Diagnostics are sorted on read (severity first, then rule id,
+    location and message), so two runs over the same design render
+    byte-identical text and JSONL regardless of rule execution order.
+    """
+
+    subject: str = "design"
+    _diagnostics: List[Diagnostic] = field(default_factory=list)
+    rules_checked: List[str] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self._diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self._diagnostics.extend(diagnostics)
+
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        """All diagnostics, deterministically ordered."""
+        return sorted(self._diagnostics, key=Diagnostic.sort_key)
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self._diagnostics)
+
+    def by_rule(self, rule_id: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule_id]
+
+    def counts(self) -> Dict[str, int]:
+        """``severity value → diagnostic count`` (zero entries included)."""
+        counts = {severity.value: 0 for severity in Severity}
+        for diagnostic in self._diagnostics:
+            counts[diagnostic.severity.value] += 1
+        return counts
+
+    def summary(self) -> str:
+        counts = self.counts()
+        return (f"{self.subject}: {counts['error']} error(s), "
+                f"{counts['warning']} warning(s), {counts['info']} info(s) "
+                f"over {len(self.rules_checked)} rule(s)")
+
+    def render(self) -> str:
+        """The full text report: summary line plus one line per finding."""
+        lines = [self.summary()]
+        lines.extend(diag.render() for diag in self.diagnostics)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------- export
+    def events(self) -> List[Dict[str, object]]:
+        """JSONL payloads: one header event, then one per diagnostic."""
+        header: Dict[str, object] = {
+            "type": "report",
+            "subject": self.subject,
+            "rules_checked": sorted(self.rules_checked),
+        }
+        header.update(self.counts())
+        return [header] + [d.to_event() for d in self.diagnostics]
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        """One JSON object per line, :mod:`repro.obs.export` conventions."""
+        path = Path(path)
+        with path.open("w") as handle:
+            for event in self.events():
+                handle.write(json.dumps(event, sort_keys=True, default=str))
+                handle.write("\n")
+        return path
+
+    @classmethod
+    def read_jsonl(cls, path: Union[str, Path]) -> "DrcReport":
+        """Rebuild a report from a :meth:`write_jsonl` log (round trip)."""
+        report: Optional[DrcReport] = None
+        with Path(path).open() as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                if event.get("type") == "report":
+                    if report is not None:
+                        raise ValueError(
+                            f"{path}:{line_number}: second report header — "
+                            "a DRC JSONL log holds exactly one report")
+                    report = cls(subject=str(event.get("subject", "design")),
+                                 rules_checked=list(event.get("rules_checked",
+                                                              [])))
+                    continue
+                if report is None:
+                    raise ValueError(f"{path}:{line_number}: diagnostic "
+                                     "before the report header")
+                report.add(Diagnostic(
+                    rule=str(event["rule"]),
+                    severity=Severity.parse(event["severity"]),
+                    message=str(event["message"]),
+                    location=DrcLocation(
+                        kind=str(event.get("location_kind", "")),
+                        name=str(event.get("location_name", "")),
+                        detail=str(event.get("location_detail", ""))),
+                    hint=str(event.get("hint", "")),
+                ))
+        if report is None:
+            raise ValueError(f"{path}: empty DRC event log")
+        return report

@@ -1,0 +1,174 @@
+"""The rule catalog: rule objects, per-rule configuration, registry.
+
+A :class:`Rule` is a pure check: given a :class:`~repro.drc.checker.DrcContext`
+it yields :class:`Finding` records (message + location + hint) and never
+decides severity — the :class:`RuleRegistry` turns findings into
+:class:`~repro.drc.diagnostics.Diagnostic` objects with the rule's
+*effective* severity, so per-rule severity overrides and enable/disable
+switches live in one place (and a rule disabled in one registry stays
+enabled in another: registries are independent copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from .diagnostics import Diagnostic, DrcLocation, Severity
+
+#: The four rule layers, keyed by the context attribute they need.
+LAYERS = ("netlist", "security", "placement", "campaign")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One raw rule hit, before severity is applied."""
+
+    message: str
+    location: DrcLocation
+    hint: str = ""
+
+
+def finding(message: str, kind: str, name: str, *, detail: str = "",
+            hint: str = "") -> Finding:
+    """Shorthand used by the rule modules."""
+    return Finding(message, DrcLocation(kind, name, detail), hint)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One static check of the catalog."""
+
+    id: str
+    title: str
+    layer: str
+    severity: Severity
+    check: Callable[["object"], Iterable[Finding]]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.layer not in LAYERS:
+            raise ValueError(f"rule {self.id!r} has unknown layer "
+                             f"{self.layer!r}; expected one of {LAYERS}")
+
+
+class RuleRegistry:
+    """The configured rule set: registration, enable/disable, severities.
+
+    ``registry.run_rule(rule_id, context)`` applies one rule and wraps its
+    findings as diagnostics at the effective severity; disabled rules
+    return no diagnostics.  The registry iterates rules sorted by id so
+    every consumer sees a deterministic order.
+    """
+
+    def __init__(self, rules: Iterable[Rule] = ()):
+        self._rules: Dict[str, Rule] = {}
+        self._disabled: set = set()
+        self._severity_overrides: Dict[str, Severity] = {}
+        for rule in rules:
+            self.register(rule)
+
+    # -------------------------------------------------------- registration
+    def register(self, rule: Rule) -> Rule:
+        if rule.id in self._rules:
+            raise ValueError(f"duplicate rule id {rule.id!r}")
+        self._rules[rule.id] = rule
+        return rule
+
+    def rule(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise KeyError(f"unknown rule {rule_id!r}; known: "
+                           f"{self.rule_ids()}") from None
+
+    def rule_ids(self) -> List[str]:
+        return sorted(self._rules)
+
+    def rules(self, *, layer: Optional[str] = None,
+              include_disabled: bool = False) -> List[Rule]:
+        """Registered rules sorted by id, optionally one layer only."""
+        selected = [self._rules[rule_id] for rule_id in sorted(self._rules)]
+        if layer is not None:
+            selected = [rule for rule in selected if rule.layer == layer]
+        if not include_disabled:
+            selected = [rule for rule in selected
+                        if rule.id not in self._disabled]
+        return selected
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    # ------------------------------------------------------- configuration
+    def disable(self, rule_id: str) -> "RuleRegistry":
+        self.rule(rule_id)  # raise on unknown ids, typos must not no-op
+        self._disabled.add(rule_id)
+        return self
+
+    def enable(self, rule_id: str) -> "RuleRegistry":
+        self.rule(rule_id)
+        self._disabled.discard(rule_id)
+        return self
+
+    def is_enabled(self, rule_id: str) -> bool:
+        self.rule(rule_id)
+        return rule_id not in self._disabled
+
+    def set_severity(self, rule_id: str,
+                     severity: Union[str, Severity]) -> "RuleRegistry":
+        self.rule(rule_id)
+        self._severity_overrides[rule_id] = Severity.parse(severity)
+        return self
+
+    def effective_severity(self, rule_id: str) -> Severity:
+        override = self._severity_overrides.get(rule_id)
+        return override if override is not None else self.rule(rule_id).severity
+
+    def copy(self) -> "RuleRegistry":
+        """An independent registry with the same rules and configuration."""
+        clone = RuleRegistry(self._rules.values())
+        clone._disabled = set(self._disabled)
+        clone._severity_overrides = dict(self._severity_overrides)
+        return clone
+
+    # --------------------------------------------------------------- apply
+    def run_rule(self, rule_id: str, context) -> List[Diagnostic]:
+        """Apply one rule; findings become diagnostics at its severity."""
+        rule = self.rule(rule_id)
+        if rule_id in self._disabled:
+            return []
+        severity = self.effective_severity(rule_id)
+        return [Diagnostic(rule=rule.id, severity=severity,
+                           message=hit.message, location=hit.location,
+                           hint=hit.hint)
+                for hit in rule.check(context)]
+
+    def catalog_table(self) -> str:
+        """One line per rule: id, layer, default severity, title."""
+        lines = [f"{'rule':<8s} {'layer':<10s} {'severity':<8s} title",
+                 "-" * 72]
+        for rule in self.rules(include_disabled=True):
+            state = "" if rule.id not in self._disabled else "  [disabled]"
+            lines.append(f"{rule.id:<8s} {rule.layer:<10s} "
+                         f"{self.effective_severity(rule.id).value:<8s} "
+                         f"{rule.title}{state}")
+        return "\n".join(lines)
+
+
+def default_registry() -> RuleRegistry:
+    """A fresh registry holding the full built-in catalog.
+
+    Imported lazily so the rule modules can import registry helpers
+    without a cycle.
+    """
+    from . import rules_campaign, rules_netlist, rules_placement, rules_security
+
+    registry = RuleRegistry()
+    for module in (rules_netlist, rules_security, rules_placement,
+                   rules_campaign):
+        for rule in module.RULES:
+            registry.register(rule)
+    return registry

@@ -1,0 +1,272 @@
+"""Netlist-structure rules (``NET``): connectivity and cell sanity.
+
+These rules are purely structural — they read the
+:class:`~repro.circuits.netlist.Netlist` and its cell library, never the
+electrical annotations.  ``NET003`` reuses the compiled engine's
+predecessor construction (driver→sink data edges, sequential cells as
+cycle breakers): a cycle the levelizer would have to break *inside purely
+combinational logic* is a real defect, whereas QDI acknowledge feedback
+always closes through a state-holding Muller gate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .diagnostics import Severity
+from .registry import Finding, Rule, finding
+
+#: Truth tables grow as ``2**(inputs+1)``; anything wider than this is a
+#: modelling bug in itself and would stall the check.
+_MAX_TABLE_INPUTS = 12
+
+
+def check_floating_nets(context) -> List[Finding]:
+    """NET001 — a net with sinks but no driver, or an undriven output."""
+    netlist = context.netlist
+    hits: List[Finding] = []
+    input_nets = set(netlist.input_nets())
+    for net in netlist.nets():
+        if net.driver is None and net.sinks and net.name not in input_nets:
+            sinks = ", ".join(f"{p.instance}.{p.pin}" for p in net.sinks[:3])
+            hits.append(finding(
+                f"net has {len(net.sinks)} sink(s) ({sinks}"
+                f"{', ...' if len(net.sinks) > 3 else ''}) but no driver "
+                "and is not an input port",
+                "net", net.name,
+                hint="drive the net, declare it an input port, or remove "
+                     "the dangling sinks"))
+    for port in netlist.ports():
+        if port.direction.value == "output":
+            if netlist.net(port.net).driver is None:
+                hits.append(finding(
+                    f"output port {port.name!r} is bound to undriven net",
+                    "net", port.net, detail=f"port {port.name}",
+                    hint="connect a driver to the output net"))
+    return hits
+
+
+def check_dangling_nets(context) -> List[Finding]:
+    """NET002 — a net with neither driver nor sinks (dead wire)."""
+    netlist = context.netlist
+    port_nets = {port.net for port in netlist.ports()}
+    hits: List[Finding] = []
+    for net in netlist.nets():
+        if net.driver is None and not net.sinks and net.name not in port_nets:
+            hits.append(finding(
+                "net has no driver and no sinks",
+                "net", net.name,
+                hint="remove the dead net, or connect it"))
+    return hits
+
+
+def _combinational_preds(netlist) -> Dict[str, Set[str]]:
+    """Instance → combinational driver instances (data edges only).
+
+    Mirrors the predecessor construction of the compiled engine's
+    levelizer (:func:`repro.circuits.engine._levelize` consumers), with
+    sequential (state-holding) cells dropped on *both* sides: an edge into
+    or out of a Muller gate cannot be part of a purely combinational loop.
+    """
+    preds: Dict[str, Set[str]] = {}
+    for inst in netlist.instances():
+        if inst.cell not in netlist.library:
+            continue  # NET004's finding; no edges to build
+        cell = netlist.library.get(inst.cell)
+        if cell.is_sequential:
+            continue
+        sources: Set[str] = set()
+        for pin in cell.inputs:
+            net = netlist.net(inst.net_of(pin))
+            if net.driver is None:
+                continue
+            driver_inst = netlist.instance(net.driver.instance)
+            if (driver_inst.cell in netlist.library
+                    and not netlist.library.get(driver_inst.cell).is_sequential):
+                sources.add(driver_inst.name)
+        preds[inst.name] = sources
+    return preds
+
+
+def check_combinational_cycles(context) -> List[Finding]:
+    """NET003 — a cycle through combinational gates only.
+
+    Kahn's peeling over the combinational subgraph (the same topological
+    machinery as the engine's levelizer, which *breaks* such cycles to
+    keep simulating); any instance never peeled sits on a cycle.  One
+    concrete cycle is reported per connected remainder.
+    """
+    preds = _combinational_preds(context.netlist)
+    indegree = {name: len(sources & set(preds))
+                for name, sources in preds.items()}
+    ready = sorted(name for name, count in indegree.items() if count == 0)
+    succs: Dict[str, List[str]] = {name: [] for name in preds}
+    for name, sources in preds.items():
+        for source in sources:
+            if source in succs:
+                succs[source].append(name)
+    done: Set[str] = set()
+    while ready:
+        name = ready.pop()
+        done.add(name)
+        for succ in succs[name]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    remaining = sorted(set(preds) - done)
+    hits: List[Finding] = []
+    visited: Set[str] = set()
+    for start in remaining:
+        if start in visited:
+            continue
+        # Walk predecessors until a node repeats: that closes one cycle.
+        trail: List[str] = []
+        seen_at: Dict[str, int] = {}
+        node = start
+        while node not in seen_at:
+            seen_at[node] = len(trail)
+            trail.append(node)
+            node = min(source for source in preds[node]
+                       if source not in done)
+        cycle = trail[seen_at[node]:] + [node]
+        visited.update(trail)
+        hits.append(finding(
+            "combinational cycle: " + " -> ".join(cycle),
+            "instance", cycle[0],
+            hint="break the loop with a state-holding (Muller) cell or "
+                 "remove the feedback"))
+    return hits
+
+
+def check_truth_tables(context) -> List[Finding]:
+    """NET004 — a used cell whose behavioural table cannot be built."""
+    netlist = context.netlist
+    cells_used: Dict[str, str] = {}
+    for inst in netlist.instances():
+        cells_used.setdefault(inst.cell, inst.name)
+    hits: List[Finding] = []
+    for cell_name in sorted(cells_used):
+        try:
+            cell = netlist.library.get(cell_name)
+        except KeyError:
+            hits.append(finding(
+                f"instance {cells_used[cell_name]!r} uses a cell missing "
+                "from the library",
+                "cell", cell_name,
+                hint="register the cell in the netlist's CellLibrary"))
+            continue
+        if len(cell.inputs) > _MAX_TABLE_INPUTS:
+            hits.append(finding(
+                f"cell has {len(cell.inputs)} inputs; the compiled engine "
+                f"tabulates at most {_MAX_TABLE_INPUTS}",
+                "cell", cell_name,
+                hint="decompose the cell into narrower primitives"))
+            continue
+        try:
+            table = cell.truth_table()
+        except Exception as error:  # noqa: BLE001 - any evaluate() bug lands here
+            hits.append(finding(
+                f"truth table evaluation failed: {error}",
+                "cell", cell_name,
+                hint="fix the cell's evaluate function"))
+            continue
+        bad = set(int(v) for v in table) - {0, 1}
+        if bad:
+            hits.append(finding(
+                f"truth table contains non-binary values {sorted(bad)}",
+                "cell", cell_name,
+                hint="evaluate must return Logic.LOW or Logic.HIGH"))
+    return hits
+
+
+def check_channel_rails(context) -> List[Finding]:
+    """NET005 — malformed 1-of-N channels: missing, duplicate, dead rails."""
+    netlist = context.netlist
+    hits: List[Finding] = []
+    for channel_name, rails in sorted(netlist.channels().items()):
+        if len(rails) < 2:
+            hits.append(finding(
+                f"channel has only {len(rails)} rail(s); 1-of-N encoding "
+                "needs at least two",
+                "channel", channel_name,
+                hint="annotate the missing rails with channel= / rail="))
+            continue
+        indices = [net.rail for net in rails]
+        if any(index is None for index in indices):
+            unnumbered = [net.name for net in rails if net.rail is None]
+            hits.append(finding(
+                f"rail net(s) {unnumbered} carry no rail index",
+                "channel", channel_name,
+                hint="set rail= when declaring the channel nets"))
+            continue
+        counted: Dict[int, int] = {}
+        for index in indices:
+            counted[index] = counted.get(index, 0) + 1
+        duplicates = sorted(i for i, n in counted.items() if n > 1)
+        if duplicates:
+            hits.append(finding(
+                f"duplicate rail index(es) {duplicates}",
+                "channel", channel_name,
+                hint="every rail of a channel needs a distinct index"))
+        expected = set(range(len(rails)))
+        if set(counted) != expected and not duplicates:
+            hits.append(finding(
+                f"rail indices {sorted(counted)} are not contiguous "
+                f"0..{len(rails) - 1} — a rail is dangling from the channel",
+                "channel", channel_name,
+                hint="renumber the rails or add the missing one"))
+        for net in rails:
+            if net.driver is None and not net.sinks:
+                hits.append(finding(
+                    f"rail {net.name!r} (index {net.rail}) is connected to "
+                    "nothing",
+                    "channel", channel_name, detail=net.name,
+                    hint="a dead rail breaks the 1-of-N discipline; wire "
+                         "it or drop the channel annotation"))
+    return hits
+
+
+def check_multiple_drivers(context) -> List[Finding]:
+    """NET006 — an input-port net that also has an internal driver.
+
+    :meth:`Netlist.add_instance` rejects two *gate* drivers outright, but
+    an input port bound to a net a gate later drives slips through — two
+    sources fight on the same wire.
+    """
+    netlist = context.netlist
+    hits: List[Finding] = []
+    input_ports = {port.net: port.name for port in netlist.ports()
+                   if port.direction.value == "input"}
+    for net_name, port_name in sorted(input_ports.items()):
+        net = netlist.net(net_name)
+        if net.driver is not None:
+            hits.append(finding(
+                f"input port {port_name!r} net is also driven by "
+                f"{net.driver.instance!r}.{net.driver.pin}",
+                "net", net_name, detail=f"port {port_name}",
+                hint="an externally driven net must not have an internal "
+                     "driver; insert a mux or drop the port"))
+    return hits
+
+
+RULES = (
+    Rule("NET001", "floating net (sinks without driver)", "netlist",
+         Severity.ERROR, check_floating_nets,
+         "A net loaded by sinks or an output port but driven by nothing."),
+    Rule("NET002", "dangling net", "netlist",
+         Severity.WARNING, check_dangling_nets,
+         "A net with neither driver nor sinks (dead wire)."),
+    Rule("NET003", "combinational cycle", "netlist",
+         Severity.ERROR, check_combinational_cycles,
+         "A feedback loop that never passes through a state-holding cell."),
+    Rule("NET004", "unknown or invalid truth table", "netlist",
+         Severity.ERROR, check_truth_tables,
+         "A used cell whose behavioural table cannot be built or is "
+         "non-binary."),
+    Rule("NET005", "dangling channel rail", "netlist",
+         Severity.ERROR, check_channel_rails,
+         "A 1-of-N channel with missing, duplicate or dead rails."),
+    Rule("NET006", "externally and internally driven net", "netlist",
+         Severity.ERROR, check_multiple_drivers,
+         "An input-port net that a gate inside the design also drives."),
+)

@@ -1,0 +1,130 @@
+"""Placement rules (``PLC``): fences, overlaps, fixed cells.
+
+``PLC001`` shares its implementation with
+:meth:`repro.pnr.placement.Placement.check_legality` through
+:func:`repro.pnr.placement.legality_violations`, so the placer and the DRC
+can never disagree on what "legal" means.  ``PLC002`` reports true-width
+cell overlaps; the row legalizer intentionally compresses crowded rows
+(scaling cursor advance, not cell widths), so residual overlaps are a
+density warning, not an error.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .diagnostics import Severity
+from .registry import Finding, Rule, finding
+
+#: Overlap reporting cap: beyond this many pairs, one summary finding.
+_MAX_OVERLAP_FINDINGS = 10
+
+
+def check_fences(context) -> List[Finding]:
+    """PLC001 — a cell outside its fence (or the die)."""
+    from ..pnr.placement import legality_violations
+
+    placement = context.placement
+    violations = legality_violations(placement.cells, placement.floorplan,
+                                     tolerance=context.tolerance)
+    return [
+        finding(violation.describe(), "cell", violation.cell,
+                detail=f"fence {violation.fence}",
+                hint="re-run legalization, or widen the fence in the "
+                     "floorplan")
+        for violation in violations
+    ]
+
+
+def _overlap_pairs(placement, tolerance: float) -> List[Tuple[str, str, float]]:
+    """True-width overlapping cell pairs via a sweep over sorted extents."""
+    cells = sorted(placement.cells.values(), key=lambda c: c.name)
+    spans = []
+    for cell in cells:
+        half_w = cell.width_um / 2.0
+        half_h = cell.height_um / 2.0
+        spans.append((cell.x_um - half_w, cell.x_um + half_w,
+                      cell.y_um - half_h, cell.y_um + half_h, cell.name))
+    spans.sort(key=lambda s: (s[0], s[4]))
+    pairs: List[Tuple[str, str, float]] = []
+    for index, (x0, x1, y0, y1, name) in enumerate(spans):
+        for other in spans[index + 1:]:
+            if other[0] >= x1 - tolerance:
+                break
+            dx = min(x1, other[1]) - max(x0, other[0])
+            dy = min(y1, other[3]) - max(y0, other[2])
+            if dx > tolerance and dy > tolerance:
+                first, second = sorted((name, other[4]))
+                pairs.append((first, second, dx * dy))
+    pairs.sort()
+    return pairs
+
+
+def check_overlaps(context) -> List[Finding]:
+    """PLC002 — two cells whose true-width footprints intersect."""
+    pairs = _overlap_pairs(context.placement, context.tolerance)
+    hits: List[Finding] = []
+    for first, second, area in pairs[:_MAX_OVERLAP_FINDINGS]:
+        hits.append(finding(
+            f"overlaps cell {second!r} by {area:.2f} um^2",
+            "cell", first, detail=f"with {second}",
+            hint="rows are over-filled; enlarge the region or reduce "
+                 "utilization"))
+    if len(pairs) > _MAX_OVERLAP_FINDINGS:
+        hits.append(finding(
+            f"{len(pairs) - _MAX_OVERLAP_FINDINGS} further overlapping "
+            f"pair(s) suppressed ({len(pairs)} total)",
+            "design", "placement",
+            hint="fix the densest region first; the pair list is "
+                 "deterministic, re-run after each fix"))
+    return hits
+
+
+def check_fixed_cells(context) -> List[Finding]:
+    """PLC003 — fixed-cell violations.
+
+    A fixed cell outside its fence can never be repaired by the annealer
+    (it refuses to move fixed cells), and two fixed cells overlapping can
+    never be legalized at all — both are hard errors, unlike the movable
+    overlaps of ``PLC002``.
+    """
+    from ..pnr.placement import legality_violations
+
+    placement = context.placement
+    fixed = {name: cell for name, cell in placement.cells.items()
+             if cell.fixed}
+    if not fixed:
+        return []
+    hits: List[Finding] = []
+    for violation in legality_violations(fixed, placement.floorplan,
+                                         tolerance=context.tolerance):
+        hits.append(finding(
+            f"fixed {violation.describe()}",
+            "cell", violation.cell, detail=f"fence {violation.fence}",
+            hint="a fixed cell can never be legalized by the annealer; "
+                 "move it inside the fence or unfix it"))
+
+    class _FixedView:
+        cells = fixed
+
+    for first, second, area in _overlap_pairs(_FixedView, context.tolerance):
+        hits.append(finding(
+            f"fixed cells {first!r} and {second!r} overlap by "
+            f"{area:.2f} um^2",
+            "cell", first, detail=f"with {second}",
+            hint="two fixed cells can never be pulled apart; revisit "
+                 "the fixed positions"))
+    return hits
+
+
+RULES = (
+    Rule("PLC001", "cell outside fence", "placement",
+         Severity.ERROR, check_fences,
+         "A placed cell lies outside its block fence or the die."),
+    Rule("PLC002", "overlapping placements", "placement",
+         Severity.WARNING, check_overlaps,
+         "Two cells' true-width footprints intersect (over-filled rows)."),
+    Rule("PLC003", "fixed-cell violation", "placement",
+         Severity.ERROR, check_fixed_cells,
+         "A fixed cell outside its fence, or two fixed cells overlapping."),
+)

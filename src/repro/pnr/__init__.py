@@ -35,9 +35,11 @@ from .placement import (
     AnnealingSchedule,
     FlatPlacer,
     HierarchicalPlacer,
+    LegalityViolation,
     Placement,
     PlacementError,
     initial_placement,
+    legality_violations,
 )
 from .routing import (
     RoutedNet,
@@ -74,8 +76,10 @@ __all__ = [
     "AnnealingSchedule",
     "FlatPlacer",
     "HierarchicalPlacer",
+    "LegalityViolation",
     "Placement",
     "PlacementError",
+    "legality_violations",
     "initial_placement",
     "PlacerConnectivity",
     "VectorPlacementEngine",

@@ -46,12 +46,12 @@ from ..circuits.netlist import Netlist
 from ..core.criterion import dissymmetry_vector
 from ..electrical.technology import HCMOS9_LIKE, Technology
 from ..obs.telemetry import current
-
-#: Reusable no-op context for per-step spans with telemetry disabled.
-_NO_SPAN = nullcontext()
 from .cells import PlacedCell
 from .floorplan import Floorplan
 from .routing import fanout_factor
+
+#: Reusable no-op context for per-step spans with telemetry disabled.
+_NO_SPAN = nullcontext()
 
 
 class PlacerConnectivity:

@@ -34,6 +34,48 @@ class PlacementError(Exception):
     """Raised when a placement cannot be produced or is illegal."""
 
 
+@dataclass(frozen=True)
+class LegalityViolation:
+    """One cell outside its allowed rectangle.
+
+    The structured record behind :meth:`Placement.check_legality`; the DRC
+    placement rules consume these directly so the placer and the checker
+    share a single legality implementation.
+    """
+
+    cell: str
+    x_um: float
+    y_um: float
+    fence: str
+    rect: Rect
+
+    def describe(self) -> str:
+        return (
+            f"cell {self.cell!r} at ({self.x_um:.1f}, {self.y_um:.1f}) "
+            f"is outside its {self.fence!r} fence "
+            f"[{self.rect.x_um:.1f}, {self.rect.y_um:.1f}] x "
+            f"[{self.rect.x_max:.1f}, {self.rect.y_max:.1f}]"
+        )
+
+
+def legality_violations(cells: Mapping[str, PlacedCell], floorplan: Floorplan,
+                        *, tolerance: float = 1e-6) -> List[LegalityViolation]:
+    """Every cell lying outside its fence (or the die), deterministically.
+
+    The single source of truth for placement legality: the placers call it
+    through :meth:`Placement.check_legality`, the DRC through ``PLC001``.
+    """
+    violations = []
+    for cell in cells.values():
+        rect = floorplan.placement_rect(cell.block)
+        if not rect.contains(cell.x_um, cell.y_um, tolerance=tolerance):
+            fence = cell.block if cell.block else "die"
+            violations.append(LegalityViolation(
+                cell=cell.name, x_um=cell.x_um, y_um=cell.y_um,
+                fence=fence, rect=rect))
+    return violations
+
+
 @dataclass
 class Placement:
     """The result of a placement: positioned cells plus the floorplan used."""
@@ -57,19 +99,18 @@ class Placement:
         return self.floorplan.die.area_um2
 
     def check_legality(self, *, tolerance: float = 1e-6) -> List[str]:
-        """Verify every cell lies inside its allowed rectangle."""
-        problems = []
-        for cell in self.cells.values():
-            rect = self.floorplan.placement_rect(cell.block)
-            if not rect.contains(cell.x_um, cell.y_um, tolerance=tolerance):
-                fence = cell.block if cell.block else "die"
-                problems.append(
-                    f"cell {cell.name!r} at ({cell.x_um:.1f}, {cell.y_um:.1f}) "
-                    f"is outside its {fence!r} fence "
-                    f"[{rect.x_um:.1f}, {rect.y_um:.1f}] x "
-                    f"[{rect.x_max:.1f}, {rect.y_max:.1f}]"
-                )
-        return problems
+        """Verify every cell lies inside its allowed rectangle.
+
+        Delegates to :func:`legality_violations` (shared with the DRC's
+        ``PLC001``) and renders each violation in the historical format.
+        """
+        return [violation.describe()
+                for violation in self.violations(tolerance=tolerance)]
+
+    def violations(self, *, tolerance: float = 1e-6) -> List[LegalityViolation]:
+        """Structured legality violations of this placement."""
+        return legality_violations(self.cells, self.floorplan,
+                                   tolerance=tolerance)
 
 
 # ----------------------------------------------------------- initial placing

@@ -10,7 +10,9 @@ from repro.asyncaes import (
     CipherDataPath,
     ControllerError,
     DatapathError,
+    KeyPathError,
     KeySchedulePath,
+    ProcessorError,
     RoundController,
     RoundStep,
     block_to_words,
@@ -76,9 +78,9 @@ class TestWordHelpers:
         assert sub_word(0x00000000) == 0x63636363
 
     def test_invalid_sizes(self):
-        with pytest.raises(Exception):
+        with pytest.raises(KeyPathError):
             bytes_to_word([1, 2, 3])
-        with pytest.raises(Exception):
+        with pytest.raises(DatapathError):
             block_to_words([0] * 15)
 
 
@@ -104,7 +106,7 @@ class TestKeySchedulePath:
         assert len(transfers) == 12
 
     def test_rejects_non_128_bit_keys(self):
-        with pytest.raises(Exception):
+        with pytest.raises(KeyPathError):
             KeySchedulePath(list(range(24)))
 
     @given(st.lists(st.integers(0, 255), min_size=16, max_size=16))
@@ -172,7 +174,7 @@ class TestProcessor:
         assert processor.round_keys() == key_expansion(KEY)
 
     def test_rejects_wrong_key_size(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ProcessorError):
             AsyncAesProcessor(list(range(24)))
 
     def test_first_round_target_word(self):

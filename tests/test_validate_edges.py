@@ -1,0 +1,159 @@
+"""Edge cases of :mod:`repro.circuits.validate`.
+
+The protocol checkers are replay analyses over recorded traces; these tests
+pin their behaviour on the degenerate inputs a campaign can produce — empty
+traces, NULL-only traces, channels the trace never mentions — and on
+hand-built unbalanced blocks.
+"""
+
+import pytest
+
+from repro.circuits.builder import QDIBlock
+from repro.circuits.channels import ChannelNets, ChannelSpec
+from repro.circuits.netlist import Netlist
+from repro.circuits.signals import Logic, TraceRecord, Transition, TransitionKind
+from repro.circuits.validate import (
+    BalanceError,
+    check_one_hot_discipline,
+    check_structural_balance,
+    count_valid_phases,
+    verify_netlist,
+)
+
+
+def _channel(name: str = "c", radix: int = 2) -> ChannelNets:
+    spec = ChannelSpec(name=name, radix=radix)
+    return ChannelNets(spec=spec, rails=spec.rail_names, ack=spec.ack_name)
+
+
+def _rising(net: str, time: float) -> Transition:
+    return Transition(net=net, time=time, value=Logic.HIGH,
+                      kind=TransitionKind.RISING)
+
+
+def _falling(net: str, time: float) -> Transition:
+    return Transition(net=net, time=time, value=Logic.LOW,
+                      kind=TransitionKind.FALLING)
+
+
+class TestTraceEdgeCases:
+    def test_empty_trace_is_silent(self):
+        trace = TraceRecord()
+        channel = _channel()
+        assert check_one_hot_discipline(trace, channel) == []
+        assert count_valid_phases(trace, channel) == 0
+
+    def test_null_only_trace_counts_zero_phases(self):
+        # The rails only ever fall (reset activity): never a valid phase,
+        # never an illegal code.
+        trace = TraceRecord(transitions=[
+            _falling("c_r0", 1e-9), _falling("c_r1", 2e-9)], end_time=3e-9)
+        channel = _channel()
+        assert check_one_hot_discipline(trace, channel) == []
+        assert count_valid_phases(trace, channel) == 0
+
+    def test_foreign_nets_are_ignored(self):
+        trace = TraceRecord(transitions=[
+            _rising("other_r0", 1e-9), _rising("other_r1", 2e-9)],
+            end_time=3e-9)
+        channel = _channel()
+        assert check_one_hot_discipline(trace, channel) == []
+        assert count_valid_phases(trace, channel) == 0
+
+    def test_single_rail_channel_spec_is_rejected(self):
+        with pytest.raises(ValueError, match="N >= 2"):
+            ChannelSpec(name="mono", radix=1)
+
+    def test_one_live_rail_still_obeys_the_discipline(self):
+        # Only rail 0 ever moves; the channel is a legal (if boring)
+        # dual-rail channel transmitting the same value every phase.
+        trace = TraceRecord(transitions=[
+            _rising("c_r0", 1e-9), _falling("c_r0", 2e-9),
+            _rising("c_r0", 3e-9), _falling("c_r0", 4e-9)], end_time=5e-9)
+        channel = _channel()
+        assert check_one_hot_discipline(trace, channel) == []
+        assert count_valid_phases(trace, channel) == 2
+
+    def test_two_hot_code_is_reported_with_time_and_net(self):
+        trace = TraceRecord(transitions=[
+            _rising("c_r0", 1e-9), _rising("c_r1", 2e-9),
+            _falling("c_r0", 3e-9)], end_time=4e-9)
+        violations = check_one_hot_discipline(trace, _channel())
+        assert len(violations) == 1
+        assert "'c'" in violations[0]
+        assert "c_r1" in violations[0] and "HIGH" in violations[0]
+        # The two-hot plateau is one excursion, not two.
+        assert count_valid_phases(trace, _channel()) == 1
+
+    def test_back_to_back_valid_without_null_counts_once(self):
+        # r0 high, then r1 high while r0 falls at the same replay order —
+        # the channel never returns to NULL, so only the first excursion
+        # counts as a new phase.
+        trace = TraceRecord(transitions=[
+            _rising("c_r0", 1e-9),
+            _falling("c_r0", 2e-9), _rising("c_r1", 2e-9),
+            _falling("c_r1", 3e-9)], end_time=4e-9)
+        count = count_valid_phases(trace, _channel())
+        assert count == 2  # NULL gap at t=2e-9 exists in replay order
+        shuffled = TraceRecord(transitions=[
+            _rising("c_r0", 1e-9),
+            _rising("c_r1", 2e-9), _falling("c_r0", 2.5e-9),
+            _falling("c_r1", 3e-9)], end_time=4e-9)
+        assert count_valid_phases(shuffled, _channel()) == 1
+
+
+class TestStructuralBalance:
+    def _block(self, cones, levels) -> QDIBlock:
+        netlist = Netlist("blk")
+        spec = ChannelSpec(name="z", radix=2)
+        channel = ChannelNets(spec=spec, rails=spec.rail_names,
+                              ack=spec.ack_name)
+        return QDIBlock(name="blk", netlist=netlist, outputs=[channel],
+                        level_of_instance=levels, rail_cones=cones)
+
+    def test_balanced_cones_are_clean(self):
+        block = self._block(
+            cones={"z_r0": ["a1", "a2"], "z_r1": ["b1", "b2"]},
+            levels={"a1": 1, "a2": 2, "b1": 1, "b2": 2})
+        assert check_structural_balance(block) == []
+
+    def test_level_mismatch_is_reported(self):
+        block = self._block(
+            cones={"z_r0": ["a1", "a2"], "z_r1": ["b1"]},
+            levels={"a1": 1, "a2": 2, "b1": 1})
+        problems = check_structural_balance(block)
+        assert len(problems) == 1
+        assert "different levels" in problems[0]
+
+    def test_gate_count_mismatch_is_reported(self):
+        block = self._block(
+            cones={"z_r0": ["a1"], "z_r1": ["b1", "b2"]},
+            levels={"a1": 1, "b1": 1, "b2": 1})
+        problems = check_structural_balance(block)
+        assert len(problems) == 1
+        assert "1 gate(s)" in problems[0] and "2 on rail" in problems[0]
+
+    def test_block_without_outputs_is_trivially_balanced(self):
+        block = QDIBlock(name="empty", netlist=Netlist("empty"))
+        assert check_structural_balance(block) == []
+
+    def test_empty_cones_are_balanced(self):
+        # A channel at the block boundary driven straight by ports: both
+        # cones empty, hence symmetric.
+        block = self._block(cones={}, levels={})
+        assert check_structural_balance(block) == []
+
+
+class TestVerifyNetlist:
+    def test_clean_netlist_verifies(self):
+        netlist = Netlist("ok")
+        netlist.add_input("a")
+        netlist.add_instance("g", "INV", {"A": "a", "Z": "y"})
+        netlist.add_output("y")
+        verify_netlist(netlist)  # must not raise
+
+    def test_structural_problem_raises_balance_error(self):
+        netlist = Netlist("bad")
+        netlist.add_instance("g", "INV", {"A": "x", "Z": "y"})
+        with pytest.raises(BalanceError):
+            verify_netlist(netlist)
