@@ -1,0 +1,178 @@
+"""Benchmark of the campaign execution service (repro.serve).
+
+Three gates, on the deliberately *uneven* 32-scenario reference grid of
+``python -m repro.serve`` (per-trace design costs spread over an order of
+magnitude — the shape that tail-stalls scenario-level sharding):
+
+* **scaling** — the service with 2 workers must finish the grid >=
+  ``--min-speedup`` x faster than the serial run (enforced when the
+  machine exposes >= 2 CPUs; on a single-CPU box the speedup is recorded
+  and the gate degrades to a scheduling-overhead ceiling: the service run
+  must stay within ``--max-overhead`` x serial);
+* **transport** — trace chunks must ride the shared-memory rings, not
+  pickle: ``serve.pickle_payload_bytes`` must stay 0 while
+  ``serve.shm_bytes`` carries the full trace volume;
+* **identity** — the merged ``frame.npz`` of the serial, pooled
+  (``workers=2``) and service-scheduled store runs must be byte-identical.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_serve_scaling.py
+           [--noises 8] [--traces 512] [--chunk-size 64]
+           [--workers 2] [--min-speedup 1.7] [--max-overhead 1.6]
+
+Writes its report to ``benchmarks/results/serve_scaling.txt``.
+"""
+
+import argparse
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import record_benchmark
+from repro.obs import Telemetry, use
+from repro.serve import CampaignService, ServiceConfig
+from repro.serve.__main__ import reference_campaign
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The uneven per-design trace costs of the reference grid, scaled up so
+#: chunk generation (the parallel part) dominates scheduling overhead.
+COSTS = (10, 20, 40, 150)
+
+
+def _timed(run):
+    start = time.perf_counter()
+    result = run()
+    return time.perf_counter() - start, result
+
+
+def _frame_bytes(path: Path) -> dict:
+    return {name: (path / name).read_bytes()
+            for name in ("frame.npz", "assessments.npz")}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--noises", type=int, default=8)
+    parser.add_argument("--traces", type=int, default=512)
+    parser.add_argument("--chunk-size", type=int, default=64)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--min-speedup", type=float, default=1.7,
+                        help="required serial/service ratio (>= 2 CPUs)")
+    parser.add_argument("--max-overhead", type=float, default=1.6,
+                        help="single-CPU fallback: max service/serial ratio")
+    args = parser.parse_args()
+
+    cpus = len(os.sched_getaffinity(0))
+    campaign = reference_campaign(noises=args.noises, costs=COSTS,
+                                  samples=256)
+    scenarios = args.noises * len(COSTS)
+    kwargs = dict(trace_count=args.traces, streaming=True,
+                  chunk_size=args.chunk_size, compute_disclosure=False)
+    lines = [f"Campaign service: {scenarios} uneven scenarios "
+             f"(costs {COSTS} x {args.noises} noise levels), "
+             f"{args.traces} traces @ chunk {args.chunk_size}, "
+             f"{args.workers} workers on {cpus} CPU(s)", ""]
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_serve_"))
+    try:
+        serial_s, _ = _timed(lambda: campaign.run(
+            store=workdir / "serial", **kwargs))
+        pooled_s, _ = _timed(lambda: campaign.run(
+            store=workdir / "pooled", workers=args.workers, **kwargs))
+
+        telemetry = Telemetry()
+        service = CampaignService(ServiceConfig(workers=args.workers))
+        service.register("reference", campaign)
+        with service, use(telemetry):
+            service_s, _ = _timed(lambda: service.run(
+                "reference", store=workdir / "served", **kwargs))
+        root = telemetry.snapshot()
+
+        # ------------------------------------------------- scaling gate
+        speedup = serial_s / service_s
+        overhead = service_s / serial_s
+        scaling_enforced = cpus >= 2
+        if scaling_enforced:
+            scaling_ok = speedup >= args.min_speedup
+            scaling_text = (f"  speedup: {speedup:.2f}x "
+                            f"(required >= {args.min_speedup:.2f}x)")
+        else:
+            scaling_ok = overhead <= args.max_overhead
+            scaling_text = (f"  single CPU: speedup gate off; overhead "
+                            f"{overhead:.2f}x (required <= "
+                            f"{args.max_overhead:.2f}x)")
+        lines += [
+            "scaling (chunk-level jobs over the persistent pool):",
+            f"  serial run:            {serial_s:8.3f} s",
+            f"  fork pool (workers={args.workers}): {pooled_s:8.3f} s "
+            f"({serial_s / pooled_s:.2f}x)",
+            f"  service  (workers={args.workers}): {service_s:8.3f} s",
+            scaling_text,
+            "",
+        ]
+
+        # ----------------------------------------------- transport gate
+        shm_bytes = root.total("serve.shm_bytes")
+        pickle_bytes = root.total("serve.pickle_payload_bytes")
+        jobs = root.total("serve.jobs")
+        transport_ok = pickle_bytes == 0 and shm_bytes > 0
+        lines += [
+            "transport (per-worker shared-memory rings):",
+            f"  jobs scheduled:      {jobs:12,.0f}",
+            f"  shm bytes:           {shm_bytes:12,.0f} "
+            f"({shm_bytes / max(jobs, 1):,.0f} per job)",
+            f"  pickled array bytes: {pickle_bytes:12,.0f} (required 0)",
+            "",
+        ]
+
+        # ------------------------------------------------ identity gate
+        serial_frames = _frame_bytes(workdir / "serial")
+        identity_ok = (
+            _frame_bytes(workdir / "pooled") == serial_frames
+            and _frame_bytes(workdir / "served") == serial_frames)
+        lines += [
+            "identity:",
+            f"  serial == pooled == service merged frames: {identity_ok}",
+            "",
+        ]
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    report = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "serve_scaling.txt").write_text(report + "\n")
+    print(report)
+
+    record_benchmark(
+        "serve_scaling", wall_time_s=service_s, speedup=speedup,
+        assertions={
+            "scaling_gate": scaling_ok,
+            "trace_transport_pickle_free": transport_ok,
+            "store_frames_byte_identical": identity_ok,
+        },
+        metrics={"cpus": cpus, "speedup_gate_enforced": scaling_enforced,
+                 "serial_s": serial_s, "pooled_s": pooled_s,
+                 "service_s": service_s, "shm_bytes": shm_bytes,
+                 "pickle_payload_bytes": pickle_bytes, "jobs": jobs})
+    assert identity_ok, \
+        "merged store frames diverged across serial / pooled / service runs"
+    assert transport_ok, (
+        f"trace transport leaked {pickle_bytes:,.0f} pickled array bytes "
+        f"(shm carried {shm_bytes:,.0f})")
+    if scaling_enforced:
+        assert scaling_ok, (
+            f"service only {speedup:.2f}x faster than serial "
+            f"(need >= {args.min_speedup:.2f}x on {cpus} CPUs)")
+    else:
+        assert scaling_ok, (
+            f"service overhead {overhead:.2f}x over serial on a single "
+            f"CPU (need <= {args.max_overhead:.2f}x)")
+    print(f"OK: {speedup:.2f}x vs serial on {cpus} CPU(s), "
+          f"{shm_bytes:,.0f} shm bytes / {pickle_bytes:,.0f} pickled, "
+          f"byte-identical frames.")
+
+
+if __name__ == "__main__":
+    main()

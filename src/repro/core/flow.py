@@ -1086,138 +1086,79 @@ class AttackCampaign:
                                 ) -> Tuple[List[CampaignRow], List[AssessmentRow]]:
         """The bounded-memory counterpart of :meth:`_run_scenario`.
 
-        Traces are consumed as ``chunk_size`` blocks that feed streaming
-        attack states (:mod:`repro.assess.streaming`) and assessment
-        accumulators; at no point does more than one chunk of traces exist.
-        Disclosure sweeps segment each chunk at the prefix boundaries, so the
-        rows match the in-memory run to floating-point reordering.
+        Traces are consumed as ``chunk_size`` blocks that feed the streaming
+        state machine of :class:`_StreamingScenarioState`; at no point does
+        more than one chunk of traces exist.  Disclosure sweeps segment each
+        chunk at the prefix boundaries, so the rows match the in-memory run
+        to floating-point reordering.
         """
-        from ..assess.streaming import (
-            DisclosureTracker,
-            disclosure_boundaries,
-            streaming_state,
-        )
-        from ..assess.tvla import BoundarySweep, StreamingTTest
-        from .cpa import result_from_statistic
-
         noise_label, noise_factory, design = scenario
         noise = noise_factory() if noise_factory is not None else None
-        value_assessments = [a for a in assessments
-                             if a.kind in ("tvla-specific", "snr")]
-        fr_assessments = [a for a in assessments if a.kind == "tvla"]
         rows: List[CampaignRow] = []
         assessment_rows: List[AssessmentRow] = []
         telemetry = current()
+        state = _StreamingScenarioState(
+            self, scenario, plaintexts, attacks=attacks,
+            assessments=assessments, tvla_schedule=tvla_schedule,
+            compute_disclosure=compute_disclosure, keep_results=keep_results)
 
-        attack_states = []
-        for entry in self._selections:
-            for attack_spec in attacks:
-                kernel = attack_spec.build(entry.selection)
-                guess_space = (list(self.guesses) if self.guesses is not None
-                               else list(kernel.guesses()))
-                state = streaming_state(kernel, guess_space)
-                tracker = None
-                if compute_disclosure and entry.correct_guess is not None:
-                    try:
-                        correct_index = guess_space.index(entry.correct_guess)
-                    except ValueError:
-                        raise DPAError(
-                            f"guess {entry.correct_guess:#x} was not part of "
-                            "the attack") from None
-                    tracker = DisclosureTracker(correct_index,
-                                                stable_runs=self.stable_runs)
-                attack_states.append(
-                    (entry, attack_spec, kernel, guess_space, state, tracker))
-        assessment_states = self._value_assessment_states(value_assessments)
-
-        if attack_states or assessment_states:
-            boundaries = (disclosure_boundaries(len(plaintexts),
-                                                start=self.mtd_start,
-                                                step=self.mtd_step)
-                          if any(tracker is not None
-                                 for *_, tracker in attack_states) else [])
-            sweep = BoundarySweep(boundaries)
-            position = 0
-            dt = t0 = None
+        if state.needs_attack_stream:
             with telemetry.span("campaign.stream", chunk_size=chunk_size):
                 for chunk in self._trace_chunks_for(design, noise, plaintexts,
                                                     chunk_size):
                     matrix = chunk.matrix()
-                    chunk_plaintexts = chunk.plaintexts()
                     telemetry.count("chunks")
                     telemetry.count("traces", matrix.shape[0])
-                    if dt is None:
-                        dt, t0 = chunk._time_params()
-                    for start, stop in sweep.segments(position,
-                                                      matrix.shape[0]):
-                        segment = slice(start - position, stop - position)
-                        for *_, state, _tracker in attack_states:
-                            state.update(matrix[segment],
-                                         chunk_plaintexts[segment])
-                        if sweep.at_boundary(stop):
-                            for *_, state, tracker in attack_states:
-                                if tracker is not None:
-                                    tracker.observe(stop, state.peaks())
-                    for assessment, state in assessment_states:
-                        self._update_value_assessment(assessment, state,
-                                                      matrix,
-                                                      chunk_plaintexts)
-                    position += matrix.shape[0]
+                    dt, t0 = chunk._time_params()
+                    state.apply_attack_chunk(matrix, chunk.plaintexts(),
+                                             dt, t0)
 
-            for entry, attack_spec, kernel, guess_space, state, tracker \
-                    in attack_states:
-                attack = result_from_statistic(
-                    state.statistics(), guess_space, kernel.name, position,
-                    dt, t0)
-                row = CampaignRow(
-                    design=design.label,
-                    selection=entry.selection.name,
-                    attack=attack_spec.label,
-                    noise=noise_label,
-                    trace_count=position,
-                    best_guess=attack.best_guess,
-                    best_peak=attack.best_peak,
-                    correct_guess=entry.correct_guess,
-                )
-                if entry.correct_guess is not None:
-                    row.rank_of_correct = attack.rank_of(entry.correct_guess)
-                    row.discrimination = attack.discrimination_ratio(
-                        entry.correct_guess)
-                    if tracker is not None:
-                        row.disclosure = tracker.disclosure
-                if keep_results:
-                    row.result = attack
+            for row in state.attack_rows():
                 telemetry.count("attacks")
                 rows.append(row)
-            if assessment_states:
+            if state.assessment_states:
                 with telemetry.span("campaign.assess", kind="value",
-                                    assessments=len(assessment_states)):
-                    for assessment, state in assessment_states:
-                        assessment_rows.append(self._assessment_row(
-                            design.label, noise_label, assessment, state))
+                                    assessments=len(state.assessment_states)):
+                    assessment_rows.extend(state.value_assessment_rows())
 
-        if fr_assessments:
+        if state.needs_tvla_stream:
             with telemetry.span("campaign.assess", kind="tvla",
-                                assessments=len(fr_assessments)):
-                tvla_plaintexts, labels = tvla_schedule
-                tt_states = [(assessment,
-                              StreamingTTest(threshold=assessment.threshold))
-                             for assessment in fr_assessments]
-                position = 0
+                                assessments=len(state.fr_states)):
+                tvla_plaintexts, _labels = tvla_schedule
                 for chunk in self._trace_chunks_for(
                         design, noise, tvla_plaintexts, chunk_size,
                         noise_start=len(plaintexts)):
                     matrix = chunk.matrix()
-                    chunk_labels = labels[position:position + matrix.shape[0]]
                     telemetry.count("chunks")
                     telemetry.count("traces", matrix.shape[0])
-                    for _assessment, state in tt_states:
-                        state.update(matrix, chunk_labels)
-                    position += matrix.shape[0]
-                for assessment, state in tt_states:
-                    assessment_rows.append(self._assessment_row(
-                        design.label, noise_label, assessment, state))
+                    state.apply_tvla_chunk(matrix)
+                assessment_rows.extend(state.fr_assessment_rows())
         return rows, assessment_rows
+
+    def _stream_chunk(self, scenario: tuple,
+                      stream_plaintexts: Sequence[Sequence[int]],
+                      start: int, stop: int,
+                      noise_base: int = 0) -> Tuple["object", float, float]:
+        """Rows ``[start, stop)`` of one scenario's trace stream, as
+        ``(matrix, dt, t0)``.
+
+        A pure function of the scenario and the range: noise draws are
+        pinned to the *global* trace index (``noise_base + start + i``) and
+        trace synthesis is row-independent, so any process can generate any
+        chunk on its own and the bytes match the corresponding slice of a
+        sequential :meth:`_trace_chunks_for` sweep exactly.  This is the
+        work unit :mod:`repro.serve` dispatches to its worker pool; the
+        TVLA stream passes its own plaintext schedule with
+        ``noise_base=len(attack_plaintexts)``.
+        """
+        _noise_label, noise_factory, design = scenario
+        noise = noise_factory() if noise_factory is not None else None
+        block = stream_plaintexts[start:stop]
+        traces = self._traces_for(design, noise, block,
+                                  noise_start=noise_base + start)
+        matrix = traces.matrix()
+        dt, t0 = traces._time_params()
+        return matrix, dt, t0
 
     def _run_sharded(self, scenarios: List[tuple],
                      plaintexts: Sequence[Sequence[int]],
@@ -1247,6 +1188,10 @@ class AttackCampaign:
         its result (and those of the scenarios before it) arrive, instead
         of only after the whole pool drains.
         """
+        if not scenarios:
+            # Pool(processes=0) raises ValueError; an empty grid (e.g. a
+            # fully-resumed store run) is simply an empty result.
+            return
         if "fork" not in multiprocessing.get_all_start_methods():
             logger.info("fork unavailable on this platform; campaign runs "
                         "%d scenario(s) serially", len(scenarios))
@@ -1293,6 +1238,33 @@ class AttackCampaign:
             seed=seed + _TVLA_SEED_OFFSET,
         )
 
+    def _plan_run(self, plaintexts: Sequence[Sequence[int]], seed: int, *,
+                  compute_disclosure: bool, keep_results: bool,
+                  streaming: bool, chunk_size: Optional[int]
+                  ) -> Tuple[List[tuple], Dict[str, object]]:
+        """The deterministic (scenarios, options) plan of one run.
+
+        Defaults are applied locally so planning never mutates the
+        campaign's configured grid.  Any process holding the same campaign
+        object — e.g. a forked :mod:`repro.serve` worker — rebuilds the
+        identical plan from the same arguments, so only a tiny run spec
+        ever crosses a process boundary.
+        """
+        attacks = list(self._attacks) or [standard_attack("dpa")]
+        noises = list(self._noises) or [("noiseless", None)]
+        scenarios = [(noise_label, noise_factory, design)
+                     for noise_label, noise_factory in noises
+                     for design in self._designs]
+        options = dict(attacks=attacks,
+                       assessments=list(self._assessments),
+                       tvla_schedule=self._tvla_schedule_for(len(plaintexts),
+                                                             seed),
+                       compute_disclosure=compute_disclosure,
+                       keep_results=keep_results,
+                       streaming=streaming,
+                       chunk_size=chunk_size)
+        return scenarios, options
+
     def run(self, trace_count: Optional[int] = None, *,
             plaintexts: Optional[Sequence[Sequence[int]]] = None,
             seed: int = 0, compute_disclosure: bool = True,
@@ -1301,7 +1273,8 @@ class AttackCampaign:
             chunk_size: Optional[int] = None,
             store: Optional[object] = None,
             telemetry: Optional[object] = None,
-            drc: str = "warn") -> CampaignResult:
+            drc: str = "warn",
+            service: Optional[object] = None) -> CampaignResult:
         """Run every (design × attack × selection × noise) scenario of the
         grid, plus every registered leakage assessment.
 
@@ -1358,6 +1331,18 @@ class AttackCampaign:
         (the default) logs them and proceeds — the legacy runtime error
         still occurs where it used to — and ``"off"`` skips the
         pre-flight entirely.
+
+        ``service`` hands scheduling to a running
+        :class:`repro.serve.CampaignService`: scenarios decompose into
+        chunk-level jobs balanced across the service's persistent worker
+        pool, with trace matrices returned over shared memory and all
+        accumulator updates applied here in deterministic chunk order —
+        the merged table (and any ``store`` frames) are byte-identical to
+        the serial run.  The campaign must have been registered with the
+        service before it started; ``service`` composes with
+        ``streaming``/``store`` but rejects ``workers > 1`` (the service
+        owns the pool) and ``keep_results`` (result objects are not
+        transportable).
         """
         if drc not in ("error", "warn", "off"):
             raise ValueError(f"drc must be 'error', 'warn' or 'off', "
@@ -1374,10 +1359,6 @@ class AttackCampaign:
                 raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
         elif chunk_size is not None:
             raise ValueError("chunk_size only applies to streaming=True runs")
-        # Defaults are applied locally so run() never mutates the campaign's
-        # configured grid.
-        attacks = list(self._attacks) or [standard_attack("dpa")]
-        noises = list(self._noises) or [("noiseless", None)]
         if plaintexts is None:
             if trace_count is None:
                 raise ValueError("need trace_count or explicit plaintexts")
@@ -1385,54 +1366,64 @@ class AttackCampaign:
         plaintexts = [list(p) for p in plaintexts]
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if service is not None:
+            if workers > 1:
+                raise ValueError(
+                    "workers does not compose with service=: the service "
+                    "owns the worker pool (configure it there)")
+            if keep_results:
+                raise ValueError(
+                    "keep_results does not compose with service=: attack "
+                    "result objects do not cross the service transport — "
+                    "re-run the scenario of interest in memory")
 
         telemetry = current() if telemetry is None else telemetry
 
-        scenarios = [(noise_label, noise_factory, design)
-                     for noise_label, noise_factory in noises
-                     for design in self._designs]
-        options = dict(attacks=attacks,
-                       assessments=list(self._assessments),
-                       tvla_schedule=self._tvla_schedule_for(len(plaintexts),
-                                                             seed),
-                       compute_disclosure=compute_disclosure,
-                       keep_results=keep_results,
-                       streaming=streaming,
-                       chunk_size=chunk_size)
-        if drc != "off":
-            # Imported lazily: repro.drc's campaign rules import flow
-            # internals, so the gate must not create an import cycle.
-            from ..drc import DrcError, run_campaign_preflight
+        scenarios, options = self._plan_run(
+            plaintexts, seed, compute_disclosure=compute_disclosure,
+            keep_results=keep_results, streaming=streaming,
+            chunk_size=chunk_size)
+        with use(telemetry):
+            if drc != "off":
+                # Imported lazily: repro.drc's campaign rules import flow
+                # internals, so the gate must not create an import cycle.
+                # Runs once, in the parent, on the run's collector — before
+                # any dispatch, so forked children never re-evaluate it.
+                from ..drc import DrcError, run_campaign_preflight
 
-            preflight = run_campaign_preflight(
-                self, workers=workers, streaming=streaming,
-                chunk_size=chunk_size, store=store, seed=seed,
-                plaintexts=plaintexts, options=options)
-            if drc == "error" and preflight.has_errors:
-                raise DrcError(preflight, subject="campaign")
-            for diagnostic in preflight.diagnostics:
-                logger.warning("campaign DRC: %s", diagnostic.render())
-        with use(telemetry), telemetry.span(
-                "campaign", scenarios=len(scenarios),
-                traces=len(plaintexts), workers=workers,
-                streaming=streaming):
-            if store is not None:
-                return self._run_with_store(store, scenarios, plaintexts,
-                                            seed, workers, options)
-            if workers > 1 and len(scenarios) > 1:
-                shard_rows = self._run_sharded(scenarios, plaintexts,
-                                               workers, options)
-            else:
-                shard_rows = [self._run_scenario(scenario, plaintexts,
-                                                 **options)
-                              for scenario in scenarios]
+                preflight = run_campaign_preflight(
+                    self, workers=workers, streaming=streaming,
+                    chunk_size=chunk_size, store=store, seed=seed,
+                    plaintexts=plaintexts, options=options)
+                if drc == "error" and preflight.has_errors:
+                    raise DrcError(preflight, subject="campaign")
+                for diagnostic in preflight.diagnostics:
+                    logger.warning("campaign DRC: %s", diagnostic.render())
+            with telemetry.span(
+                    "campaign", scenarios=len(scenarios),
+                    traces=len(plaintexts), workers=workers,
+                    streaming=streaming):
+                if service is not None:
+                    return service._execute_campaign(
+                        self, scenarios, plaintexts, seed, options,
+                        store=store)
+                if store is not None:
+                    return self._run_with_store(store, scenarios, plaintexts,
+                                                seed, workers, options)
+                if workers > 1 and len(scenarios) > 1:
+                    shard_rows = self._run_sharded(scenarios, plaintexts,
+                                                   workers, options)
+                else:
+                    shard_rows = [self._run_scenario(scenario, plaintexts,
+                                                     **options)
+                                  for scenario in scenarios]
 
-            campaign = CampaignResult()
-            for rows, assessment_rows in shard_rows:
-                campaign.rows.extend(rows)
-                campaign.assessments.extend(assessment_rows)
-            telemetry.record_rss()
-            return campaign
+                campaign = CampaignResult()
+                for rows, assessment_rows in shard_rows:
+                    campaign.rows.extend(rows)
+                    campaign.assessments.extend(assessment_rows)
+                telemetry.record_rss()
+                return campaign
 
     # ---------------------------------------------------------------- store
     @staticmethod
@@ -1544,6 +1535,165 @@ class AttackCampaign:
         campaign_store.finalize(tables)
         return CampaignResult(rows=merged["rows"].to_rows(),
                               assessments=merged["assessments"].to_rows())
+
+
+class _StreamingScenarioState:
+    """The accumulation half of one streaming (noise × design) scenario.
+
+    Owns every streaming accumulator of the scenario — attack statistics,
+    disclosure trackers, value assessments, fixed-vs-random t-tests — and
+    consumes trace chunks strictly in stream order.  Orchestration (who
+    generates the chunks, and where) lives outside: the serial path feeds
+    it from :meth:`AttackCampaign._trace_chunks_for`, while
+    :mod:`repro.serve` feeds it matrices generated by pool workers.  All
+    updates happen here, in one process, in deterministic chunk order, so
+    chunk-parallel runs produce bit-identical rows.
+    """
+
+    def __init__(self, campaign: "AttackCampaign", scenario: tuple,
+                 plaintexts: Sequence[Sequence[int]], *, attacks,
+                 assessments, tvla_schedule, compute_disclosure,
+                 keep_results):
+        from ..assess.streaming import (
+            DisclosureTracker,
+            disclosure_boundaries,
+            streaming_state,
+        )
+        from ..assess.tvla import BoundarySweep, StreamingTTest
+
+        self.campaign = campaign
+        self.tvla_schedule = tvla_schedule
+        self.keep_results = keep_results
+        noise_label, _noise_factory, design = scenario
+        self.noise_label = noise_label
+        self.design = design
+        value_assessments = [a for a in assessments
+                             if a.kind in ("tvla-specific", "snr")]
+        fr_assessments = [a for a in assessments if a.kind == "tvla"]
+
+        self.attack_states = []
+        for entry in campaign._selections:
+            for attack_spec in attacks:
+                kernel = attack_spec.build(entry.selection)
+                guess_space = (list(campaign.guesses)
+                               if campaign.guesses is not None
+                               else list(kernel.guesses()))
+                state = streaming_state(kernel, guess_space)
+                tracker = None
+                if compute_disclosure and entry.correct_guess is not None:
+                    try:
+                        correct_index = guess_space.index(entry.correct_guess)
+                    except ValueError:
+                        raise DPAError(
+                            f"guess {entry.correct_guess:#x} was not part of "
+                            "the attack") from None
+                    tracker = DisclosureTracker(
+                        correct_index, stable_runs=campaign.stable_runs)
+                self.attack_states.append(
+                    (entry, attack_spec, kernel, guess_space, state, tracker))
+        self.assessment_states = campaign._value_assessment_states(
+            value_assessments)
+        boundaries = (disclosure_boundaries(len(plaintexts),
+                                            start=campaign.mtd_start,
+                                            step=campaign.mtd_step)
+                      if any(tracker is not None
+                             for *_, tracker in self.attack_states) else [])
+        self.sweep = BoundarySweep(boundaries)
+        self.position = 0
+        self.dt: Optional[float] = None
+        self.t0: Optional[float] = None
+        self.fr_states = [(assessment,
+                           StreamingTTest(threshold=assessment.threshold))
+                          for assessment in fr_assessments]
+        self.tvla_position = 0
+
+    @property
+    def needs_attack_stream(self) -> bool:
+        """Whether the all-random attack stream has any consumer."""
+        return bool(self.attack_states or self.assessment_states)
+
+    @property
+    def needs_tvla_stream(self) -> bool:
+        """Whether the scenario needs the fixed-vs-random acquisition."""
+        return bool(self.fr_states)
+
+    def apply_attack_chunk(self, matrix, chunk_plaintexts,
+                           dt: float, t0: float) -> None:
+        """Fold the next chunk of the attack stream into every accumulator.
+
+        Chunks must arrive in stream order — the disclosure sweep segments
+        them at the global prefix boundaries, so ``position`` is part of
+        the state machine.
+        """
+        if self.dt is None:
+            self.dt, self.t0 = dt, t0
+        position = self.position
+        for start, stop in self.sweep.segments(position, matrix.shape[0]):
+            segment = slice(start - position, stop - position)
+            for *_, state, _tracker in self.attack_states:
+                state.update(matrix[segment], chunk_plaintexts[segment])
+            if self.sweep.at_boundary(stop):
+                for *_, state, tracker in self.attack_states:
+                    if tracker is not None:
+                        tracker.observe(stop, state.peaks())
+        for assessment, state in self.assessment_states:
+            self.campaign._update_value_assessment(assessment, state, matrix,
+                                                   chunk_plaintexts)
+        self.position += matrix.shape[0]
+
+    def apply_tvla_chunk(self, matrix) -> None:
+        """Fold the next chunk of the fixed-vs-random acquisition."""
+        _tvla_plaintexts, labels = self.tvla_schedule
+        chunk_labels = labels[self.tvla_position:
+                              self.tvla_position + matrix.shape[0]]
+        for _assessment, state in self.fr_states:
+            state.update(matrix, chunk_labels)
+        self.tvla_position += matrix.shape[0]
+
+    def attack_rows(self) -> List[CampaignRow]:
+        """One finished campaign row per (selection × attack) entry."""
+        from .cpa import result_from_statistic
+
+        rows: List[CampaignRow] = []
+        for entry, attack_spec, kernel, guess_space, state, tracker \
+                in self.attack_states:
+            attack = result_from_statistic(
+                state.statistics(), guess_space, kernel.name, self.position,
+                self.dt, self.t0)
+            row = CampaignRow(
+                design=self.design.label,
+                selection=entry.selection.name,
+                attack=attack_spec.label,
+                noise=self.noise_label,
+                trace_count=self.position,
+                best_guess=attack.best_guess,
+                best_peak=attack.best_peak,
+                correct_guess=entry.correct_guess,
+            )
+            if entry.correct_guess is not None:
+                row.rank_of_correct = attack.rank_of(entry.correct_guess)
+                row.discrimination = attack.discrimination_ratio(
+                    entry.correct_guess)
+                if tracker is not None:
+                    row.disclosure = tracker.disclosure
+            if self.keep_results:
+                row.result = attack
+            rows.append(row)
+        return rows
+
+    def value_assessment_rows(self) -> List[AssessmentRow]:
+        """Rows of the assessments that rode on the attack stream."""
+        return [self.campaign._assessment_row(self.design.label,
+                                              self.noise_label,
+                                              assessment, state)
+                for assessment, state in self.assessment_states]
+
+    def fr_assessment_rows(self) -> List[AssessmentRow]:
+        """Rows of the non-specific (fixed-vs-random) TVLA assessments."""
+        return [self.campaign._assessment_row(self.design.label,
+                                              self.noise_label,
+                                              assessment, state)
+                for assessment, state in self.fr_states]
 
 
 #: Campaign state inherited by forked shard workers (set around the pool's

@@ -176,20 +176,27 @@ class Telemetry:
         self.root.duration_s = time.perf_counter() - self._t0
         return self.root
 
-    def adopt(self, root: SpanNode, *, shard: Optional[int] = None) -> None:
+    def adopt(self, root: SpanNode, *, shard: Optional[int] = None,
+              worker: Optional[int] = None) -> None:
         """Graft a worker's recorded tree under the current span.
 
         The worker's root wrapper is dropped: its children become children
         of the parent's innermost open span, so serial and sharded runs
         produce the same tree shape.  ``shard`` tags each adopted top-level
         span — deterministic attribution (pass the scenario/shard *index*,
-        never a pid).  Root-level counters add into the current span;
-        root-level gauges max-merge.
+        never a pid).  ``worker`` additionally tags which pool worker ran
+        the shard — an observability attribute only: the :mod:`repro.serve`
+        scheduler adopts trees in deterministic job order, so the tree
+        shape stays independent of which worker happened to be free.
+        Root-level counters add into the current span; root-level gauges
+        max-merge.
         """
         target = self._stack[-1]
         for child in root.children:
             if shard is not None:
                 child.attrs.setdefault("shard", shard)
+            if worker is not None:
+                child.attrs.setdefault("worker", worker)
             target.children.append(child)
         for name, value in root.counters.items():
             target.counters[name] = target.counters.get(name, 0) + value
@@ -221,7 +228,8 @@ class NullTelemetry:
     def record_rss(self) -> None:
         pass
 
-    def adopt(self, root: SpanNode, *, shard: Optional[int] = None) -> None:
+    def adopt(self, root: SpanNode, *, shard: Optional[int] = None,
+              worker: Optional[int] = None) -> None:
         pass
 
 

@@ -153,7 +153,7 @@ class PlacementSweep:
 
     # ------------------------------------------------------------------ run
     def run(self, *, workers: int = 1, store=None,
-            telemetry=None) -> SweepResult:
+            telemetry=None, service=None) -> SweepResult:
         """Run every grid point; ``workers > 1`` shards over forked workers.
 
         The merged result is in grid order regardless of worker count, and
@@ -173,13 +173,26 @@ class PlacementSweep:
         sweep records one ``sweep.point`` span per grid point (annealer
         move counters and peak RSS nested inside); sharded workers record
         locally and their trees merge in grid order, same shape as serial.
+
+        With ``service=`` a running :class:`repro.serve.CampaignService`
+        the sweep was registered with, grid points are scheduled as jobs
+        on the service's persistent worker pool (``workers`` must stay 1 —
+        the service owns the pool); the merged table is byte-identical to
+        a serial run.
         """
         points = self.points()
         design = self.netlist_factory().name
         telemetry = current() if telemetry is None else telemetry
+        if service is not None and workers > 1:
+            raise PlacementError(
+                "workers does not compose with service=: the service owns "
+                "the worker pool (configure it there)")
         with use(telemetry), telemetry.span(
                 "sweep", flow=self.flow, design=design,
                 points=len(points), workers=workers):
+            if service is not None:
+                return service._execute_sweep(self, points, design,
+                                              store=store)
             if store is not None:
                 return self._run_with_store(store, points, design, workers)
             if (workers <= 1 or len(points) <= 1
@@ -192,6 +205,10 @@ class PlacementSweep:
 
     def _run_sharded_iter(self, points: List[SweepPoint], workers: int):
         """Sweep rows in grid order, yielded as they complete (fork pool)."""
+        if not points:
+            # Pool(processes=0) raises ValueError; an empty grid (e.g. a
+            # fully-resumed store run) is simply an empty result.
+            return
         telemetry = current()
         global _SWEEP_STATE
         context = multiprocessing.get_context("fork")

@@ -1,0 +1,126 @@
+"""Zero-copy array transport: per-worker shared-memory slot rings.
+
+Trace matrices (and result frame columns) are far too large to pickle
+through a :class:`multiprocessing.Queue` on every job — that is the
+transport the one-shot fork pools used, and it serializes the whole
+array twice per hop.  Here each worker owns a small ring of
+:class:`multiprocessing.shared_memory.SharedMemory` slots created by the
+scheduler *before* the worker forks, so the child inherits the mappings
+(no name-based attach, no resource-tracker churn) and the parent reads
+results with one memcpy.
+
+Flow control is a single-producer / single-consumer ack protocol:
+
+* the **worker** keeps a local free list and blocks on its ack queue when
+  every slot is in flight — bounded memory by construction;
+* the **scheduler**, after copying a payload out in :meth:`ShmRing.take`,
+  returns the slot with :meth:`ShmRing.release`.
+
+Arrays larger than a slot (or empty ones) fall back to inline pickling —
+the scheduler counts those bytes separately so the serve benchmark can
+assert the trace path stays effectively pickle-free.
+
+A ring belongs to exactly one worker *incarnation*: when the scheduler
+kills and respawns a worker it builds a fresh ring (new segments, new ack
+queue) and retires the old one once its in-flight payloads are drained,
+so a half-dead worker can never scribble over a slot the parent still
+reads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from queue import Empty
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SlotPayload:
+    """A picklable receipt for an array parked in a shared-memory slot."""
+
+    slot: int
+    shape: Tuple[int, ...]
+    dtype: str
+    nbytes: int
+
+
+class ShmRing:
+    """One worker's ring of shared-memory slots (see the module docstring).
+
+    Construct in the scheduler process *before* forking the owning worker;
+    both sides then call the half of the API that belongs to them
+    (:meth:`place` in the worker, :meth:`take`/:meth:`release` in the
+    scheduler).
+    """
+
+    def __init__(self, context, *, slots: int, slot_bytes: int):
+        if slots < 1:
+            raise ValueError(f"need at least one slot, got {slots}")
+        if slot_bytes < 1:
+            raise ValueError(f"slot_bytes must be >= 1, got {slot_bytes}")
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self._segments = [shared_memory.SharedMemory(create=True,
+                                                     size=slot_bytes)
+                          for _ in range(slots)]
+        # Written by the scheduler (release), read by the owning worker.
+        self._acks = context.Queue()
+        self._free = deque(range(slots))
+        self._closed = False
+
+    # ------------------------------------------------------------ worker side
+    def place(self, array: np.ndarray) -> Optional[SlotPayload]:
+        """Park an array in a free slot; ``None`` when it does not fit.
+
+        Blocks on the ack queue when every slot is in flight — that is the
+        ring's back-pressure: a worker can never have more than ``slots``
+        results outstanding.
+        """
+        array = np.ascontiguousarray(array)
+        if array.nbytes == 0 or array.nbytes > self.slot_bytes:
+            return None
+        while True:
+            # Drain every ack that already arrived before blocking.
+            try:
+                while True:
+                    self._free.append(self._acks.get_nowait())
+            except Empty:
+                pass
+            if self._free:
+                break
+            self._free.append(self._acks.get())
+        slot = self._free.popleft()
+        view = np.ndarray(array.shape, dtype=array.dtype,
+                          buffer=self._segments[slot].buf)
+        view[:] = array
+        return SlotPayload(slot=slot, shape=tuple(array.shape),
+                           dtype=array.dtype.str, nbytes=array.nbytes)
+
+    # --------------------------------------------------------- scheduler side
+    def take(self, payload: SlotPayload) -> np.ndarray:
+        """Copy a parked array out of its slot (does not release it)."""
+        view = np.ndarray(payload.shape, dtype=np.dtype(payload.dtype),
+                          buffer=self._segments[payload.slot].buf)
+        return view.copy()
+
+    def release(self, payload: SlotPayload) -> None:
+        """Hand the slot back to the owning worker."""
+        if not self._closed:
+            self._acks.put(payload.slot)
+
+    def close(self) -> None:
+        """Unlink every segment (scheduler side, after the worker is gone)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._acks.close()
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass

@@ -94,29 +94,44 @@ class CampaignStore:
     def _shard_filename(self, index: int, table: str) -> str:
         return f"shard-{index:05d}-{table}.npz"
 
-    def write_shard(self, key: str,
-                    tables: Dict[str, CampaignFrame]) -> ShardRecord:
-        """Persist one completed scenario (frames first, manifest after)."""
+    def write_shard_tables(self, key: str,
+                           tables: Dict[str, CampaignFrame]) -> ShardRecord:
+        """Write one scenario's shard frames to disk — manifest untouched.
+
+        The returned :class:`ShardRecord` is the tiny, picklable receipt a
+        :mod:`repro.serve` worker ships back to the scheduler, which alone
+        calls :meth:`commit_shard`: writers may be many processes, but the
+        manifest has exactly one owner, so resume state never races.
+        """
         try:
             index = self.manifest.scenario_keys.index(key)
         except ValueError:
             raise StoreError(f"shard key {key!r} is not a scenario of this "
                              "store") from None
+        filenames = {}
+        rows = {}
+        for table, frame in tables.items():
+            filename = self._shard_filename(index, table)
+            write_frame(frame, self.path / filename)
+            filenames[table] = filename
+            rows[table] = len(frame)
+        return ShardRecord(key=key, index=index, tables=filenames, rows=rows)
+
+    def commit_shard(self, record: ShardRecord) -> None:
+        """Record an already-written shard in the manifest (crash-safe:
+        the frames were durable before this runs)."""
         telemetry = current()
-        with telemetry.span("store.write_shard", key=key):
-            filenames = {}
-            rows = {}
-            for table, frame in tables.items():
-                filename = self._shard_filename(index, table)
-                write_frame(frame, self.path / filename)
-                filenames[table] = filename
-                rows[table] = len(frame)
-            record = ShardRecord(key=key, index=index, tables=filenames,
-                                 rows=rows)
-            self.manifest.record_shard(record)
-            self.manifest.save(self.path)
-            telemetry.count("shards_written")
-            telemetry.count("rows_spilled", sum(rows.values()))
+        self.manifest.record_shard(record)
+        self.manifest.save(self.path)
+        telemetry.count("shards_written")
+        telemetry.count("rows_spilled", sum(record.rows.values()))
+
+    def write_shard(self, key: str,
+                    tables: Dict[str, CampaignFrame]) -> ShardRecord:
+        """Persist one completed scenario (frames first, manifest after)."""
+        with current().span("store.write_shard", key=key):
+            record = self.write_shard_tables(key, tables)
+            self.commit_shard(record)
         return record
 
     def read_shard(self, key: str) -> Dict[str, CampaignFrame]:
